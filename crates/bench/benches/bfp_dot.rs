@@ -1,0 +1,35 @@
+//! Kernel benchmark: BFP group dot products — direct integer form (Fig 5)
+//! vs chunk-serial fMAC form (Fig 13) across mantissa widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_bfp::dot::{dot_chunked, dot_f32};
+use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.7).cos()).collect();
+    let ys: Vec<f32> = (0..16).map(|i| ((i as f32) * 1.3).sin()).collect();
+    let mut group = c.benchmark_group("bfp_dot");
+    for m in [2u32, 4, 8] {
+        let fmt = BfpFormat::new(16, m, 8).expect("valid");
+        let a = BfpGroup::quantize_nearest(&xs, fmt);
+        let b = BfpGroup::quantize_nearest(&ys, fmt);
+        let ca = ChunkedGroup::from_group(&a).expect("chunk aligned");
+        let cb = ChunkedGroup::from_group(&b).expect("chunk aligned");
+        group.bench_with_input(BenchmarkId::new("direct", m), &m, |bch, _| {
+            bch.iter(|| black_box(dot_f32(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("chunked", m), &m, |bch, _| {
+            bch.iter(|| black_box(dot_chunked(black_box(&ca), black_box(&cb))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Kernel benchmark: fMAC cell streaming throughput at each variable
+//! precision (2×2 → 1 pass, 4×2 → 2, 4×4 → 4; paper Section V-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup};
+use fast_hw::FmacCell;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.7).cos()).collect();
+    let ws: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.3).sin()).collect();
+    let mut group = c.benchmark_group("fmac_passes");
+    for (mw, mx) in [(2u32, 2u32), (4, 2), (4, 4)] {
+        let w = ChunkedGroup::from_group(&BfpGroup::quantize_nearest(
+            &ws,
+            BfpFormat::new(16, mw, 8).expect("valid"),
+        ))
+        .expect("chunk aligned");
+        let x = ChunkedGroup::from_group(&BfpGroup::quantize_nearest(
+            &xs,
+            BfpFormat::new(16, mx, 8).expect("valid"),
+        ))
+        .expect("chunk aligned");
+        group.bench_with_input(
+            BenchmarkId::new("consume", format!("{mw}x{mx}")),
+            &(w, x),
+            |b, (w, x)| {
+                let mut cell = FmacCell::new();
+                cell.load_weight(w.clone());
+                b.iter(|| black_box(cell.consume(black_box(x))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

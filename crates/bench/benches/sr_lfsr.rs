@@ -1,0 +1,40 @@
+//! Kernel benchmark: LFSR noise generation vs a general-purpose RNG as the
+//! stochastic-rounding bit source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bfp::{BitSource, Lfsr16, RngBits};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sr_lfsr");
+    group.bench_function("lfsr16_8bit_draws", |b| {
+        let mut lfsr = Lfsr16::default();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1024 {
+                acc = acc.wrapping_add(lfsr.next_bits(8));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("stdrng_8bit_draws", |b| {
+        let mut rng = RngBits(rand::rngs::StdRng::seed_from_u64(1));
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1024 {
+                acc = acc.wrapping_add(rng.next_bits(8));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

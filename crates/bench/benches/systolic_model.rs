@@ -1,0 +1,50 @@
+//! Kernel benchmark: evaluation speed of the systolic cycle model and the
+//! functional three-dataflow simulation (paper Fig 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_hw::{training_iteration, Gemm, LayerWork, SystemConfig, SystolicFunctionalSim};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let layers: Vec<LayerWork> = [
+        Gemm { m: 802_816, k: 576, n: 64 },
+        Gemm { m: 200_704, k: 1152, n: 128 },
+        Gemm { m: 50_176, k: 2304, n: 256 },
+        Gemm { m: 12_544, k: 4608, n: 512 },
+    ]
+    .iter()
+    .map(|&gemm| LayerWork { gemm, m_w: 4, m_a: 2, m_g: 4 })
+    .collect();
+    let systems = SystemConfig::all();
+
+    let mut group = c.benchmark_group("systolic_model");
+    group.bench_function("iteration_cost_all_systems", |b| {
+        b.iter(|| {
+            for sys in &systems {
+                black_box(training_iteration(black_box(sys), black_box(&layers)));
+            }
+        })
+    });
+
+    let (k, n, m) = (32usize, 24, 16);
+    let w: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.1).sin()).collect();
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.2).cos()).collect();
+    let g: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.3).sin()).collect();
+    let sim = SystolicFunctionalSim::load_weights(&w, k, n);
+    group.bench_function("functional_three_dataflows", |b| {
+        b.iter(|| {
+            black_box(sim.forward(&a, m));
+            black_box(sim.backward_activation(&g, m));
+            black_box(sim.backward_weight(&a, &g, m));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(2)).sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end benchmark: one training iteration of a small CNN under FP32,
+//! HighBFP, and FAST low-precision settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_nn::models::{resnet_lite, ResNetConfig};
+use fast_nn::{set_uniform_precision, LayerPrecision, NoopHook, Sgd, Trainer};
+use fast_tensor::Tensor;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let x = Tensor::from_vec(
+        vec![8, 3, 16, 16],
+        (0..8 * 3 * 256).map(|i| (i as f32 * 0.01).sin().abs()).collect(),
+    );
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    let mut group = c.benchmark_group("training_step");
+    for (name, prec) in [
+        ("fp32", LayerPrecision::fp32()),
+        ("high_bfp_m4", LayerPrecision::bfp_fixed(4)),
+        ("fast_low_2_2_2", LayerPrecision::fast(2, 2, 2)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let mut model = resnet_lite(ResNetConfig::resnet18(4, 4), &mut rng);
+            set_uniform_precision(&mut model, prec);
+            let mut trainer = Trainer::new(model, Sgd::new(0.01, 0.9, 0.0), 0);
+            let mut hook = NoopHook;
+            b.iter(|| black_box(trainer.step_classification(&x, &labels, &mut hook)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

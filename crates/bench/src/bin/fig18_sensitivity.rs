@@ -1,0 +1,55 @@
+//! Fig 18 — BFP sensitivity analysis: highest validation accuracy as a
+//! function of mantissa bitwidth (m ∈ {2,3,4,5}) and group size
+//! (g ∈ {8,16,32}).
+
+use fast_bench::runner::{run_images, RunCfg};
+use fast_bench::table::{f, Table};
+use fast_bench::workloads::{resnet20, ImageTask};
+use fast_bench::Scale;
+use fast_bfp::BfpFormat;
+use fast_core::FixedPolicy;
+use fast_nn::{LayerPrecision, NumericFormat};
+
+fn bfp_precision(g: usize, m: u32) -> LayerPrecision {
+    let fmt = BfpFormat::new(g, m, 3).expect("valid format");
+    LayerPrecision {
+        weights: NumericFormat::bfp_nearest(fmt),
+        activations: NumericFormat::bfp_nearest(fmt),
+        gradients: NumericFormat::bfp_stochastic(fmt),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let task = ImageTask::at(scale);
+    let epochs = scale.pick(6, 20);
+    println!("== Paper Fig 18: BFP sensitivity (ResNet-lite, {} epochs) ==\n", epochs);
+    let data = task.dataset(123);
+
+    let group_sizes = [8usize, 16, 32];
+    let mantissas = [2u32, 3, 4, 5];
+    let mut t = Table::new(vec!["mantissa bits", "g=8", "g=16", "g=32"]);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for &m in &mantissas {
+        let mut row = Vec::new();
+        for &g in &group_sizes {
+            let model = resnet20(task.classes, false, 7);
+            let cfg = RunCfg::images(epochs, 7);
+            let mut hook = FixedPolicy { precision: bfp_precision(g, m) };
+            let run = run_images(model, &data, &cfg, &mut hook, None);
+            row.push(run.best_quality());
+        }
+        t.row(
+            std::iter::once(m.to_string())
+                .chain(row.iter().map(|&a| f(a, 2)))
+                .collect(),
+        );
+        rows.push(row);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nPaper's claims to verify: accuracy rises with mantissa bits; smaller\n\
+         group sizes quantize better at fixed m (g=8 ≥ g=16 ≥ g=32), with\n\
+         g=16, m=4 already close to the ceiling (it is the paper's baseline)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig 2 — the number-format zoo: prints every format's field layout and
+//! per-value storage cost.
+
+use fast_bench::table::Table;
+use fast_bfp::{BfpFormat, Minifloat};
+
+fn main() {
+    println!("== Paper Fig 2: number formats for DNN training/inference ==\n");
+    let mut t = Table::new(vec!["format", "kind", "sign", "exponent", "mantissa", "bits/value"]);
+    let fp = |name: &str, m: Minifloat| {
+        (name.to_string(), "floating point", 1u32, m.exp_bits, m.man_bits, (1 + m.exp_bits + m.man_bits) as f64)
+    };
+    let rows = vec![
+        ("FP32 (IEEE 754)".to_string(), "floating point", 1, 8, 23, 32.0),
+        fp("FP16 (IEEE 754)", Minifloat::FP16),
+        fp("bfloat16", Minifloat::BF16),
+        fp("TensorFloat", Minifloat::TF32),
+        fp("HFP8 fwd (1-4-3)", Minifloat::HFP8_FWD),
+        fp("HFP8 bwd (1-5-2)", Minifloat::HFP8_BWD),
+        ("INT8".to_string(), "fixed point", 1, 0, 7, 8.0),
+        ("INT12".to_string(), "fixed point", 1, 0, 11, 12.0),
+        ("Binary".to_string(), "fixed point", 1, 0, 0, 1.0),
+    ];
+    for (name, kind, s, e, m, bits) in rows {
+        t.row(vec![
+            name,
+            kind.to_string(),
+            s.to_string(),
+            e.to_string(),
+            m.to_string(),
+            format!("{bits:.2}"),
+        ]);
+    }
+    for (name, fmt) in [
+        ("MSFP-12", BfpFormat::msfp12()),
+        ("LowBFP (paper)", BfpFormat::low()),
+        ("MidBFP (paper)", BfpFormat::mid()),
+        ("HighBFP (paper)", BfpFormat::high()),
+        ("BFP g=4 e=4 m=6", BfpFormat::new(4, 6, 4).unwrap()),
+        ("BFP g=2 e=4 m=4", BfpFormat::new(2, 4, 4).unwrap()),
+    ] {
+        t.row(vec![
+            format!("{name} (g={})", fmt.group_size()),
+            "block floating point".to_string(),
+            "1".to_string(),
+            format!("{} shared", fmt.exponent_bits()),
+            fmt.mantissa_bits().to_string(),
+            format!("{:.2}", fmt.storage_bits_per_value()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nBFP bits/value uses the chunked storage layout of Fig 15\n\
+         (e + g*(m/2)*3 bits per group; paper quotes 3.2 / 6.2 bits for m=2 / m=4)."
+    );
+}

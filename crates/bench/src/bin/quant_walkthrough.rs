@@ -1,0 +1,47 @@
+//! Fig 4 / Fig 5 — walkthrough of the FP→BFP conversion pipeline and the
+//! BFP dot-product decomposition.
+
+use fast_bfp::dot::{dot_chunked, dot_f32, dot_parts};
+use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup, Lfsr16, Rounding};
+
+fn main() {
+    println!("== Paper Fig 4: FP32 -> BFP conversion pipeline ==\n");
+    let xs = [1.375f32, 0.8125, 0.09375, -0.4375];
+    let fmt = BfpFormat::new(4, 4, 8).expect("valid format");
+    println!("inputs:            {xs:?}");
+
+    let nearest = BfpGroup::quantize_nearest(&xs, fmt);
+    println!("(a) max exponent:  E = {}", nearest.shared_exponent());
+    println!("(b,d) mantissas:   {:?}  (aligned, nearest-rounded to m=4)", nearest.mantissas());
+    println!("      dequantized: {:?}", nearest.dequantize());
+
+    let mut lfsr = Lfsr16::new(0xACE1);
+    let sr = BfpGroup::quantize(&xs, fmt, Rounding::STOCHASTIC8, &mut lfsr, None);
+    println!("(c) with 8-bit LFSR stochastic rounding (gradient path):");
+    println!("      mantissas:   {:?}", sr.mantissas());
+    println!("      dequantized: {:?}\n", sr.dequantize());
+
+    println!("== Paper Fig 5: BFP dot product decomposition ==\n");
+    // The figure's worked example: mantissas (14,-2,-7,1)·(4,-9,11,0),
+    // shared exponents 2 and 4.
+    let f5 = BfpFormat::new(4, 5, 8).expect("valid format");
+    let a = BfpGroup::from_parts(f5, 2, vec![14, -2, -7, 1]);
+    let b = BfpGroup::from_parts(f5, 4, vec![4, -9, 11, 0]);
+    let (int_sum, exp) = dot_parts(&a, &b);
+    println!("integer part:  14*4 + (-2)(-9) + (-7)(11) + 1*0 = {int_sum}");
+    println!("one exponent addition: 2^({} + {}) with mantissa scaling -> 2^{exp}",
+        a.shared_exponent(), b.shared_exponent());
+    println!("dot product = {int_sum} * 2^{exp} = {}\n", dot_f32(&a, &b));
+
+    println!("== Paper Fig 13: variable-precision chunk-serial execution ==\n");
+    let fmt4 = BfpFormat::new(4, 4, 8).expect("valid format");
+    let fmt2 = BfpFormat::new(4, 2, 8).expect("valid format");
+    let x4 = BfpGroup::quantize_nearest(&[1.0, 0.5, -0.75, 0.25], fmt4);
+    let y2 = BfpGroup::quantize_nearest(&[0.5, -1.0, 0.5, 1.0], fmt2);
+    let cx = ChunkedGroup::from_group(&x4).expect("chunk-aligned");
+    let cy = ChunkedGroup::from_group(&y2).expect("chunk-aligned");
+    let r = dot_chunked(&cx, &cy);
+    println!("4-bit × 2-bit operands -> {} fMAC passes (paper: (4/2)·(2/2) = 2)", r.passes);
+    println!("chunk-serial value  = {}", r.value);
+    println!("direct dot product  = {}  (bit-identical)", dot_f32(&x4, &y2));
+}

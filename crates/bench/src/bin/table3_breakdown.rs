@@ -1,0 +1,42 @@
+//! Table III — area and power breakdown of the FAST system.
+
+use fast_bench::table::{f, Table};
+use fast_hw::{fast_breakdown, SystemConfig};
+
+fn main() {
+    println!("== Paper Table III: FAST system area/power breakdown ==\n");
+    let rows = fast_breakdown();
+    let mut t = Table::new(vec![
+        "Component",
+        "area % (model)",
+        "area % (paper)",
+        "power W (model)",
+        "power W (paper)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.to_string(),
+            f(r.area_percent, 2),
+            f(r.paper_area_percent, 2),
+            f(r.power_w, 2),
+            f(r.paper_power_w, 2),
+        ]);
+    }
+    print!("{}", t.render());
+    let total_model: f64 = rows.iter().map(|r| r.power_w).sum();
+    let total_paper: f64 = rows.iter().map(|r| r.paper_power_w).sum();
+    println!("\nTotal power: model {:.2} W, paper {:.2} W", total_model, total_paper);
+
+    println!("\nSystem presets (Section VII-B equal-area configurations):");
+    let mut t2 = Table::new(vec!["system", "array", "MAC", "array area (fMAC units)", "total power W"]);
+    for sys in SystemConfig::all() {
+        t2.row(vec![
+            sys.name.to_string(),
+            format!("{}x{}", sys.array.rows, sys.array.cols),
+            format!("{:?}", sys.array.mac),
+            f(sys.array_area_fmac_units(), 0),
+            f(sys.total_power_w(), 2),
+        ]);
+    }
+    print!("{}", t2.render());
+}

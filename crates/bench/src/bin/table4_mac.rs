@@ -1,0 +1,56 @@
+//! Table IV — ASIC area/power and FPGA LUT/FF comparison of MAC designs.
+//!
+//! Prints the analytical gate-model numbers next to the paper's published
+//! synthesis results (the model reproduces the ordering and rough ratios;
+//! the published values calibrate the system-level presets).
+
+use fast_bench::table::{f, Table};
+use fast_hw::MacKind;
+
+fn main() {
+    println!("== Paper Table IV: MAC design comparison (per 16-element unit) ==\n");
+    let mut t = Table::new(vec![
+        "MAC design",
+        "area (model)",
+        "area (paper)",
+        "power mW (model)",
+        "power mW (paper)",
+        "LUT (model)",
+        "LUT (paper)",
+        "FF (model)",
+        "FF (paper)",
+    ]);
+    for mac in MacKind::TABLE4 {
+        let (lut_m, ff_m) = mac.model_fpga();
+        let (lut_p, ff_p) = mac.paper_fpga().expect("table4 rows have paper values");
+        t.row(vec![
+            mac.name().to_string(),
+            format!("{}x", f(mac.model_area_ratio(), 2)),
+            format!("{}x", f(mac.paper_area_ratio().expect("published"), 1)),
+            f(mac.model_power_mw(), 3),
+            f(mac.paper_power_mw().expect("published"), 3),
+            lut_m.to_string(),
+            lut_p.to_string(),
+            ff_m.to_string(),
+            ff_p.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nDerived designs (not in the paper's table):");
+    let mut t2 = Table::new(vec!["MAC design", "area (calibrated)", "power mW (calibrated)"]);
+    for mac in [MacKind::Msfp12, MacKind::Fp32] {
+        t2.row(vec![
+            mac.name().to_string(),
+            format!("{}x", f(mac.calibrated_area_ratio(), 2)),
+            f(mac.calibrated_power_mw(), 3),
+        ]);
+    }
+    print!("{}", t2.render());
+    println!(
+        "\nModel = analytical gate counts (array multipliers quadratic in mantissa\n\
+         width, FP accumulator amortized per BFP group). Paper = published 45nm\n\
+         synthesis. The fMAC advantage holds in both: every other design costs\n\
+         3.8-10.6x its area."
+    );
+}

@@ -1,0 +1,122 @@
+//! The number-format zoo evaluated by the paper (Table II columns, Fig 19
+//! and Fig 20 series), each paired with the hardware system that executes
+//! it.
+
+use fast_hw::SystemConfig;
+use fast_nn::LayerPrecision;
+
+/// A named training format with its execution substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct FormatEntry {
+    /// Column/series name as the paper prints it.
+    pub name: &'static str,
+    /// Per-layer precision assignment used during training.
+    pub precision: LayerPrecision,
+    /// Hardware system used for time/energy accounting (None = accuracy
+    /// only, e.g. the fixed-BFP rows run on the FAST system).
+    pub system: fn() -> SystemConfig,
+    /// Fixed fMAC mantissa widths to charge when the format runs on the
+    /// FAST system (None = use the layer's own widths; scalar systems
+    /// ignore this entirely).
+    pub fast_widths: Option<u32>,
+}
+
+/// The full Table II column set.
+pub fn table2_formats() -> Vec<FormatEntry> {
+    vec![
+        FormatEntry {
+            name: "FP32",
+            precision: LayerPrecision::fp32(),
+            system: SystemConfig::fp32,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "bfloat16",
+            precision: LayerPrecision::bf16(),
+            system: SystemConfig::bf16,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "Nvidia MP",
+            precision: LayerPrecision::nvidia_mp(),
+            system: SystemConfig::nvidia_mp,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "INT8",
+            precision: LayerPrecision::int8(),
+            system: SystemConfig::int8,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "INT12",
+            precision: LayerPrecision::int12(),
+            system: SystemConfig::int12,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "MSFP-12",
+            precision: LayerPrecision::msfp12(),
+            system: SystemConfig::msfp12,
+            fast_widths: None,
+        },
+        FormatEntry {
+            name: "LowBFP",
+            precision: LayerPrecision::bfp_fixed(2),
+            system: SystemConfig::fast,
+            fast_widths: Some(2),
+        },
+        FormatEntry {
+            name: "MidBFP",
+            precision: LayerPrecision::bfp_fixed(3),
+            system: SystemConfig::fast,
+            fast_widths: Some(3),
+        },
+        FormatEntry {
+            name: "HighBFP",
+            precision: LayerPrecision::bfp_fixed(4),
+            system: SystemConfig::fast,
+            fast_widths: Some(4),
+        },
+        FormatEntry {
+            name: "HFP8",
+            precision: LayerPrecision::hfp8(),
+            system: SystemConfig::hfp8,
+            fast_widths: None,
+        },
+    ]
+}
+
+/// The Fig 19 / Fig 20 comparison series (formats with a hardware story).
+pub fn fig20_formats() -> Vec<FormatEntry> {
+    table2_formats()
+        .into_iter()
+        .filter(|f| {
+            matches!(
+                f.name,
+                "FP32" | "Nvidia MP" | "bfloat16" | "INT12" | "MSFP-12" | "HFP8" | "MidBFP"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_covers_table2_columns() {
+        let names: Vec<&str> = table2_formats().iter().map(|f| f.name).collect();
+        for want in
+            ["FP32", "bfloat16", "Nvidia MP", "INT8", "INT12", "MSFP-12", "LowBFP", "MidBFP",
+             "HighBFP", "HFP8"]
+        {
+            assert!(names.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn fig20_series_is_a_subset() {
+        assert_eq!(fig20_formats().len(), 7);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared experiment infrastructure for the paper-reproduction harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library provides the common
+//! pieces: quick/full experiment scaling, the format zoo of Table II /
+//! Fig 20, standard workload builders, and training runners that couple the
+//! `fast-nn` training loop with the `fast-hw` cost meter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formats;
+pub mod runner;
+pub mod suite;
+pub mod table;
+pub mod workloads;
+
+/// Experiment scale: `Quick` finishes in seconds-to-minutes per binary;
+/// `Full` runs the larger grids recorded in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced grid for fast iteration and CI.
+    Quick,
+    /// The full experiment grid.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from argv (`--scale quick|full`) or the
+    /// `FAST_EXPT_SCALE` environment variable; defaults to `Quick`.
+    pub fn from_env() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                if let Some(v) = args.next() {
+                    return Scale::parse(&v);
+                }
+            } else if let Some(v) = a.strip_prefix("--scale=") {
+                return Scale::parse(v);
+            }
+        }
+        match std::env::var("FAST_EXPT_SCALE") {
+            Ok(v) => Scale::parse(&v),
+            Err(_) => Scale::Quick,
+        }
+    }
+
+    fn parse(v: &str) -> Scale {
+        match v.to_ascii_lowercase().as_str() {
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `quick` or `full` value by scale.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("full"), Scale::Full);
+        assert_eq!(Scale::parse("quick"), Scale::Quick);
+        assert_eq!(Scale::parse("anything"), Scale::Quick);
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! The six-workload evaluation suite (Table II rows, Fig 20 panels) with
+//! uniform entry points for fixed-format and FAST-Adaptive training.
+
+use crate::formats::FormatEntry;
+use crate::runner::{run_detection, run_images, run_sequence, RunCfg, TrainRun};
+use crate::workloads::{CnnModel, DetWorkload, ImageTask, SeqWorkload};
+use crate::Scale;
+use fast_core::{CostMeter, DimScale, EpsilonSchedule, FastController, FixedPolicy, HookChain};
+use fast_hw::SystemConfig;
+use fast_nn::LayerPrecision;
+
+/// One evaluation workload of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// An image-classification CNN.
+    Cnn(CnnModel),
+    /// The transformer sequence task.
+    Transformer,
+    /// The TinyYolo detection task.
+    Yolo,
+}
+
+impl Workload {
+    /// All six paper workloads, in Table II row order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::Cnn(CnnModel::ResNet18),
+            Workload::Cnn(CnnModel::ResNet50),
+            Workload::Cnn(CnnModel::MobileNet),
+            Workload::Cnn(CnnModel::Vgg16),
+            Workload::Transformer,
+            Workload::Yolo,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Cnn(m) => m.name(),
+            Workload::Transformer => "Transformer",
+            Workload::Yolo => "YOLOv2",
+        }
+    }
+
+    /// The quality metric's name.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            Workload::Cnn(_) => "val acc %",
+            Workload::Transformer => "token acc % (BLEU proxy)",
+            Workload::Yolo => "mAP@0.5 %",
+        }
+    }
+
+    /// The dimension scale lifting lite-model GEMMs to paper-scale
+    /// equivalents for the hardware cost model (DESIGN.md §6).
+    pub fn dim_scale(&self) -> DimScale {
+        match self {
+            Workload::Cnn(_) | Workload::Yolo => DimScale::CNN_PAPER,
+            Workload::Transformer => DimScale::TRANSFORMER_PAPER,
+        }
+    }
+
+    fn meter(&self, system: Option<SystemConfig>) -> Option<CostMeter> {
+        system.map(|sys| CostMeter::new(sys).with_dim_scale(self.dim_scale()))
+    }
+
+    /// Default epoch count at a scale.
+    pub fn epochs(&self, scale: Scale) -> usize {
+        match self {
+            Workload::Cnn(_) => scale.pick(6, 24),
+            Workload::Transformer => scale.pick(8, 30),
+            Workload::Yolo => scale.pick(8, 30),
+        }
+    }
+
+    fn run_cfg(&self, epochs: usize, seed: u64) -> RunCfg {
+        match self {
+            Workload::Cnn(_) => RunCfg::images(epochs, seed),
+            Workload::Transformer => RunCfg {
+                epochs,
+                batch: 32,
+                lr: 2e-3,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                lr_drops: vec![],
+                seed,
+            },
+            Workload::Yolo => RunCfg {
+                epochs,
+                batch: 32,
+                lr: 0.02,
+                momentum: 0.9,
+                weight_decay: 5e-4,
+                lr_drops: vec![(epochs / 2, 0.1)],
+                seed,
+            },
+        }
+    }
+
+    /// Trains under a fixed format; attaches the cost meter when `system`
+    /// is given. `extra_epochs` extends the schedule beyond the scale
+    /// default (used by the TTA experiments so slow-starting systems still
+    /// reach the target).
+    pub fn run_fixed(
+        &self,
+        scale: Scale,
+        precision: LayerPrecision,
+        system: Option<SystemConfig>,
+        seed: u64,
+        extra_epochs: usize,
+    ) -> TrainRun {
+        let epochs = self.epochs(scale) + extra_epochs;
+        let cfg = self.run_cfg(epochs, seed);
+        let mut policy = FixedPolicy { precision };
+        let meter = self.meter(system);
+        match self {
+            Workload::Cnn(m) => {
+                let task = ImageTask::at(scale);
+                let data = task.dataset(1234);
+                let model = m.build(task, seed);
+                run_images(model, &data, &cfg, &mut policy, meter)
+            }
+            Workload::Transformer => {
+                let wl = SeqWorkload::at(scale, 1234);
+                let model = wl.model(seed);
+                run_sequence(model, &wl.data, &cfg, &mut policy, meter)
+            }
+            Workload::Yolo => {
+                let wl = DetWorkload::at(scale, 1234);
+                let model = wl.model(seed);
+                run_detection(model, &wl.data, wl.cfg, &cfg, &mut policy, meter)
+            }
+        }
+    }
+
+    /// Trains under a format-zoo entry (convenience over [`run_fixed`]).
+    pub fn run_entry(&self, scale: Scale, entry: &FormatEntry, seed: u64, meter: bool) -> TrainRun {
+        let system = meter.then(|| (entry.system)());
+        self.run_fixed(scale, entry.precision, system, seed, 0)
+    }
+
+    /// [`run_entry`] with extra epochs appended (TTA experiments).
+    pub fn run_entry_extended(
+        &self,
+        scale: Scale,
+        entry: &FormatEntry,
+        seed: u64,
+        extra_epochs: usize,
+    ) -> TrainRun {
+        self.run_fixed(scale, entry.precision, Some((entry.system)()), seed, extra_epochs)
+    }
+
+    /// Trains under FAST-Adaptive (Algorithm 1) on the FAST system,
+    /// returning the run and the recorded precision trace.
+    pub fn run_fast_adaptive(
+        &self,
+        scale: Scale,
+        seed: u64,
+        meter: bool,
+    ) -> (TrainRun, FastController) {
+        self.run_fast_adaptive_extended(scale, seed, meter, 0)
+    }
+
+    /// [`run_fast_adaptive`] with extra epochs appended.
+    pub fn run_fast_adaptive_extended(
+        &self,
+        scale: Scale,
+        seed: u64,
+        meter: bool,
+        extra_epochs: usize,
+    ) -> (TrainRun, FastController) {
+        let epochs = self.epochs(scale) + extra_epochs;
+        let cfg = self.run_cfg(epochs, seed);
+        let system = self.meter(meter.then(SystemConfig::fast));
+        match self {
+            Workload::Cnn(m) => {
+                let task = ImageTask::at(scale);
+                let data = task.dataset(1234);
+                let model = m.build(task, seed);
+                let iters = epochs * data.train_len().div_ceil(cfg.batch);
+                let mut ctl = FastController::new(iters.max(1), EpsilonSchedule::paper_default());
+                let run = {
+                    let mut chain = HookChain::new().push(&mut ctl);
+                    run_images(model, &data, &cfg, &mut chain, system)
+                };
+                (run, ctl)
+            }
+            Workload::Transformer => {
+                let wl = SeqWorkload::at(scale, 1234);
+                let model = wl.model(seed);
+                let iters = epochs * scale.pick(384usize, 2048).div_ceil(cfg.batch);
+                let mut ctl = FastController::new(iters.max(1), EpsilonSchedule::paper_default());
+                let run = {
+                    let mut chain = HookChain::new().push(&mut ctl);
+                    run_sequence(model, &wl.data, &cfg, &mut chain, system)
+                };
+                (run, ctl)
+            }
+            Workload::Yolo => {
+                let wl = DetWorkload::at(scale, 1234);
+                let model = wl.model(seed);
+                let iters = epochs * scale.pick(256usize, 1536).div_ceil(cfg.batch);
+                let mut ctl = FastController::new(iters.max(1), EpsilonSchedule::paper_default());
+                let run = {
+                    let mut chain = HookChain::new().push(&mut ctl);
+                    run_detection(model, &wl.data, wl.cfg, &cfg, &mut chain, system)
+                };
+                (run, ctl)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_metrics() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].name(), "ResNet-18");
+        assert_eq!(all[4].metric(), "token acc % (BLEU proxy)");
+    }
+}

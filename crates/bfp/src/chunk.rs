@@ -1,0 +1,232 @@
+//! 2-bit-chunk mantissa storage (paper Fig 15) enabling variable-precision
+//! arithmetic (paper Fig 13).
+//!
+//! Mantissas are split into 2-bit chunks, high-order chunk first. All chunks
+//! of a given index across the group live in one memory entry so the fMAC
+//! can stream one pass per chunk pair. Each stored chunk carries a
+//! replicated sign bit (3 bits per chunk per value, Section V-D).
+
+use crate::error::FormatError;
+use crate::format::BfpFormat;
+use crate::group::BfpGroup;
+
+/// A BFP group stored in the chunked layout of paper Fig 15.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedGroup {
+    format: BfpFormat,
+    shared_exponent: i32,
+    signs: Vec<bool>,
+    /// `chunks[c][i]` is the 2-bit chunk `c` (0 = most significant) of the
+    /// magnitude of value `i`.
+    chunks: Vec<Vec<u8>>,
+}
+
+impl ChunkedGroup {
+    /// Splits a [`BfpGroup`] into 2-bit chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::NotChunkAligned`] if the mantissa bitwidth is
+    /// odd (the FAST hardware always uses 2-bit multiples, m ∈ {2, 4, ...}).
+    pub fn from_group(group: &BfpGroup) -> Result<Self, FormatError> {
+        let format = group.format();
+        let m = format.mantissa_bits();
+        if m % 2 != 0 {
+            return Err(FormatError::NotChunkAligned(m));
+        }
+        let n_chunks = (m / 2) as usize;
+        let n = group.len();
+        let mut signs = Vec::with_capacity(n);
+        let mut chunks = vec![vec![0u8; n]; n_chunks];
+        for (i, &mant) in group.mantissas().iter().enumerate() {
+            signs.push(mant < 0);
+            let mag = mant.unsigned_abs();
+            for (c, chunk_row) in chunks.iter_mut().enumerate() {
+                let shift = m - 2 * (c as u32 + 1);
+                chunk_row[i] = ((mag >> shift) & 0b11) as u8;
+            }
+        }
+        Ok(ChunkedGroup { format, shared_exponent: group.shared_exponent(), signs, chunks })
+    }
+
+    /// Reassembles the full-precision [`BfpGroup`].
+    pub fn to_group(&self) -> BfpGroup {
+        let m = self.format.mantissa_bits();
+        let n = self.signs.len();
+        let mut mantissas = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut mag: i32 = 0;
+            for (c, chunk_row) in self.chunks.iter().enumerate() {
+                let shift = m - 2 * (c as u32 + 1);
+                mag |= (chunk_row[i] as i32) << shift;
+            }
+            mantissas.push(if self.signs[i] { -mag } else { mag });
+        }
+        BfpGroup::from_parts(self.format, self.shared_exponent, mantissas)
+    }
+
+    /// Discards the low-order chunk, halving precision (Section V-D: "if
+    /// Algorithm 1 selects the 2-bit mantissa, then the low-order 2-bit
+    /// chunk is discarded").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has only one chunk.
+    pub fn drop_low_chunk(&self) -> ChunkedGroup {
+        assert!(self.chunks.len() > 1, "cannot drop the only mantissa chunk");
+        let m = self.format.mantissa_bits() - 2;
+        let format = self.format.with_mantissa_bits(m).expect("narrowed format is valid");
+        ChunkedGroup {
+            format,
+            shared_exponent: self.shared_exponent,
+            signs: self.signs.clone(),
+            chunks: self.chunks[..self.chunks.len() - 1].to_vec(),
+        }
+    }
+
+    /// The format of the stored group.
+    pub fn format(&self) -> BfpFormat {
+        self.format
+    }
+
+    /// Shared (unbiased) exponent `E`.
+    pub fn shared_exponent(&self) -> i32 {
+        self.shared_exponent
+    }
+
+    /// Number of values in the group.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Whether the group holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// Number of 2-bit chunks per mantissa.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Sign bits (`true` = negative).
+    pub fn signs(&self) -> &[bool] {
+        &self.signs
+    }
+
+    /// The 2-bit chunks at index `c` (0 = most significant) for all values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= chunk_count()`.
+    pub fn chunk(&self, c: usize) -> &[u8] {
+        &self.chunks[c]
+    }
+
+    /// Packs the group into memory entries following Fig 15: one entry per
+    /// chunk index, each value contributing 3 bits (sign + 2-bit chunk),
+    /// plus a separate exponent entry. Returns `(exponent_entry, entries)`
+    /// where each entry is little-endian packed bytes.
+    pub fn memory_image(&self) -> (u8, Vec<Vec<u8>>) {
+        let exp_entry = (self.shared_exponent & ((1i32 << self.format.exponent_bits()) - 1)) as u8;
+        let entries = self
+            .chunks
+            .iter()
+            .map(|chunk_row| {
+                let mut bits: Vec<bool> = Vec::with_capacity(chunk_row.len() * 3);
+                for (i, &ch) in chunk_row.iter().enumerate() {
+                    bits.push(self.signs[i]);
+                    bits.push(ch & 0b10 != 0);
+                    bits.push(ch & 0b01 != 0);
+                }
+                pack_bits(&bits)
+            })
+            .collect();
+        (exp_entry, entries)
+    }
+
+    /// Total storage bits for this group under the Fig 15 layout.
+    pub fn storage_bits(&self) -> u64 {
+        self.format.exponent_bits() as u64 + (self.len() as u64) * (self.chunk_count() as u64) * 3
+    }
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(g: usize, m: u32) -> BfpFormat {
+        BfpFormat::new(g, m, 3).unwrap()
+    }
+
+    #[test]
+    fn chunk_roundtrip_m4() {
+        let g = BfpGroup::from_parts(fmt(4, 4), 2, vec![15, -9, 4, 0]);
+        let c = ChunkedGroup::from_group(&g).unwrap();
+        assert_eq!(c.chunk_count(), 2);
+        // 15 = 0b1111 -> high chunk 0b11, low chunk 0b11.
+        assert_eq!(c.chunk(0)[0], 0b11);
+        assert_eq!(c.chunk(1)[0], 0b11);
+        // 9 = 0b1001 -> high 0b10, low 0b01; negative.
+        assert_eq!(c.chunk(0)[1], 0b10);
+        assert_eq!(c.chunk(1)[1], 0b01);
+        assert!(c.signs()[1]);
+        assert_eq!(c.to_group(), g);
+    }
+
+    #[test]
+    fn chunk_roundtrip_m2() {
+        let g = BfpGroup::from_parts(fmt(3, 2), -1, vec![3, -2, 1]);
+        let c = ChunkedGroup::from_group(&g).unwrap();
+        assert_eq!(c.chunk_count(), 1);
+        assert_eq!(c.to_group(), g);
+    }
+
+    #[test]
+    fn odd_mantissa_width_rejected() {
+        let g = BfpGroup::from_parts(fmt(2, 3), 0, vec![7, -7]);
+        assert_eq!(
+            ChunkedGroup::from_group(&g).unwrap_err(),
+            FormatError::NotChunkAligned(3)
+        );
+    }
+
+    #[test]
+    fn drop_low_chunk_equals_group_truncate() {
+        let g = BfpGroup::from_parts(fmt(4, 4), 1, vec![13, -6, 7, 2]);
+        let dropped = ChunkedGroup::from_group(&g).unwrap().drop_low_chunk().to_group();
+        assert_eq!(dropped, g.truncate_to(2));
+    }
+
+    #[test]
+    fn memory_image_matches_fig15_example() {
+        // Paper Fig 15: g=2, m=4, exponent 0b001, mantissas 0b1001 and
+        // -0b0110 (sign bits shown separately in the figure).
+        let f = BfpFormat::new(2, 4, 3).unwrap();
+        let g = BfpGroup::from_parts(f, 1, vec![0b1001, -0b0110]);
+        let c = ChunkedGroup::from_group(&g).unwrap();
+        let (exp, entries) = c.memory_image();
+        assert_eq!(exp, 0b001);
+        assert_eq!(entries.len(), 2); // first chunks entry, second chunks entry
+        assert_eq!(c.chunk(0), &[0b10, 0b01]);
+        assert_eq!(c.chunk(1), &[0b01, 0b10]);
+    }
+
+    #[test]
+    fn storage_bits_matches_format_accounting() {
+        let f = BfpFormat::new(16, 4, 3).unwrap();
+        let g = BfpGroup::from_parts(f, 0, vec![1; 16]);
+        let c = ChunkedGroup::from_group(&g).unwrap();
+        assert_eq!(c.storage_bits(), f.storage_bits_per_group());
+    }
+}

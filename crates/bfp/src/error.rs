@@ -1,0 +1,35 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`BfpFormat`](crate::BfpFormat).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Group size was zero.
+    ZeroGroupSize,
+    /// Mantissa bitwidth outside the supported `1..=16` range.
+    MantissaBits(u32),
+    /// Exponent bitwidth outside the supported `1..=8` range.
+    ExponentBits(u32),
+    /// Mantissa bitwidth not a multiple of the 2-bit chunk size (required
+    /// for chunked storage/arithmetic only).
+    NotChunkAligned(u32),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::ZeroGroupSize => write!(f, "BFP group size must be at least 1"),
+            FormatError::MantissaBits(m) => {
+                write!(f, "BFP mantissa bitwidth {m} outside supported range 1..=16")
+            }
+            FormatError::ExponentBits(e) => {
+                write!(f, "BFP exponent bitwidth {e} outside supported range 1..=8")
+            }
+            FormatError::NotChunkAligned(m) => {
+                write!(f, "mantissa bitwidth {m} is not a multiple of the 2-bit chunk size")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}

@@ -1,0 +1,192 @@
+use crate::error::FormatError;
+
+/// A Block Floating Point format description (paper Table I and Fig 2).
+///
+/// A BFP format groups `group_size` values under a single shared exponent of
+/// `exponent_bits` bits; every value keeps a private sign bit and an
+/// `mantissa_bits`-bit magnitude mantissa.
+///
+/// The paper's fixed reference settings (Section VI) are provided as
+/// constructors: [`BfpFormat::low`] (`m=2`), [`BfpFormat::mid`] (`m=3`),
+/// [`BfpFormat::high`] (`m=4`) — all with `g=16, e=3` — and
+/// [`BfpFormat::msfp12`] (Microsoft MSFP-12: `g=16, m=3, e=8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BfpFormat {
+    group_size: usize,
+    mantissa_bits: u32,
+    exponent_bits: u32,
+}
+
+impl BfpFormat {
+    /// Creates a format with group size `g`, mantissa bitwidth `m`, and
+    /// shared-exponent bitwidth `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `g == 0`, `m` is outside `1..=16`, or `e`
+    /// is outside `1..=8`.
+    pub fn new(g: usize, m: u32, e: u32) -> Result<Self, FormatError> {
+        if g == 0 {
+            return Err(FormatError::ZeroGroupSize);
+        }
+        if !(1..=16).contains(&m) {
+            return Err(FormatError::MantissaBits(m));
+        }
+        if !(1..=8).contains(&e) {
+            return Err(FormatError::ExponentBits(e));
+        }
+        Ok(BfpFormat { group_size: g, mantissa_bits: m, exponent_bits: e })
+    }
+
+    /// The paper's `LowBFP` setting: `g=16, m=2, e=3`.
+    pub fn low() -> Self {
+        BfpFormat { group_size: 16, mantissa_bits: 2, exponent_bits: 3 }
+    }
+
+    /// The paper's `MidBFP` setting: `g=16, m=3, e=3`.
+    pub fn mid() -> Self {
+        BfpFormat { group_size: 16, mantissa_bits: 3, exponent_bits: 3 }
+    }
+
+    /// The paper's `HighBFP` setting: `g=16, m=4, e=3`.
+    pub fn high() -> Self {
+        BfpFormat { group_size: 16, mantissa_bits: 4, exponent_bits: 3 }
+    }
+
+    /// Microsoft's MSFP-12 format as drawn in paper Fig 2: `g=16, m=3, e=8`.
+    pub fn msfp12() -> Self {
+        BfpFormat { group_size: 16, mantissa_bits: 3, exponent_bits: 8 }
+    }
+
+    /// Flexpoint-style format (`g` spans a whole tensor in the original; we
+    /// keep the paper's comparison spirit with a wide mantissa): `m=16, e=5`.
+    pub fn flexpoint(group_size: usize) -> Result<Self, FormatError> {
+        BfpFormat::new(group_size, 16, 5)
+    }
+
+    /// Returns a copy of this format with a different mantissa bitwidth.
+    ///
+    /// Used by the FAST controller when toggling between `m=2` and `m=4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `m` is outside `1..=16`.
+    pub fn with_mantissa_bits(self, m: u32) -> Result<Self, FormatError> {
+        BfpFormat::new(self.group_size, m, self.exponent_bits)
+    }
+
+    /// Returns a copy of this format with a different group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if `g == 0`.
+    pub fn with_group_size(self, g: usize) -> Result<Self, FormatError> {
+        BfpFormat::new(g, self.mantissa_bits, self.exponent_bits)
+    }
+
+    /// Group size `g`: number of values sharing one exponent.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Mantissa bitwidth `m` (magnitude bits, excluding the sign bit).
+    pub fn mantissa_bits(&self) -> u32 {
+        self.mantissa_bits
+    }
+
+    /// Shared-exponent bitwidth `e`.
+    pub fn exponent_bits(&self) -> u32 {
+        self.exponent_bits
+    }
+
+    /// Maximum representable mantissa magnitude, `2^m - 1`.
+    pub fn max_magnitude(&self) -> i64 {
+        (1i64 << self.mantissa_bits) - 1
+    }
+
+    /// Number of 2-bit mantissa chunks, `ceil(m / 2)` (paper Section V-B).
+    pub fn chunk_count(&self) -> u32 {
+        self.mantissa_bits.div_ceil(2)
+    }
+
+    /// Storage cost in bits for one full group under the chunked memory
+    /// layout of paper Fig 15 / Section V-D: `e + g * (m/2) * 3` — each
+    /// 2-bit chunk is stored with a replicated sign bit for uniform access.
+    pub fn storage_bits_per_group(&self) -> u64 {
+        self.exponent_bits as u64 + (self.group_size as u64) * (self.chunk_count() as u64) * 3
+    }
+
+    /// Average storage bits per value (e.g. 3.19 for `g=16, m=2, e=3` and
+    /// 6.19 for `m=4`, matching the paper's "3.2 and 6.2 bits" figures).
+    pub fn storage_bits_per_value(&self) -> f64 {
+        self.storage_bits_per_group() as f64 / self.group_size as f64
+    }
+}
+
+impl Default for BfpFormat {
+    /// Defaults to the paper's baseline training format, `HighBFP`
+    /// (`g=16, m=4, e=3`; Section VI-C).
+    fn default() -> Self {
+        BfpFormat::high()
+    }
+}
+
+impl std::fmt::Display for BfpFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BFP(g={}, m={}, e={})",
+            self.group_size, self.mantissa_bits, self.exponent_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(BfpFormat::low().mantissa_bits(), 2);
+        assert_eq!(BfpFormat::mid().mantissa_bits(), 3);
+        assert_eq!(BfpFormat::high().mantissa_bits(), 4);
+        assert_eq!(BfpFormat::msfp12().exponent_bits(), 8);
+        for f in [BfpFormat::low(), BfpFormat::mid(), BfpFormat::high()] {
+            assert_eq!(f.group_size(), 16);
+            assert_eq!(f.exponent_bits(), 3);
+        }
+    }
+
+    #[test]
+    fn storage_cost_matches_paper_section_v_d() {
+        // Paper: "an average of 3.2 (m=2) and 6.2 (m=4) bits to store each
+        // value" with e=3, g=16.
+        let low = BfpFormat::new(16, 2, 3).unwrap();
+        let high = BfpFormat::new(16, 4, 3).unwrap();
+        assert!((low.storage_bits_per_value() - 3.1875).abs() < 1e-9);
+        assert!((high.storage_bits_per_value() - 6.1875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_formats_rejected() {
+        assert_eq!(BfpFormat::new(0, 4, 3), Err(FormatError::ZeroGroupSize));
+        assert_eq!(BfpFormat::new(16, 0, 3), Err(FormatError::MantissaBits(0)));
+        assert_eq!(BfpFormat::new(16, 17, 3), Err(FormatError::MantissaBits(17)));
+        assert_eq!(BfpFormat::new(16, 4, 0), Err(FormatError::ExponentBits(0)));
+        assert_eq!(BfpFormat::new(16, 4, 9), Err(FormatError::ExponentBits(9)));
+    }
+
+    #[test]
+    fn chunk_count_rounds_up() {
+        assert_eq!(BfpFormat::new(16, 2, 3).unwrap().chunk_count(), 1);
+        assert_eq!(BfpFormat::new(16, 3, 3).unwrap().chunk_count(), 2);
+        assert_eq!(BfpFormat::new(16, 4, 3).unwrap().chunk_count(), 2);
+        assert_eq!(BfpFormat::new(16, 5, 3).unwrap().chunk_count(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", BfpFormat::high());
+        assert!(s.contains("g=16") && s.contains("m=4") && s.contains("e=3"));
+    }
+}

@@ -1,0 +1,231 @@
+//! IEEE-754 helpers and generic minifloat quantization.
+//!
+//! These routines back the scalar floating-point formats of paper Fig 2:
+//! bfloat16, FP16, TensorFloat-32 and HFP8 (1-4-3 forward / 1-5-2 backward),
+//! all expressed as ["minifloats"](Minifloat) quantized from FP32 with
+//! round-to-nearest-even, gradual underflow and saturation.
+
+/// Returns the unbiased base-2 exponent `floor(log2(|x|))` of a finite,
+/// non-zero `f32`, handling subnormals exactly; returns `None` for zero.
+///
+/// This is the quantity the BFP converter's comparator tree operates on
+/// (paper Fig 14).
+///
+/// # Panics
+///
+/// Panics (debug assertions only) if `x` is NaN or infinite.
+pub fn exponent_of(x: f32) -> Option<i32> {
+    debug_assert!(x.is_finite(), "exponent_of requires a finite input, got {x}");
+    if x == 0.0 {
+        return None;
+    }
+    let bits = x.abs().to_bits();
+    let exp_field = (bits >> 23) & 0xFF;
+    if exp_field == 0 {
+        // Subnormal: value = mant * 2^-149 with mant in [1, 2^23).
+        let mant = bits & 0x7F_FFFF;
+        let top = 31 - mant.leading_zeros() as i32; // floor(log2(mant))
+        Some(top - 149)
+    } else {
+        Some(exp_field as i32 - 127)
+    }
+}
+
+/// A custom floating-point format with `exp_bits` exponent bits and
+/// `man_bits` explicit mantissa (fraction) bits, quantized from FP32.
+///
+/// Covers the scalar formats of paper Fig 2. The bias is the usual
+/// `2^(e-1) - 1`; overflow saturates to the largest finite value (DNN
+/// training hardware clamps rather than producing infinities); underflow is
+/// gradual (subnormals) down to zero; rounding is round-to-nearest-even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Minifloat {
+    /// Number of exponent bits.
+    pub exp_bits: u32,
+    /// Number of explicit fraction bits.
+    pub man_bits: u32,
+}
+
+impl Minifloat {
+    /// bfloat16: 8 exponent bits, 7 fraction bits.
+    pub const BF16: Minifloat = Minifloat { exp_bits: 8, man_bits: 7 };
+    /// IEEE FP16: 5 exponent bits, 10 fraction bits.
+    pub const FP16: Minifloat = Minifloat { exp_bits: 5, man_bits: 10 };
+    /// Nvidia TensorFloat-32: 8 exponent bits, 10 fraction bits.
+    pub const TF32: Minifloat = Minifloat { exp_bits: 8, man_bits: 10 };
+    /// HFP8 forward-pass format: 1-4-3.
+    pub const HFP8_FWD: Minifloat = Minifloat { exp_bits: 4, man_bits: 3 };
+    /// HFP8 backward-pass format: 1-5-2.
+    pub const HFP8_BWD: Minifloat = Minifloat { exp_bits: 5, man_bits: 2 };
+
+    /// Exponent bias, `2^(e-1) - 1`.
+    pub fn bias(&self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest finite representable magnitude.
+    pub fn max_value(&self) -> f32 {
+        let max_exp = (1i32 << self.exp_bits) - 1 - self.bias() - 1; // reserve all-ones? no Inf: use top
+        // DNN minifloats (bfloat16 aside) typically reserve the all-ones
+        // exponent; we follow IEEE and reserve it, so the max exponent is
+        // (2^e - 2) - bias.
+        let frac = 2.0f64 - 2.0f64.powi(-(self.man_bits as i32));
+        (frac * 2.0f64.powi(max_exp)) as f32
+    }
+
+    /// Smallest positive normal magnitude, `2^(1 - bias)`.
+    pub fn min_normal(&self) -> f32 {
+        2.0f64.powi(1 - self.bias()) as f32
+    }
+}
+
+/// Quantizes `x` to the given [`Minifloat`] format and returns the value as
+/// an `f32` ("fake quantization").
+///
+/// Non-finite inputs saturate to the signed largest finite value (NaN maps
+/// to zero), mirroring saturating training hardware.
+pub fn quantize_minifloat(x: f32, fmt: Minifloat) -> f32 {
+    if x.is_nan() {
+        return 0.0;
+    }
+    let sign = if x.is_sign_negative() { -1.0f32 } else { 1.0 };
+    let ax = x.abs();
+    if ax == 0.0 {
+        return 0.0 * sign;
+    }
+    let max = fmt.max_value();
+    if !ax.is_finite() || ax >= max {
+        // Saturate (covers +/- inf and overflow after rounding check below).
+        // Rounding could still push a slightly-smaller value over max; we
+        // handle that after rounding too.
+        if !ax.is_finite() {
+            return sign * max;
+        }
+    }
+    let bias = fmt.bias();
+    let e = exponent_of(ax).expect("non-zero checked above");
+    // Effective exponent of the quantization step. Normal numbers use
+    // e - man_bits; subnormals freeze the exponent at (1 - bias).
+    let min_normal_exp = 1 - bias;
+    let step_exp = if e < min_normal_exp {
+        min_normal_exp - fmt.man_bits as i32
+    } else {
+        e - fmt.man_bits as i32
+    };
+    let scaled = (ax as f64) * 2.0f64.powi(-step_exp);
+    let rounded = round_half_even(scaled);
+    if rounded == 0.0 {
+        return 0.0 * sign;
+    }
+    let q = rounded * 2.0f64.powi(step_exp);
+    let q = q as f32;
+    if q > max {
+        sign * max
+    } else {
+        sign * q
+    }
+}
+
+fn round_half_even(x: f64) -> f64 {
+    let floor = x.floor();
+    let frac = x - floor;
+    if frac > 0.5 {
+        floor + 1.0
+    } else if frac < 0.5 {
+        floor
+    } else if (floor as i64) % 2 == 0 {
+        floor
+    } else {
+        floor + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_normals() {
+        assert_eq!(exponent_of(1.0), Some(0));
+        assert_eq!(exponent_of(1.5), Some(0));
+        assert_eq!(exponent_of(2.0), Some(1));
+        assert_eq!(exponent_of(0.75), Some(-1));
+        assert_eq!(exponent_of(-8.0), Some(3));
+        assert_eq!(exponent_of(0.0), None);
+        assert_eq!(exponent_of(-0.0), None);
+    }
+
+    #[test]
+    fn exponent_of_subnormals() {
+        let min_sub = f32::from_bits(1); // 2^-149
+        assert_eq!(exponent_of(min_sub), Some(-149));
+        let big_sub = f32::from_bits(0x007F_FFFF); // just below 2^-126
+        assert_eq!(exponent_of(big_sub), Some(-127));
+        assert_eq!(exponent_of(f32::MIN_POSITIVE), Some(-126));
+    }
+
+    #[test]
+    fn bf16_roundtrip_of_representable() {
+        // 1.5 has a short mantissa, exactly representable in bf16.
+        assert_eq!(quantize_minifloat(1.5, Minifloat::BF16), 1.5);
+        assert_eq!(quantize_minifloat(-3.25, Minifloat::BF16), -3.25);
+    }
+
+    #[test]
+    fn bf16_matches_bit_truncation_with_rne() {
+        // Reference: round f32 to bf16 via bit ops with round-to-nearest-even.
+        fn bf16_ref(x: f32) -> f32 {
+            let bits = x.to_bits();
+            let lsb = (bits >> 16) & 1;
+            let rounded = bits.wrapping_add(0x7FFF + lsb);
+            f32::from_bits(rounded & 0xFFFF_0000)
+        }
+        for &x in &[0.1f32, 3.14159, -2.71828, 1e-8, 1e8, 123.456, -0.0007] {
+            let got = quantize_minifloat(x, Minifloat::BF16);
+            let want = bf16_ref(x);
+            assert_eq!(got.to_bits(), want.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn fp16_saturates_at_65504() {
+        assert_eq!(quantize_minifloat(70000.0, Minifloat::FP16), 65504.0);
+        assert_eq!(quantize_minifloat(-70000.0, Minifloat::FP16), -65504.0);
+        assert_eq!(quantize_minifloat(f32::INFINITY, Minifloat::FP16), 65504.0);
+    }
+
+    #[test]
+    fn fp16_subnormal_handling() {
+        // FP16 min subnormal is 2^-24; half of it rounds to zero (ties-even).
+        let tiny = 2.0f32.powi(-25);
+        assert_eq!(quantize_minifloat(tiny, Minifloat::FP16), 0.0);
+        let sub = 2.0f32.powi(-24);
+        assert_eq!(quantize_minifloat(sub, Minifloat::FP16), 2.0f32.powi(-24));
+    }
+
+    #[test]
+    fn hfp8_formats_have_expected_ranges() {
+        // 1-4-3: bias 7, max = (2 - 2^-3) * 2^7 = 240.
+        assert_eq!(Minifloat::HFP8_FWD.max_value(), 240.0);
+        // 1-5-2: bias 15, max exponent 15, max = (2 - 2^-2) * 2^15 = 57344.
+        assert_eq!(Minifloat::HFP8_BWD.max_value(), 57344.0);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        assert_eq!(quantize_minifloat(f32::NAN, Minifloat::FP16), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_monotone_nondecreasing() {
+        let fmt = Minifloat::HFP8_FWD;
+        let mut prev = quantize_minifloat(-300.0, fmt);
+        let mut x = -300.0f32;
+        while x < 300.0 {
+            let q = quantize_minifloat(x, fmt);
+            assert!(q >= prev, "monotonicity violated at {x}: {q} < {prev}");
+            prev = q;
+            x += 0.37;
+        }
+    }
+}

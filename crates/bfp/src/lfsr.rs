@@ -1,0 +1,148 @@
+//! Linear-feedback shift register noise source for stochastic rounding.
+//!
+//! The paper's BFP converter (Fig 14) derives its stochastic-rounding noise
+//! from "a group of 8-bit random binary streams produced by the linear
+//! feedback shift register (LFSR)". [`Lfsr16`] models that hardware block: a
+//! maximal-length 16-bit Galois LFSR with period `2^16 - 1`.
+
+/// A source of uniformly distributed random bits.
+///
+/// Abstracts over the hardware [`Lfsr16`] and host-side RNGs ([`RngBits`])
+/// so quantization code can be tested against both.
+pub trait BitSource {
+    /// Returns `n` random bits (`1..=32`) in the low bits of the result.
+    fn next_bits(&mut self, n: u32) -> u32;
+}
+
+/// Maximal-length 16-bit Galois LFSR (taps x^16 + x^14 + x^13 + x^11 + 1,
+/// mask `0xB400`), the hardware noise generator of the paper's converter.
+///
+/// The state is never zero; period is 65535.
+///
+/// ```
+/// use fast_bfp::{BitSource, Lfsr16};
+/// let mut lfsr = Lfsr16::new(0xACE1);
+/// let byte = lfsr.next_bits(8);
+/// assert!(byte < 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+impl Lfsr16 {
+    /// Feedback tap mask for the maximal-length polynomial.
+    const TAPS: u16 = 0xB400;
+
+    /// Creates an LFSR from a seed. A zero seed (the lock-up state) is
+    /// remapped to a fixed non-zero constant.
+    pub fn new(seed: u16) -> Self {
+        Lfsr16 { state: if seed == 0 { 0xACE1 } else { seed } }
+    }
+
+    /// Advances one step and returns the output bit.
+    pub fn next_bit(&mut self) -> u32 {
+        let lsb = (self.state & 1) as u32;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= Self::TAPS;
+        }
+        lsb
+    }
+
+    /// Current register state (for inspection/tests).
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+}
+
+impl Default for Lfsr16 {
+    fn default() -> Self {
+        Lfsr16::new(0xACE1)
+    }
+}
+
+impl BitSource for Lfsr16 {
+    fn next_bits(&mut self, n: u32) -> u32 {
+        assert!((1..=32).contains(&n), "next_bits supports 1..=32 bits, got {n}");
+        let mut out = 0u32;
+        for _ in 0..n {
+            out = (out << 1) | self.next_bit();
+        }
+        out
+    }
+}
+
+/// Adapter exposing any [`rand`] RNG as a [`BitSource`].
+///
+/// Useful in tests and property checks where statistical quality matters
+/// more than hardware fidelity.
+#[derive(Debug)]
+pub struct RngBits<R>(pub R);
+
+impl<R: rand::RngCore> BitSource for RngBits<R> {
+    fn next_bits(&mut self, n: u32) -> u32 {
+        assert!((1..=32).contains(&n), "next_bits supports 1..=32 bits, got {n}");
+        if n == 32 {
+            self.0.next_u32()
+        } else {
+            self.0.next_u32() & ((1u32 << n) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lfsr_is_maximal_length() {
+        let mut lfsr = Lfsr16::new(1);
+        let mut seen = HashSet::new();
+        for _ in 0..65535 {
+            assert!(seen.insert(lfsr.state()), "state repeated early");
+            lfsr.next_bit();
+        }
+        // After the full period the state returns to the start.
+        assert_eq!(lfsr.state(), 1);
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero() {
+        let mut lfsr = Lfsr16::new(0xBEEF);
+        for _ in 0..70000 {
+            lfsr.next_bit();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        assert_ne!(Lfsr16::new(0).state(), 0);
+    }
+
+    #[test]
+    fn eight_bit_stream_is_roughly_uniform() {
+        let mut lfsr = Lfsr16::new(0x1234);
+        let mut counts = [0u32; 256];
+        let draws = 65536 * 2;
+        for _ in 0..draws {
+            counts[lfsr.next_bits(8) as usize] += 1;
+        }
+        let expected = draws as f64 / 256.0;
+        for (byte, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.25, "byte {byte} count {c} deviates {dev:.2} from uniform");
+        }
+    }
+
+    #[test]
+    fn rng_bits_masks_correctly() {
+        use rand::SeedableRng;
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(7));
+        for _ in 0..1000 {
+            assert!(src.next_bits(3) < 8);
+        }
+    }
+}

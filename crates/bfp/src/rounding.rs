@@ -1,0 +1,111 @@
+//! Rounding modes for FP → BFP mantissa conversion (paper Fig 4c/4d and
+//! Section III-D).
+
+use crate::lfsr::BitSource;
+
+/// How aligned mantissas are rounded to `m` bits during BFP conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// Round to nearest (half away from zero), the hardware-cheap
+    /// "add 0.5 ulp then truncate" rule. Used for weights and activations.
+    Nearest,
+    /// Truncate toward zero (drop low-order bits), paper Fig 4d without 4c.
+    Truncate,
+    /// Stochastic rounding: add a uniform random value in `[0, 1)` quantized
+    /// to `noise_bits` bits, then truncate (paper Fig 4c + 4d). The paper's
+    /// converter uses 8-bit LFSR streams, i.e. `noise_bits = 8`, giving the
+    /// `q = 2^8` SR precision of Theorem 1's analysis.
+    Stochastic {
+        /// Number of random bits added below the truncation point.
+        noise_bits: u32,
+    },
+}
+
+impl Rounding {
+    /// The paper's gradient-rounding configuration: 8 noise bits.
+    pub const STOCHASTIC8: Rounding = Rounding::Stochastic { noise_bits: 8 };
+
+    /// Rounds a non-negative scaled mantissa to an integer magnitude.
+    ///
+    /// `scaled` is the value expressed in units of the target LSB (so the
+    /// rounding decision interval is `[floor(scaled), floor(scaled)+1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `scaled` is negative or non-finite.
+    pub fn round(self, scaled: f64, bits: &mut dyn BitSource) -> i64 {
+        debug_assert!(scaled.is_finite() && scaled >= 0.0, "bad scaled mantissa {scaled}");
+        match self {
+            Rounding::Nearest => (scaled + 0.5).floor() as i64,
+            Rounding::Truncate => scaled.floor() as i64,
+            Rounding::Stochastic { noise_bits } => {
+                assert!((1..=31).contains(&noise_bits), "noise_bits must be in 1..=31");
+                let q = 1u64 << noise_bits;
+                let noise = bits.next_bits(noise_bits) as f64 / q as f64;
+                (scaled + noise).floor() as i64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::{Lfsr16, RngBits};
+    use rand::SeedableRng;
+
+    struct NoBits;
+    impl BitSource for NoBits {
+        fn next_bits(&mut self, _n: u32) -> u32 {
+            panic!("deterministic rounding must not draw random bits")
+        }
+    }
+
+    #[test]
+    fn nearest_rounds_half_up() {
+        let mut nb = NoBits;
+        assert_eq!(Rounding::Nearest.round(2.4, &mut nb), 2);
+        assert_eq!(Rounding::Nearest.round(2.5, &mut nb), 3);
+        assert_eq!(Rounding::Nearest.round(2.6, &mut nb), 3);
+        assert_eq!(Rounding::Nearest.round(0.0, &mut nb), 0);
+    }
+
+    #[test]
+    fn truncate_floors() {
+        let mut nb = NoBits;
+        assert_eq!(Rounding::Truncate.round(2.999, &mut nb), 2);
+        assert_eq!(Rounding::Truncate.round(2.0, &mut nb), 2);
+    }
+
+    #[test]
+    fn stochastic_expectation_matches_input() {
+        // Theorem 1's premise: E[SR(x)] == x (up to the 2^-k noise
+        // granularity). Empirically verify for x = 2/3 as in paper Fig 8.
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(42));
+        let x = 2.0 / 3.0;
+        let n = 200_000;
+        let sum: i64 = (0..n).map(|_| Rounding::STOCHASTIC8.round(x, &mut src)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - x).abs() < 0.01, "mean {mean} differs from {x}");
+    }
+
+    #[test]
+    fn stochastic_with_lfsr_is_unbiased_enough() {
+        let mut lfsr = Lfsr16::new(0x5EED);
+        let x = 0.25;
+        let n = 100_000;
+        let sum: i64 = (0..n).map(|_| Rounding::STOCHASTIC8.round(x, &mut lfsr)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - x).abs() < 0.02, "mean {mean} differs from {x}");
+    }
+
+    #[test]
+    fn stochastic_never_rounds_beyond_neighbours() {
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(1));
+        for i in 0..1000 {
+            let x = i as f64 * 0.01;
+            let r = Rounding::STOCHASTIC8.round(x, &mut src);
+            assert!(r == x.floor() as i64 || r == x.floor() as i64 + 1);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Quantization statistics, reproducing the analysis behind paper Fig 6
+//! (distribution of the gap between each value's exponent and the BFP
+//! shared exponent) and supporting the sensitivity study of Fig 18.
+
+use crate::format::BfpFormat;
+use crate::fp::exponent_of;
+use crate::group::BfpGroup;
+
+/// Histogram of `E_shared − E_i` gaps, as percentages.
+///
+/// Bin `k` holds the fraction (in percent) of values whose exponent sits
+/// `k` binades below their group's shared exponent. The final bin
+/// aggregates everything at `max_gap` or beyond — including exact zeros,
+/// which are "fully shifted out" in hardware terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapHistogram {
+    /// Percentage frequency per gap bin; `bins[k]` = share of values with
+    /// gap `k` (last bin = `>= max_gap`). Sums to 100 (up to fp error).
+    pub bins: Vec<f64>,
+    /// Number of values accounted.
+    pub count: u64,
+    /// Mean gap (zeros counted at `max_gap`).
+    pub mean_gap: f64,
+}
+
+/// Computes the exponent-gap histogram for `values` grouped contiguously in
+/// groups of `group_size` (paper Fig 6; the paper uses g ∈ {8, 16, 32}).
+///
+/// Gaps of `max_gap` or more land in the final bin. Exact zeros carry no
+/// exponent and are excluded (they quantize losslessly regardless of the
+/// shared exponent — relevant for post-ReLU activations, roughly half
+/// zeros).
+///
+/// # Panics
+///
+/// Panics if `group_size == 0` or `max_gap == 0`.
+pub fn exponent_gap_histogram(values: &[f32], group_size: usize, max_gap: usize) -> GapHistogram {
+    assert!(group_size > 0, "group size must be positive");
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut counts = vec![0u64; max_gap + 1];
+    let mut total = 0u64;
+    let mut gap_sum = 0f64;
+    for chunk in values.chunks(group_size) {
+        let shared = chunk.iter().filter_map(|&v| exponent_of(v)).max();
+        let shared = match shared {
+            Some(e) => e,
+            None => continue, // all-zero group: nothing to histogram
+        };
+        for &v in chunk {
+            if let Some(e) = exponent_of(v) {
+                let gap = ((shared - e) as usize).min(max_gap);
+                counts[gap] += 1;
+                gap_sum += gap as f64;
+                total += 1;
+            }
+        }
+    }
+    let bins = counts
+        .iter()
+        .map(|&c| if total == 0 { 0.0 } else { 100.0 * c as f64 / total as f64 })
+        .collect();
+    GapHistogram { bins, count: total, mean_gap: if total == 0 { 0.0 } else { gap_sum / total as f64 } }
+}
+
+/// Mean-squared quantization error of nearest-rounding BFP at the given
+/// format — the scalar summary used in sensitivity sweeps (Fig 18 support).
+pub fn quantization_mse(values: &[f32], fmt: BfpFormat) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for chunk in values.chunks(fmt.group_size()) {
+        let g = BfpGroup::quantize_nearest(chunk, fmt);
+        for (i, &x) in chunk.iter().enumerate() {
+            let d = g.value(i) as f64 - x as f64;
+            sum += d * d;
+        }
+    }
+    sum / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_scale_values_have_zero_gap() {
+        let xs = vec![1.0f32, 1.5, 1.9, 1.2, 1.7, 1.1, 1.3, 1.8];
+        let h = exponent_gap_histogram(&xs, 8, 16);
+        assert!((h.bins[0] - 100.0).abs() < 1e-9);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.mean_gap, 0.0);
+    }
+
+    #[test]
+    fn octave_spaced_values_have_unit_gaps() {
+        let xs = vec![1.0f32, 0.5, 0.25, 0.125];
+        let h = exponent_gap_histogram(&xs, 4, 16);
+        for k in 0..4 {
+            assert!((h.bins[k] - 25.0).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn zeros_are_excluded() {
+        let xs = vec![1.0f32, 0.0, 0.0, 0.0];
+        let h = exponent_gap_histogram(&xs, 4, 8);
+        assert_eq!(h.count, 1);
+        assert!((h.bins[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_groups_shift_mass_right() {
+        // Paper Fig 6 observation: increasing g moves the distribution's
+        // mass to larger gaps.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // Log-normal-ish data: wide exponent spread, like gradients.
+        let xs: Vec<f32> = (0..4096)
+            .map(|_| {
+                let e: f32 = rng.gen_range(-6.0..0.0);
+                let s = if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+                s * 2.0f32.powf(e)
+            })
+            .collect();
+        let h8 = exponent_gap_histogram(&xs, 8, 16);
+        let h32 = exponent_gap_histogram(&xs, 32, 16);
+        assert!(
+            h32.mean_gap > h8.mean_gap,
+            "g=32 mean gap {} should exceed g=8 mean gap {}",
+            h32.mean_gap,
+            h8.mean_gap
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_100_percent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let xs: Vec<f32> = (0..1000).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let h = exponent_gap_histogram(&xs, 16, 16);
+        let sum: f64 = h.bins.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_decreases_with_mantissa_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs: Vec<f32> = (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut prev = f64::INFINITY;
+        for m in [2u32, 3, 4, 5, 6] {
+            let fmt = BfpFormat::new(16, m, 8).unwrap();
+            let mse = quantization_mse(&xs, fmt);
+            assert!(mse < prev, "m={m}: mse {mse} !< {prev}");
+            prev = mse;
+        }
+    }
+
+    #[test]
+    fn mse_increases_with_group_size() {
+        // Paper Fig 18: larger groups quantize worse at fixed m.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let xs: Vec<f32> = (0..4096)
+            .map(|_| {
+                let e: f32 = rng.gen_range(-5.0..0.0);
+                2.0f32.powf(e) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 }
+            })
+            .collect();
+        let mse8 = quantization_mse(&xs, BfpFormat::new(8, 4, 8).unwrap());
+        let mse32 = quantization_mse(&xs, BfpFormat::new(32, 4, 8).unwrap());
+        assert!(mse32 > mse8);
+    }
+}

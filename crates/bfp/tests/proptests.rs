@@ -1,0 +1,195 @@
+//! Property-based tests for the BFP numerics core.
+//!
+//! These pin down the invariants the rest of the workspace builds on:
+//! quantization error bounds, chunk-serial/direct dot-product equivalence,
+//! truncation semantics, and the stochastic-rounding expectation property of
+//! paper Theorem 1.
+
+use fast_bfp::dot::{dot_chunked, dot_dequantized, dot_f32};
+use fast_bfp::{
+    exponent_of, relative_improvement, BfpFormat, BfpGroup, BitSource, ChunkedGroup, Lfsr16,
+    Rounding, RngBits,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn finite_f32(mag: f32) -> impl Strategy<Value = f32> {
+    prop_oneof![
+        5 => (-mag..mag),
+        1 => Just(0.0f32),
+        1 => (-mag..mag).prop_map(|x| x / 1e6),
+    ]
+}
+
+fn group_values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(finite_f32(100.0), 1..=len)
+}
+
+proptest! {
+    /// Nearest-rounding quantization error is at most half an ulp of the
+    /// group scale (the error bound behind paper Fig 4's pipeline).
+    #[test]
+    fn quantization_error_within_half_ulp(xs in group_values(16), m in 2u32..=8) {
+        let fmt = BfpFormat::new(16, m, 8).unwrap();
+        let g = BfpGroup::quantize_nearest(&xs, fmt);
+        let ulp = g.scale();
+        for (i, &x) in xs.iter().enumerate() {
+            let q = g.value(i) as f64;
+            // Saturated values can deviate more; exclude the max magnitude.
+            if g.mantissas()[i].unsigned_abs() as i64 == fmt.max_magnitude() {
+                continue;
+            }
+            prop_assert!((q - x as f64).abs() <= 0.5 * ulp + 1e-12,
+                "x={x} q={q} ulp={ulp}");
+        }
+    }
+
+    /// Quantization never increases the max magnitude beyond one ulp and
+    /// preserves signs of values that survive truncation.
+    #[test]
+    fn quantization_preserves_sign_and_scale(xs in group_values(16)) {
+        let fmt = BfpFormat::high();
+        let g = BfpGroup::quantize_nearest(&xs, fmt);
+        for (i, &x) in xs.iter().enumerate() {
+            let q = g.value(i);
+            if q != 0.0 {
+                prop_assert_eq!(q.is_sign_negative(), x < 0.0, "x={} q={}", x, q);
+            }
+            prop_assert!(q.abs() as f64 <= x.abs() as f64 + g.scale());
+        }
+    }
+
+    /// Idempotence: quantizing already-quantized data is the identity.
+    #[test]
+    fn quantization_is_idempotent(xs in group_values(16), m in 2u32..=8) {
+        let fmt = BfpFormat::new(16, m, 8).unwrap();
+        let once = BfpGroup::quantize_nearest(&xs, fmt).dequantize();
+        let twice = BfpGroup::quantize_nearest(&once, fmt).dequantize();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Chunk-serial fMAC arithmetic is bit-identical to the direct integer
+    /// dot product, and both match the dequantized f32 dot product
+    /// (the fake-quantization fidelity argument of DESIGN.md §3).
+    #[test]
+    fn dot_products_agree(
+        xs in prop::collection::vec(-50.0f32..50.0, 16),
+        ys in prop::collection::vec(-50.0f32..50.0, 16),
+        ma in prop::sample::select(vec![2u32, 4, 6, 8]),
+        mb in prop::sample::select(vec![2u32, 4, 6, 8]),
+    ) {
+        let a = BfpGroup::quantize_nearest(&xs, BfpFormat::new(16, ma, 8).unwrap());
+        let b = BfpGroup::quantize_nearest(&ys, BfpFormat::new(16, mb, 8).unwrap());
+        let direct = dot_f32(&a, &b);
+        prop_assert_eq!(direct, dot_dequantized(&a, &b));
+        let ca = ChunkedGroup::from_group(&a).unwrap();
+        let cb = ChunkedGroup::from_group(&b).unwrap();
+        let chunked = dot_chunked(&ca, &cb);
+        prop_assert_eq!(chunked.value, direct);
+        prop_assert_eq!(chunked.passes, (ma / 2) as usize * (mb / 2) as usize);
+    }
+
+    /// Chunked round trip is lossless and dropping the low chunk equals
+    /// integer truncation toward zero.
+    #[test]
+    fn chunk_roundtrip_and_truncation(xs in group_values(16)) {
+        let fmt = BfpFormat::new(16, 4, 8).unwrap();
+        let g = BfpGroup::quantize_nearest(&xs, fmt);
+        let c = ChunkedGroup::from_group(&g).unwrap();
+        prop_assert_eq!(c.to_group(), g.clone());
+        prop_assert_eq!(c.drop_low_chunk().to_group(), g.truncate_to(2));
+    }
+
+    /// Theorem 1: the expected stochastically rounded mantissa equals the
+    /// unrounded aligned mantissa to within the SR noise granularity
+    /// (2^-noise_bits), so SGD weight increments are unbiased.
+    #[test]
+    fn theorem1_sr_is_unbiased(frac in 0.0f64..1.0, base in 0i64..14) {
+        let x = base as f64 + frac;
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(
+            (frac * 1e9) as u64 ^ base as u64));
+        let n = 40_000;
+        let sum: i64 = (0..n)
+            .map(|_| Rounding::STOCHASTIC8.round(x, &mut src))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        // Statistical tolerance: std of mean ~ 0.5/sqrt(n) ≈ 0.0025, plus
+        // the 2^-8 quantization of the noise itself.
+        prop_assert!((mean - x).abs() < 0.02, "mean {mean} vs x {x}");
+    }
+
+    /// The shared exponent is always the max exponent present (unwindowed).
+    #[test]
+    fn shared_exponent_is_group_max(xs in group_values(16)) {
+        prop_assume!(xs.iter().any(|&v| v != 0.0));
+        let g = BfpGroup::quantize_nearest(&xs, BfpFormat::high());
+        let want = xs.iter().filter_map(|&v| exponent_of(v)).max().unwrap();
+        prop_assert_eq!(g.shared_exponent(), want);
+    }
+
+    /// r(X) is finite and non-negative for generic data, and 0 for all-zero.
+    #[test]
+    fn relative_improvement_is_sane(xs in prop::collection::vec(finite_f32(10.0), 1..200)) {
+        let r = relative_improvement(&xs, 16);
+        prop_assert!(r >= 0.0);
+    }
+
+    /// Truncation monotonically shrinks magnitudes.
+    #[test]
+    fn truncation_shrinks(xs in group_values(16)) {
+        let g = BfpGroup::quantize_nearest(&xs, BfpFormat::new(16, 6, 8).unwrap());
+        for m in [4u32, 2] {
+            let t = g.truncate_to(m);
+            for i in 0..g.len() {
+                prop_assert!(t.value(i).abs() <= g.value(i).abs());
+            }
+        }
+    }
+}
+
+/// Deterministic LFSR-driven SR sequences are reproducible and the LFSR
+/// behaves as a BitSource across the full period.
+#[test]
+fn lfsr_driven_quantization_is_deterministic() {
+    let fmt = BfpFormat::high();
+    let xs: Vec<f32> = (0..16).map(|i| (i as f32 * 0.713).cos()).collect();
+    let run = |seed: u16| {
+        let mut lfsr = Lfsr16::new(seed);
+        BfpGroup::quantize(&xs, fmt, Rounding::STOCHASTIC8, &mut lfsr, None).dequantize()
+    };
+    assert_eq!(run(0x1111), run(0x1111));
+    assert_ne!(run(0x1111), run(0x2222));
+}
+
+/// Theorem 1 corollary, end to end: accumulating SR-rounded gradient steps
+/// reaches the same total weight increment as FP32 in expectation
+/// (paper Fig 8's three-iteration example, generalized).
+#[test]
+fn theorem1_weight_trajectory_matches_fp32_in_expectation() {
+    let grad = 2.0 / 3.0; // the paper's worked example x = 2/3
+    let iters = 30_000;
+    let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(99));
+    let mut w_sr = 0.0f64;
+    for _ in 0..iters {
+        w_sr += Rounding::STOCHASTIC8.round(grad, &mut src) as f64;
+    }
+    let w_fp = grad * iters as f64;
+    let rel = (w_sr - w_fp).abs() / w_fp;
+    assert!(rel < 0.01, "SR trajectory deviates {rel:.4} from FP32");
+
+    // Biased rounding-down (paper Fig 7 right) severely undershoots.
+    let w_trunc = (0..iters)
+        .map(|_| {
+            let mut nb = NoBitsNeeded;
+            Rounding::Truncate.round(grad, &mut nb) as f64
+        })
+        .sum::<f64>();
+    assert_eq!(w_trunc, 0.0, "truncation loses the entire sub-ulp gradient");
+}
+
+struct NoBitsNeeded;
+impl BitSource for NoBitsNeeded {
+    fn next_bits(&mut self, _n: u32) -> u32 {
+        unreachable!()
+    }
+}

@@ -1,0 +1,200 @@
+//! The FAST-Adaptive precision controller — paper Algorithm 1.
+//!
+//! Before every iteration, for every GEMM layer `l` and every tensor
+//! `X ∈ [A_l, W_l, G_l]`, the controller evaluates the relative improvement
+//! `r(X)` (Eq. 2) of the 4-bit over the 2-bit mantissa and compares it to
+//! the threshold `ε(l, i)` (Eq. 1): `r(X) < ε` keeps the cheap 2-bit
+//! mantissa, otherwise the tensor is promoted to 4 bits. Activations and
+//! gradients are judged from the previous iteration's tensors (the freshest
+//! available before the pass runs).
+
+use crate::threshold::EpsilonSchedule;
+use crate::trace::{PrecisionTrace, Setting};
+use fast_bfp::relative_improvement;
+use fast_nn::{LayerPrecision, Sequential, TrainHook};
+
+/// Paper Algorithm 1, packaged as a [`TrainHook`].
+#[derive(Debug)]
+pub struct FastController {
+    schedule: EpsilonSchedule,
+    total_iters: usize,
+    group_size: usize,
+    /// Re-evaluate every `stride` iterations (1 = every iteration as in the
+    /// paper; larger strides amortize controller cost in experiments).
+    stride: usize,
+    /// The recorded precision history (Fig 17).
+    pub trace: PrecisionTrace,
+    current: Vec<Setting>,
+}
+
+impl FastController {
+    /// Creates a controller with the paper's threshold schedule.
+    pub fn new(total_iters: usize, schedule: EpsilonSchedule) -> Self {
+        assert!(total_iters > 0);
+        FastController {
+            schedule,
+            total_iters,
+            group_size: 16,
+            stride: 1,
+            trace: PrecisionTrace::new(),
+            current: Vec::new(),
+        }
+    }
+
+    /// Sets the re-evaluation stride (1 = every iteration).
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride >= 1);
+        self.stride = stride;
+        self
+    }
+
+    /// The current per-layer settings.
+    pub fn settings(&self) -> &[Setting] {
+        &self.current
+    }
+
+    fn decide(&self, r: f32, eps: f32) -> u32 {
+        if r < eps {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+impl TrainHook for FastController {
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        use fast_nn::Layer;
+        if iter % self.stride != 0 && !self.current.is_empty() {
+            // Keep current settings; still record for the trace.
+            self.trace.record(iter, self.current.clone());
+            return;
+        }
+        // Count layers first (Algorithm 1 needs L).
+        let total_layers = fast_nn::quant_layer_count(model).max(1);
+        let mut settings = Vec::with_capacity(total_layers);
+        let mut labels = Vec::with_capacity(total_layers);
+        let mut layer_idx = 0usize;
+        let schedule = self.schedule;
+        let total_iters = self.total_iters;
+        let g = self.group_size;
+        model.visit_quant(&mut |q| {
+            let eps = schedule.epsilon(layer_idx, total_layers, iter, total_iters);
+            let r_w = relative_improvement(q.weight().data(), g);
+            let m_w = if r_w < eps { 2 } else { 4 };
+            let m_a = match q.last_input() {
+                Some(t) => self.decide(relative_improvement(t.data(), g), eps),
+                None => 2, // first iteration: start cheap (Fig 17 starts at (2,2,2))
+            };
+            let m_g = match q.last_grad_output() {
+                Some(t) => self.decide(relative_improvement(t.data(), g), eps),
+                None => 2,
+            };
+            *q.precision_mut() = LayerPrecision::fast(m_w, m_a, m_g);
+            settings.push(Setting { w: m_w, a: m_a, g: m_g });
+            labels.push(q.label());
+            layer_idx += 1;
+        });
+        if self.trace.layer_labels.is_empty() {
+            self.trace.layer_labels = labels;
+        }
+        self.trace.record(iter, settings.clone());
+        self.current = settings;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_nn::models::mlp;
+    use fast_nn::{softmax_cross_entropy, Layer, NumericFormat, Session, Sgd};
+    use fast_tensor::Tensor;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn first_iteration_starts_low_for_a_and_g() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = mlp(&[8, 16, 4], &mut rng);
+        let mut ctl = FastController::new(100, EpsilonSchedule::paper_default());
+        ctl.before_iteration(0, &mut model);
+        for s in ctl.settings() {
+            assert_eq!(s.a, 2);
+            assert_eq!(s.g, 2);
+        }
+        assert_eq!(ctl.settings().len(), 2);
+    }
+
+    #[test]
+    fn applies_fast_bfp_formats_to_all_layers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut model = mlp(&[8, 16, 4], &mut rng);
+        let mut ctl = FastController::new(10, EpsilonSchedule::paper_default());
+        ctl.before_iteration(0, &mut model);
+        model.visit_quant(&mut |q| {
+            let p = q.precision();
+            assert!(matches!(p.weights, NumericFormat::Bfp { .. }));
+            assert!(matches!(p.gradients, NumericFormat::Bfp { .. }));
+        });
+    }
+
+    #[test]
+    fn threshold_collapse_forces_high_precision() {
+        // With ε driven to −∞, every tensor with any fine structure gets 4
+        // bits (r ≥ 0 ≥ ε is always "promote" once ε < 0).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = mlp(&[8, 8, 4], &mut rng);
+        let mut ctl = FastController::new(10, EpsilonSchedule { alpha: -1.0, beta: 0.0 });
+        ctl.before_iteration(0, &mut model);
+        for s in ctl.settings() {
+            assert_eq!(s.w, 4);
+        }
+    }
+
+    #[test]
+    fn precision_grows_over_training_on_a_real_loop() {
+        // Integration: train a small MLP under the controller and check the
+        // Fig 17 property — later iterations use costlier settings on
+        // average.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut model = mlp(&[8, 32, 4], &mut rng);
+        let mut session = Session::new(0);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let iters = 60;
+        let mut ctl = FastController::new(iters, EpsilonSchedule::paper_default());
+        let x = Tensor::from_vec(
+            vec![16, 8],
+            (0..128).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+        for it in 0..iters {
+            ctl.before_iteration(it, &mut model);
+            let out = model.forward(&x, &mut session);
+            let (_, grad) = softmax_cross_entropy(&out, &labels);
+            model.backward(&grad, &mut session);
+            opt.step(&mut model);
+        }
+        let early: f64 = (0..2)
+            .map(|l| ctl.trace.mean_legend_index(l, 0, iters / 3))
+            .sum();
+        let late: f64 = (0..2)
+            .map(|l| ctl.trace.mean_legend_index(l, 2 * iters / 3, iters))
+            .sum();
+        assert!(
+            late >= early,
+            "precision should not decrease over training: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn stride_holds_settings_between_reevaluations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut model = mlp(&[4, 8, 2], &mut rng);
+        let mut ctl =
+            FastController::new(10, EpsilonSchedule::paper_default()).with_stride(5);
+        ctl.before_iteration(0, &mut model);
+        let s0 = ctl.settings().to_vec();
+        ctl.before_iteration(1, &mut model);
+        assert_eq!(ctl.settings(), s0.as_slice());
+        assert_eq!(ctl.trace.samples.len(), 2);
+    }
+}

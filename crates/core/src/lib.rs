@@ -1,0 +1,44 @@
+//! The FAST-Adaptive variable-precision training algorithm — the primary
+//! contribution of *FAST: DNN Training Under Variable Precision Block
+//! Floating Point with Stochastic Rounding* (HPCA 2022).
+//!
+//! * [`EpsilonSchedule`] — the threshold ε(l, i) of Eq. 1 (α = 0.6,
+//!   β = 0.3 in the paper).
+//! * [`FastController`] — Algorithm 1 as a training hook: per layer and per
+//!   tensor, compare the relative improvement r(X) (Eq. 2, computed by
+//!   `fast_bfp::relative_improvement`) against ε and select a 2- or 4-bit
+//!   BFP mantissa.
+//! * [`PrecisionTrace`] / [`Setting`] — the recorded precision history and
+//!   cost ordering behind Fig 17.
+//! * [`TemporalPolicy`] / [`LayerwisePolicy`] — the static schedules of the
+//!   Fig 9 motivation experiments.
+//! * [`CostMeter`] — accumulates simulated hardware time/energy per
+//!   iteration on a `fast_hw::SystemConfig` (the cost axis of Figs 19/20).
+//!
+//! ```
+//! use fast_core::{EpsilonSchedule, FastController};
+//! use fast_nn::models::mlp;
+//! use fast_nn::TrainHook;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = mlp(&[8, 16, 4], &mut rng);
+//! let mut controller = FastController::new(1000, EpsilonSchedule::paper_default());
+//! controller.before_iteration(0, &mut model); // selects (W, A, G) per layer
+//! assert_eq!(controller.settings().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod meter;
+mod policy;
+mod threshold;
+mod trace;
+
+pub use controller::FastController;
+pub use meter::{collect_layer_work, collect_layer_work_scaled, CostMeter, DimScale};
+pub use policy::{FixedPolicy, HookChain, LayerwisePolicy, TemporalPolicy};
+pub use threshold::EpsilonSchedule;
+pub use trace::{PrecisionTrace, Setting};

@@ -1,0 +1,197 @@
+//! Static precision schedules — the four comparison schemes of paper Fig 9
+//! (Temporal/Layerwise × Low-to-High/High-to-Low) and fixed-format
+//! baselines.
+
+use fast_nn::{set_uniform_precision, LayerPrecision, Sequential, TrainHook};
+
+/// Applies one fixed format to every layer for the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy {
+    /// The format assignment.
+    pub precision: LayerPrecision,
+}
+
+impl TrainHook for FixedPolicy {
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        if iter == 0 {
+            set_uniform_precision(model, self.precision);
+        }
+    }
+}
+
+/// Switches the whole network's precision at a given iteration (paper
+/// Fig 9 left: Temporal Low-to-High vs High-to-Low).
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalPolicy {
+    /// Format for iterations `< switch_iter`.
+    pub first: LayerPrecision,
+    /// Format for iterations `>= switch_iter`.
+    pub second: LayerPrecision,
+    /// The switch point.
+    pub switch_iter: usize,
+}
+
+impl TemporalPolicy {
+    /// The paper's Temporal Low-to-High: BFP `m=3, g=16` first half, FP32
+    /// second half.
+    pub fn low_to_high(total_iters: usize) -> Self {
+        TemporalPolicy {
+            first: LayerPrecision::bfp_fixed(3),
+            second: LayerPrecision::fp32(),
+            switch_iter: total_iters / 2,
+        }
+    }
+
+    /// The paper's Temporal High-to-Low: FP32 first half, BFP second half.
+    pub fn high_to_low(total_iters: usize) -> Self {
+        TemporalPolicy {
+            first: LayerPrecision::fp32(),
+            second: LayerPrecision::bfp_fixed(3),
+            switch_iter: total_iters / 2,
+        }
+    }
+}
+
+impl TrainHook for TemporalPolicy {
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        if iter == 0 || iter == self.switch_iter {
+            let p = if iter < self.switch_iter { self.first } else { self.second };
+            set_uniform_precision(model, p);
+        }
+    }
+}
+
+/// Assigns one format to the first fraction of layers and another to the
+/// rest (paper Fig 9 right: Layerwise Low-to-High vs High-to-Low).
+#[derive(Debug, Clone, Copy)]
+pub struct LayerwisePolicy {
+    /// Format for layers in the first `boundary` fraction of depth.
+    pub early: LayerPrecision,
+    /// Format for the remaining layers.
+    pub late: LayerPrecision,
+    /// Depth fraction in `[0, 1]` where the switch happens.
+    pub boundary: f32,
+}
+
+impl LayerwisePolicy {
+    /// Paper's Layerwise Low-to-High: BFP `m=3` for the first half of
+    /// layers, FP32 for the second half.
+    pub fn low_to_high() -> Self {
+        LayerwisePolicy {
+            early: LayerPrecision::bfp_fixed(3),
+            late: LayerPrecision::fp32(),
+            boundary: 0.5,
+        }
+    }
+
+    /// Paper's Layerwise High-to-Low.
+    pub fn high_to_low() -> Self {
+        LayerwisePolicy {
+            early: LayerPrecision::fp32(),
+            late: LayerPrecision::bfp_fixed(3),
+            boundary: 0.5,
+        }
+    }
+}
+
+impl TrainHook for LayerwisePolicy {
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        use fast_nn::Layer;
+        if iter != 0 {
+            return;
+        }
+        let total = fast_nn::quant_layer_count(model).max(1);
+        let cut = (self.boundary * total as f32).round() as usize;
+        let mut idx = 0usize;
+        model.visit_quant(&mut |q| {
+            *q.precision_mut() = if idx < cut { self.early } else { self.late };
+            idx += 1;
+        });
+    }
+}
+
+/// Chains several hooks, firing them in order.
+#[derive(Default)]
+pub struct HookChain<'a> {
+    hooks: Vec<&'a mut dyn TrainHook>,
+}
+
+impl<'a> HookChain<'a> {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        HookChain { hooks: Vec::new() }
+    }
+
+    /// Appends a hook.
+    pub fn push(mut self, hook: &'a mut dyn TrainHook) -> Self {
+        self.hooks.push(hook);
+        self
+    }
+}
+
+impl TrainHook for HookChain<'_> {
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        for h in self.hooks.iter_mut() {
+            h.before_iteration(iter, model);
+        }
+    }
+
+    fn after_backward(&mut self, iter: usize, model: &mut Sequential) {
+        for h in self.hooks.iter_mut() {
+            h.after_backward(iter, model);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_nn::models::mlp;
+    use fast_nn::{collect_precisions, NumericFormat};
+    use rand::SeedableRng;
+
+    #[test]
+    fn temporal_policy_switches_at_midpoint() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = mlp(&[4, 8, 2], &mut rng);
+        let mut p = TemporalPolicy::low_to_high(10);
+        p.before_iteration(0, &mut model);
+        let first = collect_precisions(&mut model);
+        assert!(matches!(first[0].1.weights, NumericFormat::Bfp { .. }));
+        p.before_iteration(5, &mut model);
+        let second = collect_precisions(&mut model);
+        assert!(matches!(second[0].1.weights, NumericFormat::Fp32));
+    }
+
+    #[test]
+    fn layerwise_policy_splits_by_depth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut model = mlp(&[4, 8, 8, 8, 2], &mut rng); // 4 dense layers
+        let mut p = LayerwisePolicy::low_to_high();
+        p.before_iteration(0, &mut model);
+        let ps = collect_precisions(&mut model);
+        assert_eq!(ps.len(), 4);
+        assert!(matches!(ps[0].1.weights, NumericFormat::Bfp { .. }));
+        assert!(matches!(ps[1].1.weights, NumericFormat::Bfp { .. }));
+        assert!(matches!(ps[2].1.weights, NumericFormat::Fp32));
+        assert!(matches!(ps[3].1.weights, NumericFormat::Fp32));
+    }
+
+    #[test]
+    fn hook_chain_fires_in_order() {
+        struct Tag(&'static str, std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>);
+        impl TrainHook for Tag {
+            fn before_iteration(&mut self, _i: usize, _m: &mut Sequential) {
+                self.1.borrow_mut().push(self.0);
+            }
+        }
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut a = Tag("a", log.clone());
+        let mut b = Tag("b", log.clone());
+        let mut chain = HookChain::new().push(&mut a).push(&mut b);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = mlp(&[2, 2], &mut rng);
+        chain.before_iteration(0, &mut model);
+        assert_eq!(*log.borrow(), vec!["a", "b"]);
+    }
+}

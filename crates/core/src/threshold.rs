@@ -1,0 +1,64 @@
+//! The FAST threshold schedule ε(l, i) of paper Eq. 1.
+
+/// Threshold schedule `ε(l, i) = α − β·i/I − β·l/L` (paper Eq. 1).
+///
+/// The threshold decreases with both training progress `i/I` and layer
+/// depth `l/L`, so later iterations and deeper layers switch to the
+/// high-precision mantissa sooner (paper Fig 1 right / Fig 17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    /// Offset `α`.
+    pub alpha: f32,
+    /// Slope `β` applied to both the iteration and layer terms.
+    pub beta: f32,
+}
+
+impl EpsilonSchedule {
+    /// The paper's setting for every DNN: `α = 0.6, β = 0.3` (Section VI).
+    pub fn paper_default() -> Self {
+        EpsilonSchedule { alpha: 0.6, beta: 0.3 }
+    }
+
+    /// Evaluates `ε(l, i)` for layer `l` of `total_layers` at iteration `i`
+    /// of `total_iters`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_iters` or `total_layers` is zero.
+    pub fn epsilon(&self, layer: usize, total_layers: usize, iter: usize, total_iters: usize) -> f32 {
+        assert!(total_iters > 0 && total_layers > 0);
+        self.alpha
+            - self.beta * (iter as f32 / total_iters as f32)
+            - self.beta * (layer as f32 / total_layers as f32)
+    }
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreases_with_iteration_and_depth() {
+        let s = EpsilonSchedule::paper_default();
+        let e00 = s.epsilon(0, 10, 0, 100);
+        let e0_late = s.epsilon(0, 10, 99, 100);
+        let e_deep_0 = s.epsilon(9, 10, 0, 100);
+        assert!(e0_late < e00);
+        assert!(e_deep_0 < e00);
+        assert!((e00 - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn end_of_training_deepest_layer_value() {
+        let s = EpsilonSchedule::paper_default();
+        // ε(L, I) = 0.6 − 0.3 − 0.3 = 0.0 at the extreme corner.
+        let e = s.epsilon(10, 10, 100, 100);
+        assert!(e.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,106 @@
+//! Gaussian-cluster point clouds for MLP sanity tasks and the quickstart
+//! example.
+
+use crate::epoch_order;
+use fast_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` Gaussian clusters in `dim` dimensions, one class per cluster.
+#[derive(Debug, Clone)]
+pub struct GaussianClusters {
+    points: Vec<f32>,
+    labels: Vec<usize>,
+    dim: usize,
+    train_n: usize,
+    test_n: usize,
+    seed: u64,
+}
+
+impl GaussianClusters {
+    /// Generates clusters with centers on a scaled hypercube and unit-ish
+    /// noise (`spread` controls difficulty).
+    pub fn generate(
+        classes: usize,
+        dim: usize,
+        train_n: usize,
+        test_n: usize,
+        spread: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(classes >= 2 && dim >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Class centers: deterministic directions.
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                (0..dim)
+                    .map(|d| {
+                        let angle = (c * dim + d) as f32 * 2.399_963; // golden angle
+                        2.0 * angle.sin()
+                    })
+                    .collect()
+            })
+            .collect();
+        let total = train_n + test_n;
+        let mut points = Vec::with_capacity(total * dim);
+        let mut labels = Vec::with_capacity(total);
+        for _ in 0..total {
+            let c = rng.gen_range(0..classes);
+            labels.push(c);
+            for d in 0..dim {
+                let noise: f32 = rng.gen_range(-spread..spread);
+                points.push(centers[c][d] + noise);
+            }
+        }
+        GaussianClusters { points, labels, dim, train_n, test_n, seed }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn batch_from(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(indices.len() * self.dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.points[i * self.dim..(i + 1) * self.dim]);
+            labels.push(self.labels[i]);
+        }
+        (Tensor::from_vec(vec![indices.len(), self.dim], data), labels)
+    }
+
+    /// Shuffled training batches for an epoch.
+    pub fn train_batches(&self, batch_size: usize, epoch: u64) -> Vec<(Tensor, Vec<usize>)> {
+        let order = epoch_order(self.train_n, self.seed, epoch);
+        order.chunks(batch_size).map(|c| self.batch_from(c)).collect()
+    }
+
+    /// Deterministic test batches.
+    pub fn test_batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
+        let idx: Vec<usize> = (self.train_n..self.train_n + self.test_n).collect();
+        idx.chunks(batch_size).map(|c| self.batch_from(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GaussianClusters::generate(3, 4, 10, 5, 0.5, 1);
+        let b = GaussianClusters::generate(3, 4, 10, 5, 0.5, 1);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let d = GaussianClusters::generate(2, 3, 7, 3, 0.5, 2);
+        let batches = d.train_batches(4, 0);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0.shape(), &[4, 3]);
+        assert_eq!(batches[1].0.shape(), &[3, 3]);
+    }
+}

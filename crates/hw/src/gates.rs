@@ -1,0 +1,126 @@
+//! Analytical gate-level cost primitives.
+//!
+//! Stands in for the paper's Synopsys DC + NanGate 45nm synthesis flow
+//! (substitution documented in DESIGN.md §2). Costs are expressed in *gate
+//! equivalents* (GE, 2-input NAND units) using textbook structures: array
+//! multipliers, ripple/carry-select adders, barrel shifters, comparator
+//! trees. The model's purpose is to reproduce the *ratios* of paper
+//! Table IV — in particular the quadratic growth of fixed-point multipliers
+//! with mantissa width (Section III-B3) and the high cost of per-element FP
+//! alignment (Section I).
+
+/// Gate equivalents of a full adder.
+pub const FA_GE: f64 = 4.5;
+/// Gate equivalents of an AND gate (partial-product generation).
+pub const AND_GE: f64 = 1.5;
+/// Gate equivalents of a 2:1 multiplexer bit.
+pub const MUX_GE: f64 = 2.5;
+/// Gate equivalents of a flip-flop (register bit).
+pub const FF_GE: f64 = 6.0;
+/// Gate equivalents of an XOR (comparator bit).
+pub const XOR_GE: f64 = 2.5;
+
+/// Area of an `m × n` array multiplier (unsigned magnitudes): `m·n` partial
+/// products and `m·n` full adders — the quadratic-in-bitwidth cost the
+/// paper leans on ("computational complexity of fixed point multipliers
+/// scales in a quadratic fashion with bitwidth").
+pub fn multiplier_ge(m_bits: u32, n_bits: u32) -> f64 {
+    assert!(m_bits > 0 && n_bits > 0);
+    (m_bits as f64) * (n_bits as f64) * (FA_GE + AND_GE)
+}
+
+/// Area of a `bits`-wide adder.
+pub fn adder_ge(bits: u32) -> f64 {
+    bits as f64 * FA_GE
+}
+
+/// Area of a balanced adder tree summing `inputs` operands of `bits` width
+/// (width grows by one per level).
+pub fn adder_tree_ge(inputs: usize, bits: u32) -> f64 {
+    assert!(inputs > 0);
+    let mut total = 0.0;
+    let mut n = inputs;
+    let mut w = bits;
+    while n > 1 {
+        let adders = n / 2;
+        total += adders as f64 * adder_ge(w + 1);
+        n = n / 2 + n % 2;
+        w += 1;
+    }
+    total
+}
+
+/// Area of a logarithmic barrel shifter over `bits` with `log2(range)`
+/// stages (paper Fig 14 uses these for mantissa alignment).
+pub fn barrel_shifter_ge(bits: u32, shift_range: u32) -> f64 {
+    let stages = 32 - shift_range.leading_zeros(); // ceil(log2(range+1))
+    bits as f64 * stages as f64 * MUX_GE
+}
+
+/// Area of a `bits`-wide magnitude comparator (one C&F block of the
+/// converter's comparator tree, Fig 14).
+pub fn comparator_ge(bits: u32) -> f64 {
+    bits as f64 * XOR_GE + bits as f64 * 1.5
+}
+
+/// Area of `bits` of register state.
+pub fn register_ge(bits: u32) -> f64 {
+    bits as f64 * FF_GE
+}
+
+/// Area of a floating-point adder with `e` exponent and `m` mantissa bits:
+/// exponent compare/subtract, mantissa alignment shifter, mantissa add,
+/// leading-zero detect + normalization shift, rounding increment.
+pub fn fp_adder_ge(e_bits: u32, m_bits: u32) -> f64 {
+    let mant = m_bits + 1; // implicit leading 1
+    comparator_ge(e_bits)
+        + adder_ge(e_bits)
+        + barrel_shifter_ge(mant + 3, mant) // align (with guard bits)
+        + adder_ge(mant + 3)
+        + (mant as f64 * 2.0) // leading-zero detector (linear approx)
+        + barrel_shifter_ge(mant + 3, mant) // normalize
+        + adder_ge(mant) // round increment
+}
+
+/// Rough FPGA resource estimate from gate counts: LUTs implement
+/// combinational GE (≈6 GE/LUT on 6-input LUTs), FFs equal register bits.
+pub fn luts_from_ge(combinational_ge: f64) -> u64 {
+    (combinational_ge / 6.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_cost_is_quadratic() {
+        let m4 = multiplier_ge(4, 4);
+        let m8 = multiplier_ge(8, 8);
+        let m12 = multiplier_ge(12, 12);
+        assert!((m8 / m4 - 4.0).abs() < 1e-9);
+        assert!((m12 / m4 - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_tree_grows_linearithmically() {
+        let t16 = adder_tree_ge(16, 4);
+        let t32 = adder_tree_ge(32, 4);
+        assert!(t32 > 1.9 * t16 && t32 < 2.6 * t16);
+    }
+
+    #[test]
+    fn fp_adder_dwarfs_int_adder() {
+        // The FP32 accumulator is far more expensive than an INT add of the
+        // same mantissa width — the motivation for amortizing it across a
+        // BFP group (paper Section VII-A).
+        assert!(fp_adder_ge(8, 23) > 5.0 * adder_ge(24));
+    }
+
+    #[test]
+    fn barrel_shifter_stage_count() {
+        // 24-bit shifter over a 24-position range: 5 stages.
+        let ge = barrel_shifter_ge(24, 24);
+        assert_eq!(ge, 24.0 * 5.0 * MUX_GE);
+    }
+
+}

@@ -1,0 +1,41 @@
+//! Hardware model of the FAST system (paper Sections V and VII).
+//!
+//! * [`gates`] — analytical gate-cost primitives (the Synopsys/NanGate/CACTI
+//!   stand-in; substitution documented in DESIGN.md §2).
+//! * [`MacKind`] — the MAC designs of Table IV with both model-derived and
+//!   paper-calibrated area/power/LUT/FF numbers.
+//! * [`FmacCell`] — functional fMAC: chunk-serial variable-precision BFP dot
+//!   products, bit-identical to `fast_bfp::dot` (Figs 11, 13).
+//! * [`BfpConverter`] — the converter datapath of Fig 14 in integer steps,
+//!   bit-identical to the reference quantizer, including the Eq. 2
+//!   improvement block.
+//! * [`SystolicArray`] / [`SystolicFunctionalSim`] — cycle model and the
+//!   three-dataflow functional simulation of Fig 12 (no explicit matrix
+//!   transposition).
+//! * [`SystemConfig`] — the FAST system and the area-equalized baselines of
+//!   Section VII-B; [`fast_breakdown`] reproduces Table III.
+//! * [`training_iteration`] — per-iteration time/energy, the cost half of
+//!   Figs 19/20.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+
+mod converter;
+mod energy;
+mod fmac;
+mod mac;
+mod perf;
+mod sram;
+mod system;
+mod systolic;
+
+pub use converter::{BfpConverter, ConverterOutput};
+pub use energy::{energy_joules, fast_breakdown, ComponentShare};
+pub use fmac::FmacCell;
+pub use mac::{MacCost, MacKind};
+pub use perf::{layer_cycles, training_iteration, IterationCost, LayerWork};
+pub use sram::{Sram, SRAM_GE_PER_KB, SRAM_MW_PER_KB, SRAM_PJ_PER_ACCESS};
+pub use system::SystemConfig;
+pub use systolic::{Gemm, SystolicArray, SystolicFunctionalSim};

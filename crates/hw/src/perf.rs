@@ -1,0 +1,169 @@
+//! Training-iteration time and energy under a system configuration — the
+//! cost half of paper Figs 19/20.
+//!
+//! Each GEMM-bearing DNN layer contributes the three GEMMs of Fig 3 per
+//! iteration: forward `O = A·W`, backward `∇A = ∇O·Wᵀ` (weight-stationary,
+//! transposed entry side) and `∇W = Aᵀ·∇O` (accumulation-stationary). On
+//! the FAST system each GEMM's cycle count is multiplied by the fMAC chunk
+//! passes implied by the layer's `(m_W, m_A, m_G)` mantissa widths
+//! (Section V-B: a 4-bit × 4-bit product needs 4 passes).
+
+use crate::energy::energy_joules;
+use crate::system::SystemConfig;
+use crate::systolic::Gemm;
+
+/// Per-layer work description for one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerWork {
+    /// Forward GEMM dims (`O (M×N) = A (M×K) · W (K×N)`).
+    pub gemm: Gemm,
+    /// Weight mantissa width (bits).
+    pub m_w: u32,
+    /// Activation mantissa width (bits).
+    pub m_a: u32,
+    /// Gradient mantissa width (bits).
+    pub m_g: u32,
+}
+
+impl LayerWork {
+    /// Uniform-width helper.
+    pub fn uniform(gemm: Gemm, m: u32) -> Self {
+        LayerWork { gemm, m_w: m, m_a: m, m_g: m }
+    }
+}
+
+/// Cost of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationCost {
+    /// Total cycles across all layers and passes.
+    pub cycles: u64,
+    /// Wall-clock seconds at the system frequency.
+    pub seconds: f64,
+    /// Energy in joules at the system's total power.
+    pub energy_j: f64,
+}
+
+fn chunk_passes(bits_a: u32, bits_b: u32) -> u32 {
+    bits_a.div_ceil(2) * bits_b.div_ceil(2)
+}
+
+/// Cycles for the three training GEMMs of one layer.
+pub fn layer_cycles(system: &SystemConfig, work: &LayerWork) -> u64 {
+    let variable = system.array.mac.supports_variable_precision();
+    let (p_fwd, p_ga, p_gw) = if variable {
+        (
+            chunk_passes(work.m_w, work.m_a),
+            chunk_passes(work.m_g, work.m_w),
+            chunk_passes(work.m_g, work.m_a),
+        )
+    } else {
+        (1, 1, 1)
+    };
+    let g = work.gemm;
+    // Forward: O (M×N) = A (M×K) · W (K×N). Weight tile spans
+    // (rows·g) × cols of (K, N); M rows stream through.
+    let fwd = system.array.weight_stationary_cycles(g, p_fwd);
+    // Backward activation (Fig 12b): ∇A = ∇O·Wᵀ with the *same* stored W
+    // tile — ∇O enters from the other side, so the tiling is identical and
+    // only the chunk passes change (reduction now runs across the columns).
+    let ga = system.array.weight_stationary_cycles(g, p_ga);
+    // Backward weight (Fig 12c): ∇W (K×N) accumulates in place over the
+    // same tile geometry while M streams.
+    let gw = system.array.accumulation_stationary_cycles(g, p_gw);
+    fwd + ga + gw
+}
+
+/// Cost of a full training iteration over all layers.
+pub fn training_iteration(system: &SystemConfig, layers: &[LayerWork]) -> IterationCost {
+    let cycles: u64 = layers.iter().map(|w| layer_cycles(system, w)).sum();
+    let seconds = cycles as f64 / system.freq_hz;
+    IterationCost { cycles, seconds, energy_j: energy_joules(system, cycles) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet_like_layers(m: u32) -> Vec<LayerWork> {
+        // Representative ResNet-18/ImageNet conv GEMMs (im2col form) at the
+        // paper's mini-batch of 256.
+        [
+            Gemm { m: 802_816, k: 576, n: 64 },
+            Gemm { m: 200_704, k: 1152, n: 128 },
+            Gemm { m: 50_176, k: 2304, n: 256 },
+            Gemm { m: 12_544, k: 4608, n: 512 },
+        ]
+        .iter()
+        .map(|&gemm| LayerWork::uniform(gemm, m))
+        .collect()
+    }
+
+    #[test]
+    fn fast_at_low_precision_beats_fast_at_high_precision() {
+        let fast = SystemConfig::fast();
+        let low = training_iteration(&fast, &resnet_like_layers(2));
+        let high = training_iteration(&fast, &resnet_like_layers(4));
+        assert!(high.cycles > 2 * low.cycles, "4-bit should cost ~4 passes vs 1");
+        assert!(high.cycles < 5 * low.cycles);
+    }
+
+    #[test]
+    fn fp32_system_is_slowest_fast_is_fastest() {
+        // Fig 19's ordering at matched work: FAST < {MSFP12, HFP8, INT12,
+        // bf16, MP} < FP32 for per-iteration time (accuracy effects come on
+        // top in the TTA benches).
+        let layers4 = resnet_like_layers(4);
+        let layers2 = resnet_like_layers(2);
+        let fast_sys = SystemConfig::fast();
+        // FAST-Adaptive averages low/high precision over training; Fig 17
+        // shows most of training at m=2 — use a 2:1 low:high mixture.
+        let fast_cycles = (2 * training_iteration(&fast_sys, &layers2).cycles
+            + training_iteration(&fast_sys, &layers4).cycles)
+            / 3;
+        let fp32 = training_iteration(&SystemConfig::fp32(), &layers4).cycles;
+        let mp = training_iteration(&SystemConfig::nvidia_mp(), &layers4).cycles;
+        let bf16 = training_iteration(&SystemConfig::bf16(), &layers4).cycles;
+        let msfp = training_iteration(&SystemConfig::msfp12(), &layers4).cycles;
+        assert!(fast_cycles < msfp, "FAST {fast_cycles} vs MSFP {msfp}");
+        assert!(msfp < fp32);
+        assert!(mp < fp32 && bf16 < mp, "bf16 {bf16} mp {mp} fp32 {fp32}");
+        // FP32 should be several times slower than FAST (paper: 8.5× TTA).
+        let ratio = fp32 as f64 / fast_cycles as f64;
+        assert!(ratio > 3.0, "FP32/FAST per-iteration ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn variable_precision_only_affects_fmac_systems() {
+        let mp = SystemConfig::nvidia_mp();
+        let a = training_iteration(&mp, &resnet_like_layers(2)).cycles;
+        let b = training_iteration(&mp, &resnet_like_layers(4)).cycles;
+        assert_eq!(a, b, "scalar systems ignore mantissa width");
+    }
+
+    #[test]
+    fn mixed_precision_settings_order_by_gemm_cost() {
+        // GEMM-pass cost alone grades the settings into tiers; the strict
+        // total order of Fig 17's legend additionally counts gradient
+        // conversion/traffic and lives in `fast-core`'s controller.
+        let fast = SystemConfig::fast();
+        let gemm = Gemm { m: 4096, k: 1152, n: 128 };
+        let cost = |w, a, g| {
+            training_iteration(&fast, &[LayerWork { gemm, m_w: w, m_a: a, m_g: g }]).cycles
+        };
+        assert!(cost(2, 2, 2) < cost(2, 4, 2));
+        // The three single-4-bit settings tie at the GEMM level (5 passes).
+        assert_eq!(cost(2, 4, 2), cost(4, 2, 2));
+        assert_eq!(cost(4, 2, 2), cost(2, 2, 4));
+        assert!(cost(2, 2, 4) < cost(4, 4, 2));
+        assert!(cost(4, 4, 4) > cost(4, 2, 4));
+        assert!(cost(4, 4, 4) == cost(4, 4, 4));
+    }
+
+    #[test]
+    fn energy_tracks_time_times_power() {
+        let sys = SystemConfig::fast();
+        let it = training_iteration(&sys, &resnet_like_layers(4));
+        let expect = sys.total_power_w() * it.seconds;
+        assert!((it.energy_j - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,78 @@
+//! SRAM subsystem model (paper Section VII: "Gradient SRAM, weight SRAM and
+//! data SRAM each consist of 128 16kB memory banks").
+//!
+//! Stands in for CACTI (substitution in DESIGN.md §2): area/power constants
+//! are calibrated so the three SRAMs land at the paper's Table III share
+//! (40.34% of system area, 3.37 W).
+
+/// Gate-equivalents per kilobyte of banked SRAM, calibrated to Table III.
+pub const SRAM_GE_PER_KB: f64 = 5630.0;
+
+/// SRAM power per kilobyte (mW), calibrated to Table III's 3.37 W over
+/// 6144 kB.
+pub const SRAM_MW_PER_KB: f64 = 3370.0 / 6144.0;
+
+/// Dynamic read/write energy per 16-byte access (pJ), CACTI-flavoured.
+pub const SRAM_PJ_PER_ACCESS: f64 = 5.0;
+
+/// One of the three on-chip SRAMs (weights / data / gradients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sram {
+    /// Number of banks.
+    pub banks: usize,
+    /// Capacity per bank in kB.
+    pub bank_kb: usize,
+}
+
+impl Sram {
+    /// The paper's configuration: 128 banks of 16 kB.
+    pub fn paper_default() -> Self {
+        Sram { banks: 128, bank_kb: 16 }
+    }
+
+    /// Total capacity in kB.
+    pub fn capacity_kb(&self) -> usize {
+        self.banks * self.bank_kb
+    }
+
+    /// Estimated area in gate equivalents.
+    pub fn area_ge(&self) -> f64 {
+        self.capacity_kb() as f64 * SRAM_GE_PER_KB
+    }
+
+    /// Estimated static + clocked power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.capacity_kb() as f64 * SRAM_MW_PER_KB / 1000.0
+    }
+
+    /// Dynamic energy (joules) for `bytes` of traffic.
+    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+        (bytes as f64 / 16.0) * SRAM_PJ_PER_ACCESS * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_capacity() {
+        let s = Sram::paper_default();
+        assert_eq!(s.capacity_kb(), 2048);
+        // Three SRAMs = 6 MB total.
+        assert_eq!(3 * s.capacity_kb(), 6144);
+    }
+
+    #[test]
+    fn three_srams_hit_calibrated_power() {
+        let total: f64 = 3.0 * Sram::paper_default().power_w();
+        assert!((total - 3.37).abs() < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn access_energy_scales_with_traffic() {
+        let s = Sram::paper_default();
+        assert!(s.access_energy_j(32) > s.access_energy_j(16));
+        assert!((s.access_energy_j(16) - 5e-12).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,223 @@
+//! System-level configurations: the FAST system and the area-equalized
+//! baseline training systems of paper Section VII-B.
+
+use crate::converter::BfpConverter;
+use crate::gates::{fp_adder_ge, register_ge};
+use crate::mac::MacKind;
+use crate::sram::Sram;
+use crate::systolic::SystolicArray;
+use fast_bfp::BfpFormat;
+
+/// A complete single-chip DNN training system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Display name (as used in paper Figs 19/20).
+    pub name: &'static str,
+    /// The systolic array.
+    pub array: SystolicArray,
+    /// Clock frequency (the paper runs everything at 500 MHz).
+    pub freq_hz: f64,
+}
+
+impl SystemConfig {
+    const FREQ: f64 = 500e6;
+
+    /// The FAST system: 256×64 fMAC array at 500 MHz (Section VII).
+    pub fn fast() -> Self {
+        SystemConfig {
+            name: "FAST-Adaptive",
+            array: SystolicArray::new(256, 64, MacKind::Fmac),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// HFP8 baseline: 245×245 scalar MACs (Section VII-B).
+    pub fn hfp8() -> Self {
+        SystemConfig {
+            name: "HFP8",
+            array: SystolicArray::new(245, 245, MacKind::Hfp8),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// MSFP-12 baseline: 230×230 scalar MACs (Section VII-B).
+    pub fn msfp12() -> Self {
+        SystemConfig {
+            name: "MSFP-12",
+            array: SystolicArray::new(230, 230, MacKind::Msfp12),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// INT12 baseline: 210×210 scalar MACs (Section VII-B).
+    pub fn int12() -> Self {
+        SystemConfig {
+            name: "INT-12",
+            array: SystolicArray::new(210, 210, MacKind::Int12),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// bfloat16 baseline: 180×180 scalar MACs (Section VII-B).
+    pub fn bf16() -> Self {
+        SystemConfig {
+            name: "bfloat16",
+            array: SystolicArray::new(180, 180, MacKind::Bf16),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// Nvidia Mixed Precision baseline: 150×150 FP16 MACs (Section VII-B).
+    pub fn nvidia_mp() -> Self {
+        SystemConfig {
+            name: "Nvidia MP",
+            array: SystolicArray::new(150, 150, MacKind::Fp16),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// INT8 baseline (not dimensioned in the paper): equal-area derived.
+    pub fn int8() -> Self {
+        let side = Self::equal_area_side(MacKind::Int8);
+        SystemConfig {
+            name: "INT-8",
+            array: SystolicArray::new(side, side, MacKind::Int8),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// FP32 baseline (not dimensioned in the paper): equal-area derived
+    /// from the calibrated FP32 MAC area.
+    pub fn fp32() -> Self {
+        let side = Self::equal_area_side(MacKind::Fp32);
+        SystemConfig {
+            name: "FP32",
+            array: SystolicArray::new(side, side, MacKind::Fp32),
+            freq_hz: Self::FREQ,
+        }
+    }
+
+    /// Side of a square scalar-MAC array whose total area equals the FAST
+    /// array's 16384 fMAC units.
+    fn equal_area_side(mac: MacKind) -> usize {
+        let per_mac = mac.calibrated_area_ratio() / 16.0;
+        ((16384.0 / per_mac).sqrt()).round() as usize
+    }
+
+    /// Every system of paper Figs 19/20, FAST first.
+    pub fn all() -> Vec<SystemConfig> {
+        vec![
+            SystemConfig::fast(),
+            SystemConfig::msfp12(),
+            SystemConfig::hfp8(),
+            SystemConfig::int12(),
+            SystemConfig::bf16(),
+            SystemConfig::nvidia_mp(),
+            SystemConfig::fp32(),
+            SystemConfig::int8(),
+        ]
+    }
+
+    /// Array area in fMAC-equivalent units.
+    pub fn array_area_fmac_units(&self) -> f64 {
+        match self.array.mac {
+            MacKind::Fmac => self.array.cells() as f64,
+            mac => self.array.cells() as f64 * mac.calibrated_area_ratio() / 16.0,
+        }
+    }
+
+    /// Array power in watts (calibrated per-MAC powers).
+    pub fn array_power_w(&self) -> f64 {
+        let per_unit_mw = match self.array.mac {
+            MacKind::Fmac => MacKind::Fmac.calibrated_power_mw(),
+            mac => mac.calibrated_power_mw() / 16.0,
+        };
+        self.array.cells() as f64 * per_unit_mw / 1000.0
+    }
+
+    /// Power of the non-array components (converters, accumulators, data
+    /// generators, SRAMs) — taken from the FAST breakdown of Table III; the
+    /// paper resizes these per number format but their sum is a small,
+    /// comparable share for every system.
+    pub fn support_power_w(&self) -> f64 {
+        1.77 + 2.19 + 0.69 + 3.0 * Sram::paper_default().power_w()
+    }
+
+    /// Total system power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.array_power_w() + self.support_power_w()
+    }
+
+    /// Number of BFP converters provisioned (enough to feed and drain the
+    /// array edges; FAST-specific).
+    pub fn converter_count(&self) -> usize {
+        2 * (self.array.rows + self.array.cols)
+    }
+
+    /// Model area of one converter in gate equivalents.
+    pub fn converter_area_ge(&self) -> f64 {
+        BfpConverter::area_ge(BfpFormat::high())
+    }
+
+    /// Model area of the tile accumulator buffers in gate equivalents: per
+    /// array column, one FP32 adder plus a double-buffered 256-deep FP32
+    /// partial-sum FIFO (one output stripe in flight, one draining).
+    pub fn accumulator_area_ge(&self) -> f64 {
+        self.array.cols as f64 * (fp_adder_ge(8, 23) + register_ge(32) * 512.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_dimensions() {
+        assert_eq!((SystemConfig::fast().array.rows, SystemConfig::fast().array.cols), (256, 64));
+        assert_eq!(SystemConfig::hfp8().array.rows, 245);
+        assert_eq!(SystemConfig::msfp12().array.rows, 230);
+        assert_eq!(SystemConfig::int12().array.rows, 210);
+        assert_eq!(SystemConfig::bf16().array.rows, 180);
+        assert_eq!(SystemConfig::nvidia_mp().array.rows, 150);
+    }
+
+    #[test]
+    fn baseline_arrays_are_roughly_area_equal_to_fast() {
+        // Section VII-B equal-area configuration: every baseline's array
+        // area should be within ~25% of the FAST array's 16384 units.
+        let fast_area = SystemConfig::fast().array_area_fmac_units();
+        for sys in SystemConfig::all() {
+            let ratio = sys.array_area_fmac_units() / fast_area;
+            assert!(
+                (0.75..=1.25).contains(&ratio),
+                "{}: area ratio {ratio:.2}",
+                sys.name
+            );
+        }
+    }
+
+    #[test]
+    fn fp32_array_is_smallest() {
+        let fp32 = SystemConfig::fp32();
+        for sys in SystemConfig::all() {
+            assert!(fp32.array.cells() <= sys.array.cells(), "{}", sys.name);
+        }
+        // Sanity: roughly 100×100.
+        assert!((90..=115).contains(&fp32.array.rows), "side {}", fp32.array.rows);
+    }
+
+    #[test]
+    fn fast_array_power_close_to_table3() {
+        // Table III: systolic array 15.61 W. Our per-fMAC calibration gives
+        // 16384 × 0.885 mW = 14.5 W — within ~10% (interconnect excluded).
+        let p = SystemConfig::fast().array_power_w();
+        assert!((p - 15.61).abs() / 15.61 < 0.15, "array power {p}");
+    }
+
+    #[test]
+    fn total_power_in_paper_range() {
+        // Table III totals ≈ 23.6 W for FAST.
+        let total = SystemConfig::fast().total_power_w();
+        assert!((20.0..=26.0).contains(&total), "total {total}");
+    }
+}

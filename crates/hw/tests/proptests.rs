@@ -1,0 +1,136 @@
+//! Property-based tests for the hardware model: converter/reference
+//! equivalence over wide input distributions, cycle-model monotonicity,
+//! functional systolic correctness.
+
+use fast_hw::{
+    training_iteration, BfpConverter, FmacCell, Gemm, LayerWork, SystemConfig, SystolicArray,
+    SystolicFunctionalSim,
+};
+use fast_bfp::dot::dot_f32;
+use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup, Lfsr16};
+use proptest::prelude::*;
+
+proptest! {
+    /// The hardware converter datapath equals the reference quantizer for
+    /// any finite input mix (nearest path).
+    #[test]
+    fn converter_matches_reference_everywhere(
+        values in prop::collection::vec(
+            prop_oneof![
+                4 => -100.0f32..100.0,
+                1 => Just(0.0f32),
+                1 => (-1.0f32..1.0).prop_map(|x| x * 1e-6),
+            ],
+            1..=16,
+        ),
+        m in prop::sample::select(vec![2u32, 4, 6, 8]),
+    ) {
+        let fmt = BfpFormat::new(16, m, 8).unwrap();
+        let mut conv = BfpConverter::new(fmt, 1);
+        let hw = conv.convert(&values, false).group;
+        let sw = BfpGroup::quantize_nearest(&values, fmt);
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// Stochastic path equivalence with a shared LFSR stream.
+    #[test]
+    fn converter_sr_matches_reference(
+        values in prop::collection::vec(-10.0f32..10.0, 16),
+        seed in 1u16..u16::MAX,
+    ) {
+        let fmt = BfpFormat::high();
+        let mut conv = BfpConverter::new(fmt, seed);
+        let mut lfsr = Lfsr16::new(seed);
+        let hw = conv.convert(&values, true).group;
+        let sw = BfpGroup::quantize(
+            &values, fmt, fast_bfp::Rounding::STOCHASTIC8, &mut lfsr, None,
+        );
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// fMAC accumulation over many groups equals the sum of direct dots.
+    #[test]
+    fn fmac_accumulates_exactly(
+        weights in prop::collection::vec(-2.0f32..2.0, 16),
+        streams in prop::collection::vec(prop::collection::vec(-2.0f32..2.0, 16), 1..6),
+    ) {
+        let fmt = BfpFormat::high();
+        let wg = BfpGroup::quantize_nearest(&weights, fmt);
+        let mut cell = FmacCell::new();
+        cell.load_weight(ChunkedGroup::from_group(&wg).unwrap());
+        let mut expect = 0.0f32;
+        for s in &streams {
+            let xg = BfpGroup::quantize_nearest(s, fmt);
+            cell.consume(&ChunkedGroup::from_group(&xg).unwrap());
+            expect += dot_f32(&wg, &xg);
+        }
+        prop_assert_eq!(cell.accumulator(), expect);
+    }
+
+    /// Cycle model is monotone in every GEMM dimension and in passes.
+    #[test]
+    fn cycles_monotone(
+        m in 1usize..5000,
+        k in 1usize..5000,
+        n in 1usize..500,
+        passes in 1u32..4,
+    ) {
+        let arr = SystolicArray::new(256, 64, fast_hw::MacKind::Fmac);
+        let base = arr.weight_stationary_cycles(Gemm { m, k, n }, passes);
+        let bigger_m = arr.weight_stationary_cycles(Gemm { m: m + 100, k, n }, passes);
+        let bigger_k = arr.weight_stationary_cycles(Gemm { m, k: k + 5000, n }, passes);
+        let bigger_n = arr.weight_stationary_cycles(Gemm { m, k, n: n + 100 }, passes);
+        let more_passes = arr.weight_stationary_cycles(Gemm { m, k, n }, passes + 1);
+        prop_assert!(bigger_m >= base);
+        prop_assert!(bigger_k >= base);
+        prop_assert!(bigger_n >= base);
+        prop_assert!(more_passes >= base);
+    }
+
+    /// The functional systolic sim computes the three training GEMMs from a
+    /// single stored W for arbitrary shapes.
+    #[test]
+    fn functional_sim_is_correct(
+        k in 1usize..6,
+        n in 1usize..6,
+        m in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let g: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let sim = SystolicFunctionalSim::load_weights(&w, k, n);
+        let fwd = sim.forward(&a, m);
+        for row in 0..m {
+            for j in 0..n {
+                let want: f32 = (0..k).map(|i| a[row * k + i] * w[i * n + j]).sum();
+                prop_assert!((fwd[row * n + j] - want).abs() < 1e-4);
+            }
+        }
+        let bw = sim.backward_weight(&a, &g, m);
+        for i in 0..k {
+            for j in 0..n {
+                let want: f32 = (0..m).map(|r| a[r * k + i] * g[r * n + j]).sum();
+                prop_assert!((bw[i * n + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Lower-precision FAST iterations never cost more than higher ones.
+    #[test]
+    fn fast_cost_monotone_in_precision(
+        m in 1000usize..100_000,
+        k in 64usize..4096,
+        n in 16usize..512,
+    ) {
+        let sys = SystemConfig::fast();
+        let gemm = Gemm { m, k, n };
+        let low = training_iteration(&sys, &[LayerWork { gemm, m_w: 2, m_a: 2, m_g: 2 }]);
+        let mid = training_iteration(&sys, &[LayerWork { gemm, m_w: 4, m_a: 2, m_g: 2 }]);
+        let high = training_iteration(&sys, &[LayerWork { gemm, m_w: 4, m_a: 4, m_g: 4 }]);
+        prop_assert!(low.cycles <= mid.cycles);
+        prop_assert!(mid.cycles <= high.cycles);
+    }
+}

@@ -1,0 +1,113 @@
+//! Elementwise activation layers.
+
+use crate::layer::{Layer, Session};
+use fast_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        let out = input.map(|v| v.max(0.0));
+        if session.train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let mask = self.mask.as_ref().expect("Relu::backward before forward");
+        assert_eq!(mask.len(), grad_output.numel());
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Leaky ReLU with slope `alpha` on the negative side (YOLO backbones).
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with negative slope `alpha` (e.g. 0.1).
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha >= 0.0, "negative-side slope must be non-negative");
+        LeakyRelu { alpha, mask: None }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        let a = self.alpha;
+        let out = input.map(|v| if v > 0.0 { v } else { a * v });
+        if session.train {
+            self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let mask = self.mask.as_ref().expect("LeakyRelu::backward before forward");
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v *= self.alpha;
+            }
+        }
+        g
+    }
+
+    fn kind(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let mut s = Session::new(0);
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, &mut s);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::from_vec(vec![4], vec![1.0, 1.0, 1.0, 1.0]);
+        let gi = relu.backward(&g, &mut s);
+        assert_eq!(gi.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_forward_backward() {
+        let mut lr = LeakyRelu::new(0.1);
+        let mut s = Session::new(0);
+        let x = Tensor::from_vec(vec![3], vec![-2.0, 0.5, 4.0]);
+        let y = lr.forward(&x, &mut s);
+        assert_eq!(y.data(), &[-0.2, 0.5, 4.0]);
+        let g = Tensor::from_vec(vec![3], vec![1.0, 1.0, 1.0]);
+        let gi = lr.backward(&g, &mut s);
+        assert_eq!(gi.data(), &[0.1, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Multi-head self-attention for the transformer workload.
+//!
+//! The four projection layers (`Wq`, `Wk`, `Wv`, `Wo`) are quantized
+//! [`Dense`] layers — the bulk of a transformer's GEMM work, and what the
+//! FAST controller adapts. The attention-score computations (`QKᵀ` and
+//! `attn·V`) run in FP32; they are a small fraction of the layer's MACs at
+//! our sequence lengths (a deviation recorded in DESIGN.md §6).
+
+use crate::layer::{Layer, Param, QuantControlled, Session};
+use crate::linear::Dense;
+use fast_tensor::Tensor;
+use rand::Rng;
+
+/// Multi-head self-attention over `(batch·seq, dim)` rows.
+pub struct MultiHeadSelfAttention {
+    wq: Dense,
+    wk: Dense,
+    wv: Dense,
+    wo: Dense,
+    heads: usize,
+    seq_len: usize,
+    dim: usize,
+    cache: Option<AttnCache>,
+}
+
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax attention matrices, one `(seq, seq)` tensor per (batch, head).
+    attn: Vec<Tensor>,
+    batch: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates an attention layer for fixed-length sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, seq_len: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim % heads == 0, "dim {dim} must be divisible by heads {heads}");
+        MultiHeadSelfAttention {
+            wq: Dense::new(dim, dim, true, rng),
+            wk: Dense::new(dim, dim, true, rng),
+            wv: Dense::new(dim, dim, true, rng),
+            wo: Dense::new(dim, dim, true, rng),
+            heads,
+            seq_len,
+            dim,
+            cache: None,
+        }
+    }
+
+    fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Copies the `(seq, head_dim)` block for (batch `b`, head `h`) out of a
+    /// `(batch·seq, dim)` tensor.
+    fn head_block(&self, t: &Tensor, b: usize, h: usize) -> Tensor {
+        let dh = self.head_dim();
+        let mut out = Tensor::zeros(vec![self.seq_len, dh]);
+        for i in 0..self.seq_len {
+            let row = (b * self.seq_len + i) * self.dim + h * dh;
+            out.data_mut()[i * dh..(i + 1) * dh].copy_from_slice(&t.data()[row..row + dh]);
+        }
+        out
+    }
+
+    fn add_head_block(&self, t: &mut Tensor, block: &Tensor, b: usize, h: usize) {
+        let dh = self.head_dim();
+        for i in 0..self.seq_len {
+            let row = (b * self.seq_len + i) * self.dim + h * dh;
+            for j in 0..dh {
+                t.data_mut()[row + j] += block.data()[i * dh + j];
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MultiHeadSelfAttention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiHeadSelfAttention(dim={}, heads={}, seq={})", self.dim, self.heads, self.seq_len)
+    }
+}
+
+fn softmax_rows(t: &mut Tensor) {
+    let cols = t.shape()[1];
+    for row in t.data_mut().chunks_mut(cols) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+impl Layer for MultiHeadSelfAttention {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 2, "attention expects (batch·seq, dim) input");
+        assert_eq!(input.shape()[1], self.dim);
+        let rows = input.shape()[0];
+        assert_eq!(rows % self.seq_len, 0, "rows must be a multiple of seq_len");
+        let batch = rows / self.seq_len;
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = self.wq.forward(input, session);
+        let k = self.wk.forward(input, session);
+        let v = self.wv.forward(input, session);
+
+        let mut concat = Tensor::zeros(vec![rows, self.dim]);
+        let mut attns = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qb = self.head_block(&q, b, h);
+                let kb = self.head_block(&k, b, h);
+                let vb = self.head_block(&v, b, h);
+                let mut scores = fast_tensor::matmul_nt(&qb, &kb); // (T, T)
+                scores.scale(scale);
+                softmax_rows(&mut scores);
+                let out = fast_tensor::matmul(&scores, &vb); // (T, dh)
+                self.add_head_block(&mut concat, &out, b, h);
+                attns.push(scores);
+            }
+        }
+        let y = self.wo.forward(&concat, session);
+        if session.train {
+            self.cache = Some(AttnCache { q, k, v, attn: attns, batch });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {
+        let g_concat = self.wo.backward(grad_output, session);
+        let cache = self.cache.take().expect("attention backward before forward");
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let rows = g_concat.shape()[0];
+
+        let mut dq = Tensor::zeros(vec![rows, self.dim]);
+        let mut dk = Tensor::zeros(vec![rows, self.dim]);
+        let mut dv = Tensor::zeros(vec![rows, self.dim]);
+        for b in 0..cache.batch {
+            for h in 0..self.heads {
+                let a = &cache.attn[b * self.heads + h]; // (T, T)
+                let gb = self.head_block(&g_concat, b, h); // (T, dh)
+                let vb = self.head_block(&cache.v, b, h);
+                let qb = self.head_block(&cache.q, b, h);
+                let kb = self.head_block(&cache.k, b, h);
+
+                // dV = Aᵀ·g ; dA = g·Vᵀ
+                let dvb = fast_tensor::matmul_tn(a, &gb);
+                let mut da = fast_tensor::matmul_nt(&gb, &vb); // (T, T)
+                // Softmax backward: dS = A ⊙ (dA − rowsum(dA ⊙ A)).
+                let t = self.seq_len;
+                for i in 0..t {
+                    let mut dot = 0.0f32;
+                    for j in 0..t {
+                        dot += da.data()[i * t + j] * a.data()[i * t + j];
+                    }
+                    for j in 0..t {
+                        let idx = i * t + j;
+                        da.data_mut()[idx] = a.data()[idx] * (da.data()[idx] - dot);
+                    }
+                }
+                da.scale(scale);
+                // dQ = dS·K ; dK = dSᵀ·Q.
+                let dqb = fast_tensor::matmul(&da, &kb);
+                let dkb = fast_tensor::matmul_tn(&da, &qb);
+                self.add_head_block(&mut dq, &dqb, b, h);
+                self.add_head_block(&mut dk, &dkb, b, h);
+                self.add_head_block(&mut dv, &dvb, b, h);
+            }
+        }
+        let mut gx = self.wq.backward(&dq, session);
+        gx.add_assign(&self.wk.backward(&dk, session));
+        gx.add_assign(&self.wv.backward(&dv, session));
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
+        self.wq.visit_quant(f);
+        self.wk.visit_quant(f);
+        self.wv.visit_quant(f);
+        self.wo.visit_quant(f);
+    }
+
+    fn kind(&self) -> &'static str {
+        "mhsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_row_stochastic_attention() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut attn = MultiHeadSelfAttention::new(8, 2, 4, &mut rng);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(vec![8, 8], (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let y = attn.forward(&x, &mut s);
+        assert_eq!(y.shape(), &[8, 8]);
+        let cache = attn.cache.as_ref().unwrap();
+        for a in &cache.attn {
+            for row in a.data().chunks(4) {
+                let sum: f32 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "attention rows must sum to 1");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut attn = MultiHeadSelfAttention::new(4, 2, 3, &mut rng);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(vec![3, 4], (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let g = Tensor::from_vec(vec![3, 4], (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let _ = attn.forward(&x, &mut s);
+        let gin = attn.backward(&g, &mut s);
+        let eps = 1e-3f32;
+        for idx in 0..12 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 =
+                attn.forward(&xp, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let lm: f32 =
+                attn.forward(&xm, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[idx]).abs() < 2e-2,
+                "idx {idx}: numeric {num} vs analytic {}",
+                gin.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn exposes_four_quant_layers() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut attn = MultiHeadSelfAttention::new(8, 2, 4, &mut rng);
+        let mut n = 0;
+        attn.visit_quant(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

@@ -1,0 +1,514 @@
+//! Quantized convolution layers: standard [`Conv2d`] and
+//! [`DepthwiseConv2d`] (for the MobileNet-style model).
+//!
+//! Convolutions are lowered to GEMMs over the im2col matrix (paper Fig 3);
+//! operands are quantized along each GEMM's reduction axis exactly as in
+//! [`crate::linear::Dense`].
+
+use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
+use crate::quant::LayerPrecision;
+use fast_bfp::GroupAxis;
+use fast_tensor::{
+    col2im, gemm_out_to_nchw, im2col, kaiming_normal, matmul, matmul_nt, matmul_tn,
+    nchw_to_gemm_out, row_sums, Conv2dDims, Tensor,
+};
+use rand::Rng;
+
+/// A 2-D convolution layer with quantized GEMMs.
+#[derive(Debug)]
+pub struct Conv2d {
+    w: Tensor, // (out_c, in_c, k, k)
+    b: Tensor, // (out_c)
+    gw: Tensor,
+    gb: Tensor,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    use_bias: bool,
+    precision: LayerPrecision,
+    saved_input: Option<Tensor>,
+    last_grad: Option<Tensor>,
+    last_shape: Option<GemmShape>,
+    last_dims: Option<Conv2dDims>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer `in_c → out_c` with a square `kernel`.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        use_bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_c * kernel * kernel;
+        let w = kaiming_normal(vec![out_c, in_c, kernel, kernel], fan_in, rng);
+        Conv2d {
+            w,
+            b: Tensor::zeros(vec![out_c]),
+            gw: Tensor::zeros(vec![out_c, in_c, kernel, kernel]),
+            gb: Tensor::zeros(vec![out_c]),
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            use_bias,
+            precision: LayerPrecision::default(),
+            saved_input: None,
+            last_grad: None,
+            last_shape: None,
+            last_dims: None,
+        }
+    }
+
+    fn dims_for(&self, input: &Tensor) -> Conv2dDims {
+        assert_eq!(input.rank(), 4, "Conv2d expects NCHW input");
+        assert_eq!(input.shape()[1], self.in_c, "Conv2d channel mismatch");
+        Conv2dDims {
+            batch: input.shape()[0],
+            in_c: self.in_c,
+            in_h: input.shape()[2],
+            in_w: input.shape()[3],
+            out_c: self.out_c,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        let d = self.dims_for(input);
+        let mut cols = im2col(input, d);
+        // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups run
+        // down the rows of `cols` (AlongCol) and along the rows of `W_mat`.
+        self.precision.activations.quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
+        let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
+        self.precision.weights.quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.bits());
+        let mut out_mat = matmul(&w_mat, &cols);
+        if self.use_bias {
+            let p = d.p_dim();
+            let bd = self.b.data();
+            for (o, row) in out_mat.data_mut().chunks_mut(p).enumerate() {
+                let bias = bd[o];
+                for v in row {
+                    *v += bias;
+                }
+            }
+        }
+        let out = gemm_out_to_nchw(&out_mat, d);
+        self.last_shape = Some(GemmShape { m: d.p_dim(), k: d.k_dim(), n: self.out_c });
+        self.last_dims = Some(d);
+        if session.train {
+            self.saved_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {
+        let d = self.last_dims.expect("Conv2d::backward requires a prior forward pass");
+        let x = self
+            .saved_input
+            .as_ref()
+            .expect("Conv2d::backward requires a training-mode forward pass");
+        let g_mat = nchw_to_gemm_out(grad_output, d); // (out_c, P)
+
+        // ∇W = ∇O · colsᵀ, reduction over P.
+        let mut gq = g_mat.clone();
+        self.precision.gradients.quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+        let mut cols = im2col(x, d);
+        self.precision.activations.quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
+        let gw = matmul_nt(&gq, &cols).reshape(vec![self.out_c, self.in_c, self.kernel, self.kernel]);
+        self.gw.add_assign(&gw);
+        if self.use_bias {
+            let sums = row_sums(&g_mat);
+            for (g, s) in self.gb.data_mut().iter_mut().zip(sums) {
+                *g += s;
+            }
+        }
+
+        // ∇cols = Wᵀ · ∇O, reduction over out_c.
+        let mut gq2 = g_mat;
+        self.precision.gradients.quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+        let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
+        self.precision.weights.quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.bits());
+        let grad_cols = matmul_tn(&w_mat, &gq2);
+        let grad_input = col2im(&grad_cols, d);
+
+        self.last_grad = Some(grad_output.clone());
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.w, grad: &mut self.gw, decay: true });
+        if self.use_bias {
+            f(Param { value: &mut self.b, grad: &mut self.gb, decay: false });
+        }
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
+        f(self);
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+impl QuantControlled for Conv2d {
+    fn precision_mut(&mut self) -> &mut LayerPrecision {
+        &mut self.precision
+    }
+
+    fn precision(&self) -> LayerPrecision {
+        self.precision
+    }
+
+    fn weight(&self) -> &Tensor {
+        &self.w
+    }
+
+    fn last_input(&self) -> Option<&Tensor> {
+        self.saved_input.as_ref()
+    }
+
+    fn last_grad_output(&self) -> Option<&Tensor> {
+        self.last_grad.as_ref()
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        self.last_shape
+    }
+
+    fn label(&self) -> String {
+        format!("conv{k}x{k}({}->{})", self.in_c, self.out_c, k = self.kernel)
+    }
+}
+
+/// A depthwise 3×3-style convolution: each input channel is convolved with
+/// its own single kernel (groups = channels), as used by MobileNet blocks.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    w: Tensor, // (c, 1, k, k)
+    gw: Tensor,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    precision: LayerPrecision,
+    saved_input: Option<Tensor>,
+    last_grad: Option<Tensor>,
+    last_shape: Option<GemmShape>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise conv over `channels` channels.
+    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = kernel * kernel;
+        DepthwiseConv2d {
+            w: kaiming_normal(vec![channels, 1, kernel, kernel], fan_in, rng),
+            gw: Tensor::zeros(vec![channels, 1, kernel, kernel]),
+            channels,
+            kernel,
+            stride,
+            pad,
+            precision: LayerPrecision::default(),
+            saved_input: None,
+            last_grad: None,
+            last_shape: None,
+        }
+    }
+
+    fn channel_dims(&self, input: &Tensor) -> Conv2dDims {
+        Conv2dDims {
+            batch: input.shape()[0],
+            in_c: 1,
+            in_h: input.shape()[2],
+            in_w: input.shape()[3],
+            out_c: 1,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn slice_channel(input: &Tensor, c: usize) -> Tensor {
+        let (b, cs, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let mut out = Tensor::zeros(vec![b, 1, h, w]);
+        for bi in 0..b {
+            let src = &input.data()[((bi * cs + c) * h * w)..((bi * cs + c) * h * w + h * w)];
+            out.data_mut()[bi * h * w..(bi + 1) * h * w].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 4, "DepthwiseConv2d expects NCHW input");
+        assert_eq!(input.shape()[1], self.channels, "channel mismatch");
+        let d = self.channel_dims(input);
+        let (b, oh, ow) = (d.batch, d.out_h(), d.out_w());
+        let mut out = Tensor::zeros(vec![b, self.channels, oh, ow]);
+        let k2 = self.kernel * self.kernel;
+        for c in 0..self.channels {
+            let xc = Self::slice_channel(input, c);
+            let mut cols = im2col(&xc, d); // (k², B·OH·OW)
+            self.precision
+                .activations
+                .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
+            let mut w_row = Tensor::from_vec(
+                vec![1, k2],
+                self.w.data()[c * k2..(c + 1) * k2].to_vec(),
+            );
+            self.precision.weights.quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.bits());
+            let out_mat = matmul(&w_row, &cols); // (1, B·OH·OW)
+            let od = out.data_mut();
+            for bi in 0..b {
+                for p in 0..oh * ow {
+                    od[((bi * self.channels + c) * oh * ow) + p] =
+                        out_mat.data()[bi * oh * ow + p];
+                }
+            }
+        }
+        self.last_shape = Some(GemmShape { m: b * oh * ow, k: k2, n: self.channels });
+        if session.train {
+            self.saved_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {
+        let x = self
+            .saved_input
+            .as_ref()
+            .expect("DepthwiseConv2d::backward requires a training-mode forward pass");
+        let d = self.channel_dims(x);
+        let (b, h, w) = (d.batch, d.in_h, d.in_w);
+        let k2 = self.kernel * self.kernel;
+        let mut grad_input = Tensor::zeros(vec![b, self.channels, h, w]);
+        for c in 0..self.channels {
+            let xc = Self::slice_channel(x, c);
+            let gc = Self::slice_channel(grad_output, c);
+            let g_mat = nchw_to_gemm_out(&gc, d); // (1, B·OH·OW)
+
+            // ∇W row = ∇O · colsᵀ.
+            let mut gq = g_mat.clone();
+            self.precision.gradients.quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+            let mut cols = im2col(&xc, d);
+            self.precision
+                .activations
+                .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
+            let gw_row = matmul_nt(&gq, &cols); // (1, k²)
+            for (i, &v) in gw_row.data().iter().enumerate() {
+                self.gw.data_mut()[c * k2 + i] += v;
+            }
+
+            // ∇cols = wᵀ · ∇O.
+            let mut gq2 = g_mat;
+            self.precision.gradients.quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+            let mut w_row =
+                Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
+            self.precision.weights.quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.bits());
+            let grad_cols = matmul_tn(&w_row, &gq2); // (k², B·OH·OW)
+            let gic = col2im(&grad_cols, d); // (B,1,H,W)
+            for bi in 0..b {
+                for p in 0..h * w {
+                    grad_input.data_mut()[((bi * self.channels + c) * h * w) + p] +=
+                        gic.data()[bi * h * w + p];
+                }
+            }
+        }
+        self.last_grad = Some(grad_output.clone());
+        grad_input
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.w, grad: &mut self.gw, decay: true });
+    }
+
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
+        f(self);
+    }
+
+    fn kind(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+}
+
+impl QuantControlled for DepthwiseConv2d {
+    fn precision_mut(&mut self) -> &mut LayerPrecision {
+        &mut self.precision
+    }
+
+    fn precision(&self) -> LayerPrecision {
+        self.precision
+    }
+
+    fn weight(&self) -> &Tensor {
+        &self.w
+    }
+
+    fn last_input(&self) -> Option<&Tensor> {
+        self.saved_input.as_ref()
+    }
+
+    fn last_grad_output(&self) -> Option<&Tensor> {
+        self.last_grad.as_ref()
+    }
+
+    fn gemm_shape(&self) -> Option<GemmShape> {
+        self.last_shape
+    }
+
+    fn label(&self) -> String {
+        format!("dwconv{k}x{k}({})", self.channels, k = self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_tensor::conv2d;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn conv_layer_matches_tensor_conv_in_fp32() {
+        let mut r = rng();
+        let mut layer = Conv2d::new(3, 5, 3, 1, 1, false, &mut r);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![2, 3, 6, 6],
+            (0..216).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let y = layer.forward(&x, &mut s);
+        let d = layer.dims_for(&x);
+        let want = conv2d(&x, &layer.w, d);
+        for (a, b) in y.data().iter().zip(want.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check_fp32() {
+        let mut r = rng();
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, true, &mut r);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![1, 2, 5, 5],
+            (0..50).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let out = layer.forward(&x, &mut s);
+        let gout = Tensor::full(out.shape().to_vec(), 1.0);
+        let gin = layer.backward(&gout, &mut s);
+        let analytic_w = layer.gw.clone();
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 13, 29, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = layer.forward(&xp, &mut s).data().iter().sum();
+            let lm: f32 = layer.forward(&xm, &mut s).data().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gin.data()[idx]).abs() < 1e-2, "input grad {idx}");
+        }
+        for idx in [0usize, 17, 35, 53] {
+            let orig = layer.w.data()[idx];
+            layer.w.data_mut()[idx] = orig + eps;
+            let lp: f32 = layer.forward(&x, &mut s).data().iter().sum();
+            layer.w.data_mut()[idx] = orig - eps;
+            let lm: f32 = layer.forward(&x, &mut s).data().iter().sum();
+            layer.w.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - analytic_w.data()[idx]).abs() < 1e-2, "weight grad {idx}");
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_per_channel_conv() {
+        let mut r = rng();
+        let mut layer = DepthwiseConv2d::new(3, 3, 1, 1, &mut r);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![1, 3, 4, 4],
+            (0..48).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let y = layer.forward(&x, &mut s);
+        // Per-channel reference.
+        for c in 0..3 {
+            let xc = DepthwiseConv2d::slice_channel(&x, c);
+            let wc = Tensor::from_vec(vec![1, 1, 3, 3], layer.w.data()[c * 9..(c + 1) * 9].to_vec());
+            let d = layer.channel_dims(&x);
+            let want = conv2d(&xc, &wc, d);
+            for p in 0..16 {
+                let got = y.data()[c * 16 + p];
+                assert!((got - want.data()[p]).abs() < 1e-5, "c={c} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_gradient_check() {
+        let mut r = rng();
+        let mut layer = DepthwiseConv2d::new(2, 3, 1, 1, &mut r);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![1, 2, 4, 4],
+            (0..32).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let out = layer.forward(&x, &mut s);
+        let gout = Tensor::full(out.shape().to_vec(), 1.0);
+        let gin = layer.backward(&gout, &mut s);
+        let analytic_w = layer.gw.clone();
+        let eps = 1e-3f32;
+        for idx in [0usize, 9, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = layer.forward(&xp, &mut s).data().iter().sum();
+            let lm: f32 = layer.forward(&xm, &mut s).data().iter().sum();
+            assert!(((lp - lm) / (2.0 * eps) - gin.data()[idx]).abs() < 1e-2);
+        }
+        for idx in [0usize, 8, 17] {
+            let orig = layer.w.data()[idx];
+            layer.w.data_mut()[idx] = orig + eps;
+            let lp: f32 = layer.forward(&x, &mut s).data().iter().sum();
+            layer.w.data_mut()[idx] = orig - eps;
+            let lm: f32 = layer.forward(&x, &mut s).data().iter().sum();
+            layer.w.data_mut()[idx] = orig;
+            assert!(((lp - lm) / (2.0 * eps) - analytic_w.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let mut r = rng();
+        let mut layer = Conv2d::new(1, 1, 3, 2, 1, false, &mut r);
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![1, 1, 8, 8]);
+        let y = layer.forward(&x, &mut s);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Token and positional embeddings for the transformer model.
+//!
+//! Token ids travel through the [`Layer`] interface as f32 values in a
+//! `(batch, seq)` tensor; the embedding layer reads them as indices and
+//! emits `(batch·seq, dim)` feature rows.
+
+use crate::layer::{Layer, Param, Session};
+use fast_tensor::{uniform_init, Tensor};
+use rand::Rng;
+
+/// Token embedding table `(vocab, dim)`.
+#[derive(Debug)]
+pub struct Embedding {
+    table: Tensor,
+    grad: Tensor,
+    vocab: usize,
+    dim: usize,
+    saved_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding with uniform init in ±1/√dim.
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let limit = (1.0 / dim as f32).sqrt();
+        Embedding {
+            table: uniform_init(vec![vocab, dim], limit, rng),
+            grad: Tensor::zeros(vec![vocab, dim]),
+            vocab,
+            dim,
+            saved_tokens: None,
+        }
+    }
+
+    /// The embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 2, "Embedding expects (batch, seq) token ids");
+        let tokens: Vec<usize> = input
+            .data()
+            .iter()
+            .map(|&v| {
+                let t = v as usize;
+                assert!(
+                    v >= 0.0 && v.fract() == 0.0 && t < self.vocab,
+                    "token id {v} outside vocab of {}",
+                    self.vocab
+                );
+                t
+            })
+            .collect();
+        let rows = tokens.len();
+        let mut out = Tensor::zeros(vec![rows, self.dim]);
+        for (i, &t) in tokens.iter().enumerate() {
+            out.data_mut()[i * self.dim..(i + 1) * self.dim]
+                .copy_from_slice(&self.table.data()[t * self.dim..(t + 1) * self.dim]);
+        }
+        if session.train {
+            self.saved_tokens = Some(tokens);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let tokens = self.saved_tokens.as_ref().expect("Embedding::backward before forward");
+        assert_eq!(grad_output.shape(), &[tokens.len(), self.dim]);
+        for (i, &t) in tokens.iter().enumerate() {
+            for j in 0..self.dim {
+                self.grad.data_mut()[t * self.dim + j] += grad_output.data()[i * self.dim + j];
+            }
+        }
+        // Tokens carry no gradient; return a zero tensor of the input shape.
+        Tensor::zeros(vec![1, tokens.len()])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.table, grad: &mut self.grad, decay: false });
+    }
+
+    fn kind(&self) -> &'static str {
+        "embedding"
+    }
+}
+
+/// Learned positional embedding added to `(batch·seq, dim)` rows.
+#[derive(Debug)]
+pub struct PositionalEmbedding {
+    table: Tensor, // (seq_len, dim)
+    grad: Tensor,
+    seq_len: usize,
+    dim: usize,
+}
+
+impl PositionalEmbedding {
+    /// Creates a positional table for sequences of exactly `seq_len`.
+    pub fn new(seq_len: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let limit = (1.0 / dim as f32).sqrt();
+        PositionalEmbedding {
+            table: uniform_init(vec![seq_len, dim], limit, rng),
+            grad: Tensor::zeros(vec![seq_len, dim]),
+            seq_len,
+            dim,
+        }
+    }
+}
+
+impl Layer for PositionalEmbedding {
+    fn forward(&mut self, input: &Tensor, _session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 2);
+        assert_eq!(input.shape()[1], self.dim, "positional embedding width mismatch");
+        let rows = input.shape()[0];
+        assert_eq!(rows % self.seq_len, 0, "rows must be a multiple of seq_len");
+        let mut out = input.clone();
+        for i in 0..rows {
+            let p = i % self.seq_len;
+            for j in 0..self.dim {
+                out.data_mut()[i * self.dim + j] += self.table.data()[p * self.dim + j];
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let rows = grad_output.shape()[0];
+        for i in 0..rows {
+            let p = i % self.seq_len;
+            for j in 0..self.dim {
+                self.grad.data_mut()[p * self.dim + j] += grad_output.data()[i * self.dim + j];
+            }
+        }
+        grad_output.clone()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.table, grad: &mut self.grad, decay: false });
+    }
+
+    fn kind(&self) -> &'static str {
+        "pos_embedding"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new(10, 4, &mut rng);
+        let mut s = Session::new(0);
+        let x = Tensor::from_vec(vec![1, 3], vec![2.0, 7.0, 2.0]);
+        let y = emb.forward(&x, &mut s);
+        assert_eq!(y.shape(), &[3, 4]);
+        assert_eq!(&y.data()[0..4], &y.data()[8..12], "same token, same row");
+        let g = Tensor::full(vec![3, 4], 1.0);
+        let _ = emb.backward(&g, &mut s);
+        // Token 2 appears twice: grad 2.0 per dim; token 7 once.
+        assert_eq!(emb.grad.data()[2 * 4], 2.0);
+        assert_eq!(emb.grad.data()[7 * 4], 1.0);
+        assert_eq!(emb.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocab")]
+    fn out_of_vocab_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let mut s = Session::new(0);
+        let _ = emb.forward(&Tensor::from_vec(vec![1, 1], vec![9.0]), &mut s);
+    }
+
+    #[test]
+    fn positional_embedding_adds_per_position() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut pe = PositionalEmbedding::new(2, 3, &mut rng);
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![4, 3]); // batch 2, seq 2
+        let y = pe.forward(&x, &mut s);
+        assert_eq!(&y.data()[0..3], &pe.table.data()[0..3]);
+        assert_eq!(&y.data()[3..6], &pe.table.data()[3..6]);
+        assert_eq!(&y.data()[6..9], &pe.table.data()[0..3]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The layer abstraction: forward/backward with explicit state, parameter
+//! visitation for optimizers, and quantization control for the FAST
+//! controller.
+
+use crate::quant::LayerPrecision;
+use fast_bfp::{BitSource, RngBits};
+use fast_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-run context threaded through forward/backward passes.
+///
+/// Owns the random bit source used by stochastic rounding so runs are
+/// reproducible from a single seed.
+#[derive(Debug)]
+pub struct Session {
+    /// Whether layers should behave in training mode (batch-norm statistics,
+    /// activation caching for backward, …).
+    pub train: bool,
+    bits: RngBits<StdRng>,
+}
+
+impl Session {
+    /// Creates a training session with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Session { train: true, bits: RngBits(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Creates an evaluation (inference) session.
+    pub fn eval(seed: u64) -> Self {
+        Session { train: false, bits: RngBits(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The stochastic-rounding bit source.
+    pub fn bits(&mut self) -> &mut dyn BitSource {
+        &mut self.bits
+    }
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+pub struct Param<'a> {
+    /// The parameter values (FP32 master copy).
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient for the current step.
+    pub grad: &'a mut Tensor,
+    /// Whether weight decay applies (true for weights, false for
+    /// biases/norm parameters, following common practice).
+    pub decay: bool,
+}
+
+/// Forward GEMM dimensions of a quantized layer, `(M, K, N)` with
+/// `O (M×N) = A (M×K) · W (K×N)` — the quantities the systolic-array cycle
+/// model consumes (paper Fig 3's matrix view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Output rows (batch × positions).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns (output features/channels).
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Multiply-accumulate count of the forward GEMM.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+}
+
+/// Interface exposed by GEMM-bearing layers to the FAST precision
+/// controller (paper Algorithm 1 reads `A_l, W_l, G_l` and writes the
+/// layer's BFP precision).
+pub trait QuantControlled {
+    /// Mutable access to the layer's (W, A, G) format assignment.
+    fn precision_mut(&mut self) -> &mut LayerPrecision;
+    /// The current format assignment.
+    fn precision(&self) -> LayerPrecision;
+    /// The FP32 master weights.
+    fn weight(&self) -> &Tensor;
+    /// The FP32 input activations of the most recent forward pass, if any.
+    fn last_input(&self) -> Option<&Tensor>;
+    /// The FP32 output gradients of the most recent backward pass, if any.
+    fn last_grad_output(&self) -> Option<&Tensor>;
+    /// Forward GEMM dims of the most recent batch, if a pass has run.
+    fn gemm_shape(&self) -> Option<GemmShape>;
+    /// Short description, e.g. `conv3x3(16->32)`.
+    fn label(&self) -> String;
+}
+
+/// A neural-network layer with explicit forward/backward state.
+///
+/// Layers own their parameters, caches, and gradients. `backward` consumes
+/// the cached forward state and returns the gradient w.r.t. the layer
+/// input; parameter gradients are *accumulated* internally until an
+/// optimizer step visits them.
+pub trait Layer {
+    /// Runs the layer on `input`, caching whatever backward needs when
+    /// `session.train` is set.
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor;
+
+    /// Propagates `grad_output` back through the layer, returning the
+    /// gradient w.r.t. the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode forward pass.
+    fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor;
+
+    /// Visits all trainable parameters in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        let _ = f;
+    }
+
+    /// Visits all quantization-controlled (GEMM) sublayers in execution
+    /// order — the layer indexing used by Algorithm 1.
+    fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
+        let _ = f;
+    }
+
+    /// A short kind tag, e.g. `"dense"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// Convenience: total number of scalar parameters in a layer tree.
+pub fn parameter_count(layer: &mut dyn Layer) -> usize {
+    let mut count = 0usize;
+    layer.visit_params(&mut |p| count += p.value.numel());
+    count
+}
+
+/// Convenience: number of quantization-controlled layers in a layer tree.
+pub fn quant_layer_count(layer: &mut dyn Layer) -> usize {
+    let mut count = 0usize;
+    layer.visit_quant(&mut |_| count += 1);
+    count
+}
+
+/// Sets every quantized layer in the tree to the same precision.
+pub fn set_uniform_precision(layer: &mut dyn Layer, precision: LayerPrecision) {
+    layer.visit_quant(&mut |q| *q.precision_mut() = precision);
+}
+
+/// Collects `(label, precision)` for every quantized layer.
+pub fn collect_precisions(layer: &mut dyn Layer) -> Vec<(String, LayerPrecision)> {
+    let mut out = Vec::new();
+    layer.visit_quant(&mut |q| out.push((q.label(), q.precision())));
+    out
+}

@@ -1,0 +1,134 @@
+//! Loss functions returning `(loss, gradient)` pairs.
+
+use fast_tensor::Tensor;
+
+/// Softmax cross-entropy over `(rows, classes)` logits with integer labels.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits (already
+/// divided by the row count).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows or a label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be (rows, classes)");
+    let (rows, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), rows, "one label per row required");
+    let mut grad = logits.clone();
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let row = &mut grad.data_mut()[i * classes..(i + 1) * classes];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        loss -= (row[label].max(1e-12) as f64).ln();
+        row[label] -= 1.0;
+    }
+    let inv = 1.0 / rows as f32;
+    grad.scale(inv);
+    (loss / rows as f64, grad)
+}
+
+/// Mean-squared-error loss `mean((pred - target)^2)` and its gradient.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.numel() as f64;
+    let mut grad = pred.clone();
+    let mut loss = 0.0f64;
+    for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += (d as f64) * (d as f64);
+        *g = 2.0 * d / n as f32;
+    }
+    (loss / n, grad)
+}
+
+/// Numerically stable binary cross-entropy on a logit, with gradient.
+pub fn bce_with_logit(logit: f32, target: f32) -> (f32, f32) {
+    // loss = max(z,0) - z*t + ln(1 + e^-|z|)
+    let z = logit;
+    let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
+    let sigmoid = 1.0 / (1.0 + (-z).exp());
+    (loss, sigmoid - target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        assert!(grad.data()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.5, -0.2, 0.1, -1.0, 0.3, 0.9]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (up, _) = softmax_cross_entropy(&lp, &labels);
+            let (um, _) = softmax_cross_entropy(&lm, &labels);
+            let num = ((up - um) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.data()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_check() {
+        let pred = Tensor::from_vec(vec![2, 2], vec![0.5, -1.0, 2.0, 0.0]);
+        let target = Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 2.0, -1.0]);
+        let (loss, grad) = mse_loss(&pred, &target);
+        assert!((loss - (0.25 + 4.0 + 0.0 + 1.0) as f64 / 4.0).abs() < 1e-9);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut pp = pred.clone();
+            pp.data_mut()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[idx] -= eps;
+            let (up, _) = mse_loss(&pp, &target);
+            let (um, _) = mse_loss(&pm, &target);
+            let num = ((up - um) / (2.0 * eps as f64)) as f32;
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_check() {
+        for (z, t) in [(0.5f32, 1.0f32), (-2.0, 0.0), (3.0, 0.0), (0.0, 0.5)] {
+            let (_, g) = bce_with_logit(z, t);
+            let eps = 1e-3;
+            let (lp, _) = bce_with_logit(z + eps, t);
+            let (lm, _) = bce_with_logit(z - eps, t);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g).abs() < 1e-3, "z={z} t={t}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Evaluation metrics: classification accuracy and the token-accuracy BLEU
+//! proxy for the sequence task.
+
+use fast_tensor::{argmax, Tensor};
+
+/// Fraction of rows whose argmax matches the label, in percent.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows.
+pub fn accuracy_percent(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rank(), 2);
+    let (rows, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), rows);
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        if argmax(&logits.data()[i * classes..(i + 1) * classes]) == label {
+            correct += 1;
+        }
+    }
+    100.0 * correct as f64 / rows as f64
+}
+
+/// Running mean helper for streaming evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Running {
+    sum: f64,
+    n: u64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds a value with a weight (e.g. batch size).
+    pub fn add(&mut self, value: f64, weight: u64) {
+        self.sum += value * weight as f64;
+        self.n += weight;
+    }
+
+    /// The weighted mean (0 if nothing was added).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Total weight added.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![3, 2], vec![2.0, 1.0, 0.0, 3.0, 1.0, 0.0]);
+        assert_eq!(accuracy_percent(&logits, &[0, 1, 1]), 100.0 * 2.0 / 3.0);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut r = Running::new();
+        r.add(1.0, 2);
+        r.add(4.0, 1);
+        assert!((r.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(r.count(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! A plain multi-layer perceptron, used by the quickstart example and the
+//! cluster-classification sanity tasks.
+
+use crate::act::Relu;
+use crate::linear::Dense;
+use crate::model::Sequential;
+use rand::Rng;
+
+/// Builds an MLP with ReLU between consecutive [`Dense`] layers.
+///
+/// `dims = [in, h1, ..., out]` — at least two entries.
+///
+/// # Panics
+///
+/// Panics if fewer than two dims are given.
+pub fn mlp(dims: &[usize], rng: &mut impl Rng) -> Sequential {
+    assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+    let mut model = Sequential::new();
+    for i in 0..dims.len() - 1 {
+        model.add(Box::new(Dense::new(dims[i], dims[i + 1], true, rng)));
+        if i + 2 < dims.len() {
+            model.add(Box::new(Relu::new()));
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{quant_layer_count, Layer, Session};
+    use fast_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shape_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = mlp(&[4, 8, 8, 3], &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![2, 4]), &mut s);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(quant_layer_count(&mut m), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! A MobileNet-style CNN ("MobileNetLite") built from depthwise-separable
+//! blocks — the analogue of MobileNet-v2 in the paper's evaluation.
+
+use crate::act::Relu;
+use crate::conv::{Conv2d, DepthwiseConv2d};
+use crate::linear::Dense;
+use crate::model::Sequential;
+use crate::norm::BatchNorm2d;
+use crate::pool::GlobalAvgPool;
+use rand::Rng;
+
+/// Configuration for [`mobilenet_lite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobileNetConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Stem width.
+    pub stem_channels: usize,
+    /// Number of depthwise-separable blocks; widths double every other
+    /// block, strides of 2 at each doubling.
+    pub blocks: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+fn separable(c_in: usize, c_out: usize, stride: usize, rng: &mut impl Rng) -> Sequential {
+    Sequential::new()
+        .push(DepthwiseConv2d::new(c_in, 3, stride, 1, rng))
+        .push(BatchNorm2d::new(c_in))
+        .push(Relu::new())
+        .push(Conv2d::new(c_in, c_out, 1, 1, 0, false, rng))
+        .push(BatchNorm2d::new(c_out))
+        .push(Relu::new())
+}
+
+/// Builds a MobileNet-style CNN.
+pub fn mobilenet_lite(cfg: MobileNetConfig, rng: &mut impl Rng) -> Sequential {
+    let mut model = Sequential::new()
+        .push(Conv2d::new(cfg.in_channels, cfg.stem_channels, 3, 1, 1, false, rng))
+        .push(BatchNorm2d::new(cfg.stem_channels))
+        .push(Relu::new());
+    let mut c = cfg.stem_channels;
+    for b in 0..cfg.blocks {
+        let widen = b % 2 == 1;
+        let c_out = if widen { c * 2 } else { c };
+        let stride = if widen { 2 } else { 1 };
+        model.add(Box::new(separable(c, c_out, stride, rng)));
+        c = c_out;
+    }
+    model.add(Box::new(GlobalAvgPool::new()));
+    model.add(Box::new(Dense::new(c, cfg.num_classes, true, rng)));
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{quant_layer_count, Layer, Session};
+    use fast_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mobilenet_shape_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg =
+            MobileNetConfig { in_channels: 3, stem_channels: 8, blocks: 4, num_classes: 10 };
+        let mut m = mobilenet_lite(cfg, &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);
+        assert_eq!(y.shape(), &[2, 10]);
+        // stem + 4 blocks × (dw + pw) + classifier.
+        assert_eq!(quant_layer_count(&mut m), 1 + 8 + 1);
+    }
+
+    #[test]
+    fn backward_runs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = MobileNetConfig { in_channels: 3, stem_channels: 4, blocks: 2, num_classes: 5 };
+        let mut m = mobilenet_lite(cfg, &mut rng);
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![1, 3, 8, 8]);
+        let y = m.forward(&x, &mut s);
+        let g = m.backward(&y, &mut s);
+        assert_eq!(g.shape(), x.shape());
+    }
+}

@@ -1,0 +1,18 @@
+//! The model zoo: scaled-down analogues of the paper's six evaluation DNNs
+//! (ResNet-18/50, MobileNet-v2, VGG-16, 12-layer Transformer, YOLOv2),
+//! structurally faithful — conv/BN/residual stacks, depthwise separables,
+//! attention blocks, and a grid detection head — at laptop scale.
+
+mod mlp;
+mod mobilenet;
+mod resnet;
+mod transformer;
+mod vgg;
+mod yolo;
+
+pub use mlp::mlp;
+pub use mobilenet::{mobilenet_lite, MobileNetConfig};
+pub use resnet::{resnet_lite, ResNetConfig};
+pub use transformer::{tiny_transformer, TransformerConfig};
+pub use vgg::{vgg_lite, VggConfig};
+pub use yolo::{decode_predictions, map_lite, tiny_yolo, yolo_loss, DetBox, GtBox, YoloConfig};

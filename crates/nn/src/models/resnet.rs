@@ -1,0 +1,145 @@
+//! ResNet-style CNNs ("ResNetLite") — the scaled-down analogues of
+//! ResNet-18/20/50 used throughout the paper's evaluation.
+
+use crate::act::Relu;
+use crate::conv::Conv2d;
+use crate::linear::Dense;
+use crate::model::{Residual, Sequential};
+use crate::norm::BatchNorm2d;
+use crate::pool::GlobalAvgPool;
+use rand::Rng;
+
+/// Configuration for [`resnet_lite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Stem width; stages use `w, 2w, 4w` (or `w` everywhere if symmetric).
+    pub stem_channels: usize,
+    /// Residual blocks per stage.
+    pub blocks_per_stage: [usize; 3],
+    /// Classifier classes.
+    pub num_classes: usize,
+    /// When set, all stages keep the stem width and stride 1 so the first
+    /// and second halves of the network have identical filter layouts —
+    /// the modified ResNet-20 of the paper's layerwise experiment (Fig 9
+    /// right).
+    pub symmetric: bool,
+}
+
+impl ResNetConfig {
+    /// A ResNet-20-like default for 10-class synthetic CIFAR: 3 stages × 3
+    /// blocks.
+    pub fn resnet20(stem_channels: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            stem_channels,
+            blocks_per_stage: [3, 3, 3],
+            num_classes,
+            symmetric: false,
+        }
+    }
+
+    /// A ResNet-18-like variant (2 blocks per stage).
+    pub fn resnet18(stem_channels: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            stem_channels,
+            blocks_per_stage: [2, 2, 2],
+            num_classes,
+            symmetric: false,
+        }
+    }
+
+    /// A deeper ResNet-50-like variant (4 blocks per stage).
+    pub fn resnet50(stem_channels: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            stem_channels,
+            blocks_per_stage: [4, 4, 4],
+            num_classes,
+            symmetric: false,
+        }
+    }
+}
+
+fn basic_block(c_in: usize, c_out: usize, stride: usize, rng: &mut impl Rng) -> Sequential {
+    let main = Sequential::new()
+        .push(Conv2d::new(c_in, c_out, 3, stride, 1, false, rng))
+        .push(BatchNorm2d::new(c_out))
+        .push(Relu::new())
+        .push(Conv2d::new(c_out, c_out, 3, 1, 1, false, rng))
+        .push(BatchNorm2d::new(c_out));
+    let block = if c_in != c_out || stride != 1 {
+        let shortcut = Sequential::new()
+            .push(Conv2d::new(c_in, c_out, 1, stride, 0, false, rng))
+            .push(BatchNorm2d::new(c_out));
+        Residual::with_shortcut(main, shortcut)
+    } else {
+        Residual::new(main)
+    };
+    Sequential::new().push(block).push(Relu::new())
+}
+
+/// Builds a ResNet-style CNN per `cfg`.
+pub fn resnet_lite(cfg: ResNetConfig, rng: &mut impl Rng) -> Sequential {
+    let w = cfg.stem_channels;
+    let mut model = Sequential::new()
+        .push(Conv2d::new(cfg.in_channels, w, 3, 1, 1, false, rng))
+        .push(BatchNorm2d::new(w))
+        .push(Relu::new());
+    let mut c_in = w;
+    for (stage, &blocks) in cfg.blocks_per_stage.iter().enumerate() {
+        let c_out = if cfg.symmetric { w } else { w << stage };
+        for b in 0..blocks {
+            let stride = if !cfg.symmetric && stage > 0 && b == 0 { 2 } else { 1 };
+            model.add(Box::new(basic_block(c_in, c_out, stride, rng)));
+            c_in = c_out;
+        }
+    }
+    model.add(Box::new(GlobalAvgPool::new()));
+    model.add(Box::new(Dense::new(c_in, cfg.num_classes, true, rng)));
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{quant_layer_count, Layer, Session};
+    use fast_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet20_shape_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = resnet_lite(ResNetConfig::resnet20(8, 10), &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);
+        assert_eq!(y.shape(), &[2, 10]);
+        // 1 stem + 9 blocks × 2 convs + 2 projection shortcuts + 1 dense.
+        assert_eq!(quant_layer_count(&mut m), 1 + 18 + 2 + 1);
+    }
+
+    #[test]
+    fn symmetric_variant_keeps_uniform_layout() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = ResNetConfig { symmetric: true, ..ResNetConfig::resnet20(8, 10) };
+        let mut m = resnet_lite(cfg, &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![1, 3, 16, 16]), &mut s);
+        assert_eq!(y.shape(), &[1, 10]);
+        // No projection shortcuts in the symmetric variant.
+        assert_eq!(quant_layer_count(&mut m), 1 + 18 + 1);
+    }
+
+    #[test]
+    fn backward_runs_end_to_end() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m = resnet_lite(ResNetConfig::resnet18(4, 5), &mut rng);
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![2, 3, 8, 8]);
+        let y = m.forward(&x, &mut s);
+        let g = m.backward(&y, &mut s);
+        assert_eq!(g.shape(), x.shape());
+    }
+}

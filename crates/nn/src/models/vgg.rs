@@ -1,0 +1,80 @@
+//! A VGG-style plain CNN ("VggLite") — conv/conv/pool stacks with an FC
+//! classifier, the analogue of VGG-16 in the paper's Table II / Fig 20.
+
+use crate::act::Relu;
+use crate::conv::Conv2d;
+use crate::linear::Dense;
+use crate::model::Sequential;
+use crate::norm::BatchNorm2d;
+use crate::pool::{Flatten, MaxPool2d};
+use rand::Rng;
+
+/// Configuration for [`vgg_lite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VggConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input image side (must be divisible by 8 — three 2× pools).
+    pub image_size: usize,
+    /// Base width; stages use `w, 2w, 4w`.
+    pub base_channels: usize,
+    /// Hidden width of the FC classifier.
+    pub fc_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Builds a VGG-style CNN: three conv-conv-pool stages plus a two-layer FC
+/// head. Batch-norm is added after each conv for small-data stability (a
+/// recorded deviation from the original VGG-16).
+///
+/// # Panics
+///
+/// Panics if `image_size` is not divisible by 8.
+pub fn vgg_lite(cfg: VggConfig, rng: &mut impl Rng) -> Sequential {
+    assert_eq!(cfg.image_size % 8, 0, "image size must be divisible by 8");
+    let mut model = Sequential::new();
+    let mut c_in = cfg.in_channels;
+    for stage in 0..3 {
+        let c_out = cfg.base_channels << stage;
+        for _ in 0..2 {
+            model.add(Box::new(Conv2d::new(c_in, c_out, 3, 1, 1, false, rng)));
+            model.add(Box::new(BatchNorm2d::new(c_out)));
+            model.add(Box::new(Relu::new()));
+            c_in = c_out;
+        }
+        model.add(Box::new(MaxPool2d::new(2)));
+    }
+    let spatial = cfg.image_size / 8;
+    let flat = c_in * spatial * spatial;
+    model.add(Box::new(Flatten::new()));
+    model.add(Box::new(Dense::new(flat, cfg.fc_dim, true, rng)));
+    model.add(Box::new(Relu::new()));
+    model.add(Box::new(Dense::new(cfg.fc_dim, cfg.num_classes, true, rng)));
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{quant_layer_count, Layer, Session};
+    use fast_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vgg_shape_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = VggConfig {
+            in_channels: 3,
+            image_size: 16,
+            base_channels: 8,
+            fc_dim: 32,
+            num_classes: 10,
+        };
+        let mut m = vgg_lite(cfg, &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);
+        assert_eq!(y.shape(), &[2, 10]);
+        assert_eq!(quant_layer_count(&mut m), 6 + 2);
+    }
+}

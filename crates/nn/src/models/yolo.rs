@@ -1,0 +1,442 @@
+//! A YOLO-style single-shot detector ("TinyYolo") — the analogue of YOLOv2
+//! on VOC2012 in the paper's Table II / Fig 20 — plus its loss, box
+//! decoding, and a mAP metric.
+//!
+//! The detector predicts one box per grid cell: channels
+//! `[obj, tx, ty, tw, th, class_0..class_C)` over an `S×S` grid. Box
+//! centers are `sigmoid(tx/ty)` offsets within the cell; sizes are
+//! `sigmoid(tw/th)` fractions of the image.
+
+use crate::act::LeakyRelu;
+use crate::conv::Conv2d;
+use crate::loss::bce_with_logit;
+use crate::model::Sequential;
+use crate::norm::BatchNorm2d;
+use crate::pool::MaxPool2d;
+use fast_tensor::{argmax, Tensor};
+use rand::Rng;
+
+/// Configuration for [`tiny_yolo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YoloConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input image side; must be `grid * 2^downsamples`.
+    pub image_size: usize,
+    /// Output grid side `S`.
+    pub grid: usize,
+    /// Number of object classes.
+    pub num_classes: usize,
+    /// Backbone base width.
+    pub base_channels: usize,
+}
+
+impl YoloConfig {
+    /// Output channels per cell: `5 + num_classes`.
+    pub fn out_channels(&self) -> usize {
+        5 + self.num_classes
+    }
+}
+
+/// A ground-truth box in normalized center format (all in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Center x.
+    pub cx: f32,
+    /// Center y.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Class index.
+    pub class: usize,
+}
+
+/// A decoded detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetBox {
+    /// Center x.
+    pub cx: f32,
+    /// Center y.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Predicted class.
+    pub class: usize,
+    /// Confidence score (objectness × class probability).
+    pub score: f32,
+}
+
+/// Builds the TinyYolo network: a LeakyReLU conv backbone that downsamples
+/// `image_size → grid`, then a 1×1 detection head.
+///
+/// # Panics
+///
+/// Panics if `image_size / grid` is not a power of two ≥ 2.
+pub fn tiny_yolo(cfg: YoloConfig, rng: &mut impl Rng) -> Sequential {
+    assert!(cfg.image_size % cfg.grid == 0, "grid must divide image size");
+    let factor = cfg.image_size / cfg.grid;
+    assert!(factor.is_power_of_two() && factor >= 2, "downsample factor must be a power of two >= 2");
+    let stages = factor.trailing_zeros() as usize;
+    let mut model = Sequential::new();
+    let mut c_in = cfg.in_channels;
+    for s in 0..stages {
+        let c_out = cfg.base_channels << s.min(2);
+        model.add(Box::new(Conv2d::new(c_in, c_out, 3, 1, 1, false, rng)));
+        model.add(Box::new(BatchNorm2d::new(c_out)));
+        model.add(Box::new(LeakyRelu::new(0.1)));
+        model.add(Box::new(MaxPool2d::new(2)));
+        c_in = c_out;
+    }
+    model.add(Box::new(Conv2d::new(c_in, c_in, 3, 1, 1, false, rng)));
+    model.add(Box::new(BatchNorm2d::new(c_in)));
+    model.add(Box::new(LeakyRelu::new(0.1)));
+    model.add(Box::new(Conv2d::new(c_in, cfg.out_channels(), 1, 1, 0, true, rng)));
+    model
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// YOLO training loss over a batch.
+///
+/// `pred` is `(batch, 5+C, S, S)`; `targets[b]` lists the ground-truth boxes
+/// of image `b`. Returns `(loss, grad_wrt_pred)`.
+///
+/// Components (weights as in YOLO): coordinates `λ=5` (MSE, assigned cells),
+/// objectness (BCE; no-object cells weighted 0.5), class (softmax CE).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn yolo_loss(pred: &Tensor, targets: &[Vec<GtBox>], cfg: YoloConfig) -> (f64, Tensor) {
+    let s = cfg.grid;
+    let c = cfg.num_classes;
+    assert_eq!(pred.shape(), &[targets.len(), 5 + c, s, s], "prediction shape mismatch");
+    let batch = targets.len();
+    let lambda_coord = 5.0f32;
+    let lambda_noobj = 0.5f32;
+    let mut grad = pred.zeros_like();
+    let mut loss = 0.0f64;
+    let plane = s * s;
+    let at = |b: usize, ch: usize, cell: usize| ((b * (5 + c) + ch) * plane) + cell;
+
+    for (b, boxes) in targets.iter().enumerate() {
+        // Assign at most one gt box per cell (first wins).
+        let mut assigned: Vec<Option<GtBox>> = vec![None; plane];
+        for gb in boxes {
+            let gx = ((gb.cx * s as f32) as usize).min(s - 1);
+            let gy = ((gb.cy * s as f32) as usize).min(s - 1);
+            let cell = gy * s + gx;
+            if assigned[cell].is_none() {
+                assigned[cell] = Some(*gb);
+            }
+        }
+        for cell in 0..plane {
+            let obj_logit = pred.data()[at(b, 0, cell)];
+            match assigned[cell] {
+                Some(gb) => {
+                    // Objectness toward 1.
+                    let (l, g) = bce_with_logit(obj_logit, 1.0);
+                    loss += l as f64;
+                    grad.data_mut()[at(b, 0, cell)] += g;
+                    // Coordinates.
+                    let gx_cell = (cell % s) as f32;
+                    let gy_cell = (cell / s) as f32;
+                    let tx_target = gb.cx * s as f32 - gx_cell; // in [0,1)
+                    let ty_target = gb.cy * s as f32 - gy_cell;
+                    for (ch, target) in
+                        [(1, tx_target), (2, ty_target), (3, gb.w), (4, gb.h)]
+                    {
+                        let t_pred = sigmoid(pred.data()[at(b, ch, cell)]);
+                        let d = t_pred - target;
+                        loss += (lambda_coord * d * d) as f64;
+                        let dsig = t_pred * (1.0 - t_pred);
+                        grad.data_mut()[at(b, ch, cell)] += 2.0 * lambda_coord * d * dsig;
+                    }
+                    // Class cross-entropy.
+                    let mut logits: Vec<f32> =
+                        (0..c).map(|k| pred.data()[at(b, 5 + k, cell)]).collect();
+                    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                    let mut sum = 0.0f32;
+                    for v in logits.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    for v in logits.iter_mut() {
+                        *v /= sum;
+                    }
+                    loss -= (logits[gb.class].max(1e-12) as f64).ln();
+                    for k in 0..c {
+                        let softmax = logits[k];
+                        let delta = if k == gb.class { 1.0 } else { 0.0 };
+                        grad.data_mut()[at(b, 5 + k, cell)] += softmax - delta;
+                    }
+                }
+                None => {
+                    let (l, g) = bce_with_logit(obj_logit, 0.0);
+                    loss += (lambda_noobj * l) as f64;
+                    grad.data_mut()[at(b, 0, cell)] += lambda_noobj * g;
+                }
+            }
+        }
+    }
+    let inv = 1.0 / batch as f32;
+    grad.scale(inv);
+    (loss / batch as f64, grad)
+}
+
+/// Decodes predictions into per-image detection lists, keeping cells with
+/// `sigmoid(obj) > conf_threshold`.
+///
+/// # Panics
+///
+/// Panics if `pred` is not `(batch, 5+C, S, S)`.
+pub fn decode_predictions(pred: &Tensor, cfg: YoloConfig, conf_threshold: f32) -> Vec<Vec<DetBox>> {
+    let s = cfg.grid;
+    let c = cfg.num_classes;
+    assert_eq!(pred.rank(), 4);
+    assert_eq!(&pred.shape()[1..], &[5 + c, s, s], "prediction shape mismatch");
+    let batch = pred.shape()[0];
+    let plane = s * s;
+    let at = |b: usize, ch: usize, cell: usize| ((b * (5 + c) + ch) * plane) + cell;
+    let mut out = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let mut dets = Vec::new();
+        for cell in 0..plane {
+            let conf = sigmoid(pred.data()[at(b, 0, cell)]);
+            if conf <= conf_threshold {
+                continue;
+            }
+            let cx = ((cell % s) as f32 + sigmoid(pred.data()[at(b, 1, cell)])) / s as f32;
+            let cy = ((cell / s) as f32 + sigmoid(pred.data()[at(b, 2, cell)])) / s as f32;
+            let w = sigmoid(pred.data()[at(b, 3, cell)]);
+            let h = sigmoid(pred.data()[at(b, 4, cell)]);
+            let logits: Vec<f32> = (0..c).map(|k| pred.data()[at(b, 5 + k, cell)]).collect();
+            let class = argmax(&logits);
+            // Softmax probability of the argmax class.
+            let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum();
+            let p = (logits[class] - max).exp() / sum;
+            dets.push(DetBox { cx, cy, w, h, class, score: conf * p });
+        }
+        dets.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        out.push(dets);
+    }
+    out
+}
+
+/// Intersection-over-union of two center-format boxes.
+fn iou(a: (f32, f32, f32, f32), b: (f32, f32, f32, f32)) -> f32 {
+    let (ax1, ay1, ax2, ay2) = (a.0 - a.2 / 2.0, a.1 - a.3 / 2.0, a.0 + a.2 / 2.0, a.1 + a.3 / 2.0);
+    let (bx1, by1, bx2, by2) = (b.0 - b.2 / 2.0, b.1 - b.3 / 2.0, b.0 + b.2 / 2.0, b.1 + b.3 / 2.0);
+    let ix = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+    let iy = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+    let inter = ix * iy;
+    let union = (ax2 - ax1) * (ay2 - ay1) + (bx2 - bx1) * (by2 - by1) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Mean average precision at the given IoU threshold (all-point
+/// interpolation), the test metric for the detection workload.
+///
+/// `detections[i]` / `ground_truth[i]` describe image `i`.
+pub fn map_lite(
+    detections: &[Vec<DetBox>],
+    ground_truth: &[Vec<GtBox>],
+    num_classes: usize,
+    iou_threshold: f32,
+) -> f64 {
+    assert_eq!(detections.len(), ground_truth.len(), "image count mismatch");
+    let mut aps = Vec::new();
+    for class in 0..num_classes {
+        let total_gt: usize =
+            ground_truth.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
+        if total_gt == 0 {
+            continue;
+        }
+        // All detections of this class across images, sorted by score.
+        let mut dets: Vec<(usize, DetBox)> = Vec::new();
+        for (img, ds) in detections.iter().enumerate() {
+            for d in ds.iter().filter(|d| d.class == class) {
+                dets.push((img, *d));
+            }
+        }
+        dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).expect("scores are finite"));
+        let mut matched: Vec<Vec<bool>> =
+            ground_truth.iter().map(|g| vec![false; g.len()]).collect();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut curve: Vec<(f64, f64)> = Vec::new(); // (recall, precision)
+        for (img, d) in dets {
+            let gts = &ground_truth[img];
+            let mut best_iou = 0.0f32;
+            let mut best_j = None;
+            for (j, g) in gts.iter().enumerate() {
+                if g.class != class || matched[img][j] {
+                    continue;
+                }
+                let i = iou((d.cx, d.cy, d.w, d.h), (g.cx, g.cy, g.w, g.h));
+                if i > best_iou {
+                    best_iou = i;
+                    best_j = Some(j);
+                }
+            }
+            if best_iou >= iou_threshold {
+                matched[img][best_j.expect("best_j set when IoU positive")] = true;
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            curve.push((tp as f64 / total_gt as f64, tp as f64 / (tp + fp) as f64));
+        }
+        // All-point interpolated AP.
+        let mut ap = 0.0f64;
+        let mut prev_recall = 0.0f64;
+        let mut i = 0;
+        while i < curve.len() {
+            let r = curve[i].0;
+            // Max precision at recall >= r.
+            let pmax = curve[i..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
+            ap += (r - prev_recall) * pmax;
+            prev_recall = r;
+            // Skip to the next distinct recall level.
+            while i < curve.len() && curve[i].0 <= r {
+                i += 1;
+            }
+        }
+        aps.push(ap);
+    }
+    if aps.is_empty() {
+        0.0
+    } else {
+        100.0 * aps.iter().sum::<f64>() / aps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Session};
+    use rand::SeedableRng;
+
+    fn cfg() -> YoloConfig {
+        YoloConfig { in_channels: 3, image_size: 16, grid: 4, num_classes: 3, base_channels: 8 }
+    }
+
+    #[test]
+    fn yolo_shape_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut m = tiny_yolo(cfg(), &mut rng);
+        let mut s = Session::new(0);
+        let y = m.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn loss_gradient_check() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use rand::Rng;
+        let pred = Tensor::from_vec(
+            vec![1, 8, 4, 4],
+            (0..128).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let targets =
+            vec![vec![GtBox { cx: 0.3, cy: 0.6, w: 0.2, h: 0.3, class: 1 }]];
+        let (_, grad) = yolo_loss(&pred, &targets, c);
+        let eps = 1e-3f32;
+        for idx in [0usize, 16, 33, 57, 90, 127] {
+            let mut pp = pred.clone();
+            pp.data_mut()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[idx] -= eps;
+            let (lp, _) = yolo_loss(&pp, &targets, c);
+            let (lm, _) = yolo_loss(&pm, &targets, c);
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {num} vs analytic {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn iou_of_identical_boxes_is_one() {
+        assert!((iou((0.5, 0.5, 0.2, 0.2), (0.5, 0.5, 0.2, 0.2)) - 1.0).abs() < 1e-6);
+        assert_eq!(iou((0.1, 0.1, 0.1, 0.1), (0.9, 0.9, 0.1, 0.1)), 0.0);
+    }
+
+    #[test]
+    fn perfect_detections_score_full_map() {
+        let gts = vec![
+            vec![GtBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0 }],
+            vec![GtBox { cx: 0.75, cy: 0.75, w: 0.3, h: 0.3, class: 1 }],
+        ];
+        let dets = vec![
+            vec![DetBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0, score: 0.9 }],
+            vec![DetBox { cx: 0.75, cy: 0.75, w: 0.3, h: 0.3, class: 1, score: 0.8 }],
+        ];
+        assert!((map_lite(&dets, &gts, 3, 0.5) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positives_lower_map() {
+        let gts = vec![vec![GtBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0 }]];
+        let dets = vec![vec![
+            DetBox { cx: 0.8, cy: 0.8, w: 0.2, h: 0.2, class: 0, score: 0.95 }, // FP first
+            DetBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0, score: 0.9 }, // TP second
+        ]];
+        let m = map_lite(&dets, &gts, 1, 0.5);
+        assert!(m < 100.0 && m > 0.0, "mAP {m}");
+    }
+
+    #[test]
+    fn decode_respects_confidence_threshold() {
+        let c = cfg();
+        // All-zero logits: sigmoid(0)=0.5 objectness.
+        let pred = Tensor::zeros(vec![1, 8, 4, 4]);
+        assert_eq!(decode_predictions(&pred, c, 0.6)[0].len(), 0);
+        assert_eq!(decode_predictions(&pred, c, 0.4)[0].len(), 16);
+    }
+
+    #[test]
+    fn training_reduces_yolo_loss() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut model = tiny_yolo(c, &mut rng);
+        let mut s = Session::new(0);
+        let mut opt = crate::optim::Sgd::new(0.01, 0.9, 0.0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![2, 3, 16, 16],
+            (0..2 * 3 * 256).map(|_| rng.gen_range(0.0f32..1.0)).collect(),
+        );
+        let targets = vec![
+            vec![GtBox { cx: 0.3, cy: 0.3, w: 0.25, h: 0.25, class: 0 }],
+            vec![GtBox { cx: 0.7, cy: 0.6, w: 0.3, h: 0.2, class: 2 }],
+        ];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let out = model.forward(&x, &mut s);
+            let (loss, grad) = yolo_loss(&out, &targets, c);
+            model.backward(&grad, &mut s);
+            opt.step(&mut model);
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.7, "loss {first:?} -> {last}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Normalization layers (FP32 paths — the paper excludes normalization from
+//! the BFP cost analysis, Section VII-B, and hardware keeps them in FP).
+
+use crate::layer::{Layer, Param, Session};
+use fast_tensor::Tensor;
+
+/// Batch normalization over the channel dimension of NCHW tensors.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    g_gamma: Tensor,
+    g_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::full(vec![channels], 1.0),
+            beta: Tensor::zeros(vec![channels]),
+            g_gamma: Tensor::zeros(vec![channels]),
+            g_beta: Tensor::zeros(vec![channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects NCHW input");
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let n = (b * h * w) as f64;
+        let mut out = input.clone();
+        if session.train {
+            let mut x_hat = input.clone();
+            let mut inv_std = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for bi in 0..b {
+                    let base = (bi * c + ci) * h * w;
+                    for &v in &input.data()[base..base + h * w] {
+                        sum += v as f64;
+                        sq += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = sum / n;
+                let var = (sq / n - mean * mean).max(0.0);
+                let istd = 1.0 / (var + self.eps as f64).sqrt();
+                inv_std[ci] = istd as f32;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean as f32;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var as f32;
+                let (g, be) = (self.gamma.data()[ci], self.beta.data()[ci]);
+                for bi in 0..b {
+                    let base = (bi * c + ci) * h * w;
+                    for i in base..base + h * w {
+                        let xh = ((input.data()[i] as f64 - mean) * istd) as f32;
+                        x_hat.data_mut()[i] = xh;
+                        out.data_mut()[i] = g * xh + be;
+                    }
+                }
+            }
+            self.cache = Some(BnCache { x_hat, inv_std, shape: input.shape().to_vec() });
+        } else {
+            for ci in 0..c {
+                let mean = self.running_mean[ci];
+                let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let (g, be) = (self.gamma.data()[ci], self.beta.data()[ci]);
+                for bi in 0..b {
+                    let base = (bi * c + ci) * h * w;
+                    for i in base..base + h * w {
+                        out.data_mut()[i] = g * (input.data()[i] - mean) * istd + be;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        assert_eq!(grad_output.shape(), cache.shape.as_slice());
+        let (b, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
+        let n = (b * h * w) as f64;
+        let mut grad_in = grad_output.zeros_like();
+        for ci in 0..c {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_output.data()[i] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[i] as f64;
+                }
+            }
+            self.g_gamma.data_mut()[ci] += sum_dy_xhat as f32;
+            self.g_beta.data_mut()[ci] += sum_dy as f32;
+            let g = self.gamma.data()[ci] as f64;
+            let istd = cache.inv_std[ci] as f64;
+            for bi in 0..b {
+                let base = (bi * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_output.data()[i] as f64;
+                    let xh = cache.x_hat.data()[i] as f64;
+                    grad_in.data_mut()[i] =
+                        ((g * istd / n) * (n * dy - sum_dy - xh * sum_dy_xhat)) as f32;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.gamma, grad: &mut self.g_gamma, decay: false });
+        f(Param { value: &mut self.beta, grad: &mut self.g_beta, decay: false });
+    }
+
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+/// Layer normalization over the last dimension of a rank-2 tensor
+/// (token-wise, for the transformer).
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    g_gamma: Tensor,
+    g_beta: Tensor,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over feature width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::full(vec![dim], 1.0),
+            beta: Tensor::zeros(vec![dim]),
+            g_gamma: Tensor::zeros(vec![dim]),
+            g_beta: Tensor::zeros(vec![dim]),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.gamma.numel()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert_eq!(input.rank(), 2, "LayerNorm expects (rows, dim) input");
+        let (r, d) = (input.shape()[0], input.shape()[1]);
+        assert_eq!(d, self.dim(), "LayerNorm width mismatch");
+        let mut out = input.clone();
+        let mut x_hat = input.clone();
+        let mut inv_std = vec![0.0f32; r];
+        for i in 0..r {
+            let row = &input.data()[i * d..(i + 1) * d];
+            let mean = row.iter().map(|&v| v as f64).sum::<f64>() / d as f64;
+            let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / d as f64;
+            let istd = 1.0 / (var + self.eps as f64).sqrt();
+            inv_std[i] = istd as f32;
+            for j in 0..d {
+                let xh = ((row[j] as f64 - mean) * istd) as f32;
+                x_hat.data_mut()[i * d + j] = xh;
+                out.data_mut()[i * d + j] = self.gamma.data()[j] * xh + self.beta.data()[j];
+            }
+        }
+        if session.train {
+            self.cache = Some(LnCache { x_hat, inv_std });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let cache = self.cache.as_ref().expect("LayerNorm::backward before forward");
+        let (r, d) = (grad_output.shape()[0], grad_output.shape()[1]);
+        let mut grad_in = grad_output.zeros_like();
+        for i in 0..r {
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for j in 0..d {
+                let dy = (grad_output.data()[i * d + j] * self.gamma.data()[j]) as f64;
+                sum_dy += dy;
+                sum_dy_xhat += dy * cache.x_hat.data()[i * d + j] as f64;
+            }
+            let istd = cache.inv_std[i] as f64;
+            for j in 0..d {
+                let dy = (grad_output.data()[i * d + j] * self.gamma.data()[j]) as f64;
+                let xh = cache.x_hat.data()[i * d + j] as f64;
+                grad_in.data_mut()[i * d + j] =
+                    ((istd / d as f64) * (d as f64 * dy - sum_dy - xh * sum_dy_xhat)) as f32;
+            }
+        }
+        for j in 0..d {
+            let mut gg = 0.0f64;
+            let mut gb = 0.0f64;
+            for i in 0..r {
+                let dy = grad_output.data()[i * d + j] as f64;
+                gg += dy * cache.x_hat.data()[i * d + j] as f64;
+                gb += dy;
+            }
+            self.g_gamma.data_mut()[j] += gg as f32;
+            self.g_beta.data_mut()[j] += gb as f32;
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param { value: &mut self.gamma, grad: &mut self.g_gamma, decay: false });
+        f(Param { value: &mut self.beta, grad: &mut self.g_beta, decay: false });
+    }
+
+    fn kind(&self) -> &'static str {
+        "layernorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn batchnorm_normalizes_in_train_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut s = Session::new(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Tensor::from_vec(
+            vec![4, 2, 3, 3],
+            (0..72).map(|_| rng.gen_range(-5.0f32..5.0) + 2.0).collect(),
+        );
+        let y = bn.forward(&x, &mut s);
+        // Per-channel mean ~0, var ~1.
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for i in 0..9 {
+                    vals.push(y.data()[(b * 2 + c) * 9 + i] as f64);
+                }
+            }
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut s = Session::new(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Tensor::from_vec(
+            vec![2, 2, 2, 2],
+            (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        // Random upstream gradient fixes a nontrivial loss L = <g, y>.
+        let g = Tensor::from_vec(
+            vec![2, 2, 2, 2],
+            (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let _ = bn.forward(&x, &mut s);
+        let gin = bn.backward(&g, &mut s);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp = bn.forward(&xp, &mut s);
+            let lp: f32 = yp.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let ym = bn.forward(&xm, &mut s);
+            let lm: f32 = ym.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gin.data()[idx]).abs() < 2e-2, "idx {idx}: {num} vs {}", gin.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut s = Session::new(0);
+        // Train on shifted data until running stats converge.
+        for _ in 0..300 {
+            let x = Tensor::full(vec![2, 1, 2, 2], 4.0);
+            let _ = bn.forward(&x, &mut s);
+        }
+        let mut e = Session::eval(0);
+        let y = bn.forward(&Tensor::full(vec![1, 1, 2, 2], 4.0), &mut e);
+        // Input equals the running mean, so the output should be ~beta = 0.
+        assert!(y.data().iter().all(|&v| v.abs() < 0.1), "{:?}", y.data());
+    }
+
+    #[test]
+    fn layernorm_gradient_check() {
+        let mut ln = LayerNorm::new(6);
+        let mut s = Session::new(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let x = Tensor::from_vec(vec![3, 6], (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let g = Tensor::from_vec(vec![3, 6], (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let _ = ln.forward(&x, &mut s);
+        let gin = ln.backward(&g, &mut s);
+        let eps = 1e-3f32;
+        for idx in [0usize, 7, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = ln.forward(&xp, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let lm: f32 = ln.forward(&xm, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gin.data()[idx]).abs() < 2e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn layernorm_rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let mut s = Session::new(0);
+        let x = Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 10., 20., 30., 40.]);
+        let y = ln.forward(&x, &mut s);
+        for i in 0..2 {
+            let row = &y.data()[i * 4..(i + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+}

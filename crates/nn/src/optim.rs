@@ -1,0 +1,194 @@
+//! Optimizers operating on FP32 master weights.
+//!
+//! The paper keeps weight *updates* in full precision (the systolic array's
+//! accumulator output sums with the FP-stored weights, Fig 12c; Adam's
+//! moments "require additional hardware", Section V-A). Both SGD with
+//! momentum (CNNs, YOLO) and Adam (transformer) are provided.
+
+use crate::layer::Layer;
+use fast_tensor::Tensor;
+
+/// SGD with momentum and decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum, weight_decay, velocities: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for step decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step over all parameters of `model` and zeroes
+    /// the gradients.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocities = &mut self.velocities;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if velocities.len() == idx {
+                velocities.push(p.value.zeros_like());
+            }
+            let v = &mut velocities[idx];
+            assert_eq!(v.numel(), p.value.numel(), "parameter order changed between steps");
+            for ((vel, w), g) in
+                v.data_mut().iter_mut().zip(p.value.data_mut()).zip(p.grad.data_mut())
+            {
+                let mut grad = *g;
+                if p.decay {
+                    grad += wd * *w;
+                }
+                *vel = mom * *vel + grad;
+                *w -= lr * *vel;
+                *g = 0.0;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam optimizer (paper transformer settings: β1=0.9, β2=0.999).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the paper's transformer defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one update step and zeroes gradients.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if ms.len() == idx {
+                ms.push(p.value.zeros_like());
+                vs.push(p.value.zeros_like());
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for (((mi, vi), w), g) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(p.value.data_mut())
+                .zip(p.grad.data_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * *g;
+                *vi = b2 * *vi + (1.0 - b2) * *g * *g;
+                let mh = *mi / bc1;
+                let vh = *vi / bc2;
+                *w -= lr * mh / (vh.sqrt() + eps);
+                *g = 0.0;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Session;
+    use crate::linear::Dense;
+    use crate::loss::mse_loss;
+    use fast_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn fit_line(opt_is_adam: bool) -> f64 {
+        // Learn y = 2x with a 1->1 linear layer.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut model = Dense::new(1, 1, true, &mut rng);
+        let mut s = Session::new(0);
+        let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+        let mut adam = Adam::new(0.05);
+        let xs = Tensor::from_vec(vec![8, 1], (0..8).map(|i| i as f32 * 0.25 - 1.0).collect());
+        let ys = xs.map(|v| 2.0 * v);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let out = model.forward(&xs, &mut s);
+            let (loss, grad) = mse_loss(&out, &ys);
+            model.backward(&grad, &mut s);
+            if opt_is_adam {
+                adam.step(&mut model);
+            } else {
+                sgd.step(&mut model);
+            }
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        assert!(fit_line(false) < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        assert!(fit_line(true) < 1e-3);
+    }
+
+    #[test]
+    fn gradients_are_zeroed_after_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut model = Dense::new(2, 2, true, &mut rng);
+        let mut s = Session::new(0);
+        let x = Tensor::full(vec![1, 2], 1.0);
+        let out = model.forward(&x, &mut s);
+        model.backward(&out, &mut s);
+        let mut sgd = Sgd::new(0.01, 0.0, 0.0);
+        sgd.step(&mut model);
+        model.visit_params(&mut |p| {
+            assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        });
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = Dense::new(2, 2, false, &mut rng);
+        let before = model.weights().sq_norm();
+        // No data gradient: decay alone should shrink the norm.
+        let mut sgd = Sgd::new(0.1, 0.0, 0.1);
+        for _ in 0..10 {
+            sgd.step(&mut model);
+        }
+        assert!(model.weights().sq_norm() < before);
+    }
+}

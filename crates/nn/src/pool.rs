@@ -1,0 +1,143 @@
+//! Pooling and reshaping layers.
+
+use crate::layer::{Layer, Session};
+use fast_tensor::{
+    global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolOutput,
+    Tensor,
+};
+
+/// Non-overlapping max pooling.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(MaxPoolOutput, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a `k×k` max-pool (stride `k`).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        MaxPool2d { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        let p = max_pool2d(input, self.k);
+        let out = p.output.clone();
+        if session.train {
+            self.cache = Some((p, input.shape().to_vec()));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let (p, shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        max_pool2d_backward(grad_output, p, shape)
+    }
+
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Global average pooling NCHW → (batch, channels).
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        if session.train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        global_avg_pool(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("GlobalAvgPool::backward before forward");
+        global_avg_pool_backward(grad_output, shape)
+    }
+
+    fn kind(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+/// Flattens NCHW to (batch, C·H·W).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
+        assert!(input.rank() >= 2, "Flatten expects at least rank-2 input");
+        let b = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if session.train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        input.clone().reshape(vec![b, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
+        let shape = self.in_shape.clone().expect("Flatten::backward before forward");
+        grad_output.clone().reshape(shape)
+    }
+
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2d::new(2);
+        let mut s = Session::new(0);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 5., 2., 3.]);
+        let y = p.forward(&x, &mut s);
+        assert_eq!(y.data(), &[5.0]);
+        let gi = p.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]), &mut s);
+        assert_eq!(gi.data(), &[0., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![2, 3, 4, 4]);
+        let y = f.forward(&x, &mut s);
+        assert_eq!(y.shape(), &[2, 48]);
+        let gi = f.backward(&y, &mut s);
+        assert_eq!(gi.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn gap_layer() {
+        let mut g = GlobalAvgPool::new();
+        let mut s = Session::new(0);
+        let x = Tensor::full(vec![1, 2, 2, 2], 3.0);
+        let y = g.forward(&x, &mut s);
+        assert_eq!(y.data(), &[3.0, 3.0]);
+    }
+}

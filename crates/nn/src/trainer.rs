@@ -1,0 +1,181 @@
+//! The training loop with precision-controller hooks.
+//!
+//! [`Trainer`] owns a model, an optimizer and a [`Session`]; experiment code
+//! drives it batch by batch. A [`TrainHook`] is invoked around each
+//! iteration — the FAST-Adaptive controller (in `fast-core`) is one such
+//! hook, as are the static schedules of paper Fig 9 and the cost meters
+//! behind Fig 19/20.
+
+use crate::layer::{Layer, Session};
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::accuracy_percent;
+use crate::model::Sequential;
+use crate::optim::Sgd;
+use fast_tensor::Tensor;
+
+/// Observer/controller invoked around each training iteration.
+pub trait TrainHook {
+    /// Called before the forward pass of iteration `iter` (0-based).
+    fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
+        let _ = (iter, model);
+    }
+    /// Called after the backward pass, before the optimizer step.
+    fn after_backward(&mut self, iter: usize, model: &mut Sequential) {
+        let _ = (iter, model);
+    }
+}
+
+/// A hook that does nothing (plain training).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+impl TrainHook for NoopHook {}
+
+/// One classification training step's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Iteration index.
+    pub iter: usize,
+    /// Mean cross-entropy of the batch.
+    pub loss: f64,
+}
+
+/// Owns the pieces of a training run.
+pub struct Trainer {
+    /// The model being trained.
+    pub model: Sequential,
+    /// The optimizer.
+    pub opt: Sgd,
+    /// Forward/backward session (RNG for stochastic rounding).
+    pub session: Session,
+    iter: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(model: Sequential, opt: Sgd, seed: u64) -> Self {
+        Trainer { model, opt, session: Session::new(seed), iter: 0 }
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Runs one cross-entropy training step on `(inputs, labels)` with the
+    /// given hook.
+    pub fn step_classification(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+        hook: &mut dyn TrainHook,
+    ) -> StepStats {
+        hook.before_iteration(self.iter, &mut self.model);
+        self.session.train = true;
+        let logits = self.model.forward(inputs, &mut self.session);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.model.backward(&grad, &mut self.session);
+        hook.after_backward(self.iter, &mut self.model);
+        self.opt.step(&mut self.model);
+        let stats = StepStats { iter: self.iter, loss };
+        self.iter += 1;
+        stats
+    }
+
+    /// Runs one training step with a custom loss: `loss_fn` maps the model
+    /// output to `(loss, grad_wrt_output)`.
+    pub fn step_custom(
+        &mut self,
+        inputs: &Tensor,
+        loss_fn: &mut dyn FnMut(&Tensor) -> (f64, Tensor),
+        hook: &mut dyn TrainHook,
+    ) -> StepStats {
+        hook.before_iteration(self.iter, &mut self.model);
+        self.session.train = true;
+        let out = self.model.forward(inputs, &mut self.session);
+        let (loss, grad) = loss_fn(&out);
+        self.model.backward(&grad, &mut self.session);
+        hook.after_backward(self.iter, &mut self.model);
+        self.opt.step(&mut self.model);
+        let stats = StepStats { iter: self.iter, loss };
+        self.iter += 1;
+        stats
+    }
+
+    /// Evaluates classification accuracy (%) over a set of batches.
+    pub fn evaluate_classification(&mut self, batches: &[(Tensor, Vec<usize>)]) -> f64 {
+        self.session.train = false;
+        let mut correct_weighted = 0.0f64;
+        let mut total = 0usize;
+        for (x, labels) in batches {
+            let logits = self.model.forward(x, &mut self.session);
+            let acc = accuracy_percent(&logits, labels);
+            correct_weighted += acc * labels.len() as f64;
+            total += labels.len();
+        }
+        self.session.train = true;
+        if total == 0 {
+            0.0
+        } else {
+            correct_weighted / total as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Trainer(iter={}, model={:?})", self.iter, self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::linear::Dense;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trainer_learns_xor_like_task() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let model = Sequential::new()
+            .push(Dense::new(2, 16, true, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(16, 2, true, &mut rng));
+        let mut trainer = Trainer::new(model, Sgd::new(0.1, 0.9, 0.0), 0);
+        let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let y = vec![0usize, 1, 1, 0];
+        let mut hook = NoopHook;
+        let mut last = f64::INFINITY;
+        for _ in 0..300 {
+            last = trainer.step_classification(&x, &y, &mut hook).loss;
+        }
+        assert!(last < 0.05, "XOR loss {last}");
+        let acc = trainer.evaluate_classification(&[(x, y)]);
+        assert_eq!(acc, 100.0);
+    }
+
+    #[test]
+    fn hooks_fire_in_order() {
+        #[derive(Default)]
+        struct Recorder {
+            events: Vec<&'static str>,
+        }
+        impl TrainHook for Recorder {
+            fn before_iteration(&mut self, _i: usize, _m: &mut Sequential) {
+                self.events.push("before");
+            }
+            fn after_backward(&mut self, _i: usize, _m: &mut Sequential) {
+                self.events.push("after");
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let model = Sequential::new().push(Dense::new(2, 2, true, &mut rng));
+        let mut trainer = Trainer::new(model, Sgd::new(0.01, 0.0, 0.0), 0);
+        let mut rec = Recorder::default();
+        let x = Tensor::zeros(vec![1, 2]);
+        trainer.step_classification(&x, &[0], &mut rec);
+        trainer.step_classification(&x, &[1], &mut rec);
+        assert_eq!(rec.events, vec!["before", "after", "before", "after"]);
+        assert_eq!(trainer.iterations(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the training substrate: gradient correctness
+//! under random shapes, quantization-noise boundedness, optimizer algebra.
+
+use fast_nn::models::mlp;
+use fast_nn::{
+    mse_loss, set_uniform_precision, softmax_cross_entropy, Dense, Layer, LayerPrecision,
+    Relu, Sequential, Session, Sgd,
+};
+use fast_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense gradient check under random shapes and inputs (FP32).
+    #[test]
+    fn dense_gradcheck(
+        in_dim in 1usize..6,
+        out_dim in 1usize..5,
+        batch in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(in_dim, out_dim, true, &mut rng);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![batch, in_dim],
+            (0..batch * in_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let _ = layer.forward(&x, &mut s);
+        let gout = Tensor::full(vec![batch, out_dim], 1.0);
+        let gin = layer.backward(&gout, &mut s);
+        let eps = 1e-3f32;
+        for idx in 0..(batch * in_dim).min(4) {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = layer.forward(&xp, &mut s).data().iter().sum();
+            let lm: f32 = layer.forward(&xm, &mut s).data().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            prop_assert!((num - gin.data()[idx]).abs() < 2e-2,
+                "idx {idx}: {num} vs {}", gin.data()[idx]);
+        }
+    }
+
+    /// Softmax CE loss is non-negative and its gradient rows sum to ~0.
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(
+        logits in prop::collection::vec(-5.0f32..5.0, 12),
+        labels in prop::collection::vec(0usize..4, 3),
+    ) {
+        let t = Tensor::from_vec(vec![3, 4], logits);
+        let (loss, grad) = softmax_cross_entropy(&t, &labels);
+        prop_assert!(loss >= 0.0);
+        for i in 0..3 {
+            let s: f32 = grad.data()[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    /// MSE of identical tensors is zero with zero gradient.
+    #[test]
+    fn mse_identity(data in prop::collection::vec(-3.0f32..3.0, 8)) {
+        let t = Tensor::from_vec(vec![2, 4], data);
+        let (loss, grad) = mse_loss(&t, &t);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    /// Quantized forward output error is bounded relative to FP32 for
+    /// HighBFP: the relative L1 distance stays under 25% on random MLPs.
+    #[test]
+    fn high_bfp_forward_stays_close(seed in 0u64..200) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut model = mlp(&[8, 16, 4], &mut rng);
+        let mut s = Session::new(0);
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![4, 8],
+            (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let y_fp = model.forward(&x, &mut s);
+        set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
+        let y_q = model.forward(&x, &mut s);
+        let num: f64 = y_fp.data().iter().zip(y_q.data())
+            .map(|(a, b)| ((a - b) as f64).abs()).sum();
+        let den: f64 = y_fp.data().iter().map(|&v| (v as f64).abs()).sum::<f64>().max(1e-6);
+        prop_assert!(num / den < 0.25, "relative error {}", num / den);
+    }
+
+    /// SGD with zero gradients and zero weight decay is a no-op.
+    #[test]
+    fn sgd_identity_without_gradient(seed in 0u64..100) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut model = Sequential::new()
+            .push(Dense::new(3, 3, true, &mut rng))
+            .push(Relu::new());
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            model.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        opt.step(&mut model);
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            model.visit_params(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        prop_assert_eq!(before, after);
+    }
+
+    /// Forward is deterministic for deterministic formats regardless of
+    /// session seed.
+    #[test]
+    fn deterministic_formats_ignore_session_seed(
+        seed_a in 0u64..50, seed_b in 50u64..100,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model = mlp(&[4, 8, 2], &mut rng);
+        set_uniform_precision(&mut model, LayerPrecision::bf16());
+        let x = Tensor::full(vec![2, 4], 0.33);
+        let mut sa = Session::new(seed_a);
+        let mut sb = Session::new(seed_b);
+        let ya = model.forward(&x, &mut sa);
+        let yb = model.forward(&x, &mut sb);
+        prop_assert_eq!(ya, yb);
+    }
+}

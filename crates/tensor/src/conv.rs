@@ -1,0 +1,448 @@
+//! Convolution lowered onto GEMM via im2col (paper Fig 3's matrix view).
+//!
+//! A convolution layer's three training computations all become GEMMs over
+//! the im2col matrix `cols` of shape `K × P` with `K = C·k·k` (reduction
+//! dim) and `P = B·OH·OW` (output positions):
+//!
+//! * forward:        `O (O_c×P)  = W (O_c×K) · cols (K×P)`
+//! * weight gradient: `∇W (O_c×K) = ∇O (O_c×P) · colsᵀ`
+//! * input gradient:  `∇cols (K×P) = Wᵀ · ∇O`, then [`col2im`].
+
+use crate::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution with square kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dDims {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+}
+
+impl Conv2dDims {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// GEMM reduction dimension `K = C·k·k`.
+    pub fn k_dim(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// GEMM position dimension `P = B·OH·OW`.
+    pub fn p_dim(&self) -> usize {
+        self.batch * self.out_h() * self.out_w()
+    }
+
+    fn validate(&self) {
+        assert!(self.kernel > 0 && self.stride > 0, "kernel and stride must be positive");
+        assert!(
+            self.in_h + 2 * self.pad >= self.kernel && self.in_w + 2 * self.pad >= self.kernel,
+            "kernel {k} larger than padded input {h}x{w}",
+            k = self.kernel,
+            h = self.in_h + 2 * self.pad,
+            w = self.in_w + 2 * self.pad
+        );
+    }
+}
+
+/// Unfolds an NCHW `input` into the im2col matrix of shape `(K, P)`.
+///
+/// # Panics
+///
+/// Panics if `input` is not `(batch, in_c, in_h, in_w)`.
+pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
+    d.validate();
+    assert_eq!(
+        input.shape(),
+        &[d.batch, d.in_c, d.in_h, d.in_w],
+        "input shape does not match conv dims"
+    );
+    let (oh, ow) = (d.out_h(), d.out_w());
+    let k_dim = d.k_dim();
+    let p_dim = d.p_dim();
+    let mut cols = vec![0.0f32; k_dim * p_dim];
+    let id = input.data();
+    for b in 0..d.batch {
+        for c in 0..d.in_c {
+            for kh in 0..d.kernel {
+                for kw in 0..d.kernel {
+                    let krow = (c * d.kernel + kh) * d.kernel + kw;
+                    for oy in 0..oh {
+                        let iy = (oy * d.stride + kh) as isize - d.pad as isize;
+                        if iy < 0 || iy >= d.in_h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * d.stride + kw) as isize - d.pad as isize;
+                            if ix < 0 || ix >= d.in_w as isize {
+                                continue;
+                            }
+                            let p = (b * oh + oy) * ow + ox;
+                            cols[krow * p_dim + p] =
+                                id[((b * d.in_c + c) * d.in_h + iy) * d.in_w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![k_dim, p_dim], cols)
+}
+
+/// Folds an im2col-shaped gradient `(K, P)` back to an NCHW tensor, summing
+/// contributions of overlapping patches (the adjoint of [`im2col`]).
+///
+/// # Panics
+///
+/// Panics if `cols` is not `(K, P)` for the given dims.
+pub fn col2im(cols: &Tensor, d: Conv2dDims) -> Tensor {
+    d.validate();
+    assert_eq!(cols.shape(), &[d.k_dim(), d.p_dim()], "cols shape does not match conv dims");
+    let (oh, ow) = (d.out_h(), d.out_w());
+    let p_dim = d.p_dim();
+    let mut out = Tensor::zeros(vec![d.batch, d.in_c, d.in_h, d.in_w]);
+    let od = out.data_mut();
+    let cd = cols.data();
+    for b in 0..d.batch {
+        for c in 0..d.in_c {
+            for kh in 0..d.kernel {
+                for kw in 0..d.kernel {
+                    let krow = (c * d.kernel + kh) * d.kernel + kw;
+                    for oy in 0..oh {
+                        let iy = (oy * d.stride + kh) as isize - d.pad as isize;
+                        if iy < 0 || iy >= d.in_h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * d.stride + kw) as isize - d.pad as isize;
+                            if ix < 0 || ix >= d.in_w as isize {
+                                continue;
+                            }
+                            let p = (b * oh + oy) * ow + ox;
+                            od[((b * d.in_c + c) * d.in_h + iy) * d.in_w + ix as usize] +=
+                                cd[krow * p_dim + p];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution forward pass: returns the NCHW output
+/// `(batch, out_c, OH, OW)`.
+///
+/// `weight` is `(out_c, in_c, k, k)`; flattened row-major this is exactly
+/// the `O_c × K` GEMM operand.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, d: Conv2dDims) -> Tensor {
+    let cols = im2col(input, d);
+    conv2d_from_cols(&cols, weight, d)
+}
+
+/// Forward pass when the caller has already built (and possibly quantized)
+/// the im2col matrix.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_from_cols(cols: &Tensor, weight: &Tensor, d: Conv2dDims) -> Tensor {
+    assert_eq!(
+        weight.shape(),
+        &[d.out_c, d.in_c, d.kernel, d.kernel],
+        "weight shape does not match conv dims"
+    );
+    let w_mat = weight.clone().reshape(vec![d.out_c, d.k_dim()]);
+    let out_mat = matmul(&w_mat, cols); // (out_c, P)
+    gemm_out_to_nchw(&out_mat, d)
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input, NCHW.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the weights, `(out_c, in_c, k, k)`.
+    pub grad_weight: Tensor,
+}
+
+/// Convolution backward pass from an NCHW `grad_output`.
+///
+/// `cols` must be the im2col matrix used in the forward pass (quantized or
+/// not — the caller controls fidelity); `weight` likewise.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(
+    grad_output: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    d: Conv2dDims,
+) -> ConvGrads {
+    let (oh, ow) = (d.out_h(), d.out_w());
+    assert_eq!(grad_output.shape(), &[d.batch, d.out_c, oh, ow]);
+    let g_mat = nchw_to_gemm_out(grad_output, d); // (out_c, P)
+    let w_mat = weight.clone().reshape(vec![d.out_c, d.k_dim()]);
+    // ∇W = ∇O · colsᵀ  (reduction over P).
+    let grad_w = matmul_nt(&g_mat, cols).reshape(vec![d.out_c, d.in_c, d.kernel, d.kernel]);
+    // ∇cols = Wᵀ · ∇O  (reduction over out_c).
+    let grad_cols = matmul_tn(&w_mat, &g_mat);
+    let grad_input = col2im(&grad_cols, d);
+    ConvGrads { grad_input, grad_weight: grad_w }
+}
+
+/// Reorders a `(out_c, P)` GEMM result into NCHW `(batch, out_c, OH, OW)`.
+///
+/// # Panics
+///
+/// Panics if `out_mat` is not `(out_c, P)` for the given dims.
+pub fn gemm_out_to_nchw(out_mat: &Tensor, d: Conv2dDims) -> Tensor {
+    assert_eq!(out_mat.shape(), &[d.out_c, d.p_dim()], "GEMM output shape mismatch");
+    let (oh, ow) = (d.out_h(), d.out_w());
+    let p_dim = d.p_dim();
+    let mut out = Tensor::zeros(vec![d.batch, d.out_c, oh, ow]);
+    let od = out.data_mut();
+    let md = out_mat.data();
+    for o in 0..d.out_c {
+        for b in 0..d.batch {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let p = (b * oh + y) * ow + x;
+                    od[((b * d.out_c + o) * oh + y) * ow + x] = md[o * p_dim + p];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reorders an NCHW gradient into the `(out_c, P)` GEMM layout.
+///
+/// # Panics
+///
+/// Panics if `g` is not `(batch, out_c, OH, OW)` for the given dims.
+pub fn nchw_to_gemm_out(g: &Tensor, d: Conv2dDims) -> Tensor {
+    assert_eq!(g.shape(), &[d.batch, d.out_c, d.out_h(), d.out_w()], "NCHW shape mismatch");
+    let (oh, ow) = (d.out_h(), d.out_w());
+    let p_dim = d.p_dim();
+    let mut out = vec![0.0f32; d.out_c * p_dim];
+    let gd = g.data();
+    for b in 0..d.batch {
+        for o in 0..d.out_c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let p = (b * oh + y) * ow + x;
+                    out[o * p_dim + p] = gd[((b * d.out_c + o) * oh + y) * ow + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![d.out_c, p_dim], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    }
+
+    /// Direct (quadruple-loop) convolution reference.
+    fn conv_ref(input: &Tensor, weight: &Tensor, d: Conv2dDims) -> Tensor {
+        let (oh, ow) = (d.out_h(), d.out_w());
+        let mut out = Tensor::zeros(vec![d.batch, d.out_c, oh, ow]);
+        for b in 0..d.batch {
+            for o in 0..d.out_c {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0f32;
+                        for c in 0..d.in_c {
+                            for kh in 0..d.kernel {
+                                for kw in 0..d.kernel {
+                                    let iy = (y * d.stride + kh) as isize - d.pad as isize;
+                                    let ix = (x * d.stride + kw) as isize - d.pad as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= d.in_h as isize
+                                        || ix >= d.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at4(b, c, iy as usize, ix as usize)
+                                        * weight.at4(o, c, kh, kw);
+                                }
+                            }
+                        }
+                        let i = ((b * d.out_c + o) * oh + y) * ow + x;
+                        out.data_mut()[i] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conv_matches_direct_reference() {
+        for (stride, pad, k) in [(1, 0, 1), (1, 1, 3), (2, 1, 3), (1, 2, 5)] {
+            let d = Conv2dDims {
+                batch: 2,
+                in_c: 3,
+                in_h: 8,
+                in_w: 8,
+                out_c: 4,
+                kernel: k,
+                stride,
+                pad,
+            };
+            let input = rand_tensor(vec![2, 3, 8, 8], 1);
+            let weight = rand_tensor(vec![4, 3, k, k], 2);
+            let got = conv2d(&input, &weight, d);
+            let want = conv_ref(&input, &weight, d);
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (k={k} s={stride} p={pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the conv backward pass correct.
+        let d = Conv2dDims {
+            batch: 1,
+            in_c: 2,
+            in_h: 6,
+            in_w: 6,
+            out_c: 1,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let x = rand_tensor(vec![1, 2, 6, 6], 3);
+        let y = rand_tensor(vec![d.k_dim(), d.p_dim()], 4);
+        let ax = im2col(&x, d);
+        let aty = col2im(&y, d);
+        let lhs: f64 = ax.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 =
+            x.data().iter().zip(aty.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_numeric_gradient() {
+        let d = Conv2dDims {
+            batch: 1,
+            in_c: 2,
+            in_h: 5,
+            in_w: 5,
+            out_c: 3,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input = rand_tensor(vec![1, 2, 5, 5], 5);
+        let weight = rand_tensor(vec![3, 2, 3, 3], 6);
+        // Loss = sum(conv output); then dL/dout = ones.
+        let cols = im2col(&input, d);
+        let ones = Tensor::full(vec![1, 3, d.out_h(), d.out_w()], 1.0);
+        let grads = conv2d_backward(&ones, &cols, &weight, d);
+
+        let eps = 1e-3f32;
+        // Check a scattering of weight coordinates.
+        for idx in [0usize, 7, 20, 35, 53] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let lp: f32 = conv2d(&input, &wp, d).data().iter().sum();
+            let lm: f32 = conv2d(&input, &wm, d).data().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.grad_weight.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "weight[{idx}]: numeric {num} vs analytic {ana}");
+        }
+        // And input coordinates.
+        for idx in [0usize, 11, 24, 49] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let lp: f32 = conv2d(&ip, &weight, d).data().iter().sum();
+            let lm: f32 = conv2d(&im, &weight, d).data().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.grad_input.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "input[{idx}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let d = Conv2dDims {
+            batch: 1,
+            in_c: 1,
+            in_h: 7,
+            in_w: 9,
+            out_c: 1,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(d.out_h(), 4);
+        assert_eq!(d.out_w(), 5);
+        assert_eq!(d.k_dim(), 9);
+        assert_eq!(d.p_dim(), 20);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with identity channel mixing.
+        let d = Conv2dDims {
+            batch: 1,
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            out_c: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input = rand_tensor(vec![1, 2, 4, 4], 9);
+        let mut weight = Tensor::zeros(vec![2, 2, 1, 1]);
+        weight.data_mut()[0] = 1.0; // out0 <- in0
+        weight.data_mut()[3] = 1.0; // out1 <- in1
+        let out = conv2d(&input, &weight, d);
+        assert_eq!(out.data(), input.data());
+    }
+}

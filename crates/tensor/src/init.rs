@@ -1,0 +1,74 @@
+//! Weight initializers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+/// Kaiming-He normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The standard initializer for ReLU networks; keeps activation variance
+/// stable through depth, which matters doubly under low-precision BFP where
+/// exponent spread drives truncation error (paper Fig 6).
+pub fn kaiming_normal(shape: Vec<usize>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt() as f32;
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform_init(shape: Vec<usize>, limit: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(limit > 0.0, "limit must be positive");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Standard normal sample via Box–Muller (avoids the rand_distr dep).
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            if z.is_finite() {
+                return z as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = kaiming_normal(vec![64, 64], 64, &mut rng);
+        let mean: f64 = t.data().iter().map(|&v| v as f64).sum::<f64>() / t.numel() as f64;
+        let var: f64 =
+            t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / t.numel() as f64;
+        let want_var = 2.0 / 64.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - want_var).abs() / want_var < 0.15, "var {var} vs {want_var}");
+    }
+
+    #[test]
+    fn uniform_respects_limits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = uniform_init(vec![1000], 0.3, &mut rng);
+        assert!(t.data().iter().all(|&v| v.abs() <= 0.3));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kaiming_normal(vec![16], 4, &mut rand::rngs::StdRng::seed_from_u64(5));
+        let b = kaiming_normal(vec![16], 4, &mut rand::rngs::StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

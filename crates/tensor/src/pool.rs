@@ -1,0 +1,192 @@
+//! Pooling operators (max pooling with saved argmax, global average
+//! pooling) with exact backward passes.
+
+use crate::tensor::Tensor;
+
+/// Output of [`max_pool2d`]: pooled values plus the flat input index of the
+/// winning element per output cell, needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled NCHW tensor `(batch, c, H/k, W/k)`.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input buffer of the
+    /// max element.
+    pub argmax: Vec<usize>,
+}
+
+/// Non-overlapping `k×k` max pooling (stride = kernel).
+///
+/// # Panics
+///
+/// Panics if the spatial dims are not divisible by `k` or input is not 4-D.
+pub fn max_pool2d(input: &Tensor, k: usize) -> MaxPoolOutput {
+    assert_eq!(input.rank(), 4, "max_pool2d requires NCHW input");
+    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    assert!(k > 0 && h % k == 0 && w % k == 0, "pool kernel {k} must divide {h}x{w}");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(vec![b, c, oh, ow]);
+    let mut argmax = vec![0usize; b * c * oh * ow];
+    let id = input.data();
+    let od = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let idx = base + (oy * k + dy) * w + (ox * k + dx);
+                            if id[idx] > best {
+                                best = id[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oi = ((bi * c + ci) * oh + oy) * ow + ox;
+                    od[oi] = best;
+                    argmax[oi] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput { output: out, argmax }
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// input element that won the forward max.
+///
+/// # Panics
+///
+/// Panics if `grad_output.numel() != pool.argmax.len()`.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    pool: &MaxPoolOutput,
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(grad_output.numel(), pool.argmax.len(), "grad/argmax length mismatch");
+    let mut grad_in = Tensor::zeros(input_shape.to_vec());
+    let gd = grad_output.data();
+    let gi = grad_in.data_mut();
+    for (g, &idx) in gd.iter().zip(&pool.argmax) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling: NCHW `(b, c, h, w)` → `(b, c)`.
+///
+/// # Panics
+///
+/// Panics if input is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool requires NCHW input");
+    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let hw = (h * w) as f32;
+    let mut out = Tensor::zeros(vec![b, c]);
+    let id = input.data();
+    let od = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * h * w;
+            let sum: f32 = id[base..base + h * w].iter().sum();
+            od[bi * c + ci] = sum / hw;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`global_avg_pool`]: spreads each channel gradient
+/// uniformly over the spatial positions.
+///
+/// # Panics
+///
+/// Panics if `grad_output` is not `(b, c)` matching `input_shape`.
+pub fn global_avg_pool_backward(grad_output: &Tensor, input_shape: &[usize]) -> Tensor {
+    assert_eq!(input_shape.len(), 4);
+    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    assert_eq!(grad_output.shape(), &[b, c], "grad_output must be (batch, channels)");
+    let hw = (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_shape.to_vec());
+    let gd = grad_output.data();
+    let gi = grad_in.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            let g = gd[bi * c + ci] / hw;
+            let base = (bi * c + ci) * h * w;
+            for v in &mut gi[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let input = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let p = max_pool2d(&input, 2);
+        assert_eq!(p.output.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let p = max_pool2d(&input, 2);
+        let g = Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]);
+        let gi = max_pool2d_backward(&g, &p, input.shape());
+        assert_eq!(gi.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn max_pool_numeric_gradient() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let input = Tensor::from_vec(vec![2, 1, 4, 4], data);
+        let p = max_pool2d(&input, 2);
+        let ones = Tensor::full(vec![2, 1, 2, 2], 1.0);
+        let gi = max_pool2d_backward(&ones, &p, input.shape());
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 17, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let lp: f32 = max_pool2d(&ip, 2).output.data().iter().sum();
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let lm: f32 = max_pool2d(&im, 2).output.data().iter().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gi.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let input = Tensor::from_vec(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.data(), &[2.5, 10.0]);
+        let g = Tensor::from_vec(vec![1, 2], vec![4.0, 8.0]);
+        let gi = global_avg_pool_backward(&g, input.shape());
+        assert_eq!(gi.data(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_pool_panics() {
+        let input = Tensor::zeros(vec![1, 1, 5, 4]);
+        let _ = max_pool2d(&input, 2);
+    }
+}

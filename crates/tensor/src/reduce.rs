@@ -1,0 +1,85 @@
+//! Reductions and small utilities used across layers and metrics.
+
+use crate::tensor::Tensor;
+
+/// Sum of all elements (f64 accumulator).
+pub fn sum(t: &Tensor) -> f64 {
+    t.data().iter().map(|&v| v as f64).sum()
+}
+
+/// Mean of all elements.
+pub fn mean(t: &Tensor) -> f64 {
+    sum(t) / t.numel() as f64
+}
+
+/// Column sums of a rank-2 tensor: returns a vector of length `cols`.
+///
+/// Used for bias gradients (`∇b = Σ_batch ∇O`).
+///
+/// # Panics
+///
+/// Panics if `t` is not rank 2.
+pub fn col_sums(t: &Tensor) -> Vec<f32> {
+    assert_eq!(t.rank(), 2, "col_sums requires a rank-2 tensor");
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; c];
+    for i in 0..r {
+        let row = &t.data()[i * c..(i + 1) * c];
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Row sums of a rank-2 tensor: returns a vector of length `rows`.
+///
+/// # Panics
+///
+/// Panics if `t` is not rank 2.
+pub fn row_sums(t: &Tensor) -> Vec<f32> {
+    assert_eq!(t.rank(), 2, "row_sums requires a rank-2 tensor");
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    (0..r).map(|i| t.data()[i * c..(i + 1) * c].iter().sum()).collect()
+}
+
+/// Index of the maximum element in a slice (first on ties).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0usize;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+        assert_eq!(sum(&t), 10.0);
+        assert_eq!(mean(&t), 2.5);
+    }
+
+    #[test]
+    fn col_and_row_sums() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(col_sums(&t), vec![5., 7., 9.]);
+        assert_eq!(row_sums(&t), vec![6., 15.]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1., 3., 3., 2.]), 1);
+        assert_eq!(argmax(&[-5.]), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The dense row-major f32 tensor type.
+
+use std::fmt;
+
+/// A dense, row-major, f32 tensor of arbitrary rank.
+///
+/// The workhorse container of the training substrate. Shapes are validated
+/// on construction; element access goes through checked helpers or the raw
+/// [`data`](Tensor::data) slice for hot loops.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = checked_numel(&shape);
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let n = checked_numel(&shape);
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n = checked_numel(&shape);
+        assert_eq!(data.len(), n, "buffer of {} elements does not fit shape {shape:?}", data.len());
+        Tensor { shape, data }
+    }
+
+    /// A zero tensor with the same shape as `self`.
+    pub fn zeros_like(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: vec![0.0; self.data.len()] }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n = checked_numel(&shape);
+        assert_eq!(n, self.data.len(), "cannot reshape {:?} into {shape:?}", self.shape);
+        self.shape = shape;
+        self
+    }
+
+    /// Element at a 2-D index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the index is out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
+        let cols = self.shape[1];
+        assert!(r < self.shape[0] && c < cols, "index ({r},{c}) out of bounds");
+        self.data[r * cols + c]
+    }
+
+    /// Element at a 4-D (NCHW) index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the index is out of bounds.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        assert_eq!(self.rank(), 4, "at4 requires a rank-4 tensor");
+        let (cs, hs, ws) = (self.shape[1], self.shape[2], self.shape[3]);
+        assert!(n < self.shape[0] && c < cs && h < hs && w < ws);
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn apply(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise product `self *= other` (Hadamard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in mul_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Fills with a constant.
+    pub fn fill(&mut self, value: f32) {
+        for v in &mut self.data {
+            *v = value;
+        }
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Transposes a rank-2 tensor (copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2 requires a rank-2 tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: vec![c, r], data: out }
+    }
+}
+
+fn checked_numel(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensor shape cannot be empty");
+    assert!(shape.iter().all(|&d| d > 0), "tensor shape {shape:?} has a zero dimension");
+    shape.iter().product()
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(shape={:?}, numel={}, data[..{}]={:?}{})",
+            self.shape,
+            self.numel(),
+            preview.len(),
+            preview,
+            if self.numel() > 8 { ", ..." } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_rejected() {
+        let _ = Tensor::zeros(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit shape")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshape(vec![3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn indexing() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        assert_eq!(t.at2(1, 2), 5.0);
+        let t4 = Tensor::from_vec(vec![1, 2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t4.at4(0, 1, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Tensor::from_vec(vec![2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![2], vec![3.0, 4.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[10.0, 14.0]);
+        a.mul_assign(&b);
+        assert_eq!(a.data(), &[30.0, 56.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[15.0, 28.0]);
+    }
+
+    #[test]
+    fn transpose2_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let tt = t.transpose2();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at2(2, 1), t.at2(1, 2));
+        assert_eq!(tt.transpose2(), t);
+    }
+
+    #[test]
+    fn map_and_apply_agree() {
+        let t = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]);
+        let m = t.map(|v| v.max(0.0));
+        let mut a = t.clone();
+        a.apply(|v| v.max(0.0));
+        assert_eq!(m, a);
+        assert_eq!(m.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(vec![4, 4]);
+        let s = format!("{t:?}");
+        assert!(s.contains("shape=[4, 4]"));
+    }
+}

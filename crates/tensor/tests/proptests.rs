@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor substrate: GEMM algebra, im2col
+//! adjointness, pooling invariants.
+
+use fast_tensor::{
+    col2im, col_sums, conv2d, global_avg_pool, im2col, matmul, matmul_nt, matmul_tn, max_pool2d,
+    row_sums, Conv2dDims, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(vec![rows, cols], v))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn gemm_transpose_identity(
+        a in tensor_strategy(4, 6),
+        b in tensor_strategy(6, 3),
+    ) {
+        let left = matmul(&a, &b).transpose2();
+        let right = matmul(&b.transpose2(), &a.transpose2());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul_nt and matmul_tn agree with explicit transposition.
+    #[test]
+    fn transposed_variants_agree(
+        a in tensor_strategy(5, 7),
+        b in tensor_strategy(4, 7),
+        c in tensor_strategy(5, 3),
+    ) {
+        let nt = matmul_nt(&a, &b);
+        let explicit = matmul(&a, &b.transpose2());
+        for (x, y) in nt.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let tn = matmul_tn(&a, &c);
+        let explicit2 = matmul(&a.transpose2(), &c);
+        for (x, y) in tn.data().iter().zip(explicit2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// GEMM is linear in its left operand: (A1 + A2)·B = A1·B + A2·B.
+    #[test]
+    fn gemm_is_linear(
+        a1 in tensor_strategy(3, 5),
+        a2 in tensor_strategy(3, 5),
+        b in tensor_strategy(5, 4),
+    ) {
+        let mut a_sum = a1.clone();
+        a_sum.add_assign(&a2);
+        let lhs = matmul(&a_sum, &b);
+        let mut rhs = matmul(&a1, &b);
+        rhs.add_assign(&matmul(&a2, &b));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// <im2col(x), y> = <x, col2im(y)> — adjointness, the backbone of the
+    /// convolution backward pass.
+    #[test]
+    fn im2col_col2im_adjoint(
+        x_data in prop::collection::vec(-1.0f32..1.0, 2 * 2 * 6 * 6),
+        y_seed in 0u64..1000,
+    ) {
+        let d = Conv2dDims {
+            batch: 2, in_c: 2, in_h: 6, in_w: 6, out_c: 1, kernel: 3, stride: 1, pad: 1,
+        };
+        let x = Tensor::from_vec(vec![2, 2, 6, 6], x_data);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(y_seed);
+        let y = Tensor::from_vec(
+            vec![d.k_dim(), d.p_dim()],
+            (0..d.k_dim() * d.p_dim()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let ax = im2col(&x, d);
+        let aty = col2im(&y, d);
+        let lhs: f64 = ax.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.data().iter().zip(aty.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Convolution with a 1×1 all-ones kernel sums channels.
+    #[test]
+    fn conv_1x1_ones_sums_channels(
+        x_data in prop::collection::vec(-1.0f32..1.0, 3 * 4 * 4),
+    ) {
+        let d = Conv2dDims {
+            batch: 1, in_c: 3, in_h: 4, in_w: 4, out_c: 1, kernel: 1, stride: 1, pad: 0,
+        };
+        let x = Tensor::from_vec(vec![1, 3, 4, 4], x_data);
+        let w = Tensor::full(vec![1, 3, 1, 1], 1.0);
+        let out = conv2d(&x, &w, d);
+        for p in 0..16 {
+            let want: f32 = (0..3).map(|c| x.data()[c * 16 + p]).sum();
+            prop_assert!((out.data()[p] - want).abs() < 1e-5);
+        }
+    }
+
+    /// Max pooling never invents values and dominates the average.
+    #[test]
+    fn max_pool_bounds(x_data in prop::collection::vec(-5.0f32..5.0, 1 * 1 * 4 * 4)) {
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], x_data);
+        let pooled = max_pool2d(&x, 2);
+        let max_in = x.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        for &v in pooled.output.data() {
+            prop_assert!(v <= max_in);
+            prop_assert!(x.data().contains(&v));
+        }
+        let gap = global_avg_pool(&x);
+        let pooled_max = pooled.output.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        prop_assert!(gap.data()[0] <= pooled_max + 1e-6);
+    }
+
+    /// Row/col sums are consistent with the total.
+    #[test]
+    fn sums_are_consistent(t in tensor_strategy(5, 7)) {
+        let total: f64 = t.data().iter().map(|&v| v as f64).sum();
+        let by_rows: f64 = row_sums(&t).iter().map(|&v| v as f64).sum();
+        let by_cols: f64 = col_sums(&t).iter().map(|&v| v as f64).sum();
+        prop_assert!((total - by_rows).abs() < 1e-3);
+        prop_assert!((total - by_cols).abs() < 1e-3);
+    }
+}

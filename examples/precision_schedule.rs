@@ -1,0 +1,50 @@
+//! Explore the FAST decision machinery: the threshold schedule ε(l, i)
+//! of Eq. 1 and the relative improvement r(X) of Eq. 2 on tensors with
+//! different statistics.
+//!
+//! Run with: `cargo run --release --example precision_schedule`
+
+use fast_dnn::bfp::relative_improvement;
+use fast_dnn::fast::{EpsilonSchedule, Setting};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- ε(l, i): the promotion threshold -----------------------------------
+    println!("== Eq. 1: ε(l, i) = α − β·i/I − β·l/L  (α=0.6, β=0.3) ==\n");
+    let s = EpsilonSchedule::paper_default();
+    let (total_layers, total_iters) = (20, 1000);
+    println!("{:>12} | iter 0   25%   50%   75%   100%", "layer");
+    for layer in [0usize, 5, 10, 15, 19] {
+        print!("{layer:>12} |");
+        for frac in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            let iter = (frac * total_iters as f32) as usize;
+            print!("  {:.3}", s.epsilon(layer, total_layers, iter, total_iters));
+        }
+        println!();
+    }
+    println!("\nlower ε ⇒ easier to promote to the 4-bit mantissa; the threshold");
+    println!("falls with both depth and training progress (paper Fig 1 right).");
+
+    // --- r(X): what kind of tensor asks for more precision? -----------------
+    println!("\n== Eq. 2: relative improvement r(X) of m=4 over m=2 ==\n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let uniform_scale: Vec<f32> = (0..4096).map(|_| rng.gen_range(0.5f32..1.0)).collect();
+    let wide_scale: Vec<f32> = (0..4096)
+        .map(|_| {
+            let e: f32 = rng.gen_range(-8.0..0.0);
+            2.0f32.powf(e) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 }
+        })
+        .collect();
+    let near_grid: Vec<f32> = (0..4096).map(|i| if i % 2 == 0 { 0.5 } else { -1.0 }).collect();
+    println!("grid-aligned values (exact at m=2):  r = {:.4}", relative_improvement(&near_grid, 16));
+    println!("uniform-scale values:                r = {:.4}", relative_improvement(&uniform_scale, 16));
+    println!("wide-dynamic-range values:           r = {:.4}", relative_improvement(&wide_scale, 16));
+    println!("\nr(X) ≥ ε promotes X to 4 bits — tensors with fine structure to lose");
+    println!("get the extra chunk, tensors already captured at 2 bits stay cheap.");
+
+    // --- The (W, A, G) cost ladder ------------------------------------------
+    println!("\n== Fig 17 legend: the eight settings in cost order ==\n");
+    for (i, setting) in Setting::legend_order().iter().enumerate() {
+        println!("  {i}: {setting}  relative cost {:.2}", setting.cost());
+    }
+}

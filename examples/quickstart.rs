@@ -1,0 +1,51 @@
+//! Quickstart: Block Floating Point in five minutes.
+//!
+//! Quantize a group of FP32 values, inspect the shared exponent and
+//! mantissas, apply stochastic rounding, and run a quantized dot product —
+//! the numeric core of the FAST paper (Figs 4, 5, 13).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fast_dnn::bfp::dot::{dot_chunked, dot_f32};
+use fast_dnn::bfp::{BfpFormat, BfpGroup, ChunkedGroup, Lfsr16, Rounding};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A BFP format: 16 values share one exponent, each keeps a 4-bit
+    // mantissa + sign ("HighBFP" in the paper, its training baseline).
+    let fmt = BfpFormat::new(16, 4, 3)?;
+    println!("format: {fmt}  ({:.2} bits/value in chunked storage)\n", fmt.storage_bits_per_value());
+
+    // Quantize a group of activations (round to nearest).
+    let xs: Vec<f32> = (0..16).map(|i| 0.8f32 * (0.4 * i as f32).sin()).collect();
+    let group = BfpGroup::quantize_nearest(&xs, fmt);
+    println!("shared exponent: {}", group.shared_exponent());
+    println!("mantissas:       {:?}", group.mantissas());
+    let back = group.dequantize();
+    println!("max abs error:   {:.4}\n",
+        xs.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max));
+
+    // Gradients get stochastic rounding from a hardware-style LFSR
+    // (Theorem 1: unbiased in expectation — essential at 2-4 bit mantissas).
+    let mut lfsr = Lfsr16::new(0xACE1);
+    let grads: Vec<f32> = (0..16).map(|i| 1e-3 * (i as f32 - 8.0)).collect();
+    let sr = BfpGroup::quantize(&grads, fmt, Rounding::STOCHASTIC8, &mut lfsr, None);
+    println!("stochastically rounded gradient mantissas: {:?}\n", sr.mantissas());
+
+    // A BFP dot product: one integer MAC chain + one exponent addition.
+    let ws: Vec<f32> = (0..16).map(|i| 0.5f32 * (0.9 * i as f32).cos()).collect();
+    let wg = BfpGroup::quantize_nearest(&ws, fmt);
+    let direct = dot_f32(&group, &wg);
+
+    // The same value computed the fMAC way: 2-bit chunk passes.
+    let ca = ChunkedGroup::from_group(&group)?;
+    let cb = ChunkedGroup::from_group(&wg)?;
+    let chunked = dot_chunked(&ca, &cb);
+    println!("dot product (direct):        {direct}");
+    println!("dot product (fMAC chunks):   {} in {} passes", chunked.value, chunked.passes);
+    assert_eq!(direct, chunked.value, "chunk-serial arithmetic is bit-exact");
+
+    // FP32 reference for comparison.
+    let exact: f32 = xs.iter().zip(&ws).map(|(a, b)| a * b).sum();
+    println!("dot product (FP32 exact):    {exact}");
+    Ok(())
+}

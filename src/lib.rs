@@ -1,0 +1,40 @@
+//! # fast-dnn — FAST variable-precision BFP DNN training, reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of *FAST: DNN Training Under Variable
+//! Precision Block Floating Point with Stochastic Rounding* (Zhang, McDanel,
+//! Kung — HPCA 2022). It re-exports the workspace crates:
+//!
+//! * [`bfp`] — Block Floating Point formats, stochastic rounding, chunked
+//!   mantissa storage and BFP dot products.
+//! * [`tensor`] — dense f32 tensor substrate (GEMM, conv, pooling).
+//! * [`nn`] — quantization-aware layers, models, losses, optimizers and the
+//!   training loop.
+//! * [`data`] — synthetic datasets standing in for ImageNet / IWSLT14 / VOC.
+//! * [`fast`] — the FAST-Adaptive precision controller (Algorithm 1) and
+//!   training schedules.
+//! * [`hw`] — the FAST hardware model: fMAC, systolic array, BFP converter,
+//!   area/power/energy accounting.
+//!
+//! See the repository README for a guided tour and `examples/` for runnable
+//! entry points.
+//!
+//! ```
+//! use fast_dnn::bfp::{BfpFormat, BfpGroup};
+//!
+//! # fn main() -> Result<(), fast_dnn::bfp::FormatError> {
+//! let fmt = BfpFormat::new(16, 4, 3)?;
+//! let xs = vec![0.5f32; 16];
+//! let group = BfpGroup::quantize_nearest(&xs, fmt);
+//! assert_eq!(group.dequantize()[0], 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fast_bfp as bfp;
+pub use fast_core as fast;
+pub use fast_data as data;
+pub use fast_hw as hw;
+pub use fast_nn as nn;
+pub use fast_tensor as tensor;

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the full FAST pipeline from BFP numerics
+//! through quantized training to the hardware cost model.
+
+use fast_dnn::bfp::{relative_improvement, BfpFormat, BfpGroup};
+use fast_dnn::data::{GaussianClusters, SyntheticImages};
+use fast_dnn::fast::{
+    CostMeter, DimScale, EpsilonSchedule, FastController, LayerwisePolicy, Setting,
+    TemporalPolicy,
+};
+use fast_dnn::hw::{BfpConverter, SystemConfig};
+use fast_dnn::nn::models::{mlp, resnet_lite, ResNetConfig};
+use fast_dnn::nn::{
+    quant_layer_count, set_uniform_precision, Layer, LayerPrecision, NoopHook, Session, Sgd,
+    TrainHook, Trainer,
+};
+use fast_dnn::tensor::Tensor;
+use rand::SeedableRng;
+
+/// Train a small MLP on separable clusters under several formats; every
+/// reasonable format must solve the task, and HighBFP must track FP32.
+#[test]
+fn quantized_training_solves_separable_task() {
+    let data = GaussianClusters::generate(3, 8, 192, 96, 0.6, 5);
+    for (name, precision) in [
+        ("fp32", LayerPrecision::fp32()),
+        ("bf16", LayerPrecision::bf16()),
+        ("nvidia_mp", LayerPrecision::nvidia_mp()),
+        ("hfp8", LayerPrecision::hfp8()),
+        ("high_bfp", LayerPrecision::bfp_fixed(4)),
+        ("int12", LayerPrecision::int12()),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = mlp(&[8, 32, 3], &mut rng);
+        set_uniform_precision(&mut model, precision);
+        let mut trainer = Trainer::new(model, Sgd::new(0.05, 0.9, 0.0), 0);
+        for epoch in 0..12 {
+            for (x, y) in data.train_batches(32, epoch) {
+                trainer.step_classification(&x, &y, &mut NoopHook);
+            }
+        }
+        let acc = trainer.evaluate_classification(&data.test_batches(96));
+        assert!(acc > 90.0, "{name}: accuracy {acc}");
+    }
+}
+
+/// The end-to-end FAST loop: controller + meter + CNN. Precision must grow
+/// over training and the meter must charge fewer cycles than an all-m=4 run.
+#[test]
+fn fast_adaptive_end_to_end_on_cnn() {
+    let classes = 4;
+    let data = SyntheticImages::generate(classes, 16, 96, 48, 9);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let model = resnet_lite(ResNetConfig::resnet18(4, classes), &mut rng);
+    let mut trainer = Trainer::new(model, Sgd::new(0.05, 0.9, 1e-4), 0);
+    let iters = 4 * 3; // 4 epochs × 3 batches
+    let mut ctl = FastController::new(iters, EpsilonSchedule::paper_default());
+    let mut meter = CostMeter::new(SystemConfig::fast()).with_dim_scale(DimScale::CNN_PAPER);
+    for epoch in 0..4 {
+        for (x, y) in data.train_batches(32, epoch) {
+            ctl.before_iteration(trainer.iterations(), &mut trainer.model);
+            trainer.step_classification(&x, &y, &mut NoopHook);
+            meter.record(&mut trainer.model);
+        }
+    }
+    assert_eq!(meter.cumulative_cycles.len(), iters);
+    assert!(meter.total_cycles > 0);
+
+    // Compare against an all-high-precision run of the same shapes.
+    set_uniform_precision(&mut trainer.model, LayerPrecision::fast(4, 4, 4));
+    let mut high_meter =
+        CostMeter::new(SystemConfig::fast()).with_dim_scale(DimScale::CNN_PAPER);
+    let high = high_meter.record(&mut trainer.model);
+    let adaptive_mean = meter.total_cycles / iters as u64;
+    assert!(
+        adaptive_mean < high.cycles,
+        "adaptive mean {adaptive_mean} should undercut all-m=4 {}",
+        high.cycles
+    );
+
+    // The trace grows in precision over time for at least the early layers.
+    let max_iter = iters;
+    let early: f64 =
+        (0..3).map(|l| ctl.trace.mean_legend_index(l, 0, max_iter / 2)).sum();
+    let late: f64 =
+        (0..3).map(|l| ctl.trace.mean_legend_index(l, max_iter / 2, max_iter)).sum();
+    assert!(late >= early, "precision should grow: early {early}, late {late}");
+}
+
+/// Static schedules apply the formats they promise, layer by layer.
+#[test]
+fn schedules_apply_expected_precisions() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut model = mlp(&[8, 16, 16, 4], &mut rng);
+    let n = quant_layer_count(&mut model);
+    assert_eq!(n, 3);
+
+    let mut temporal = TemporalPolicy::low_to_high(100);
+    temporal.before_iteration(0, &mut model);
+    let mut bfp_layers = 0;
+    model.visit_quant(&mut |q| {
+        if matches!(q.precision().weights, fast_dnn::nn::NumericFormat::Bfp { .. }) {
+            bfp_layers += 1;
+        }
+    });
+    assert_eq!(bfp_layers, 3, "all layers BFP in the low phase");
+
+    let mut layerwise = LayerwisePolicy::high_to_low();
+    layerwise.before_iteration(0, &mut model);
+    let mut kinds = Vec::new();
+    model.visit_quant(&mut |q| {
+        kinds.push(matches!(q.precision().weights, fast_dnn::nn::NumericFormat::Fp32));
+    });
+    assert_eq!(kinds, vec![true, true, false], "first half FP32, second half BFP");
+}
+
+/// The hardware converter and the software quantizer agree on tensors that
+/// actually flow through training (weights of a trained layer).
+#[test]
+fn hw_converter_agrees_with_training_tensors() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut model = mlp(&[6, 24, 2], &mut rng);
+    let mut session = Session::new(0);
+    let mut opt = Sgd::new(0.1, 0.9, 0.0);
+    let x = Tensor::from_vec(vec![8, 6], (0..48).map(|i| ((i as f32) * 0.21).sin()).collect());
+    let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    for _ in 0..20 {
+        let out = model.forward(&x, &mut session);
+        let (_, grad) = fast_dnn::nn::softmax_cross_entropy(&out, &labels);
+        model.backward(&grad, &mut session);
+        opt.step(&mut model);
+    }
+    let fmt = BfpFormat::high();
+    let mut conv = BfpConverter::new(fmt, 0x1234);
+    model.visit_quant(&mut |q| {
+        let w = q.weight();
+        for group in w.data().chunks(16) {
+            let hw = conv.convert(group, false).group;
+            let sw = BfpGroup::quantize_nearest(group, fmt);
+            assert_eq!(hw, sw, "converter/reference mismatch on trained weights");
+        }
+    });
+}
+
+/// r(X) of trained weights is meaningful: small for coarse tensors, larger
+/// for tensors with fine structure, and always within the decision range
+/// the epsilon schedule sweeps.
+#[test]
+fn improvement_statistic_in_decision_range() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut model = mlp(&[16, 64, 4], &mut rng);
+    let mut r_values = Vec::new();
+    model.visit_quant(&mut |q| {
+        r_values.push(relative_improvement(q.weight().data(), 16));
+    });
+    for r in &r_values {
+        assert!(r.is_finite() && *r >= 0.0 && *r < 1.0, "r = {r}");
+    }
+    // The paper's ε sweeps 0.6 down to 0.0: initialized Kaiming weights
+    // should produce r in a range the schedule can actually discriminate.
+    let schedule = EpsilonSchedule::paper_default();
+    let eps_start = schedule.epsilon(0, 10, 0, 100);
+    assert!(r_values.iter().any(|&r| r < eps_start), "some tensor starts low-precision");
+}
+
+/// Settings order matches the hardware cost model at the tier level.
+#[test]
+fn setting_costs_align_with_legend() {
+    let order = Setting::legend_order();
+    assert_eq!(order[0], Setting { w: 2, a: 2, g: 2 });
+    assert_eq!(order[7], Setting { w: 4, a: 4, g: 4 });
+    let costs: Vec<f64> = order.iter().map(Setting::cost).collect();
+    for w in costs.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+}
+
+/// Eval mode must not disturb training state (BN running stats are used,
+/// caches untouched).
+#[test]
+fn eval_does_not_corrupt_training() {
+    let classes = 3;
+    let data = SyntheticImages::generate(classes, 16, 64, 32, 13);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let model = resnet_lite(ResNetConfig::resnet18(4, classes), &mut rng);
+    let mut trainer = Trainer::new(model, Sgd::new(0.05, 0.9, 0.0), 0);
+    let mut losses = Vec::new();
+    for epoch in 0..3 {
+        for (x, y) in data.train_batches(32, epoch) {
+            losses.push(trainer.step_classification(&x, &y, &mut NoopHook).loss);
+            // Interleave an eval after every step.
+            let _ = trainer.evaluate_classification(&data.test_batches(32));
+        }
+    }
+    let first = losses.first().copied().unwrap_or(0.0);
+    let last = losses.last().copied().unwrap_or(f64::MAX);
+    assert!(last < first, "loss should still fall with interleaved evals: {first} -> {last}");
+}

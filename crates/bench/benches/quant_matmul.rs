@@ -10,15 +10,27 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let (m, k, n) = (64usize, 256, 64);
-    let a = Tensor::from_vec(vec![m, k], (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect());
-    let b = Tensor::from_vec(vec![k, n], (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect());
+    let a = Tensor::from_vec(
+        vec![m, k],
+        (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(),
+    );
+    let b = Tensor::from_vec(
+        vec![k, n],
+        (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(),
+    );
     let mut group = c.benchmark_group("quant_matmul");
     group.bench_function("fp32_gemm", |bch| {
         bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
     });
     for (name, fmt) in [
-        ("bfp_m4", NumericFormat::bfp_nearest(fast_bfp::BfpFormat::high())),
-        ("bfp_m2", NumericFormat::bfp_nearest(fast_bfp::BfpFormat::low())),
+        (
+            "bfp_m4",
+            NumericFormat::bfp_nearest(fast_bfp::BfpFormat::high()),
+        ),
+        (
+            "bfp_m2",
+            NumericFormat::bfp_nearest(fast_bfp::BfpFormat::low()),
+        ),
         ("int8", NumericFormat::int8()),
         ("bf16", NumericFormat::bf16()),
     ] {

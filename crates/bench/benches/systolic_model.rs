@@ -8,13 +8,34 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let layers: Vec<LayerWork> = [
-        Gemm { m: 802_816, k: 576, n: 64 },
-        Gemm { m: 200_704, k: 1152, n: 128 },
-        Gemm { m: 50_176, k: 2304, n: 256 },
-        Gemm { m: 12_544, k: 4608, n: 512 },
+        Gemm {
+            m: 802_816,
+            k: 576,
+            n: 64,
+        },
+        Gemm {
+            m: 200_704,
+            k: 1152,
+            n: 128,
+        },
+        Gemm {
+            m: 50_176,
+            k: 2304,
+            n: 256,
+        },
+        Gemm {
+            m: 12_544,
+            k: 4608,
+            n: 512,
+        },
     ]
     .iter()
-    .map(|&gemm| LayerWork { gemm, m_w: 4, m_a: 2, m_g: 4 })
+    .map(|&gemm| LayerWork {
+        gemm,
+        m_w: 4,
+        m_a: 2,
+        m_g: 4,
+    })
     .collect();
     let systems = SystemConfig::all();
 

@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let x = Tensor::from_vec(
         vec![8, 3, 16, 16],
-        (0..8 * 3 * 256).map(|i| (i as f32 * 0.01).sin().abs()).collect(),
+        (0..8 * 3 * 256)
+            .map(|i| (i as f32 * 0.01).sin().abs())
+            .collect(),
     );
     let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
     let mut group = c.benchmark_group("training_step");

@@ -12,13 +12,25 @@ use fast_nn::{LayerPrecision, NumericFormat};
 
 fn precision(m: u32, windowed: bool, sr_gradients: bool) -> LayerPrecision {
     let fmt = BfpFormat::high().with_mantissa_bits(m).expect("valid");
-    let nearest = NumericFormat::Bfp { format: fmt, rounding: Rounding::Nearest, windowed };
-    let grad = NumericFormat::Bfp {
+    let nearest = NumericFormat::Bfp {
         format: fmt,
-        rounding: if sr_gradients { Rounding::STOCHASTIC8 } else { Rounding::Nearest },
+        rounding: Rounding::Nearest,
         windowed,
     };
-    LayerPrecision { weights: nearest, activations: nearest, gradients: grad }
+    let grad = NumericFormat::Bfp {
+        format: fmt,
+        rounding: if sr_gradients {
+            Rounding::STOCHASTIC8
+        } else {
+            Rounding::Nearest
+        },
+        windowed,
+    };
+    LayerPrecision {
+        weights: nearest,
+        activations: nearest,
+        gradients: grad,
+    }
 }
 
 fn main() {
@@ -26,7 +38,10 @@ fn main() {
     let task = ImageTask::at(scale);
     let data = task.dataset(123);
     let epochs = scale.pick(6, 20);
-    println!("== Ablations: exponent window & stochastic rounding (m=2/3, {} epochs) ==\n", epochs);
+    println!(
+        "== Ablations: exponent window & stochastic rounding (m=2/3, {} epochs) ==\n",
+        epochs
+    );
     let mut t = Table::new(vec!["configuration", "best acc %"]);
     for (name, m, windowed, sr) in [
         ("m=3, windowed e=3, SR grads", 3, true, true),
@@ -38,7 +53,9 @@ fn main() {
     ] {
         let model = resnet20(task.classes, false, 7);
         let cfg = RunCfg::images(epochs, 7);
-        let mut hook = FixedPolicy { precision: precision(m, windowed, sr) };
+        let mut hook = FixedPolicy {
+            precision: precision(m, windowed, sr),
+        };
         let run = run_images(model, &data, &cfg, &mut hook, None);
         t.row(vec![name.to_string(), f(run.best_quality(), 1)]);
         println!("{}", t.render());

@@ -41,7 +41,10 @@ fn main() {
         for b in 0..buckets {
             let from = b * max_iter / buckets;
             let to = ((b + 1) * max_iter / buckets).max(from + 1);
-            print!("{}", ctl.trace.mean_legend_index(layer, from, to).round() as usize);
+            print!(
+                "{}",
+                ctl.trace.mean_legend_index(layer, from, to).round() as usize
+            );
         }
         println!();
     }
@@ -52,8 +55,16 @@ fn main() {
         t.row(vec![
             format!("{layer}"),
             f(ctl.trace.mean_legend_index(layer, 0, max_iter / 3), 2),
-            f(ctl.trace.mean_legend_index(layer, max_iter / 3, 2 * max_iter / 3), 2),
-            f(ctl.trace.mean_legend_index(layer, 2 * max_iter / 3, max_iter), 2),
+            f(
+                ctl.trace
+                    .mean_legend_index(layer, max_iter / 3, 2 * max_iter / 3),
+                2,
+            ),
+            f(
+                ctl.trace
+                    .mean_legend_index(layer, 2 * max_iter / 3, max_iter),
+                2,
+            ),
         ]);
     }
     print!("{}", t.render());

@@ -23,7 +23,10 @@ fn main() {
     let scale = Scale::from_env();
     let task = ImageTask::at(scale);
     let epochs = scale.pick(6, 20);
-    println!("== Paper Fig 18: BFP sensitivity (ResNet-lite, {} epochs) ==\n", epochs);
+    println!(
+        "== Paper Fig 18: BFP sensitivity (ResNet-lite, {} epochs) ==\n",
+        epochs
+    );
     let data = task.dataset(123);
 
     let group_sizes = [8usize, 16, 32];
@@ -35,7 +38,9 @@ fn main() {
         for &g in &group_sizes {
             let model = resnet20(task.classes, false, 7);
             let cfg = RunCfg::images(epochs, 7);
-            let mut hook = FixedPolicy { precision: bfp_precision(g, m) };
+            let mut hook = FixedPolicy {
+                precision: bfp_precision(g, m),
+            };
             let run = run_images(model, &data, &cfg, &mut hook, None);
             row.push(run.best_quality());
         }

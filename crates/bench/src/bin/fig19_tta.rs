@@ -30,9 +30,15 @@ fn main() {
     // Target accuracy: 85% of the best quality any system reached (the
     // paper uses a fixed 68% for ImageNet; our noisy quick-scale runs need
     // more slack).
-    let best = runs.iter().map(|(_, r)| r.best_quality()).fold(0.0f64, f64::max);
+    let best = runs
+        .iter()
+        .map(|(_, r)| r.best_quality())
+        .fold(0.0f64, f64::max);
     let target = 0.85 * best;
-    println!("target accuracy: {:.1}% (85% of best-reached {:.1}%)\n", target, best);
+    println!(
+        "target accuracy: {:.1}% (85% of best-reached {:.1}%)\n",
+        target, best
+    );
 
     let fast_tta = runs[0].1.time_to_quality(target);
     let mut t = Table::new(vec![
@@ -75,8 +81,11 @@ fn main() {
 
     println!("\nAccuracy vs simulated time (per system):");
     for (name, run) in &runs {
-        let pts: Vec<String> =
-            run.evals.iter().map(|e| format!("({:.3}s, {:.1}%)", e.sim_seconds, e.quality)).collect();
+        let pts: Vec<String> = run
+            .evals
+            .iter()
+            .map(|e| format!("({:.3}s, {:.1}%)", e.sim_seconds, e.quality))
+            .collect();
         println!("  {name:>14}: {}", pts.join(" "));
     }
     println!(

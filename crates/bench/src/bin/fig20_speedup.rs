@@ -30,9 +30,7 @@ fn main() {
     let workloads: Vec<_> = match scale {
         fast_bench::Scale::Quick => Workload::all()
             .into_iter()
-            .filter(|w| {
-                matches!(w.name(), "ResNet-18" | "Transformer" | "YOLOv2")
-            })
+            .filter(|w| matches!(w.name(), "ResNet-18" | "Transformer" | "YOLOv2"))
             .collect(),
         fast_bench::Scale::Full => Workload::all(),
     };

@@ -6,12 +6,33 @@ use fast_bfp::{BfpFormat, Minifloat};
 
 fn main() {
     println!("== Paper Fig 2: number formats for DNN training/inference ==\n");
-    let mut t = Table::new(vec!["format", "kind", "sign", "exponent", "mantissa", "bits/value"]);
+    let mut t = Table::new(vec![
+        "format",
+        "kind",
+        "sign",
+        "exponent",
+        "mantissa",
+        "bits/value",
+    ]);
     let fp = |name: &str, m: Minifloat| {
-        (name.to_string(), "floating point", 1u32, m.exp_bits, m.man_bits, (1 + m.exp_bits + m.man_bits) as f64)
+        (
+            name.to_string(),
+            "floating point",
+            1u32,
+            m.exp_bits,
+            m.man_bits,
+            (1 + m.exp_bits + m.man_bits) as f64,
+        )
     };
     let rows = vec![
-        ("FP32 (IEEE 754)".to_string(), "floating point", 1, 8, 23, 32.0),
+        (
+            "FP32 (IEEE 754)".to_string(),
+            "floating point",
+            1,
+            8,
+            23,
+            32.0,
+        ),
         fp("FP16 (IEEE 754)", Minifloat::FP16),
         fp("bfloat16", Minifloat::BF16),
         fp("TensorFloat", Minifloat::TF32),

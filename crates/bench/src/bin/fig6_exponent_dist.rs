@@ -53,22 +53,29 @@ fn main() {
     println!("layer {target}/{total}: {label}\n");
 
     let max_gap = 16;
-    for (name, tensor) in [
-        ("Weights", Some(w)),
-        ("Activations", a),
-        ("Gradients", g),
-    ] {
+    for (name, tensor) in [("Weights", Some(w)), ("Activations", a), ("Gradients", g)] {
         let tensor = tensor.expect("tensor captured after training");
         let mut t = Table::new(vec!["gap", "g=8 (%)", "g=16 (%)", "g=32 (%)"]);
         let h8 = exponent_gap_histogram(tensor.data(), 8, max_gap);
         let h16 = exponent_gap_histogram(tensor.data(), 16, max_gap);
         let h32 = exponent_gap_histogram(tensor.data(), 32, max_gap);
         for gap in 0..=max_gap {
-            let lbl = if gap == max_gap { format!(">={gap}") } else { gap.to_string() };
-            t.row(vec![lbl, f(h8.bins[gap], 1), f(h16.bins[gap], 1), f(h32.bins[gap], 1)]);
+            let lbl = if gap == max_gap {
+                format!(">={gap}")
+            } else {
+                gap.to_string()
+            };
+            t.row(vec![
+                lbl,
+                f(h8.bins[gap], 1),
+                f(h16.bins[gap], 1),
+                f(h32.bins[gap], 1),
+            ]);
         }
-        println!("{name}: mean gap  g=8: {:.2}  g=16: {:.2}  g=32: {:.2}",
-            h8.mean_gap, h16.mean_gap, h32.mean_gap);
+        println!(
+            "{name}: mean gap  g=8: {:.2}  g=16: {:.2}  g=32: {:.2}",
+            h8.mean_gap, h16.mean_gap, h32.mean_gap
+        );
         print!("{}", t.render());
         println!();
     }

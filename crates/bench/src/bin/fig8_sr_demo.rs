@@ -31,7 +31,11 @@ fn main() {
     }
     println!("gradient x = 2/3, SR over {n} draws:");
     println!("  first three roundings: {first_three:?}   (paper's example: 1, 0, 1)");
-    println!("  empirical E[SR(x)] = {:.5}  (Theorem 1: = x = {:.5})", sum as f64 / n as f64, x);
+    println!(
+        "  empirical E[SR(x)] = {:.5}  (Theorem 1: = x = {:.5})",
+        sum as f64 / n as f64,
+        x
+    );
     println!(
         "  truncation gives {} always -> expected increment 0\n",
         Rounding::Truncate.round(x, &mut NoBits)
@@ -56,8 +60,12 @@ fn main() {
     }
     print!("{}", t.render());
     let loss = |w: f64| (w - 20.0) * (w - 20.0) / 2.0;
-    println!("\nfinal losses: FP32 {:.3}, truncate {:.3} (stuck — Fig 7 right), SR {:.3}",
-        loss(w_fp), loss(w_tr), loss(w_sr));
+    println!(
+        "\nfinal losses: FP32 {:.3}, truncate {:.3} (stuck — Fig 7 right), SR {:.3}",
+        loss(w_fp),
+        loss(w_tr),
+        loss(w_sr)
+    );
     println!(
         "\nThe general-interval form of Theorem 1 ([a, b], x = p(b-a)/q + a) is\n\
          property-tested in crates/bfp/tests/proptests.rs."

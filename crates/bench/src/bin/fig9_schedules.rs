@@ -25,7 +25,11 @@ fn main() {
     let task = ImageTask::at(scale);
     let epochs = scale.pick(8, 24);
     println!("== Paper Fig 9: temporal & layerwise precision schedules ==");
-    println!("(symmetric ResNet-20-lite, {} seeds, {} epochs)\n", seeds.len(), epochs);
+    println!(
+        "(symmetric ResNet-20-lite, {} seeds, {} epochs)\n",
+        seeds.len(),
+        epochs
+    );
 
     let data = task.dataset(99);
     let iters_per_epoch = task.train_n.div_ceil(32);
@@ -43,8 +47,16 @@ fn main() {
             false,
             Box::new(move |iters| Box::new(TemporalPolicy::high_to_low(iters))),
         ),
-        ("Layerwise Low-to-High", true, Box::new(|_| Box::new(LayerwisePolicy::low_to_high()))),
-        ("Layerwise High-to-Low", true, Box::new(|_| Box::new(LayerwisePolicy::high_to_low()))),
+        (
+            "Layerwise Low-to-High",
+            true,
+            Box::new(|_| Box::new(LayerwisePolicy::low_to_high())),
+        ),
+        (
+            "Layerwise High-to-Low",
+            true,
+            Box::new(|_| Box::new(LayerwisePolicy::high_to_low())),
+        ),
     ];
 
     let mut t = Table::new(vec!["scheme", "final acc % (mean)", "std", "best acc %"]);

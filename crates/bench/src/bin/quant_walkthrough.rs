@@ -12,7 +12,10 @@ fn main() {
 
     let nearest = BfpGroup::quantize_nearest(&xs, fmt);
     println!("(a) max exponent:  E = {}", nearest.shared_exponent());
-    println!("(b,d) mantissas:   {:?}  (aligned, nearest-rounded to m=4)", nearest.mantissas());
+    println!(
+        "(b,d) mantissas:   {:?}  (aligned, nearest-rounded to m=4)",
+        nearest.mantissas()
+    );
     println!("      dequantized: {:?}", nearest.dequantize());
 
     let mut lfsr = Lfsr16::new(0xACE1);
@@ -29,8 +32,11 @@ fn main() {
     let b = BfpGroup::from_parts(f5, 4, vec![4, -9, 11, 0]);
     let (int_sum, exp) = dot_parts(&a, &b);
     println!("integer part:  14*4 + (-2)(-9) + (-7)(11) + 1*0 = {int_sum}");
-    println!("one exponent addition: 2^({} + {}) with mantissa scaling -> 2^{exp}",
-        a.shared_exponent(), b.shared_exponent());
+    println!(
+        "one exponent addition: 2^({} + {}) with mantissa scaling -> 2^{exp}",
+        a.shared_exponent(),
+        b.shared_exponent()
+    );
     println!("dot product = {int_sum} * 2^{exp} = {}\n", dot_f32(&a, &b));
 
     println!("== Paper Fig 13: variable-precision chunk-serial execution ==\n");
@@ -41,7 +47,13 @@ fn main() {
     let cx = ChunkedGroup::from_group(&x4).expect("chunk-aligned");
     let cy = ChunkedGroup::from_group(&y2).expect("chunk-aligned");
     let r = dot_chunked(&cx, &cy);
-    println!("4-bit × 2-bit operands -> {} fMAC passes (paper: (4/2)·(2/2) = 2)", r.passes);
+    println!(
+        "4-bit × 2-bit operands -> {} fMAC passes (paper: (4/2)·(2/2) = 2)",
+        r.passes
+    );
     println!("chunk-serial value  = {}", r.value);
-    println!("direct dot product  = {}  (bit-identical)", dot_f32(&x4, &y2));
+    println!(
+        "direct dot product  = {}  (bit-identical)",
+        dot_f32(&x4, &y2)
+    );
 }

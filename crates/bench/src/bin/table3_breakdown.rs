@@ -25,10 +25,19 @@ fn main() {
     print!("{}", t.render());
     let total_model: f64 = rows.iter().map(|r| r.power_w).sum();
     let total_paper: f64 = rows.iter().map(|r| r.paper_power_w).sum();
-    println!("\nTotal power: model {:.2} W, paper {:.2} W", total_model, total_paper);
+    println!(
+        "\nTotal power: model {:.2} W, paper {:.2} W",
+        total_model, total_paper
+    );
 
     println!("\nSystem presets (Section VII-B equal-area configurations):");
-    let mut t2 = Table::new(vec!["system", "array", "MAC", "array area (fMAC units)", "total power W"]);
+    let mut t2 = Table::new(vec![
+        "system",
+        "array",
+        "MAC",
+        "array area (fMAC units)",
+        "total power W",
+    ]);
     for sys in SystemConfig::all() {
         t2.row(vec![
             sys.name.to_string(),

@@ -38,7 +38,11 @@ fn main() {
     print!("{}", t.render());
 
     println!("\nDerived designs (not in the paper's table):");
-    let mut t2 = Table::new(vec!["MAC design", "area (calibrated)", "power mW (calibrated)"]);
+    let mut t2 = Table::new(vec![
+        "MAC design",
+        "area (calibrated)",
+        "power mW (calibrated)",
+    ]);
     for mac in [MacKind::Msfp12, MacKind::Fp32] {
         t2.row(vec![
             mac.name().to_string(),

@@ -107,10 +107,18 @@ mod tests {
     #[test]
     fn zoo_covers_table2_columns() {
         let names: Vec<&str> = table2_formats().iter().map(|f| f.name).collect();
-        for want in
-            ["FP32", "bfloat16", "Nvidia MP", "INT8", "INT12", "MSFP-12", "LowBFP", "MidBFP",
-             "HighBFP", "HFP8"]
-        {
+        for want in [
+            "FP32",
+            "bfloat16",
+            "Nvidia MP",
+            "INT8",
+            "INT12",
+            "MSFP-12",
+            "LowBFP",
+            "MidBFP",
+            "HighBFP",
+            "HFP8",
+        ] {
             assert!(names.contains(&want), "missing {want}");
         }
     }

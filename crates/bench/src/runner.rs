@@ -68,7 +68,10 @@ pub struct TrainRun {
 impl TrainRun {
     /// Best quality seen at any evaluation point.
     pub fn best_quality(&self) -> f64 {
-        self.evals.iter().map(|e| e.quality).fold(f64::NEG_INFINITY, f64::max)
+        self.evals
+            .iter()
+            .map(|e| e.quality)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Final-epoch quality.
@@ -210,7 +213,11 @@ pub fn run_sequence(
             total += labels.len();
         }
         session.train = true;
-        let quality = if total == 0 { 0.0 } else { correct / total as f64 };
+        let quality = if total == 0 {
+            0.0
+        } else {
+            correct / total as f64
+        };
         evals.push(EvalPoint {
             epoch: epoch + 1,
             iter,
@@ -289,8 +296,20 @@ mod tests {
     fn time_to_quality_interpolates() {
         let run = TrainRun {
             evals: vec![
-                EvalPoint { epoch: 1, iter: 10, quality: 40.0, sim_seconds: 1.0, sim_energy_j: 1.0 },
-                EvalPoint { epoch: 2, iter: 20, quality: 60.0, sim_seconds: 2.0, sim_energy_j: 2.0 },
+                EvalPoint {
+                    epoch: 1,
+                    iter: 10,
+                    quality: 40.0,
+                    sim_seconds: 1.0,
+                    sim_energy_j: 1.0,
+                },
+                EvalPoint {
+                    epoch: 2,
+                    iter: 20,
+                    quality: 60.0,
+                    sim_seconds: 2.0,
+                    sim_energy_j: 2.0,
+                },
             ],
             final_loss: 0.0,
         };

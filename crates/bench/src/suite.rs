@@ -147,7 +147,13 @@ impl Workload {
         seed: u64,
         extra_epochs: usize,
     ) -> TrainRun {
-        self.run_fixed(scale, entry.precision, Some((entry.system)()), seed, extra_epochs)
+        self.run_fixed(
+            scale,
+            entry.precision,
+            Some((entry.system)()),
+            seed,
+            extra_epochs,
+        )
     }
 
     /// Trains under FAST-Adaptive (Algorithm 1) on the FAST system,

@@ -69,12 +69,8 @@ impl CnnModel {
     pub fn build(&self, task: ImageTask, seed: u64) -> Sequential {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
-            CnnModel::ResNet18 => {
-                resnet_lite(ResNetConfig::resnet18(8, task.classes), &mut rng)
-            }
-            CnnModel::ResNet50 => {
-                resnet_lite(ResNetConfig::resnet50(8, task.classes), &mut rng)
-            }
+            CnnModel::ResNet18 => resnet_lite(ResNetConfig::resnet18(8, task.classes), &mut rng),
+            CnnModel::ResNet50 => resnet_lite(ResNetConfig::resnet50(8, task.classes), &mut rng),
             CnnModel::MobileNet => mobilenet_lite(
                 MobileNetConfig {
                     in_channels: 3,
@@ -101,7 +97,10 @@ impl CnnModel {
 /// ResNet-20 analogue used by the Fig 9 / Fig 17 / Fig 18 experiments.
 pub fn resnet20(classes: usize, symmetric: bool, seed: u64) -> Sequential {
     let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = ResNetConfig { symmetric, ..ResNetConfig::resnet20(8, classes) };
+    let cfg = ResNetConfig {
+        symmetric,
+        ..ResNetConfig::resnet20(8, classes)
+    };
     resnet_lite(cfg, &mut rng)
 }
 
@@ -118,7 +117,14 @@ impl SeqWorkload {
     pub fn at(scale: Scale, seed: u64) -> Self {
         let vocab = 12;
         let seq_len = 8;
-        let cfg = TransformerConfig { vocab, d_model: 32, heads: 4, ff_dim: 64, layers: 2, seq_len };
+        let cfg = TransformerConfig {
+            vocab,
+            d_model: 32,
+            heads: 4,
+            ff_dim: 64,
+            layers: 2,
+            seq_len,
+        };
         let data = SequenceTask::generate(
             vocab,
             seq_len,
@@ -179,8 +185,18 @@ mod tests {
 
     #[test]
     fn all_cnn_models_build_and_run() {
-        let task = ImageTask { classes: 4, size: 16, train_n: 8, test_n: 4 };
-        for m in [CnnModel::ResNet18, CnnModel::ResNet50, CnnModel::MobileNet, CnnModel::Vgg16] {
+        let task = ImageTask {
+            classes: 4,
+            size: 16,
+            train_n: 8,
+            test_n: 4,
+        };
+        for m in [
+            CnnModel::ResNet18,
+            CnnModel::ResNet50,
+            CnnModel::MobileNet,
+            CnnModel::Vgg16,
+        ] {
             let mut model = m.build(task, 1);
             let mut s = Session::new(0);
             let y = model.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);

@@ -31,7 +31,7 @@ impl ChunkedGroup {
     pub fn from_group(group: &BfpGroup) -> Result<Self, FormatError> {
         let format = group.format();
         let m = format.mantissa_bits();
-        if m % 2 != 0 {
+        if !m.is_multiple_of(2) {
             return Err(FormatError::NotChunkAligned(m));
         }
         let n_chunks = (m / 2) as usize;
@@ -46,7 +46,12 @@ impl ChunkedGroup {
                 chunk_row[i] = ((mag >> shift) & 0b11) as u8;
             }
         }
-        Ok(ChunkedGroup { format, shared_exponent: group.shared_exponent(), signs, chunks })
+        Ok(ChunkedGroup {
+            format,
+            shared_exponent: group.shared_exponent(),
+            signs,
+            chunks,
+        })
     }
 
     /// Reassembles the full-precision [`BfpGroup`].
@@ -75,7 +80,10 @@ impl ChunkedGroup {
     pub fn drop_low_chunk(&self) -> ChunkedGroup {
         assert!(self.chunks.len() > 1, "cannot drop the only mantissa chunk");
         let m = self.format.mantissa_bits() - 2;
-        let format = self.format.with_mantissa_bits(m).expect("narrowed format is valid");
+        let format = self
+            .format
+            .with_mantissa_bits(m)
+            .expect("narrowed format is valid");
         ChunkedGroup {
             format,
             shared_exponent: self.shared_exponent,
@@ -204,7 +212,10 @@ mod tests {
     #[test]
     fn drop_low_chunk_equals_group_truncate() {
         let g = BfpGroup::from_parts(fmt(4, 4), 1, vec![13, -6, 7, 2]);
-        let dropped = ChunkedGroup::from_group(&g).unwrap().drop_low_chunk().to_group();
+        let dropped = ChunkedGroup::from_group(&g)
+            .unwrap()
+            .drop_low_chunk()
+            .to_group();
         assert_eq!(dropped, g.truncate_to(2));
     }
 

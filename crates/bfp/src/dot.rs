@@ -110,7 +110,10 @@ pub fn dot_chunked(a: &ChunkedGroup, b: &ChunkedGroup) -> ChunkedDot {
             acc += partial as f64 * 2.0f64.powi(exp);
         }
     }
-    ChunkedDot { value: acc as f32, passes }
+    ChunkedDot {
+        value: acc as f32,
+        passes,
+    }
 }
 
 #[cfg(test)]

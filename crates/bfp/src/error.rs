@@ -20,13 +20,19 @@ impl fmt::Display for FormatError {
         match self {
             FormatError::ZeroGroupSize => write!(f, "BFP group size must be at least 1"),
             FormatError::MantissaBits(m) => {
-                write!(f, "BFP mantissa bitwidth {m} outside supported range 1..=16")
+                write!(
+                    f,
+                    "BFP mantissa bitwidth {m} outside supported range 1..=16"
+                )
             }
             FormatError::ExponentBits(e) => {
                 write!(f, "BFP exponent bitwidth {e} outside supported range 1..=8")
             }
             FormatError::NotChunkAligned(m) => {
-                write!(f, "mantissa bitwidth {m} is not a multiple of the 2-bit chunk size")
+                write!(
+                    f,
+                    "mantissa bitwidth {m} is not a multiple of the 2-bit chunk size"
+                )
             }
         }
     }

@@ -35,27 +35,47 @@ impl BfpFormat {
         if !(1..=8).contains(&e) {
             return Err(FormatError::ExponentBits(e));
         }
-        Ok(BfpFormat { group_size: g, mantissa_bits: m, exponent_bits: e })
+        Ok(BfpFormat {
+            group_size: g,
+            mantissa_bits: m,
+            exponent_bits: e,
+        })
     }
 
     /// The paper's `LowBFP` setting: `g=16, m=2, e=3`.
     pub fn low() -> Self {
-        BfpFormat { group_size: 16, mantissa_bits: 2, exponent_bits: 3 }
+        BfpFormat {
+            group_size: 16,
+            mantissa_bits: 2,
+            exponent_bits: 3,
+        }
     }
 
     /// The paper's `MidBFP` setting: `g=16, m=3, e=3`.
     pub fn mid() -> Self {
-        BfpFormat { group_size: 16, mantissa_bits: 3, exponent_bits: 3 }
+        BfpFormat {
+            group_size: 16,
+            mantissa_bits: 3,
+            exponent_bits: 3,
+        }
     }
 
     /// The paper's `HighBFP` setting: `g=16, m=4, e=3`.
     pub fn high() -> Self {
-        BfpFormat { group_size: 16, mantissa_bits: 4, exponent_bits: 3 }
+        BfpFormat {
+            group_size: 16,
+            mantissa_bits: 4,
+            exponent_bits: 3,
+        }
     }
 
     /// Microsoft's MSFP-12 format as drawn in paper Fig 2: `g=16, m=3, e=8`.
     pub fn msfp12() -> Self {
-        BfpFormat { group_size: 16, mantissa_bits: 3, exponent_bits: 8 }
+        BfpFormat {
+            group_size: 16,
+            mantissa_bits: 3,
+            exponent_bits: 8,
+        }
     }
 
     /// Flexpoint-style format (`g` spans a whole tensor in the original; we
@@ -171,7 +191,10 @@ mod tests {
     fn invalid_formats_rejected() {
         assert_eq!(BfpFormat::new(0, 4, 3), Err(FormatError::ZeroGroupSize));
         assert_eq!(BfpFormat::new(16, 0, 3), Err(FormatError::MantissaBits(0)));
-        assert_eq!(BfpFormat::new(16, 17, 3), Err(FormatError::MantissaBits(17)));
+        assert_eq!(
+            BfpFormat::new(16, 17, 3),
+            Err(FormatError::MantissaBits(17))
+        );
         assert_eq!(BfpFormat::new(16, 4, 0), Err(FormatError::ExponentBits(0)));
         assert_eq!(BfpFormat::new(16, 4, 9), Err(FormatError::ExponentBits(9)));
     }

@@ -15,7 +15,10 @@
 ///
 /// Panics (debug assertions only) if `x` is NaN or infinite.
 pub fn exponent_of(x: f32) -> Option<i32> {
-    debug_assert!(x.is_finite(), "exponent_of requires a finite input, got {x}");
+    debug_assert!(
+        x.is_finite(),
+        "exponent_of requires a finite input, got {x}"
+    );
     if x == 0.0 {
         return None;
     }
@@ -48,15 +51,30 @@ pub struct Minifloat {
 
 impl Minifloat {
     /// bfloat16: 8 exponent bits, 7 fraction bits.
-    pub const BF16: Minifloat = Minifloat { exp_bits: 8, man_bits: 7 };
+    pub const BF16: Minifloat = Minifloat {
+        exp_bits: 8,
+        man_bits: 7,
+    };
     /// IEEE FP16: 5 exponent bits, 10 fraction bits.
-    pub const FP16: Minifloat = Minifloat { exp_bits: 5, man_bits: 10 };
+    pub const FP16: Minifloat = Minifloat {
+        exp_bits: 5,
+        man_bits: 10,
+    };
     /// Nvidia TensorFloat-32: 8 exponent bits, 10 fraction bits.
-    pub const TF32: Minifloat = Minifloat { exp_bits: 8, man_bits: 10 };
+    pub const TF32: Minifloat = Minifloat {
+        exp_bits: 8,
+        man_bits: 10,
+    };
     /// HFP8 forward-pass format: 1-4-3.
-    pub const HFP8_FWD: Minifloat = Minifloat { exp_bits: 4, man_bits: 3 };
+    pub const HFP8_FWD: Minifloat = Minifloat {
+        exp_bits: 4,
+        man_bits: 3,
+    };
     /// HFP8 backward-pass format: 1-5-2.
-    pub const HFP8_BWD: Minifloat = Minifloat { exp_bits: 5, man_bits: 2 };
+    pub const HFP8_BWD: Minifloat = Minifloat {
+        exp_bits: 5,
+        man_bits: 2,
+    };
 
     /// Exponent bias, `2^(e-1) - 1`.
     pub fn bias(&self) -> i32 {
@@ -65,10 +83,10 @@ impl Minifloat {
 
     /// Largest finite representable magnitude.
     pub fn max_value(&self) -> f32 {
-        let max_exp = (1i32 << self.exp_bits) - 1 - self.bias() - 1; // reserve all-ones? no Inf: use top
         // DNN minifloats (bfloat16 aside) typically reserve the all-ones
         // exponent; we follow IEEE and reserve it, so the max exponent is
         // (2^e - 2) - bias.
+        let max_exp = (1i32 << self.exp_bits) - 1 - self.bias() - 1;
         let frac = 2.0f64 - 2.0f64.powi(-(self.man_bits as i32));
         (frac * 2.0f64.powi(max_exp)) as f32
     }
@@ -129,14 +147,11 @@ pub fn quantize_minifloat(x: f32, fmt: Minifloat) -> f32 {
 fn round_half_even(x: f64) -> f64 {
     let floor = x.floor();
     let frac = x - floor;
-    if frac > 0.5 {
+    let round_up = frac > 0.5 || (frac == 0.5 && (floor as i64) % 2 != 0);
+    if round_up {
         floor + 1.0
-    } else if frac < 0.5 {
-        floor
-    } else if (floor as i64) % 2 == 0 {
-        floor
     } else {
-        floor + 1.0
+        floor
     }
 }
 
@@ -180,7 +195,15 @@ mod tests {
             let rounded = bits.wrapping_add(0x7FFF + lsb);
             f32::from_bits(rounded & 0xFFFF_0000)
         }
-        for &x in &[0.1f32, 3.14159, -2.71828, 1e-8, 1e8, 123.456, -0.0007] {
+        for &x in &[
+            0.1f32,
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            1e-8,
+            1e8,
+            123.456,
+            -0.0007,
+        ] {
             let got = quantize_minifloat(x, Minifloat::BF16);
             let want = bf16_ref(x);
             assert_eq!(got.to_bits(), want.to_bits(), "x={x}");

@@ -39,7 +39,10 @@ impl ExponentWindow {
             .filter_map(|&v| exponent_of(sanitize(v)))
             .max()
             .unwrap_or(0);
-        ExponentWindow { reference_exponent, exponent_bits }
+        ExponentWindow {
+            reference_exponent,
+            exponent_bits,
+        }
     }
 }
 
@@ -103,13 +106,20 @@ impl BfpGroup {
             format.group_size()
         );
         let m = format.mantissa_bits();
-        let natural_exp = values.iter().filter_map(|&v| exponent_of(sanitize(v))).max();
+        let natural_exp = values
+            .iter()
+            .filter_map(|&v| exponent_of(sanitize(v)))
+            .max();
         let shared_exponent = match natural_exp {
             None => {
                 // All-zero group: store zero mantissas under the window floor
                 // (or 0 when unbounded).
                 let e = window.map(|w| w.clamp(i32::MIN / 2)).unwrap_or(0);
-                return BfpGroup { format, shared_exponent: e, mantissas: vec![0; values.len()] };
+                return BfpGroup {
+                    format,
+                    shared_exponent: e,
+                    mantissas: vec![0; values.len()],
+                };
             }
             Some(e) => match window {
                 Some(w) => w.clamp(e),
@@ -136,7 +146,11 @@ impl BfpGroup {
                 }
             })
             .collect();
-        BfpGroup { format, shared_exponent, mantissas }
+        BfpGroup {
+            format,
+            shared_exponent,
+            mantissas,
+        }
     }
 
     /// Quantizes with round-to-nearest and no exponent window — the
@@ -158,7 +172,11 @@ impl BfpGroup {
             mantissas.iter().all(|&m| m.abs() <= max),
             "mantissa magnitude exceeds format maximum {max}"
         );
-        BfpGroup { format, shared_exponent, mantissas }
+        BfpGroup {
+            format,
+            shared_exponent,
+            mantissas,
+        }
     }
 
     /// The format this group was quantized under.
@@ -203,7 +221,10 @@ impl BfpGroup {
     /// Reconstructs all values.
     pub fn dequantize(&self) -> Vec<f32> {
         let s = self.scale();
-        self.mantissas.iter().map(|&m| (m as f64 * s) as f32).collect()
+        self.mantissas
+            .iter()
+            .map(|&m| (m as f64 * s) as f32)
+            .collect()
     }
 
     /// Writes reconstructed values into `out`.
@@ -232,7 +253,10 @@ impl BfpGroup {
     /// Panics if `m` exceeds the current mantissa bitwidth.
     pub fn truncate_to(&self, m: u32) -> BfpGroup {
         let cur = self.format.mantissa_bits();
-        assert!(m <= cur, "cannot widen a group from {cur} to {m} bits by truncation");
+        assert!(
+            m <= cur,
+            "cannot widen a group from {cur} to {m} bits by truncation"
+        );
         let shift = cur - m;
         let format = self
             .format
@@ -250,7 +274,11 @@ impl BfpGroup {
                 }
             })
             .collect();
-        BfpGroup { format, shared_exponent: self.shared_exponent, mantissas }
+        BfpGroup {
+            format,
+            shared_exponent: self.shared_exponent,
+            mantissas,
+        }
     }
 }
 
@@ -335,7 +363,10 @@ mod tests {
     fn exponent_window_truncates_small_groups() {
         let f = fmt(4, 4, 3);
         // Window reference 0, e=3 -> representable exponents 0..=-7.
-        let w = ExponentWindow { reference_exponent: 0, exponent_bits: 3 };
+        let w = ExponentWindow {
+            reference_exponent: 0,
+            exponent_bits: 3,
+        };
         // Group whose natural exponent is -20: clamped to -7; values become
         // denormal w.r.t. the window and truncate to zero.
         let tiny = [1e-6f32, 2e-6, -1e-6, 5e-7];

@@ -37,7 +37,9 @@ impl Lfsr16 {
     /// Creates an LFSR from a seed. A zero seed (the lock-up state) is
     /// remapped to a fixed non-zero constant.
     pub fn new(seed: u16) -> Self {
-        Lfsr16 { state: if seed == 0 { 0xACE1 } else { seed } }
+        Lfsr16 {
+            state: if seed == 0 { 0xACE1 } else { seed },
+        }
     }
 
     /// Advances one step and returns the output bit.
@@ -64,7 +66,10 @@ impl Default for Lfsr16 {
 
 impl BitSource for Lfsr16 {
     fn next_bits(&mut self, n: u32) -> u32 {
-        assert!((1..=32).contains(&n), "next_bits supports 1..=32 bits, got {n}");
+        assert!(
+            (1..=32).contains(&n),
+            "next_bits supports 1..=32 bits, got {n}"
+        );
         let mut out = 0u32;
         for _ in 0..n {
             out = (out << 1) | self.next_bit();
@@ -82,7 +87,10 @@ pub struct RngBits<R>(pub R);
 
 impl<R: rand::RngCore> BitSource for RngBits<R> {
     fn next_bits(&mut self, n: u32) -> u32 {
-        assert!((1..=32).contains(&n), "next_bits supports 1..=32 bits, got {n}");
+        assert!(
+            (1..=32).contains(&n),
+            "next_bits supports 1..=32 bits, got {n}"
+        );
         if n == 32 {
             self.0.next_u32()
         } else {
@@ -133,7 +141,10 @@ mod tests {
         let expected = draws as f64 / 256.0;
         for (byte, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.25, "byte {byte} count {c} deviates {dev:.2} from uniform");
+            assert!(
+                dev < 0.25,
+                "byte {byte} count {c} deviates {dev:.2} from uniform"
+            );
         }
     }
 

@@ -34,12 +34,18 @@ impl Rounding {
     ///
     /// Panics (debug assertions only) if `scaled` is negative or non-finite.
     pub fn round(self, scaled: f64, bits: &mut dyn BitSource) -> i64 {
-        debug_assert!(scaled.is_finite() && scaled >= 0.0, "bad scaled mantissa {scaled}");
+        debug_assert!(
+            scaled.is_finite() && scaled >= 0.0,
+            "bad scaled mantissa {scaled}"
+        );
         match self {
             Rounding::Nearest => (scaled + 0.5).floor() as i64,
             Rounding::Truncate => scaled.floor() as i64,
             Rounding::Stochastic { noise_bits } => {
-                assert!((1..=31).contains(&noise_bits), "noise_bits must be in 1..=31");
+                assert!(
+                    (1..=31).contains(&noise_bits),
+                    "noise_bits must be in 1..=31"
+                );
                 let q = 1u64 << noise_bits;
                 let noise = bits.next_bits(noise_bits) as f64 / q as f64;
                 (scaled + noise).floor() as i64
@@ -84,7 +90,9 @@ mod tests {
         let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(42));
         let x = 2.0 / 3.0;
         let n = 200_000;
-        let sum: i64 = (0..n).map(|_| Rounding::STOCHASTIC8.round(x, &mut src)).sum();
+        let sum: i64 = (0..n)
+            .map(|_| Rounding::STOCHASTIC8.round(x, &mut src))
+            .sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - x).abs() < 0.01, "mean {mean} differs from {x}");
     }
@@ -94,7 +102,9 @@ mod tests {
         let mut lfsr = Lfsr16::new(0x5EED);
         let x = 0.25;
         let n = 100_000;
-        let sum: i64 = (0..n).map(|_| Rounding::STOCHASTIC8.round(x, &mut lfsr)).sum();
+        let sum: i64 = (0..n)
+            .map(|_| Rounding::STOCHASTIC8.round(x, &mut lfsr))
+            .sum();
         let mean = sum as f64 / n as f64;
         assert!((mean - x).abs() < 0.02, "mean {mean} differs from {x}");
     }

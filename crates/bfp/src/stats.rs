@@ -57,9 +57,23 @@ pub fn exponent_gap_histogram(values: &[f32], group_size: usize, max_gap: usize)
     }
     let bins = counts
         .iter()
-        .map(|&c| if total == 0 { 0.0 } else { 100.0 * c as f64 / total as f64 })
+        .map(|&c| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / total as f64
+            }
+        })
         .collect();
-    GapHistogram { bins, count: total, mean_gap: if total == 0 { 0.0 } else { gap_sum / total as f64 } }
+    GapHistogram {
+        bins,
+        count: total,
+        mean_gap: if total == 0 {
+            0.0
+        } else {
+            gap_sum / total as f64
+        },
+    }
 }
 
 /// Mean-squared quantization error of nearest-rounding BFP at the given

@@ -79,6 +79,7 @@ pub fn fake_quantize_slice(
 /// # Panics
 ///
 /// Panics if `data.len() != rows * cols`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's converter signature
 pub fn fake_quantize_matrix(
     data: &mut [f32],
     rows: usize,
@@ -211,11 +212,20 @@ mod tests {
         let rows = 8;
         let cols = 5;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
 
         let mut a = data.clone();
         fake_quantize_matrix(
-            &mut a, rows, cols, GroupAxis::AlongCol, fmt, Rounding::Nearest, &mut NoBits, false,
+            &mut a,
+            rows,
+            cols,
+            GroupAxis::AlongCol,
+            fmt,
+            Rounding::Nearest,
+            &mut NoBits,
+            false,
         );
 
         // Transpose, quantize along rows, transpose back.
@@ -226,7 +236,14 @@ mod tests {
             }
         }
         fake_quantize_matrix(
-            &mut t, cols, rows, GroupAxis::AlongRow, fmt, Rounding::Nearest, &mut NoBits, false,
+            &mut t,
+            cols,
+            rows,
+            GroupAxis::AlongRow,
+            fmt,
+            Rounding::Nearest,
+            &mut NoBits,
+            false,
         );
         for r in 0..rows {
             for c in 0..cols {
@@ -320,7 +337,14 @@ mod tests {
             let mut data = xs.clone();
             let mut bits = RngBits(rand::rngs::StdRng::seed_from_u64(seed));
             fake_quantize_matrix(
-                &mut data, 8, 8, GroupAxis::AlongRow, fmt, Rounding::STOCHASTIC8, &mut bits, false,
+                &mut data,
+                8,
+                8,
+                GroupAxis::AlongRow,
+                fmt,
+                Rounding::STOCHASTIC8,
+                &mut bits,
+                false,
             );
             data
         };

@@ -8,14 +8,14 @@
 use fast_bfp::dot::{dot_chunked, dot_dequantized, dot_f32};
 use fast_bfp::{
     exponent_of, relative_improvement, BfpFormat, BfpGroup, BitSource, ChunkedGroup, Lfsr16,
-    Rounding, RngBits,
+    RngBits, Rounding,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn finite_f32(mag: f32) -> impl Strategy<Value = f32> {
     prop_oneof![
-        5 => (-mag..mag),
+        5 => -mag..mag,
         1 => Just(0.0f32),
         1 => (-mag..mag).prop_map(|x| x / 1e6),
     ]

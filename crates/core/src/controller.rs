@@ -65,7 +65,7 @@ impl FastController {
 impl TrainHook for FastController {
     fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
         use fast_nn::Layer;
-        if iter % self.stride != 0 && !self.current.is_empty() {
+        if !iter.is_multiple_of(self.stride) && !self.current.is_empty() {
             // Keep current settings; still record for the trace.
             self.trace.record(iter, self.current.clone());
             return;
@@ -91,7 +91,11 @@ impl TrainHook for FastController {
                 None => 2,
             };
             *q.precision_mut() = LayerPrecision::fast(m_w, m_a, m_g);
-            settings.push(Setting { w: m_w, a: m_a, g: m_g });
+            settings.push(Setting {
+                w: m_w,
+                a: m_a,
+                g: m_g,
+            });
             labels.push(q.label());
             layer_idx += 1;
         });
@@ -143,7 +147,13 @@ mod tests {
         // bits (r ≥ 0 ≥ ε is always "promote" once ε < 0).
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut model = mlp(&[8, 8, 4], &mut rng);
-        let mut ctl = FastController::new(10, EpsilonSchedule { alpha: -1.0, beta: 0.0 });
+        let mut ctl = FastController::new(
+            10,
+            EpsilonSchedule {
+                alpha: -1.0,
+                beta: 0.0,
+            },
+        );
         ctl.before_iteration(0, &mut model);
         for s in ctl.settings() {
             assert_eq!(s.w, 4);
@@ -189,8 +199,7 @@ mod tests {
     fn stride_holds_settings_between_reevaluations() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut model = mlp(&[4, 8, 2], &mut rng);
-        let mut ctl =
-            FastController::new(10, EpsilonSchedule::paper_default()).with_stride(5);
+        let mut ctl = FastController::new(10, EpsilonSchedule::paper_default()).with_stride(5);
         ctl.before_iteration(0, &mut model);
         let s0 = ctl.settings().to_vec();
         ctl.before_iteration(1, &mut model);

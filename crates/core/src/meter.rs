@@ -33,7 +33,11 @@ impl DimScale {
     pub const CNN_PAPER: DimScale = DimScale { m: 24, k: 8, n: 8 };
 
     /// The transformer lift (d_model 32→768).
-    pub const TRANSFORMER_PAPER: DimScale = DimScale { m: 24, k: 24, n: 24 };
+    pub const TRANSFORMER_PAPER: DimScale = DimScale {
+        m: 24,
+        k: 24,
+        n: 24,
+    };
 }
 
 /// Extracts per-layer GEMM work (shapes + mantissa widths) from a model
@@ -50,7 +54,11 @@ pub fn collect_layer_work_scaled(model: &mut Sequential, scale: DimScale) -> Vec
         if let Some(shape) = q.gemm_shape() {
             let (m_w, m_a, m_g) = q.precision().mantissa_widths();
             work.push(LayerWork {
-                gemm: Gemm { m: shape.m * scale.m, k: shape.k * scale.k, n: shape.n * scale.n },
+                gemm: Gemm {
+                    m: shape.m * scale.m,
+                    k: shape.k * scale.k,
+                    n: shape.n * scale.n,
+                },
                 m_w,
                 m_a,
                 m_g,
@@ -127,7 +135,10 @@ mod tests {
     fn collects_work_after_forward() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut model = mlp(&[8, 16, 4], &mut rng);
-        assert!(collect_layer_work(&mut model).is_empty(), "no shapes before forward");
+        assert!(
+            collect_layer_work(&mut model).is_empty(),
+            "no shapes before forward"
+        );
         let mut s = Session::new(0);
         let _ = model.forward(&Tensor::zeros(vec![2, 8]), &mut s);
         let work = collect_layer_work(&mut model);

@@ -55,7 +55,11 @@ impl TemporalPolicy {
 impl TrainHook for TemporalPolicy {
     fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
         if iter == 0 || iter == self.switch_iter {
-            let p = if iter < self.switch_iter { self.first } else { self.second };
+            let p = if iter < self.switch_iter {
+                self.first
+            } else {
+                self.second
+            };
             set_uniform_precision(model, p);
         }
     }
@@ -179,7 +183,10 @@ mod tests {
 
     #[test]
     fn hook_chain_fires_in_order() {
-        struct Tag(&'static str, std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>);
+        struct Tag(
+            &'static str,
+            std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+        );
         impl TrainHook for Tag {
             fn before_iteration(&mut self, _i: usize, _m: &mut Sequential) {
                 self.1.borrow_mut().push(self.0);

@@ -16,7 +16,10 @@ pub struct EpsilonSchedule {
 impl EpsilonSchedule {
     /// The paper's setting for every DNN: `α = 0.6, β = 0.3` (Section VI).
     pub fn paper_default() -> Self {
-        EpsilonSchedule { alpha: 0.6, beta: 0.3 }
+        EpsilonSchedule {
+            alpha: 0.6,
+            beta: 0.3,
+        }
     }
 
     /// Evaluates `ε(l, i)` for layer `l` of `total_layers` at iteration `i`
@@ -25,7 +28,13 @@ impl EpsilonSchedule {
     /// # Panics
     ///
     /// Panics if `total_iters` or `total_layers` is zero.
-    pub fn epsilon(&self, layer: usize, total_layers: usize, iter: usize, total_iters: usize) -> f32 {
+    pub fn epsilon(
+        &self,
+        layer: usize,
+        total_layers: usize,
+        iter: usize,
+        total_iters: usize,
+    ) -> f32 {
         assert!(total_iters > 0 && total_layers > 0);
         self.alpha
             - self.beta * (iter as f32 / total_iters as f32)

@@ -47,12 +47,19 @@ impl GaussianClusters {
         for _ in 0..total {
             let c = rng.gen_range(0..classes);
             labels.push(c);
-            for d in 0..dim {
+            for &center in centers[c].iter().take(dim) {
                 let noise: f32 = rng.gen_range(-spread..spread);
-                points.push(centers[c][d] + noise);
+                points.push(center + noise);
             }
         }
-        GaussianClusters { points, labels, dim, train_n, test_n, seed }
+        GaussianClusters {
+            points,
+            labels,
+            dim,
+            train_n,
+            test_n,
+            seed,
+        }
     }
 
     /// Feature dimensionality.
@@ -67,13 +74,19 @@ impl GaussianClusters {
             data.extend_from_slice(&self.points[i * self.dim..(i + 1) * self.dim]);
             labels.push(self.labels[i]);
         }
-        (Tensor::from_vec(vec![indices.len(), self.dim], data), labels)
+        (
+            Tensor::from_vec(vec![indices.len(), self.dim], data),
+            labels,
+        )
     }
 
     /// Shuffled training batches for an epoch.
     pub fn train_batches(&self, batch_size: usize, epoch: u64) -> Vec<(Tensor, Vec<usize>)> {
         let order = epoch_order(self.train_n, self.seed, epoch);
-        order.chunks(batch_size).map(|c| self.batch_from(c)).collect()
+        order
+            .chunks(batch_size)
+            .map(|c| self.batch_from(c))
+            .collect()
     }
 
     /// Deterministic test batches.

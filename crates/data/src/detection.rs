@@ -26,7 +26,7 @@ impl SyntheticDetection {
     /// Generates scenes of `size × size × 3` with up to two objects drawn
     /// from `classes` colour classes.
     pub fn generate(classes: usize, size: usize, train_n: usize, test_n: usize, seed: u64) -> Self {
-        assert!(classes >= 1 && classes <= 6, "palette supports 1..=6 classes");
+        assert!((1..=6).contains(&classes), "palette supports 1..=6 classes");
         assert!(size >= 8);
         let mut rng = StdRng::seed_from_u64(seed);
         let total = train_n + test_n;
@@ -67,11 +67,25 @@ impl SyntheticDetection {
                         }
                     }
                 }
-                gt.push(GtBox { cx, cy, w, h, class });
+                gt.push(GtBox {
+                    cx,
+                    cy,
+                    w,
+                    h,
+                    class,
+                });
             }
             boxes.push(gt);
         }
-        SyntheticDetection { images, boxes, size, classes, train_n, test_n, seed }
+        SyntheticDetection {
+            images,
+            boxes,
+            size,
+            classes,
+            train_n,
+            test_n,
+            seed,
+        }
     }
 
     /// Number of classes.
@@ -101,7 +115,10 @@ impl SyntheticDetection {
     /// Shuffled training batches.
     pub fn train_batches(&self, batch_size: usize, epoch: u64) -> Vec<(Tensor, Vec<Vec<GtBox>>)> {
         let order = epoch_order(self.train_n, self.seed, epoch);
-        order.chunks(batch_size).map(|c| self.batch_from(c)).collect()
+        order
+            .chunks(batch_size)
+            .map(|c| self.batch_from(c))
+            .collect()
     }
 
     /// Deterministic test batches.

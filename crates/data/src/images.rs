@@ -45,7 +45,15 @@ impl SyntheticImages {
                 &mut rng,
             );
         }
-        SyntheticImages { images, labels, train_n, test_n, classes, size, seed }
+        SyntheticImages {
+            images,
+            labels,
+            train_n,
+            test_n,
+            classes,
+            size,
+            seed,
+        }
     }
 
     fn render(out: &mut [f32], class: usize, classes: usize, size: usize, rng: &mut StdRng) {
@@ -113,14 +121,19 @@ impl SyntheticImages {
     pub fn train_batches(&self, batch_size: usize, epoch: u64) -> Vec<(Tensor, Vec<usize>)> {
         assert!(batch_size > 0);
         let order: Vec<usize> = epoch_order(self.train_n, self.seed, epoch);
-        order.chunks(batch_size).map(|chunk| self.batch_from(chunk)).collect()
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.batch_from(chunk))
+            .collect()
     }
 
     /// Deterministic test batches.
     pub fn test_batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
         assert!(batch_size > 0);
         let idx: Vec<usize> = (self.train_n..self.train_n + self.test_n).collect();
-        idx.chunks(batch_size).map(|chunk| self.batch_from(chunk)).collect()
+        idx.chunks(batch_size)
+            .map(|chunk| self.batch_from(chunk))
+            .collect()
     }
 }
 
@@ -157,8 +170,8 @@ mod tests {
         for i in 0..200 {
             let cls = d.labels[i];
             counts[cls] += 1;
-            for p in 0..plane {
-                means[cls][p] += d.images[i * plane + p] as f64;
+            for (p, mean) in means[cls].iter_mut().enumerate() {
+                *mean += d.images[i * plane + p] as f64;
             }
         }
         for (m, &n) in means.iter_mut().zip(&counts) {

@@ -3,9 +3,9 @@
 //! These stand in for the paper's datasets (the substitution table is in
 //! DESIGN.md §2):
 //!
-//! * [`SyntheticImages`] — multi-class procedural images (oriented gratings
-//!   + class colour + noise) replacing ImageNet / CIFAR-10 for the CNN
-//!   workloads.
+//! * [`SyntheticImages`] — multi-class procedural images (oriented
+//!   gratings + class colour + noise) replacing ImageNet / CIFAR-10 for the
+//!   CNN workloads.
 //! * [`GaussianClusters`] — separable point clouds for MLP sanity tasks.
 //! * [`SequenceTask`] — noisy sequence reversal over a token vocabulary,
 //!   replacing IWSLT14 De-En; token accuracy is the BLEU proxy.

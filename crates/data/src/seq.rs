@@ -25,7 +25,13 @@ pub struct SequenceTask {
 
 impl SequenceTask {
     /// Generates a reversal task over `vocab` tokens.
-    pub fn generate(vocab: usize, seq_len: usize, train_n: usize, test_n: usize, seed: u64) -> Self {
+    pub fn generate(
+        vocab: usize,
+        seq_len: usize,
+        train_n: usize,
+        test_n: usize,
+        seed: u64,
+    ) -> Self {
         assert!(vocab >= 4, "vocab too small");
         assert!(seq_len >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -42,7 +48,15 @@ impl SequenceTask {
                 targets.push((seq[seq_len - 1 - i] + 1) % vocab);
             }
         }
-        SequenceTask { inputs, targets, vocab, seq_len, train_n, test_n, seed }
+        SequenceTask {
+            inputs,
+            targets,
+            vocab,
+            seq_len,
+            train_n,
+            test_n,
+            seed,
+        }
     }
 
     /// Vocabulary size.
@@ -69,7 +83,10 @@ impl SequenceTask {
     /// Shuffled training batches: `(tokens (B, T), flat labels (B·T))`.
     pub fn train_batches(&self, batch_size: usize, epoch: u64) -> Vec<(Tensor, Vec<usize>)> {
         let order = epoch_order(self.train_n, self.seed, epoch);
-        order.chunks(batch_size).map(|c| self.batch_from(c)).collect()
+        order
+            .chunks(batch_size)
+            .map(|c| self.batch_from(c))
+            .collect()
     }
 
     /// Deterministic test batches.

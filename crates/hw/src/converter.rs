@@ -34,7 +34,10 @@ pub struct ConverterOutput {
 impl BfpConverter {
     /// Creates a converter for the given format with an LFSR seed.
     pub fn new(format: BfpFormat, lfsr_seed: u16) -> Self {
-        BfpConverter { format, lfsr: Lfsr16::new(lfsr_seed) }
+        BfpConverter {
+            format,
+            lfsr: Lfsr16::new(lfsr_seed),
+        }
     }
 
     /// The converter's output format.
@@ -91,7 +94,11 @@ impl BfpConverter {
             // 3. Noise injection below the truncation point, then truncate:
             //    floor(mant24·2^-shift + r·2^-8)
             //      = (mant24·2^8 + r·2^shift) >> (shift + 8).
-            let r = if stochastic { self.lfsr.next_bits(8) as u64 } else { 0x80 };
+            let r = if stochastic {
+                self.lfsr.next_bits(8) as u64
+            } else {
+                0x80
+            };
             let mag = if shift >= 56 {
                 0 // fully shifted out even before rounding
             } else {
@@ -123,7 +130,7 @@ impl BfpConverter {
             + register_ge(16)                          // LFSR
             + lanes * adder_ge(12)                     // noise add / round
             + 2.0 * adder_tree_ge(g, 4)                // improvement sums
-            + register_ge(2 * 16)                      // improvement registers
+            + register_ge(2 * 16) // improvement registers
     }
 }
 
@@ -162,8 +169,7 @@ mod tests {
             let mut conv = BfpConverter::new(fmt, seed);
             let mut lfsr = Lfsr16::new(seed);
             for _ in 0..100 {
-                let xs: Vec<f32> =
-                    (0..16).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+                let xs: Vec<f32> = (0..16).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
                 let hw = conv.convert(&xs, true).group;
                 let sw = BfpGroup::quantize(&xs, fmt, Rounding::STOCHASTIC8, &mut lfsr, None);
                 assert_eq!(hw, sw, "seed={seed} xs={xs:?}");

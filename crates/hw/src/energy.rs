@@ -108,8 +108,13 @@ mod tests {
     fn model_tracks_paper_within_factor_two() {
         for r in fast_breakdown() {
             let ratio = r.area_percent / r.paper_area_percent;
-            assert!((0.4..=2.5).contains(&ratio), "{}: model {:.2}% vs paper {:.2}%",
-                r.name, r.area_percent, r.paper_area_percent);
+            assert!(
+                (0.4..=2.5).contains(&ratio),
+                "{}: model {:.2}% vs paper {:.2}%",
+                r.name,
+                r.area_percent,
+                r.paper_area_percent
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl FmacCell {
     ///
     /// Panics if no weight is loaded or group lengths differ.
     pub fn consume(&mut self, operand: &ChunkedGroup) -> f32 {
-        let w = self.weight.as_ref().expect("fMAC cell has no weight loaded");
+        let w = self
+            .weight
+            .as_ref()
+            .expect("fMAC cell has no weight loaded");
         let ChunkedDot { value, passes } = dot_chunked(w, operand);
         self.passes += passes as u64;
         self.accumulator += value;

@@ -122,5 +122,4 @@ mod tests {
         let ge = barrel_shifter_ge(24, 24);
         assert_eq!(ge, 24.0 * 5.0 * MUX_GE);
     }
-
 }

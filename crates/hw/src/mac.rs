@@ -59,8 +59,14 @@ impl MacCost {
 
 impl MacKind {
     /// All designs of Table IV, in the paper's row order.
-    pub const TABLE4: [MacKind; 6] =
-        [MacKind::Fmac, MacKind::Int8, MacKind::Hfp8, MacKind::Int12, MacKind::Bf16, MacKind::Fp16];
+    pub const TABLE4: [MacKind; 6] = [
+        MacKind::Fmac,
+        MacKind::Int8,
+        MacKind::Hfp8,
+        MacKind::Int12,
+        MacKind::Bf16,
+        MacKind::Fp16,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -142,7 +148,10 @@ impl MacKind {
     /// Model-derived FPGA resources `(LUT, FF)`.
     pub fn model_fpga(&self) -> (u64, u64) {
         let c = self.model_cost();
-        (luts_from_ge(c.combinational_ge), (c.register_ge / 6.0).round() as u64)
+        (
+            luts_from_ge(c.combinational_ge),
+            (c.register_ge / 6.0).round() as u64,
+        )
     }
 
     /// Paper Table IV area ratio (relative to fMAC), when published.
@@ -196,8 +205,8 @@ impl MacKind {
         match self {
             MacKind::Fp32 => {
                 // Scale FP16's published ratio by the model FP32/FP16 ratio.
-                let model = MacKind::Fp32.model_cost().total_ge()
-                    / MacKind::Fp16.model_cost().total_ge();
+                let model =
+                    MacKind::Fp32.model_cost().total_ge() / MacKind::Fp16.model_cost().total_ge();
                 10.6 * model
             }
             // Derived from equal-area 230×230 MSFP-12 vs 256×64 fMAC arrays.
@@ -214,8 +223,8 @@ impl MacKind {
         }
         match self {
             MacKind::Fp32 => {
-                let model = MacKind::Fp32.model_cost().total_ge()
-                    / MacKind::Fp16.model_cost().total_ge();
+                let model =
+                    MacKind::Fp32.model_cost().total_ge() / MacKind::Fp16.model_cost().total_ge();
                 4.474 * model
             }
             // Between HFP8 and INT12, matching its calibrated area position.
@@ -254,7 +263,10 @@ mod tests {
         // Table IV row order is fMAC < INT8 < HFP8 < INT12 < bf16 < FP16.
         // The gate model must reproduce the ordering (absolute ratios are
         // calibrated separately).
-        let ratios: Vec<f64> = MacKind::TABLE4.iter().map(|m| m.model_area_ratio()).collect();
+        let ratios: Vec<f64> = MacKind::TABLE4
+            .iter()
+            .map(|m| m.model_area_ratio())
+            .collect();
         for w in ratios.windows(2) {
             assert!(w[0] < w[1], "ordering violated: {ratios:?}");
         }
@@ -278,7 +290,13 @@ mod tests {
 
     #[test]
     fn fmac_is_cheapest_design() {
-        for mac in [MacKind::Int8, MacKind::Hfp8, MacKind::Int12, MacKind::Bf16, MacKind::Fp16] {
+        for mac in [
+            MacKind::Int8,
+            MacKind::Hfp8,
+            MacKind::Int12,
+            MacKind::Bf16,
+            MacKind::Fp16,
+        ] {
             assert!(mac.model_area_ratio() > 1.0, "{}", mac.name());
             assert!(mac.calibrated_area_ratio() > 1.0);
             assert!(mac.calibrated_power_mw() > MacKind::Fmac.calibrated_power_mw());

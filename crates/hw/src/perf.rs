@@ -28,7 +28,12 @@ pub struct LayerWork {
 impl LayerWork {
     /// Uniform-width helper.
     pub fn uniform(gemm: Gemm, m: u32) -> Self {
-        LayerWork { gemm, m_w: m, m_a: m, m_g: m }
+        LayerWork {
+            gemm,
+            m_w: m,
+            m_a: m,
+            m_g: m,
+        }
     }
 }
 
@@ -77,7 +82,11 @@ pub fn layer_cycles(system: &SystemConfig, work: &LayerWork) -> u64 {
 pub fn training_iteration(system: &SystemConfig, layers: &[LayerWork]) -> IterationCost {
     let cycles: u64 = layers.iter().map(|w| layer_cycles(system, w)).sum();
     let seconds = cycles as f64 / system.freq_hz;
-    IterationCost { cycles, seconds, energy_j: energy_joules(system, cycles) }
+    IterationCost {
+        cycles,
+        seconds,
+        energy_j: energy_joules(system, cycles),
+    }
 }
 
 #[cfg(test)]
@@ -88,10 +97,26 @@ mod tests {
         // Representative ResNet-18/ImageNet conv GEMMs (im2col form) at the
         // paper's mini-batch of 256.
         [
-            Gemm { m: 802_816, k: 576, n: 64 },
-            Gemm { m: 200_704, k: 1152, n: 128 },
-            Gemm { m: 50_176, k: 2304, n: 256 },
-            Gemm { m: 12_544, k: 4608, n: 512 },
+            Gemm {
+                m: 802_816,
+                k: 576,
+                n: 64,
+            },
+            Gemm {
+                m: 200_704,
+                k: 1152,
+                n: 128,
+            },
+            Gemm {
+                m: 50_176,
+                k: 2304,
+                n: 256,
+            },
+            Gemm {
+                m: 12_544,
+                k: 4608,
+                n: 512,
+            },
         ]
         .iter()
         .map(|&gemm| LayerWork::uniform(gemm, m))
@@ -103,7 +128,10 @@ mod tests {
         let fast = SystemConfig::fast();
         let low = training_iteration(&fast, &resnet_like_layers(2));
         let high = training_iteration(&fast, &resnet_like_layers(4));
-        assert!(high.cycles > 2 * low.cycles, "4-bit should cost ~4 passes vs 1");
+        assert!(
+            high.cycles > 2 * low.cycles,
+            "4-bit should cost ~4 passes vs 1"
+        );
         assert!(high.cycles < 5 * low.cycles);
     }
 
@@ -146,9 +174,22 @@ mod tests {
         // total order of Fig 17's legend additionally counts gradient
         // conversion/traffic and lives in `fast-core`'s controller.
         let fast = SystemConfig::fast();
-        let gemm = Gemm { m: 4096, k: 1152, n: 128 };
+        let gemm = Gemm {
+            m: 4096,
+            k: 1152,
+            n: 128,
+        };
         let cost = |w, a, g| {
-            training_iteration(&fast, &[LayerWork { gemm, m_w: w, m_a: a, m_g: g }]).cycles
+            training_iteration(
+                &fast,
+                &[LayerWork {
+                    gemm,
+                    m_w: w,
+                    m_a: a,
+                    m_g: g,
+                }],
+            )
+            .cycles
         };
         assert!(cost(2, 2, 2) < cost(2, 4, 2));
         // The three single-4-bit settings tie at the GEMM level (5 passes).

@@ -27,7 +27,10 @@ pub struct Sram {
 impl Sram {
     /// The paper's configuration: 128 banks of 16 kB.
     pub fn paper_default() -> Self {
-        Sram { banks: 128, bank_kb: 16 }
+        Sram {
+            banks: 128,
+            bank_kb: 16,
+        }
     }
 
     /// Total capacity in kB.

@@ -173,7 +173,13 @@ mod tests {
 
     #[test]
     fn presets_match_paper_dimensions() {
-        assert_eq!((SystemConfig::fast().array.rows, SystemConfig::fast().array.cols), (256, 64));
+        assert_eq!(
+            (
+                SystemConfig::fast().array.rows,
+                SystemConfig::fast().array.cols
+            ),
+            (256, 64)
+        );
         assert_eq!(SystemConfig::hfp8().array.rows, 245);
         assert_eq!(SystemConfig::msfp12().array.rows, 230);
         assert_eq!(SystemConfig::int12().array.rows, 210);
@@ -203,7 +209,11 @@ mod tests {
             assert!(fp32.array.cells() <= sys.array.cells(), "{}", sys.name);
         }
         // Sanity: roughly 100×100.
-        assert!((90..=115).contains(&fp32.array.rows), "side {}", fp32.array.rows);
+        assert!(
+            (90..=115).contains(&fp32.array.rows),
+            "side {}",
+            fp32.array.rows
+        );
     }
 
     #[test]

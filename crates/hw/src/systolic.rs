@@ -91,7 +91,11 @@ impl SystolicFunctionalSim {
     /// Stores a `(k, n)` weight matrix into the cell grid.
     pub fn load_weights(weights: &[f32], k: usize, n: usize) -> Self {
         assert_eq!(weights.len(), k * n);
-        SystolicFunctionalSim { weights: weights.to_vec(), k, n }
+        SystolicFunctionalSim {
+            weights: weights.to_vec(),
+            k,
+            n,
+        }
     }
 
     fn w(&self, i: usize, j: usize) -> f32 {
@@ -168,9 +172,15 @@ mod tests {
         // (a) O = A·W = [[2,7],[10,17]].
         assert_eq!(sim.forward(&[1., 4., 5., 2.], 2), vec![2., 7., 10., 17.]);
         // (b) ∇A = ∇O·Wᵀ with ∇O = [[3,4],[1,2]] → [[18,4],[8,2]].
-        assert_eq!(sim.backward_activation(&[3., 4., 1., 2.], 2), vec![18., 4., 8., 2.]);
+        assert_eq!(
+            sim.backward_activation(&[3., 4., 1., 2.], 2),
+            vec![18., 4., 8., 2.]
+        );
         // (c) ∇W = Aᵀ·∇O = [[8,14],[14,20]].
-        assert_eq!(sim.backward_weight(&[1., 4., 5., 2.], &[3., 4., 1., 2.], 2), vec![8., 14., 14., 20.]);
+        assert_eq!(
+            sim.backward_weight(&[1., 4., 5., 2.], &[3., 4., 1., 2.], 2),
+            vec![8., 14., 14., 20.]
+        );
     }
 
     #[test]
@@ -209,7 +219,11 @@ mod tests {
     fn fmac_array_amortizes_reduction_by_group_size() {
         let fast = SystolicArray::new(256, 64, MacKind::Fmac);
         let scalar = SystolicArray::new(256, 64, MacKind::Fp16);
-        let gemm = Gemm { m: 1024, k: 4096, n: 64 };
+        let gemm = Gemm {
+            m: 1024,
+            k: 4096,
+            n: 64,
+        };
         // fMAC holds 256·16 = 4096 reduction elements: one K-tile.
         let f = fast.weight_stationary_cycles(gemm, 1);
         // Scalar cells hold 256: sixteen K-tiles.
@@ -221,7 +235,11 @@ mod tests {
     #[test]
     fn passes_scale_the_streaming_term() {
         let fast = SystolicArray::new(256, 64, MacKind::Fmac);
-        let gemm = Gemm { m: 512, k: 1024, n: 64 };
+        let gemm = Gemm {
+            m: 512,
+            k: 1024,
+            n: 64,
+        };
         let c1 = fast.weight_stationary_cycles(gemm, 1);
         let c4 = fast.weight_stationary_cycles(gemm, 4);
         // Streaming quadruples; the pipeline-fill term does not.
@@ -232,7 +250,11 @@ mod tests {
     #[test]
     fn accumulation_stationary_streams_reduction() {
         let fast = SystolicArray::new(256, 64, MacKind::Fmac);
-        let gemm = Gemm { m: 4096, k: 256, n: 64 }; // ∇W is K×N, M streams
+        let gemm = Gemm {
+            m: 4096,
+            k: 256,
+            n: 64,
+        }; // ∇W is K×N, M streams
         let c = fast.accumulation_stationary_cycles(gemm, 1);
         // One tile (256 ≤ 4096 K-capacity, 64 cols); stream 4096 + fill.
         assert_eq!(c, 4096 + 320);
@@ -242,9 +264,11 @@ mod tests {
     fn more_cells_never_cost_more_cycles() {
         let small = SystolicArray::new(64, 64, MacKind::Fp16);
         let big = SystolicArray::new(128, 128, MacKind::Fp16);
-        let gemm = Gemm { m: 2048, k: 512, n: 512 };
-        assert!(
-            big.weight_stationary_cycles(gemm, 1) <= small.weight_stationary_cycles(gemm, 1)
-        );
+        let gemm = Gemm {
+            m: 2048,
+            k: 512,
+            n: 512,
+        };
+        assert!(big.weight_stationary_cycles(gemm, 1) <= small.weight_stationary_cycles(gemm, 1));
     }
 }

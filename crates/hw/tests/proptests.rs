@@ -2,12 +2,12 @@
 //! equivalence over wide input distributions, cycle-model monotonicity,
 //! functional systolic correctness.
 
+use fast_bfp::dot::dot_f32;
+use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup, Lfsr16};
 use fast_hw::{
     training_iteration, BfpConverter, FmacCell, Gemm, LayerWork, SystemConfig, SystolicArray,
     SystolicFunctionalSim,
 };
-use fast_bfp::dot::dot_f32;
-use fast_bfp::{BfpFormat, BfpGroup, ChunkedGroup, Lfsr16};
 use proptest::prelude::*;
 
 proptest! {

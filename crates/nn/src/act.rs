@@ -68,7 +68,10 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let mask = self.mask.as_ref().expect("LeakyRelu::backward before forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("LeakyRelu::backward before forward");
         let mut g = grad_output.clone();
         for (v, &m) in g.data_mut().iter_mut().zip(mask) {
             if !m {

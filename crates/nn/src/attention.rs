@@ -39,7 +39,10 @@ impl MultiHeadSelfAttention {
     ///
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, seq_len: usize, rng: &mut impl Rng) -> Self {
-        assert!(dim % heads == 0, "dim {dim} must be divisible by heads {heads}");
+        assert!(
+            dim.is_multiple_of(heads),
+            "dim {dim} must be divisible by heads {heads}"
+        );
         MultiHeadSelfAttention {
             wq: Dense::new(dim, dim, true, rng),
             wk: Dense::new(dim, dim, true, rng),
@@ -81,7 +84,11 @@ impl MultiHeadSelfAttention {
 
 impl std::fmt::Debug for MultiHeadSelfAttention {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MultiHeadSelfAttention(dim={}, heads={}, seq={})", self.dim, self.heads, self.seq_len)
+        write!(
+            f,
+            "MultiHeadSelfAttention(dim={}, heads={}, seq={})",
+            self.dim, self.heads, self.seq_len
+        )
     }
 }
 
@@ -131,14 +138,23 @@ impl Layer for MultiHeadSelfAttention {
         }
         let y = self.wo.forward(&concat, session);
         if session.train {
-            self.cache = Some(AttnCache { q, k, v, attn: attns, batch });
+            self.cache = Some(AttnCache {
+                q,
+                k,
+                v,
+                attn: attns,
+                batch,
+            });
         }
         y
     }
 
     fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {
         let g_concat = self.wo.backward(grad_output, session);
-        let cache = self.cache.take().expect("attention backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward before forward");
         let dh = self.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
         let rows = g_concat.shape()[0];
@@ -156,7 +172,8 @@ impl Layer for MultiHeadSelfAttention {
 
                 // dV = Aᵀ·g ; dA = g·Vᵀ
                 let dvb = fast_tensor::matmul_tn(a, &gb);
-                let mut da = fast_tensor::matmul_nt(&gb, &vb); // (T, T)
+                // (T, T)
+                let mut da = fast_tensor::matmul_nt(&gb, &vb);
                 // Softmax backward: dS = A ⊙ (dA − rowsum(dA ⊙ A)).
                 let t = self.seq_len;
                 for i in 0..t {
@@ -214,7 +231,10 @@ mod tests {
         let mut attn = MultiHeadSelfAttention::new(8, 2, 4, &mut rng);
         let mut s = Session::new(0);
         use rand::Rng;
-        let x = Tensor::from_vec(vec![8, 8], (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![8, 8],
+            (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
         let y = attn.forward(&x, &mut s);
         assert_eq!(y.shape(), &[8, 8]);
         let cache = attn.cache.as_ref().unwrap();
@@ -232,8 +252,14 @@ mod tests {
         let mut attn = MultiHeadSelfAttention::new(4, 2, 3, &mut rng);
         let mut s = Session::new(0);
         use rand::Rng;
-        let x = Tensor::from_vec(vec![3, 4], (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
-        let g = Tensor::from_vec(vec![3, 4], (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![3, 4],
+            (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let g = Tensor::from_vec(
+            vec![3, 4],
+            (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
         let _ = attn.forward(&x, &mut s);
         let gin = attn.backward(&g, &mut s);
         let eps = 1e-3f32;
@@ -242,10 +268,20 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp: f32 =
-                attn.forward(&xp, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
-            let lm: f32 =
-                attn.forward(&xm, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let lp: f32 = attn
+                .forward(&xp, &mut s)
+                .data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = attn
+                .forward(&xm, &mut s)
+                .data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - gin.data()[idx]).abs() < 2e-2,

@@ -88,9 +88,13 @@ impl Layer for Conv2d {
         let mut cols = im2col(input, d);
         // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups run
         // down the rows of `cols` (AlongCol) and along the rows of `W_mat`.
-        self.precision.activations.quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .activations
+            .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
         let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
-        self.precision.weights.quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.bits());
+        self.precision
+            .weights
+            .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.bits());
         let mut out_mat = matmul(&w_mat, &cols);
         if self.use_bias {
             let p = d.p_dim();
@@ -103,7 +107,11 @@ impl Layer for Conv2d {
             }
         }
         let out = gemm_out_to_nchw(&out_mat, d);
-        self.last_shape = Some(GemmShape { m: d.p_dim(), k: d.k_dim(), n: self.out_c });
+        self.last_shape = Some(GemmShape {
+            m: d.p_dim(),
+            k: d.k_dim(),
+            n: self.out_c,
+        });
         self.last_dims = Some(d);
         if session.train {
             self.saved_input = Some(input.clone());
@@ -112,7 +120,9 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {
-        let d = self.last_dims.expect("Conv2d::backward requires a prior forward pass");
+        let d = self
+            .last_dims
+            .expect("Conv2d::backward requires a prior forward pass");
         let x = self
             .saved_input
             .as_ref()
@@ -121,10 +131,15 @@ impl Layer for Conv2d {
 
         // ∇W = ∇O · colsᵀ, reduction over P.
         let mut gq = g_mat.clone();
-        self.precision.gradients.quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+        self.precision
+            .gradients
+            .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
         let mut cols = im2col(x, d);
-        self.precision.activations.quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
-        let gw = matmul_nt(&gq, &cols).reshape(vec![self.out_c, self.in_c, self.kernel, self.kernel]);
+        self.precision
+            .activations
+            .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
+        let gw =
+            matmul_nt(&gq, &cols).reshape(vec![self.out_c, self.in_c, self.kernel, self.kernel]);
         self.gw.add_assign(&gw);
         if self.use_bias {
             let sums = row_sums(&g_mat);
@@ -135,9 +150,13 @@ impl Layer for Conv2d {
 
         // ∇cols = Wᵀ · ∇O, reduction over out_c.
         let mut gq2 = g_mat;
-        self.precision.gradients.quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .gradients
+            .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
         let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
-        self.precision.weights.quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .weights
+            .quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.bits());
         let grad_cols = matmul_tn(&w_mat, &gq2);
         let grad_input = col2im(&grad_cols, d);
 
@@ -146,9 +165,17 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.w, grad: &mut self.gw, decay: true });
+        f(Param {
+            value: &mut self.w,
+            grad: &mut self.gw,
+            decay: true,
+        });
         if self.use_bias {
-            f(Param { value: &mut self.b, grad: &mut self.gb, decay: false });
+            f(Param {
+                value: &mut self.b,
+                grad: &mut self.gb,
+                decay: false,
+            });
         }
     }
 
@@ -187,7 +214,12 @@ impl QuantControlled for Conv2d {
     }
 
     fn label(&self) -> String {
-        format!("conv{k}x{k}({}->{})", self.in_c, self.out_c, k = self.kernel)
+        format!(
+            "conv{k}x{k}({}->{})",
+            self.in_c,
+            self.out_c,
+            k = self.kernel
+        )
     }
 }
 
@@ -209,7 +241,13 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise conv over `channels` channels.
-    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let fan_in = kernel * kernel;
         DepthwiseConv2d {
             w: kaiming_normal(vec![channels, 1, kernel, kernel], fan_in, rng),
@@ -265,24 +303,29 @@ impl Layer for DepthwiseConv2d {
         for c in 0..self.channels {
             let xc = Self::slice_channel(input, c);
             let mut cols = im2col(&xc, d); // (k², B·OH·OW)
-            self.precision
-                .activations
-                .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
-            let mut w_row = Tensor::from_vec(
-                vec![1, k2],
-                self.w.data()[c * k2..(c + 1) * k2].to_vec(),
+            self.precision.activations.quantize_matrix(
+                &mut cols,
+                GroupAxis::AlongCol,
+                session.bits(),
             );
-            self.precision.weights.quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.bits());
+            let mut w_row =
+                Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
+            self.precision
+                .weights
+                .quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.bits());
             let out_mat = matmul(&w_row, &cols); // (1, B·OH·OW)
             let od = out.data_mut();
             for bi in 0..b {
                 for p in 0..oh * ow {
-                    od[((bi * self.channels + c) * oh * ow) + p] =
-                        out_mat.data()[bi * oh * ow + p];
+                    od[((bi * self.channels + c) * oh * ow) + p] = out_mat.data()[bi * oh * ow + p];
                 }
             }
         }
-        self.last_shape = Some(GemmShape { m: b * oh * ow, k: k2, n: self.channels });
+        self.last_shape = Some(GemmShape {
+            m: b * oh * ow,
+            k: k2,
+            n: self.channels,
+        });
         if session.train {
             self.saved_input = Some(input.clone());
         }
@@ -305,11 +348,15 @@ impl Layer for DepthwiseConv2d {
 
             // ∇W row = ∇O · colsᵀ.
             let mut gq = g_mat.clone();
-            self.precision.gradients.quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
-            let mut cols = im2col(&xc, d);
             self.precision
-                .activations
-                .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
+                .gradients
+                .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+            let mut cols = im2col(&xc, d);
+            self.precision.activations.quantize_matrix(
+                &mut cols,
+                GroupAxis::AlongRow,
+                session.bits(),
+            );
             let gw_row = matmul_nt(&gq, &cols); // (1, k²)
             for (i, &v) in gw_row.data().iter().enumerate() {
                 self.gw.data_mut()[c * k2 + i] += v;
@@ -317,10 +364,14 @@ impl Layer for DepthwiseConv2d {
 
             // ∇cols = wᵀ · ∇O.
             let mut gq2 = g_mat;
-            self.precision.gradients.quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+            self.precision
+                .gradients
+                .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
             let mut w_row =
                 Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
-            self.precision.weights.quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.bits());
+            self.precision
+                .weights
+                .quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.bits());
             let grad_cols = matmul_tn(&w_row, &gq2); // (k², B·OH·OW)
             let gic = col2im(&grad_cols, d); // (B,1,H,W)
             for bi in 0..b {
@@ -335,7 +386,11 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.w, grad: &mut self.gw, decay: true });
+        f(Param {
+            value: &mut self.w,
+            grad: &mut self.gw,
+            decay: true,
+        });
     }
 
     fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
@@ -439,7 +494,10 @@ mod tests {
             let lm: f32 = layer.forward(&x, &mut s).data().iter().sum();
             layer.w.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - analytic_w.data()[idx]).abs() < 1e-2, "weight grad {idx}");
+            assert!(
+                (num - analytic_w.data()[idx]).abs() < 1e-2,
+                "weight grad {idx}"
+            );
         }
     }
 
@@ -457,7 +515,10 @@ mod tests {
         // Per-channel reference.
         for c in 0..3 {
             let xc = DepthwiseConv2d::slice_channel(&x, c);
-            let wc = Tensor::from_vec(vec![1, 1, 3, 3], layer.w.data()[c * 9..(c + 1) * 9].to_vec());
+            let wc = Tensor::from_vec(
+                vec![1, 1, 3, 3],
+                layer.w.data()[c * 9..(c + 1) * 9].to_vec(),
+            );
             let d = layer.channel_dims(&x);
             let want = conv2d(&xc, &wc, d);
             for p in 0..16 {

@@ -66,7 +66,10 @@ impl Layer for Embedding {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let tokens = self.saved_tokens.as_ref().expect("Embedding::backward before forward");
+        let tokens = self
+            .saved_tokens
+            .as_ref()
+            .expect("Embedding::backward before forward");
         assert_eq!(grad_output.shape(), &[tokens.len(), self.dim]);
         for (i, &t) in tokens.iter().enumerate() {
             for j in 0..self.dim {
@@ -78,7 +81,11 @@ impl Layer for Embedding {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.table, grad: &mut self.grad, decay: false });
+        f(Param {
+            value: &mut self.table,
+            grad: &mut self.grad,
+            decay: false,
+        });
     }
 
     fn kind(&self) -> &'static str {
@@ -111,7 +118,11 @@ impl PositionalEmbedding {
 impl Layer for PositionalEmbedding {
     fn forward(&mut self, input: &Tensor, _session: &mut Session) -> Tensor {
         assert_eq!(input.rank(), 2);
-        assert_eq!(input.shape()[1], self.dim, "positional embedding width mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.dim,
+            "positional embedding width mismatch"
+        );
         let rows = input.shape()[0];
         assert_eq!(rows % self.seq_len, 0, "rows must be a multiple of seq_len");
         let mut out = input.clone();
@@ -136,7 +147,11 @@ impl Layer for PositionalEmbedding {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.table, grad: &mut self.grad, decay: false });
+        f(Param {
+            value: &mut self.table,
+            grad: &mut self.grad,
+            decay: false,
+        });
     }
 
     fn kind(&self) -> &'static str {

@@ -23,12 +23,18 @@ pub struct Session {
 impl Session {
     /// Creates a training session with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Session { train: true, bits: RngBits(StdRng::seed_from_u64(seed)) }
+        Session {
+            train: true,
+            bits: RngBits(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// Creates an evaluation (inference) session.
     pub fn eval(seed: u64) -> Self {
-        Session { train: false, bits: RngBits(StdRng::seed_from_u64(seed)) }
+        Session {
+            train: false,
+            bits: RngBits(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// The stochastic-rounding bit source.

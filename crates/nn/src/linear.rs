@@ -73,14 +73,26 @@ impl Dense {
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects (batch, features) input");
-        assert_eq!(input.shape()[1], self.in_dim(), "Dense input width mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_dim(),
+            "Dense input width mismatch"
+        );
         let batch = input.shape()[0];
-        self.last_shape = Some(GemmShape { m: batch, k: self.in_dim(), n: self.out_dim() });
+        self.last_shape = Some(GemmShape {
+            m: batch,
+            k: self.in_dim(),
+            n: self.out_dim(),
+        });
 
         let mut xq = input.clone();
-        self.precision.activations.quantize_matrix(&mut xq, GroupAxis::AlongRow, session.bits());
+        self.precision
+            .activations
+            .quantize_matrix(&mut xq, GroupAxis::AlongRow, session.bits());
         let mut wq = self.w.clone();
-        self.precision.weights.quantize_matrix(&mut wq, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .weights
+            .quantize_matrix(&mut wq, GroupAxis::AlongCol, session.bits());
         let mut out = matmul(&xq, &wq);
         if self.use_bias {
             let n = self.out_dim();
@@ -106,9 +118,13 @@ impl Layer for Dense {
 
         // ∇W = Aᵀ·∇O, reduction over the batch dimension.
         let mut xq = x.clone();
-        self.precision.activations.quantize_matrix(&mut xq, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .activations
+            .quantize_matrix(&mut xq, GroupAxis::AlongCol, session.bits());
         let mut gq = grad_output.clone();
-        self.precision.gradients.quantize_matrix(&mut gq, GroupAxis::AlongCol, session.bits());
+        self.precision
+            .gradients
+            .quantize_matrix(&mut gq, GroupAxis::AlongCol, session.bits());
         self.gw.add_assign(&matmul_tn(&xq, &gq));
         if self.use_bias {
             let sums = col_sums(grad_output);
@@ -119,9 +135,13 @@ impl Layer for Dense {
 
         // ∇A = ∇O·Wᵀ, reduction over the output dimension.
         let mut gq2 = grad_output.clone();
-        self.precision.gradients.quantize_matrix(&mut gq2, GroupAxis::AlongRow, session.bits());
+        self.precision
+            .gradients
+            .quantize_matrix(&mut gq2, GroupAxis::AlongRow, session.bits());
         let mut wq = self.w.clone();
-        self.precision.weights.quantize_matrix(&mut wq, GroupAxis::AlongRow, session.bits());
+        self.precision
+            .weights
+            .quantize_matrix(&mut wq, GroupAxis::AlongRow, session.bits());
         // matmul_nt(g (B,N), W (K,N)) reduces over N and yields (B,K) = g·Wᵀ.
         let grad_input = matmul_nt(&gq2, &wq);
         self.last_grad = Some(grad_output.clone());
@@ -129,9 +149,17 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.w, grad: &mut self.gw, decay: true });
+        f(Param {
+            value: &mut self.w,
+            grad: &mut self.gw,
+            decay: true,
+        });
         if self.use_bias {
-            f(Param { value: &mut self.b, grad: &mut self.gb, decay: false });
+            f(Param {
+                value: &mut self.b,
+                grad: &mut self.gb,
+                decay: false,
+            });
         }
     }
 
@@ -187,7 +215,10 @@ mod tests {
     fn forward_matches_manual_gemm() {
         let mut r = rng();
         let mut layer = Dense::new(3, 2, true, &mut r);
-        layer.weights_mut().data_mut().copy_from_slice(&[1., 2., 3., 4., 5., 6.]);
+        layer
+            .weights_mut()
+            .data_mut()
+            .copy_from_slice(&[1., 2., 3., 4., 5., 6.]);
         let mut s = Session::new(0);
         let x = Tensor::from_vec(vec![1, 3], vec![1.0, 0.5, -1.0]);
         let y = layer.forward(&x, &mut s);
@@ -239,7 +270,10 @@ mod tests {
             let lm: f32 = layer.forward(&x, &mut s).data().iter().sum();
             layer.w.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - analytic.data()[idx]).abs() < 1e-2, "weight grad at {idx}");
+            assert!(
+                (num - analytic.data()[idx]).abs() < 1e-2,
+                "weight grad at {idx}"
+            );
         }
     }
 
@@ -248,7 +282,12 @@ mod tests {
         let mut r = rng();
         let mut layer = Dense::new(16, 8, false, &mut r);
         let mut s = Session::new(0);
-        let x = Tensor::from_vec(vec![4, 16], (0..64).map(|i| ((i * 37) % 13) as f32 * 0.07 - 0.4).collect());
+        let x = Tensor::from_vec(
+            vec![4, 16],
+            (0..64)
+                .map(|i| ((i * 37) % 13) as f32 * 0.07 - 0.4)
+                .collect(),
+        );
         let y_fp = layer.forward(&x, &mut s);
         *layer.precision_mut() = LayerPrecision::bfp_fixed(4);
         let y_q = layer.forward(&x, &mut s);
@@ -260,7 +299,10 @@ mod tests {
             .map(|(a, b)| ((a - b) as f64).abs())
             .sum::<f64>()
             / y_fp.data().iter().map(|&v| (v as f64).abs()).sum::<f64>();
-        assert!(rel < 0.15, "HighBFP should stay close to FP32, rel err {rel}");
+        assert!(
+            rel < 0.15,
+            "HighBFP should stay close to FP32, rel err {rel}"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor)
     let mut grad = logits.clone();
     let mut loss = 0.0f64;
     for (i, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let row = &mut grad.data_mut()[i * classes..(i + 1) * classes];
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut sum = 0.0f32;
@@ -106,7 +109,7 @@ mod tests {
         let pred = Tensor::from_vec(vec![2, 2], vec![0.5, -1.0, 2.0, 0.0]);
         let target = Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 2.0, -1.0]);
         let (loss, grad) = mse_loss(&pred, &target);
-        assert!((loss - (0.25 + 4.0 + 0.0 + 1.0) as f64 / 4.0).abs() < 1e-9);
+        assert!((loss - (0.25 + 4.0 + 0.0 + 1.0) / 4.0).abs() < 1e-9);
         let eps = 1e-3f32;
         for idx in 0..4 {
             let mut pp = pred.clone();

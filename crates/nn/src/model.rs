@@ -93,18 +93,29 @@ pub struct Residual {
 impl Residual {
     /// Creates a residual block with identity shortcut.
     pub fn new(main: Sequential) -> Self {
-        Residual { main, shortcut: None }
+        Residual {
+            main,
+            shortcut: None,
+        }
     }
 
     /// Creates a residual block with a projection shortcut.
     pub fn with_shortcut(main: Sequential, shortcut: Sequential) -> Self {
-        Residual { main, shortcut: Some(shortcut) }
+        Residual {
+            main,
+            shortcut: Some(shortcut),
+        }
     }
 }
 
 impl std::fmt::Debug for Residual {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Residual(main={:?}, shortcut={})", self.main, self.shortcut.is_some())
+        write!(
+            f,
+            "Residual(main={:?}, shortcut={})",
+            self.main,
+            self.shortcut.is_some()
+        )
     }
 }
 
@@ -163,10 +174,10 @@ mod tests {
     #[test]
     fn sequential_chains_layers() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let mut model =
-            Sequential::new().push(Dense::new(4, 8, true, &mut rng)).push(Relu::new()).push(
-                Dense::new(8, 2, true, &mut rng),
-            );
+        let mut model = Sequential::new()
+            .push(Dense::new(4, 8, true, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, true, &mut rng));
         let mut s = Session::new(0);
         let x = Tensor::zeros(vec![3, 4]);
         let y = model.forward(&x, &mut s);
@@ -197,11 +208,16 @@ mod tests {
     fn residual_gradient_check() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut block = Residual::new(
-            Sequential::new().push(Dense::new(3, 3, true, &mut rng)).push(Relu::new()),
+            Sequential::new()
+                .push(Dense::new(3, 3, true, &mut rng))
+                .push(Relu::new()),
         );
         let mut s = Session::new(0);
         use rand::Rng;
-        let x = Tensor::from_vec(vec![2, 3], (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![2, 3],
+            (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
         let _ = block.forward(&x, &mut s);
         let ones = Tensor::full(vec![2, 3], 1.0);
         let gin = block.backward(&ones, &mut s);

@@ -14,7 +14,10 @@ use rand::Rng;
 ///
 /// Panics if fewer than two dims are given.
 pub fn mlp(dims: &[usize], rng: &mut impl Rng) -> Sequential {
-    assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+    assert!(
+        dims.len() >= 2,
+        "an MLP needs at least input and output dims"
+    );
     let mut model = Sequential::new();
     for i in 0..dims.len() - 1 {
         model.add(Box::new(Dense::new(dims[i], dims[i + 1], true, rng)));

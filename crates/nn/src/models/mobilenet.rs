@@ -36,7 +36,15 @@ fn separable(c_in: usize, c_out: usize, stride: usize, rng: &mut impl Rng) -> Se
 /// Builds a MobileNet-style CNN.
 pub fn mobilenet_lite(cfg: MobileNetConfig, rng: &mut impl Rng) -> Sequential {
     let mut model = Sequential::new()
-        .push(Conv2d::new(cfg.in_channels, cfg.stem_channels, 3, 1, 1, false, rng))
+        .push(Conv2d::new(
+            cfg.in_channels,
+            cfg.stem_channels,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        ))
         .push(BatchNorm2d::new(cfg.stem_channels))
         .push(Relu::new());
     let mut c = cfg.stem_channels;
@@ -62,8 +70,12 @@ mod tests {
     #[test]
     fn mobilenet_shape_flow() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let cfg =
-            MobileNetConfig { in_channels: 3, stem_channels: 8, blocks: 4, num_classes: 10 };
+        let cfg = MobileNetConfig {
+            in_channels: 3,
+            stem_channels: 8,
+            blocks: 4,
+            num_classes: 10,
+        };
         let mut m = mobilenet_lite(cfg, &mut rng);
         let mut s = Session::new(0);
         let y = m.forward(&Tensor::zeros(vec![2, 3, 16, 16]), &mut s);
@@ -75,7 +87,12 @@ mod tests {
     #[test]
     fn backward_runs() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let cfg = MobileNetConfig { in_channels: 3, stem_channels: 4, blocks: 2, num_classes: 5 };
+        let cfg = MobileNetConfig {
+            in_channels: 3,
+            stem_channels: 4,
+            blocks: 2,
+            num_classes: 5,
+        };
         let mut m = mobilenet_lite(cfg, &mut rng);
         let mut s = Session::new(0);
         let x = Tensor::zeros(vec![1, 3, 8, 8]);

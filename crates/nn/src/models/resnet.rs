@@ -92,7 +92,11 @@ pub fn resnet_lite(cfg: ResNetConfig, rng: &mut impl Rng) -> Sequential {
     for (stage, &blocks) in cfg.blocks_per_stage.iter().enumerate() {
         let c_out = if cfg.symmetric { w } else { w << stage };
         for b in 0..blocks {
-            let stride = if !cfg.symmetric && stage > 0 && b == 0 { 2 } else { 1 };
+            let stride = if !cfg.symmetric && stage > 0 && b == 0 {
+                2
+            } else {
+                1
+            };
             model.add(Box::new(basic_block(c_in, c_out, stride, rng)));
             c_in = c_out;
         }
@@ -123,7 +127,10 @@ mod tests {
     #[test]
     fn symmetric_variant_keeps_uniform_layout() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let cfg = ResNetConfig { symmetric: true, ..ResNetConfig::resnet20(8, 10) };
+        let cfg = ResNetConfig {
+            symmetric: true,
+            ..ResNetConfig::resnet20(8, 10)
+        };
         let mut m = resnet_lite(cfg, &mut rng);
         let mut s = Session::new(0);
         let y = m.forward(&Tensor::zeros(vec![1, 3, 16, 16]), &mut s);

@@ -30,7 +30,14 @@ pub struct TransformerConfig {
 impl TransformerConfig {
     /// A small default: 2 blocks, d=32, 4 heads, seq 12.
     pub fn small(vocab: usize) -> Self {
-        TransformerConfig { vocab, d_model: 32, heads: 4, ff_dim: 64, layers: 2, seq_len: 12 }
+        TransformerConfig {
+            vocab,
+            d_model: 32,
+            heads: 4,
+            ff_dim: 64,
+            layers: 2,
+            seq_len: 12,
+        }
     }
 }
 
@@ -45,7 +52,12 @@ pub fn tiny_transformer(cfg: TransformerConfig, rng: &mut impl Rng) -> Sequentia
         model.add(Box::new(Residual::new(
             Sequential::new()
                 .push(LayerNorm::new(cfg.d_model))
-                .push(MultiHeadSelfAttention::new(cfg.d_model, cfg.heads, cfg.seq_len, rng)),
+                .push(MultiHeadSelfAttention::new(
+                    cfg.d_model,
+                    cfg.heads,
+                    cfg.seq_len,
+                    rng,
+                )),
         )));
         // x + FF(LN(x))
         model.add(Box::new(Residual::new(
@@ -71,10 +83,17 @@ mod tests {
     #[test]
     fn transformer_shape_flow() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let cfg = TransformerConfig { vocab: 11, seq_len: 6, ..TransformerConfig::small(11) };
+        let cfg = TransformerConfig {
+            vocab: 11,
+            seq_len: 6,
+            ..TransformerConfig::small(11)
+        };
         let mut m = tiny_transformer(cfg, &mut rng);
         let mut s = Session::new(0);
-        let tokens = Tensor::from_vec(vec![2, 6], vec![1., 2., 3., 4., 5., 6., 6., 5., 4., 3., 2., 1.]);
+        let tokens = Tensor::from_vec(
+            vec![2, 6],
+            vec![1., 2., 3., 4., 5., 6., 6., 5., 4., 3., 2., 1.],
+        );
         let y = m.forward(&tokens, &mut s);
         assert_eq!(y.shape(), &[12, 11]);
         // Per block: 4 attention projections + 2 FF denses; plus final dense.

@@ -77,9 +77,15 @@ pub struct DetBox {
 ///
 /// Panics if `image_size / grid` is not a power of two ≥ 2.
 pub fn tiny_yolo(cfg: YoloConfig, rng: &mut impl Rng) -> Sequential {
-    assert!(cfg.image_size % cfg.grid == 0, "grid must divide image size");
+    assert!(
+        cfg.image_size.is_multiple_of(cfg.grid),
+        "grid must divide image size"
+    );
     let factor = cfg.image_size / cfg.grid;
-    assert!(factor.is_power_of_two() && factor >= 2, "downsample factor must be a power of two >= 2");
+    assert!(
+        factor.is_power_of_two() && factor >= 2,
+        "downsample factor must be a power of two >= 2"
+    );
     let stages = factor.trailing_zeros() as usize;
     let mut model = Sequential::new();
     let mut c_in = cfg.in_channels;
@@ -94,7 +100,15 @@ pub fn tiny_yolo(cfg: YoloConfig, rng: &mut impl Rng) -> Sequential {
     model.add(Box::new(Conv2d::new(c_in, c_in, 3, 1, 1, false, rng)));
     model.add(Box::new(BatchNorm2d::new(c_in)));
     model.add(Box::new(LeakyRelu::new(0.1)));
-    model.add(Box::new(Conv2d::new(c_in, cfg.out_channels(), 1, 1, 0, true, rng)));
+    model.add(Box::new(Conv2d::new(
+        c_in,
+        cfg.out_channels(),
+        1,
+        1,
+        0,
+        true,
+        rng,
+    )));
     model
 }
 
@@ -116,7 +130,11 @@ fn sigmoid(z: f32) -> f32 {
 pub fn yolo_loss(pred: &Tensor, targets: &[Vec<GtBox>], cfg: YoloConfig) -> (f64, Tensor) {
     let s = cfg.grid;
     let c = cfg.num_classes;
-    assert_eq!(pred.shape(), &[targets.len(), 5 + c, s, s], "prediction shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        &[targets.len(), 5 + c, s, s],
+        "prediction shape mismatch"
+    );
     let batch = targets.len();
     let lambda_coord = 5.0f32;
     let lambda_noobj = 0.5f32;
@@ -136,9 +154,9 @@ pub fn yolo_loss(pred: &Tensor, targets: &[Vec<GtBox>], cfg: YoloConfig) -> (f64
                 assigned[cell] = Some(*gb);
             }
         }
-        for cell in 0..plane {
+        for (cell, slot) in assigned.iter().enumerate() {
             let obj_logit = pred.data()[at(b, 0, cell)];
-            match assigned[cell] {
+            match *slot {
                 Some(gb) => {
                     // Objectness toward 1.
                     let (l, g) = bce_with_logit(obj_logit, 1.0);
@@ -149,9 +167,7 @@ pub fn yolo_loss(pred: &Tensor, targets: &[Vec<GtBox>], cfg: YoloConfig) -> (f64
                     let gy_cell = (cell / s) as f32;
                     let tx_target = gb.cx * s as f32 - gx_cell; // in [0,1)
                     let ty_target = gb.cy * s as f32 - gy_cell;
-                    for (ch, target) in
-                        [(1, tx_target), (2, ty_target), (3, gb.w), (4, gb.h)]
-                    {
+                    for (ch, target) in [(1, tx_target), (2, ty_target), (3, gb.w), (4, gb.h)] {
                         let t_pred = sigmoid(pred.data()[at(b, ch, cell)]);
                         let d = t_pred - target;
                         loss += (lambda_coord * d * d) as f64;
@@ -171,8 +187,7 @@ pub fn yolo_loss(pred: &Tensor, targets: &[Vec<GtBox>], cfg: YoloConfig) -> (f64
                         *v /= sum;
                     }
                     loss -= (logits[gb.class].max(1e-12) as f64).ln();
-                    for k in 0..c {
-                        let softmax = logits[k];
+                    for (k, &softmax) in logits.iter().enumerate() {
                         let delta = if k == gb.class { 1.0 } else { 0.0 };
                         grad.data_mut()[at(b, 5 + k, cell)] += softmax - delta;
                     }
@@ -200,7 +215,11 @@ pub fn decode_predictions(pred: &Tensor, cfg: YoloConfig, conf_threshold: f32) -
     let s = cfg.grid;
     let c = cfg.num_classes;
     assert_eq!(pred.rank(), 4);
-    assert_eq!(&pred.shape()[1..], &[5 + c, s, s], "prediction shape mismatch");
+    assert_eq!(
+        &pred.shape()[1..],
+        &[5 + c, s, s],
+        "prediction shape mismatch"
+    );
     let batch = pred.shape()[0];
     let plane = s * s;
     let at = |b: usize, ch: usize, cell: usize| ((b * (5 + c) + ch) * plane) + cell;
@@ -222,7 +241,14 @@ pub fn decode_predictions(pred: &Tensor, cfg: YoloConfig, conf_threshold: f32) -
             let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
             let sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum();
             let p = (logits[class] - max).exp() / sum;
-            dets.push(DetBox { cx, cy, w, h, class, score: conf * p });
+            dets.push(DetBox {
+                cx,
+                cy,
+                w,
+                h,
+                class,
+                score: conf * p,
+            });
         }
         dets.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
         out.push(dets);
@@ -232,8 +258,18 @@ pub fn decode_predictions(pred: &Tensor, cfg: YoloConfig, conf_threshold: f32) -
 
 /// Intersection-over-union of two center-format boxes.
 fn iou(a: (f32, f32, f32, f32), b: (f32, f32, f32, f32)) -> f32 {
-    let (ax1, ay1, ax2, ay2) = (a.0 - a.2 / 2.0, a.1 - a.3 / 2.0, a.0 + a.2 / 2.0, a.1 + a.3 / 2.0);
-    let (bx1, by1, bx2, by2) = (b.0 - b.2 / 2.0, b.1 - b.3 / 2.0, b.0 + b.2 / 2.0, b.1 + b.3 / 2.0);
+    let (ax1, ay1, ax2, ay2) = (
+        a.0 - a.2 / 2.0,
+        a.1 - a.3 / 2.0,
+        a.0 + a.2 / 2.0,
+        a.1 + a.3 / 2.0,
+    );
+    let (bx1, by1, bx2, by2) = (
+        b.0 - b.2 / 2.0,
+        b.1 - b.3 / 2.0,
+        b.0 + b.2 / 2.0,
+        b.1 + b.3 / 2.0,
+    );
     let ix = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
     let iy = (ay2.min(by2) - ay1.max(by1)).max(0.0);
     let inter = ix * iy;
@@ -258,8 +294,10 @@ pub fn map_lite(
     assert_eq!(detections.len(), ground_truth.len(), "image count mismatch");
     let mut aps = Vec::new();
     for class in 0..num_classes {
-        let total_gt: usize =
-            ground_truth.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
+        let total_gt: usize = ground_truth
+            .iter()
+            .map(|g| g.iter().filter(|b| b.class == class).count())
+            .sum();
         if total_gt == 0 {
             continue;
         }
@@ -270,7 +308,11 @@ pub fn map_lite(
                 dets.push((img, *d));
             }
         }
-        dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).expect("scores are finite"));
+        dets.sort_by(|a, b| {
+            b.1.score
+                .partial_cmp(&a.1.score)
+                .expect("scores are finite")
+        });
         let mut matched: Vec<Vec<bool>> =
             ground_truth.iter().map(|g| vec![false; g.len()]).collect();
         let mut tp = 0usize;
@@ -329,7 +371,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> YoloConfig {
-        YoloConfig { in_channels: 3, image_size: 16, grid: 4, num_classes: 3, base_channels: 8 }
+        YoloConfig {
+            in_channels: 3,
+            image_size: 16,
+            grid: 4,
+            num_classes: 3,
+            base_channels: 8,
+        }
     }
 
     #[test]
@@ -350,8 +398,13 @@ mod tests {
             vec![1, 8, 4, 4],
             (0..128).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
-        let targets =
-            vec![vec![GtBox { cx: 0.3, cy: 0.6, w: 0.2, h: 0.3, class: 1 }]];
+        let targets = vec![vec![GtBox {
+            cx: 0.3,
+            cy: 0.6,
+            w: 0.2,
+            h: 0.3,
+            class: 1,
+        }]];
         let (_, grad) = yolo_loss(&pred, &targets, c);
         let eps = 1e-3f32;
         for idx in [0usize, 16, 33, 57, 90, 127] {
@@ -379,22 +432,68 @@ mod tests {
     #[test]
     fn perfect_detections_score_full_map() {
         let gts = vec![
-            vec![GtBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0 }],
-            vec![GtBox { cx: 0.75, cy: 0.75, w: 0.3, h: 0.3, class: 1 }],
+            vec![GtBox {
+                cx: 0.25,
+                cy: 0.25,
+                w: 0.2,
+                h: 0.2,
+                class: 0,
+            }],
+            vec![GtBox {
+                cx: 0.75,
+                cy: 0.75,
+                w: 0.3,
+                h: 0.3,
+                class: 1,
+            }],
         ];
         let dets = vec![
-            vec![DetBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0, score: 0.9 }],
-            vec![DetBox { cx: 0.75, cy: 0.75, w: 0.3, h: 0.3, class: 1, score: 0.8 }],
+            vec![DetBox {
+                cx: 0.25,
+                cy: 0.25,
+                w: 0.2,
+                h: 0.2,
+                class: 0,
+                score: 0.9,
+            }],
+            vec![DetBox {
+                cx: 0.75,
+                cy: 0.75,
+                w: 0.3,
+                h: 0.3,
+                class: 1,
+                score: 0.8,
+            }],
         ];
         assert!((map_lite(&dets, &gts, 3, 0.5) - 100.0).abs() < 1e-9);
     }
 
     #[test]
     fn false_positives_lower_map() {
-        let gts = vec![vec![GtBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0 }]];
+        let gts = vec![vec![GtBox {
+            cx: 0.25,
+            cy: 0.25,
+            w: 0.2,
+            h: 0.2,
+            class: 0,
+        }]];
         let dets = vec![vec![
-            DetBox { cx: 0.8, cy: 0.8, w: 0.2, h: 0.2, class: 0, score: 0.95 }, // FP first
-            DetBox { cx: 0.25, cy: 0.25, w: 0.2, h: 0.2, class: 0, score: 0.9 }, // TP second
+            DetBox {
+                cx: 0.8,
+                cy: 0.8,
+                w: 0.2,
+                h: 0.2,
+                class: 0,
+                score: 0.95,
+            }, // FP first
+            DetBox {
+                cx: 0.25,
+                cy: 0.25,
+                w: 0.2,
+                h: 0.2,
+                class: 0,
+                score: 0.9,
+            }, // TP second
         ]];
         let m = map_lite(&dets, &gts, 1, 0.5);
         assert!(m < 100.0 && m > 0.0, "mAP {m}");
@@ -419,11 +518,25 @@ mod tests {
         use rand::Rng;
         let x = Tensor::from_vec(
             vec![2, 3, 16, 16],
-            (0..2 * 3 * 256).map(|_| rng.gen_range(0.0f32..1.0)).collect(),
+            (0..2 * 3 * 256)
+                .map(|_| rng.gen_range(0.0f32..1.0))
+                .collect(),
         );
         let targets = vec![
-            vec![GtBox { cx: 0.3, cy: 0.3, w: 0.25, h: 0.25, class: 0 }],
-            vec![GtBox { cx: 0.7, cy: 0.6, w: 0.3, h: 0.2, class: 2 }],
+            vec![GtBox {
+                cx: 0.3,
+                cy: 0.3,
+                w: 0.25,
+                h: 0.25,
+                class: 0,
+            }],
+            vec![GtBox {
+                cx: 0.7,
+                cy: 0.6,
+                w: 0.3,
+                h: 0.2,
+                class: 2,
+            }],
         ];
         let mut first = None;
         let mut last = 0.0;

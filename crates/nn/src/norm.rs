@@ -61,7 +61,7 @@ impl Layer for BatchNorm2d {
         if session.train {
             let mut x_hat = input.clone();
             let mut inv_std = vec![0.0f32; c];
-            for ci in 0..c {
+            for (ci, inv_std_ci) in inv_std.iter_mut().enumerate() {
                 let mut sum = 0.0f64;
                 let mut sq = 0.0f64;
                 for bi in 0..b {
@@ -74,7 +74,7 @@ impl Layer for BatchNorm2d {
                 let mean = sum / n;
                 let var = (sq / n - mean * mean).max(0.0);
                 let istd = 1.0 / (var + self.eps as f64).sqrt();
-                inv_std[ci] = istd as f32;
+                *inv_std_ci = istd as f32;
                 self.running_mean[ci] =
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean as f32;
                 self.running_var[ci] =
@@ -89,7 +89,11 @@ impl Layer for BatchNorm2d {
                     }
                 }
             }
-            self.cache = Some(BnCache { x_hat, inv_std, shape: input.shape().to_vec() });
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std,
+                shape: input.shape().to_vec(),
+            });
         } else {
             for ci in 0..c {
                 let mean = self.running_mean[ci];
@@ -107,9 +111,17 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward before forward");
         assert_eq!(grad_output.shape(), cache.shape.as_slice());
-        let (b, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
+        let (b, c, h, w) = (
+            cache.shape[0],
+            cache.shape[1],
+            cache.shape[2],
+            cache.shape[3],
+        );
         let n = (b * h * w) as f64;
         let mut grad_in = grad_output.zeros_like();
         for ci in 0..c {
@@ -141,8 +153,16 @@ impl Layer for BatchNorm2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.gamma, grad: &mut self.g_gamma, decay: false });
-        f(Param { value: &mut self.beta, grad: &mut self.g_beta, decay: false });
+        f(Param {
+            value: &mut self.gamma,
+            grad: &mut self.g_gamma,
+            decay: false,
+        });
+        f(Param {
+            value: &mut self.beta,
+            grad: &mut self.g_beta,
+            decay: false,
+        });
     }
 
     fn kind(&self) -> &'static str {
@@ -194,14 +214,14 @@ impl Layer for LayerNorm {
         let mut out = input.clone();
         let mut x_hat = input.clone();
         let mut inv_std = vec![0.0f32; r];
-        for i in 0..r {
+        for (i, inv_std_i) in inv_std.iter_mut().enumerate() {
             let row = &input.data()[i * d..(i + 1) * d];
             let mean = row.iter().map(|&v| v as f64).sum::<f64>() / d as f64;
             let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / d as f64;
             let istd = 1.0 / (var + self.eps as f64).sqrt();
-            inv_std[i] = istd as f32;
-            for j in 0..d {
-                let xh = ((row[j] as f64 - mean) * istd) as f32;
+            *inv_std_i = istd as f32;
+            for (j, &rv) in row.iter().enumerate() {
+                let xh = ((rv as f64 - mean) * istd) as f32;
                 x_hat.data_mut()[i * d + j] = xh;
                 out.data_mut()[i * d + j] = self.gamma.data()[j] * xh + self.beta.data()[j];
             }
@@ -213,7 +233,10 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let cache = self.cache.as_ref().expect("LayerNorm::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("LayerNorm::backward before forward");
         let (r, d) = (grad_output.shape()[0], grad_output.shape()[1]);
         let mut grad_in = grad_output.zeros_like();
         for i in 0..r {
@@ -247,8 +270,16 @@ impl Layer for LayerNorm {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
-        f(Param { value: &mut self.gamma, grad: &mut self.g_gamma, decay: false });
-        f(Param { value: &mut self.beta, grad: &mut self.g_beta, decay: false });
+        f(Param {
+            value: &mut self.gamma,
+            grad: &mut self.g_gamma,
+            decay: false,
+        });
+        f(Param {
+            value: &mut self.beta,
+            grad: &mut self.g_beta,
+            decay: false,
+        });
     }
 
     fn kind(&self) -> &'static str {
@@ -313,7 +344,11 @@ mod tests {
             let ym = bn.forward(&xm, &mut s);
             let lm: f32 = ym.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - gin.data()[idx]).abs() < 2e-2, "idx {idx}: {num} vs {}", gin.data()[idx]);
+            assert!(
+                (num - gin.data()[idx]).abs() < 2e-2,
+                "idx {idx}: {num} vs {}",
+                gin.data()[idx]
+            );
         }
     }
 
@@ -337,8 +372,14 @@ mod tests {
         let mut ln = LayerNorm::new(6);
         let mut s = Session::new(0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let x = Tensor::from_vec(vec![3, 6], (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
-        let g = Tensor::from_vec(vec![3, 6], (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let x = Tensor::from_vec(
+            vec![3, 6],
+            (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let g = Tensor::from_vec(
+            vec![3, 6],
+            (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
         let _ = ln.forward(&x, &mut s);
         let gin = ln.backward(&g, &mut s);
         let eps = 1e-3f32;
@@ -347,8 +388,20 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let lp: f32 = ln.forward(&xp, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ln.forward(&xm, &mut s).data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+            let lp: f32 = ln
+                .forward(&xp, &mut s)
+                .data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ln
+                .forward(&xm, &mut s)
+                .data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let num = (lp - lm) / (2.0 * eps);
             assert!((num - gin.data()[idx]).abs() < 2e-2, "idx {idx}");
         }

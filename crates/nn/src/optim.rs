@@ -21,7 +21,12 @@ impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum, weight_decay, velocities: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -46,9 +51,16 @@ impl Sgd {
                 velocities.push(p.value.zeros_like());
             }
             let v = &mut velocities[idx];
-            assert_eq!(v.numel(), p.value.numel(), "parameter order changed between steps");
-            for ((vel, w), g) in
-                v.data_mut().iter_mut().zip(p.value.data_mut()).zip(p.grad.data_mut())
+            assert_eq!(
+                v.numel(),
+                p.value.numel(),
+                "parameter order changed between steps"
+            );
+            for ((vel, w), g) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.value.data_mut())
+                .zip(p.grad.data_mut())
             {
                 let mut grad = *g;
                 if p.decay {
@@ -84,7 +96,15 @@ impl Adam {
     /// Creates an Adam optimizer with explicit betas.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one update step and zeroes gradients.

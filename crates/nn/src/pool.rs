@@ -32,7 +32,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let (p, shape) = self.cache.as_ref().expect("MaxPool2d::backward before forward");
+        let (p, shape) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2d::backward before forward");
         max_pool2d_backward(grad_output, p, shape)
     }
 
@@ -63,7 +66,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let shape = self.in_shape.as_ref().expect("GlobalAvgPool::backward before forward");
+        let shape = self
+            .in_shape
+            .as_ref()
+            .expect("GlobalAvgPool::backward before forward");
         global_avg_pool_backward(grad_output, shape)
     }
 
@@ -97,7 +103,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor, _session: &mut Session) -> Tensor {
-        let shape = self.in_shape.clone().expect("Flatten::backward before forward");
+        let shape = self
+            .in_shape
+            .clone()
+            .expect("Flatten::backward before forward");
         grad_output.clone().reshape(shape)
     }
 

@@ -10,9 +10,10 @@ use fast_tensor::Tensor;
 ///
 /// Mirrors the format zoo of paper Fig 2: fixed point (top), floating point
 /// (middle), and block floating point (bottom).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum NumericFormat {
     /// IEEE-754 32-bit floating point — the no-quantization baseline.
+    #[default]
     Fp32,
     /// A custom scalar floating-point format (bfloat16, FP16, TF32, HFP8…).
     Mini(Minifloat),
@@ -76,12 +77,20 @@ impl NumericFormat {
     /// [`NumericFormat::Bfp`] with `windowed: true` and is evaluated in the
     /// `ablation_window` experiment.
     pub fn bfp_nearest(format: BfpFormat) -> Self {
-        NumericFormat::Bfp { format, rounding: Rounding::Nearest, windowed: false }
+        NumericFormat::Bfp {
+            format,
+            rounding: Rounding::Nearest,
+            windowed: false,
+        }
     }
 
     /// BFP with 8-bit stochastic rounding (gradient path, paper Fig 4c).
     pub fn bfp_stochastic(format: BfpFormat) -> Self {
-        NumericFormat::Bfp { format, rounding: Rounding::STOCHASTIC8, windowed: false }
+        NumericFormat::Bfp {
+            format,
+            rounding: Rounding::STOCHASTIC8,
+            windowed: false,
+        }
     }
 
     /// Human-readable name for tables.
@@ -95,7 +104,9 @@ impl NumericFormat {
             NumericFormat::Mini(m) if *m == Minifloat::HFP8_BWD => "HFP8-152".to_string(),
             NumericFormat::Mini(m) => format!("FP(e={},m={})", m.exp_bits, m.man_bits),
             NumericFormat::Int { bits } => format!("INT{bits}"),
-            NumericFormat::Bfp { format, rounding, .. } => {
+            NumericFormat::Bfp {
+                format, rounding, ..
+            } => {
                 let sr = matches!(rounding, Rounding::Stochastic { .. });
                 format!("{format}{}", if sr { "+SR" } else { "" })
             }
@@ -131,7 +142,11 @@ impl NumericFormat {
             NumericFormat::Int { bits: b } => {
                 quantize_int_symmetric(t.data_mut(), *b);
             }
-            NumericFormat::Bfp { format, rounding, windowed } => {
+            NumericFormat::Bfp {
+                format,
+                rounding,
+                windowed,
+            } => {
                 fake_quantize_matrix(
                     t.data_mut(),
                     rows,
@@ -144,12 +159,6 @@ impl NumericFormat {
                 );
             }
         }
-    }
-}
-
-impl Default for NumericFormat {
-    fn default() -> Self {
-        NumericFormat::Fp32
     }
 }
 
@@ -190,7 +199,11 @@ pub struct LayerPrecision {
 impl LayerPrecision {
     /// Uniform format for all three tensors.
     pub fn uniform(fmt: NumericFormat) -> Self {
-        LayerPrecision { weights: fmt, activations: fmt, gradients: fmt }
+        LayerPrecision {
+            weights: fmt,
+            activations: fmt,
+            gradients: fmt,
+        }
     }
 
     /// Full-precision baseline.
@@ -239,7 +252,9 @@ impl LayerPrecision {
     ///
     /// `m = 2` is LowBFP, `3` MidBFP, `4` HighBFP.
     pub fn bfp_fixed(m: u32) -> Self {
-        let fmt = BfpFormat::high().with_mantissa_bits(m).expect("valid mantissa width");
+        let fmt = BfpFormat::high()
+            .with_mantissa_bits(m)
+            .expect("valid mantissa width");
         LayerPrecision {
             weights: NumericFormat::bfp_nearest(fmt),
             activations: NumericFormat::bfp_nearest(fmt),
@@ -250,7 +265,11 @@ impl LayerPrecision {
     /// A FAST variable-precision assignment: independent mantissa widths for
     /// W, A, G (each 2 or 4 in the paper), `g=16, e=3`, SR on gradients.
     pub fn fast(m_w: u32, m_a: u32, m_g: u32) -> Self {
-        let f = |m| BfpFormat::high().with_mantissa_bits(m).expect("valid mantissa width");
+        let f = |m| {
+            BfpFormat::high()
+                .with_mantissa_bits(m)
+                .expect("valid mantissa width")
+        };
         LayerPrecision {
             weights: NumericFormat::bfp_nearest(f(m_w)),
             activations: NumericFormat::bfp_nearest(f(m_a)),
@@ -329,10 +348,10 @@ mod tests {
 
     #[test]
     fn bf16_quantization_truncates_mantissa() {
-        let mut t = Tensor::from_vec(vec![1, 2], vec![1.0000001, 3.14159265]);
+        let mut t = Tensor::from_vec(vec![1, 2], vec![1.0000001, std::f32::consts::PI]);
         NumericFormat::bf16().quantize_matrix(&mut t, GroupAxis::AlongRow, &mut NoBits);
         assert_eq!(t.data()[0], 1.0);
-        assert!((t.data()[1] - 3.14159265).abs() < 0.02);
+        assert!((t.data()[1] - std::f32::consts::PI).abs() < 0.02);
     }
 
     #[test]
@@ -341,8 +360,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         // Spread magnitudes over many octaves so row/column groups see
         // different shared exponents.
-        let data: Vec<f32> =
-            (0..64).map(|_| 2.0f32.powf(rng.gen_range(-8.0f32..0.0))).collect();
+        let data: Vec<f32> = (0..64)
+            .map(|_| 2.0f32.powf(rng.gen_range(-8.0f32..0.0)))
+            .collect();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::new(8, 4, 8).unwrap());
         let mut by_row = Tensor::from_vec(vec![8, 8], data.clone());
         let mut by_col = Tensor::from_vec(vec![8, 8], data.clone());
@@ -375,9 +395,18 @@ mod tests {
         let p = LayerPrecision::fast(4, 2, 4);
         assert!(matches!(
             p.gradients,
-            NumericFormat::Bfp { rounding: Rounding::Stochastic { .. }, .. }
+            NumericFormat::Bfp {
+                rounding: Rounding::Stochastic { .. },
+                ..
+            }
         ));
-        assert!(matches!(p.weights, NumericFormat::Bfp { rounding: Rounding::Nearest, .. }));
+        assert!(matches!(
+            p.weights,
+            NumericFormat::Bfp {
+                rounding: Rounding::Nearest,
+                ..
+            }
+        ));
         assert_eq!(p.mantissa_widths(), (4, 2, 4));
     }
 

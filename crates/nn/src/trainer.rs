@@ -53,7 +53,12 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer.
     pub fn new(model: Sequential, opt: Sgd, seed: u64) -> Self {
-        Trainer { model, opt, session: Session::new(seed), iter: 0 }
+        Trainer {
+            model,
+            opt,
+            session: Session::new(seed),
+            iter: 0,
+        }
     }
 
     /// Number of optimizer steps taken so far.
@@ -76,7 +81,10 @@ impl Trainer {
         self.model.backward(&grad, &mut self.session);
         hook.after_backward(self.iter, &mut self.model);
         self.opt.step(&mut self.model);
-        let stats = StepStats { iter: self.iter, loss };
+        let stats = StepStats {
+            iter: self.iter,
+            loss,
+        };
         self.iter += 1;
         stats
     }
@@ -96,7 +104,10 @@ impl Trainer {
         self.model.backward(&grad, &mut self.session);
         hook.after_backward(self.iter, &mut self.model);
         self.opt.step(&mut self.model);
-        let stats = StepStats { iter: self.iter, loss };
+        let stats = StepStats {
+            iter: self.iter,
+            loss,
+        };
         self.iter += 1;
         stats
     }

@@ -3,8 +3,8 @@
 
 use fast_nn::models::mlp;
 use fast_nn::{
-    mse_loss, set_uniform_precision, softmax_cross_entropy, Dense, Layer, LayerPrecision,
-    Relu, Sequential, Session, Sgd,
+    mse_loss, set_uniform_precision, softmax_cross_entropy, Dense, Layer, LayerPrecision, Relu,
+    Sequential, Session, Sgd,
 };
 use fast_tensor::Tensor;
 use proptest::prelude::*;

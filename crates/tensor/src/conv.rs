@@ -54,7 +54,10 @@ impl Conv2dDims {
     }
 
     fn validate(&self) {
-        assert!(self.kernel > 0 && self.stride > 0, "kernel and stride must be positive");
+        assert!(
+            self.kernel > 0 && self.stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             self.in_h + 2 * self.pad >= self.kernel && self.in_w + 2 * self.pad >= self.kernel,
             "kernel {k} larger than padded input {h}x{w}",
@@ -118,7 +121,11 @@ pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
 /// Panics if `cols` is not `(K, P)` for the given dims.
 pub fn col2im(cols: &Tensor, d: Conv2dDims) -> Tensor {
     d.validate();
-    assert_eq!(cols.shape(), &[d.k_dim(), d.p_dim()], "cols shape does not match conv dims");
+    assert_eq!(
+        cols.shape(),
+        &[d.k_dim(), d.p_dim()],
+        "cols shape does not match conv dims"
+    );
     let (oh, ow) = (d.out_h(), d.out_w());
     let p_dim = d.p_dim();
     let mut out = Tensor::zeros(vec![d.batch, d.in_c, d.in_h, d.in_w]);
@@ -215,7 +222,10 @@ pub fn conv2d_backward(
     // ∇cols = Wᵀ · ∇O  (reduction over out_c).
     let grad_cols = matmul_tn(&w_mat, &g_mat);
     let grad_input = col2im(&grad_cols, d);
-    ConvGrads { grad_input, grad_weight: grad_w }
+    ConvGrads {
+        grad_input,
+        grad_weight: grad_w,
+    }
 }
 
 /// Reorders a `(out_c, P)` GEMM result into NCHW `(batch, out_c, OH, OW)`.
@@ -224,7 +234,11 @@ pub fn conv2d_backward(
 ///
 /// Panics if `out_mat` is not `(out_c, P)` for the given dims.
 pub fn gemm_out_to_nchw(out_mat: &Tensor, d: Conv2dDims) -> Tensor {
-    assert_eq!(out_mat.shape(), &[d.out_c, d.p_dim()], "GEMM output shape mismatch");
+    assert_eq!(
+        out_mat.shape(),
+        &[d.out_c, d.p_dim()],
+        "GEMM output shape mismatch"
+    );
     let (oh, ow) = (d.out_h(), d.out_w());
     let p_dim = d.p_dim();
     let mut out = Tensor::zeros(vec![d.batch, d.out_c, oh, ow]);
@@ -249,7 +263,11 @@ pub fn gemm_out_to_nchw(out_mat: &Tensor, d: Conv2dDims) -> Tensor {
 ///
 /// Panics if `g` is not `(batch, out_c, OH, OW)` for the given dims.
 pub fn nchw_to_gemm_out(g: &Tensor, d: Conv2dDims) -> Tensor {
-    assert_eq!(g.shape(), &[d.batch, d.out_c, d.out_h(), d.out_w()], "NCHW shape mismatch");
+    assert_eq!(
+        g.shape(),
+        &[d.batch, d.out_c, d.out_h(), d.out_w()],
+        "NCHW shape mismatch"
+    );
     let (oh, ow) = (d.out_h(), d.out_w());
     let p_dim = d.p_dim();
     let mut out = vec![0.0f32; d.out_c * p_dim];
@@ -332,7 +350,10 @@ mod tests {
             let want = conv_ref(&input, &weight, d);
             assert_eq!(got.shape(), want.shape());
             for (a, b) in got.data().iter().zip(want.data()) {
-                assert!((a - b).abs() < 1e-4, "{a} vs {b} (k={k} s={stride} p={pad})");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{a} vs {b} (k={k} s={stride} p={pad})"
+                );
             }
         }
     }
@@ -355,9 +376,18 @@ mod tests {
         let y = rand_tensor(vec![d.k_dim(), d.p_dim()], 4);
         let ax = im2col(&x, d);
         let aty = col2im(&y, d);
-        let lhs: f64 = ax.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        let rhs: f64 =
-            x.data().iter().zip(aty.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = ax
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(aty.data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 
@@ -391,7 +421,10 @@ mod tests {
             let lm: f32 = conv2d(&input, &wm, d).data().iter().sum();
             let num = (lp - lm) / (2.0 * eps);
             let ana = grads.grad_weight.data()[idx];
-            assert!((num - ana).abs() < 1e-2, "weight[{idx}]: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "weight[{idx}]: numeric {num} vs analytic {ana}"
+            );
         }
         // And input coordinates.
         for idx in [0usize, 11, 24, 49] {
@@ -403,7 +436,10 @@ mod tests {
             let lm: f32 = conv2d(&im, &weight, d).data().iter().sum();
             let num = (lp - lm) / (2.0 * eps);
             let ana = grads.grad_input.data()[idx];
-            assert!((num - ana).abs() < 1e-2, "input[{idx}]: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "input[{idx}]: numeric {num} vs analytic {ana}"
+            );
         }
     }
 

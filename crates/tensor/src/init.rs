@@ -51,11 +51,18 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let t = kaiming_normal(vec![64, 64], 64, &mut rng);
         let mean: f64 = t.data().iter().map(|&v| v as f64).sum::<f64>() / t.numel() as f64;
-        let var: f64 =
-            t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / t.numel() as f64;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / t.numel() as f64;
         let want_var = 2.0 / 64.0;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - want_var).abs() / want_var < 0.15, "var {var} vs {want_var}");
+        assert!(
+            (var - want_var).abs() / want_var < 0.15,
+            "var {var} vs {want_var}"
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub use conv::{
 };
 pub use init::{kaiming_normal, uniform_init};
 pub use matmul::{matmul, matmul_nt, matmul_tn};
-pub use pool::{global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolOutput};
+pub use pool::{
+    global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolOutput,
+};
 pub use reduce::{argmax, col_sums, mean, row_sums, sum};
 pub use tensor::Tensor;

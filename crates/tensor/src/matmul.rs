@@ -93,7 +93,12 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn dims2(t: &Tensor, name: &str) -> (usize, usize) {
-    assert_eq!(t.rank(), 2, "{name} must be rank-2, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        2,
+        "{name} must be rank-2, got shape {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1])
 }
 

@@ -21,8 +21,16 @@ pub struct MaxPoolOutput {
 /// Panics if the spatial dims are not divisible by `k` or input is not 4-D.
 pub fn max_pool2d(input: &Tensor, k: usize) -> MaxPoolOutput {
     assert_eq!(input.rank(), 4, "max_pool2d requires NCHW input");
-    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    assert!(k > 0 && h % k == 0 && w % k == 0, "pool kernel {k} must divide {h}x{w}");
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    assert!(
+        k > 0 && h % k == 0 && w % k == 0,
+        "pool kernel {k} must divide {h}x{w}"
+    );
     let (oh, ow) = (h / k, w / k);
     let mut out = Tensor::zeros(vec![b, c, oh, ow]);
     let mut argmax = vec![0usize; b * c * oh * ow];
@@ -51,7 +59,10 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> MaxPoolOutput {
             }
         }
     }
-    MaxPoolOutput { output: out, argmax }
+    MaxPoolOutput {
+        output: out,
+        argmax,
+    }
 }
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the
@@ -65,7 +76,11 @@ pub fn max_pool2d_backward(
     pool: &MaxPoolOutput,
     input_shape: &[usize],
 ) -> Tensor {
-    assert_eq!(grad_output.numel(), pool.argmax.len(), "grad/argmax length mismatch");
+    assert_eq!(
+        grad_output.numel(),
+        pool.argmax.len(),
+        "grad/argmax length mismatch"
+    );
     let mut grad_in = Tensor::zeros(input_shape.to_vec());
     let gd = grad_output.data();
     let gi = grad_in.data_mut();
@@ -82,7 +97,12 @@ pub fn max_pool2d_backward(
 /// Panics if input is not rank 4.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     assert_eq!(input.rank(), 4, "global_avg_pool requires NCHW input");
-    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let hw = (h * w) as f32;
     let mut out = Tensor::zeros(vec![b, c]);
     let id = input.data();
@@ -105,8 +125,17 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
 /// Panics if `grad_output` is not `(b, c)` matching `input_shape`.
 pub fn global_avg_pool_backward(grad_output: &Tensor, input_shape: &[usize]) -> Tensor {
     assert_eq!(input_shape.len(), 4);
-    let (b, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
-    assert_eq!(grad_output.shape(), &[b, c], "grad_output must be (batch, channels)");
+    let (b, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    assert_eq!(
+        grad_output.shape(),
+        &[b, c],
+        "grad_output must be (batch, channels)"
+    );
     let hw = (h * w) as f32;
     let mut grad_in = Tensor::zeros(input_shape.to_vec());
     let gd = grad_output.data();

@@ -40,7 +40,9 @@ pub fn col_sums(t: &Tensor) -> Vec<f32> {
 pub fn row_sums(t: &Tensor) -> Vec<f32> {
     assert_eq!(t.rank(), 2, "row_sums requires a rank-2 tensor");
     let (r, c) = (t.shape()[0], t.shape()[1]);
-    (0..r).map(|i| t.data()[i * c..(i + 1) * c].iter().sum()).collect()
+    (0..r)
+        .map(|i| t.data()[i * c..(i + 1) * c].iter().sum())
+        .collect()
 }
 
 /// Index of the maximum element in a slice (first on ties).

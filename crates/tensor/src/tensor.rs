@@ -21,13 +21,19 @@ impl Tensor {
     /// Panics if the shape has a zero dimension.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = checked_numel(&shape);
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let n = checked_numel(&shape);
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -37,13 +43,21 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape's element count.
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
         let n = checked_numel(&shape);
-        assert_eq!(data.len(), n, "buffer of {} elements does not fit shape {shape:?}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "buffer of {} elements does not fit shape {shape:?}",
+            data.len()
+        );
         Tensor { shape, data }
     }
 
     /// A zero tensor with the same shape as `self`.
     pub fn zeros_like(&self) -> Self {
-        Tensor { shape: self.shape.clone(), data: vec![0.0; self.data.len()] }
+        Tensor {
+            shape: self.shape.clone(),
+            data: vec![0.0; self.data.len()],
+        }
     }
 
     /// The tensor's shape.
@@ -83,7 +97,12 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Vec<usize>) -> Self {
         let n = checked_numel(&shape);
-        assert_eq!(n, self.data.len(), "cannot reshape {:?} into {shape:?}", self.shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "cannot reshape {:?} into {shape:?}",
+            self.shape
+        );
         self.shape = shape;
         self
     }
@@ -96,7 +115,10 @@ impl Tensor {
     pub fn at2(&self, r: usize, c: usize) -> f32 {
         assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
         let cols = self.shape[1];
-        assert!(r < self.shape[0] && c < cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.shape[0] && c < cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * cols + c]
     }
 
@@ -121,7 +143,10 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Elementwise `self += other`.
@@ -193,13 +218,19 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: vec![c, r], data: out }
+        Tensor {
+            shape: vec![c, r],
+            data: out,
+        }
     }
 }
 
 fn checked_numel(shape: &[usize]) -> usize {
     assert!(!shape.is_empty(), "tensor shape cannot be empty");
-    assert!(shape.iter().all(|&d| d > 0), "tensor shape {shape:?} has a zero dimension");
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "tensor shape {shape:?} has a zero dimension"
+    );
     shape.iter().product()
 }
 

@@ -18,40 +18,87 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights: Vec<f32> = (0..16).map(|i| 0.3 * ((i as f32) * 0.8).sin()).collect();
     let acts: Vec<f32> = (0..16).map(|i| 0.7 * ((i as f32) * 0.5).cos()).collect();
     let mut cell = FmacCell::new();
-    cell.load_weight(ChunkedGroup::from_group(&BfpGroup::quantize_nearest(&weights, fmt4))?);
+    cell.load_weight(ChunkedGroup::from_group(&BfpGroup::quantize_nearest(
+        &weights, fmt4,
+    ))?);
     let x_hi = ChunkedGroup::from_group(&BfpGroup::quantize_nearest(&acts, fmt4))?;
     let x_lo = ChunkedGroup::from_group(&BfpGroup::quantize_nearest(&acts, fmt2))?;
     cell.consume(&x_hi);
-    println!("after 4b x 4b group: accumulator {:+.5}, passes {}", cell.accumulator(), cell.passes());
+    println!(
+        "after 4b x 4b group: accumulator {:+.5}, passes {}",
+        cell.accumulator(),
+        cell.passes()
+    );
     cell.consume(&x_lo);
-    println!("after 4b x 2b group: accumulator {:+.5}, passes {}", cell.accumulator(), cell.passes());
+    println!(
+        "after 4b x 2b group: accumulator {:+.5}, passes {}",
+        cell.accumulator(),
+        cell.passes()
+    );
 
     // --- The converter datapath --------------------------------------------
     println!("\n== BFP converter (Fig 14) ==");
     let mut conv = BfpConverter::new(fmt4, 0xACE1);
     let out = conv.convert(&acts, true);
-    println!("shared exponent {}, improvement sums: num {} / den {}",
-        out.group.shared_exponent(), out.improvement_numerator, out.improvement_denominator);
+    println!(
+        "shared exponent {}, improvement sums: num {} / den {}",
+        out.group.shared_exponent(),
+        out.improvement_numerator,
+        out.improvement_denominator
+    );
 
     // --- Three dataflows, one stored W (Fig 12) ----------------------------
     println!("\n== Systolic dataflows (Fig 12, W stored once) ==");
     let sim = SystolicFunctionalSim::load_weights(&[2.0, 3.0, 0.0, 1.0], 2, 2);
-    println!("forward  O = A·W:    {:?}", sim.forward(&[1.0, 4.0, 5.0, 2.0], 2));
-    println!("backward ∇A = ∇O·Wᵀ: {:?}", sim.backward_activation(&[3.0, 4.0, 1.0, 2.0], 2));
-    println!("backward ∇W = Aᵀ·∇O: {:?}", sim.backward_weight(&[1.0, 4.0, 5.0, 2.0], &[3.0, 4.0, 1.0, 2.0], 2));
+    println!(
+        "forward  O = A·W:    {:?}",
+        sim.forward(&[1.0, 4.0, 5.0, 2.0], 2)
+    );
+    println!(
+        "backward ∇A = ∇O·Wᵀ: {:?}",
+        sim.backward_activation(&[3.0, 4.0, 1.0, 2.0], 2)
+    );
+    println!(
+        "backward ∇W = Aᵀ·∇O: {:?}",
+        sim.backward_weight(&[1.0, 4.0, 5.0, 2.0], &[3.0, 4.0, 1.0, 2.0], 2)
+    );
 
     // --- System-level: one ResNet-ish iteration on every system ------------
     println!("\n== One training iteration across systems (Section VII-B) ==");
     let layers: Vec<LayerWork> = [
-        Gemm { m: 802_816, k: 576, n: 64 },
-        Gemm { m: 200_704, k: 1152, n: 128 },
-        Gemm { m: 50_176, k: 2304, n: 256 },
-        Gemm { m: 12_544, k: 4608, n: 512 },
+        Gemm {
+            m: 802_816,
+            k: 576,
+            n: 64,
+        },
+        Gemm {
+            m: 200_704,
+            k: 1152,
+            n: 128,
+        },
+        Gemm {
+            m: 50_176,
+            k: 2304,
+            n: 256,
+        },
+        Gemm {
+            m: 12_544,
+            k: 4608,
+            n: 512,
+        },
     ]
     .iter()
-    .map(|&gemm| LayerWork { gemm, m_w: 2, m_a: 2, m_g: 4 })
+    .map(|&gemm| LayerWork {
+        gemm,
+        m_w: 2,
+        m_a: 2,
+        m_g: 4,
+    })
     .collect();
-    println!("{:<16} {:>12} {:>10} {:>10}", "system", "cycles", "ms", "energy J");
+    println!(
+        "{:<16} {:>12} {:>10} {:>10}",
+        "system", "cycles", "ms", "energy J"
+    );
     let fast_cycles = training_iteration(&SystemConfig::fast(), &layers).cycles as f64;
     for sys in SystemConfig::all() {
         let cost = training_iteration(&sys, &layers);

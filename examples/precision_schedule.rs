@@ -35,10 +35,21 @@ fn main() {
             2.0f32.powf(e) * if rng.gen_bool(0.5) { -1.0 } else { 1.0 }
         })
         .collect();
-    let near_grid: Vec<f32> = (0..4096).map(|i| if i % 2 == 0 { 0.5 } else { -1.0 }).collect();
-    println!("grid-aligned values (exact at m=2):  r = {:.4}", relative_improvement(&near_grid, 16));
-    println!("uniform-scale values:                r = {:.4}", relative_improvement(&uniform_scale, 16));
-    println!("wide-dynamic-range values:           r = {:.4}", relative_improvement(&wide_scale, 16));
+    let near_grid: Vec<f32> = (0..4096)
+        .map(|i| if i % 2 == 0 { 0.5 } else { -1.0 })
+        .collect();
+    println!(
+        "grid-aligned values (exact at m=2):  r = {:.4}",
+        relative_improvement(&near_grid, 16)
+    );
+    println!(
+        "uniform-scale values:                r = {:.4}",
+        relative_improvement(&uniform_scale, 16)
+    );
+    println!(
+        "wide-dynamic-range values:           r = {:.4}",
+        relative_improvement(&wide_scale, 16)
+    );
     println!("\nr(X) ≥ ε promotes X to 4 bits — tensors with fine structure to lose");
     println!("get the extra chunk, tensors already captured at 2 bits stay cheap.");
 

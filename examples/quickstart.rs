@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A BFP format: 16 values share one exponent, each keeps a 4-bit
     // mantissa + sign ("HighBFP" in the paper, its training baseline).
     let fmt = BfpFormat::new(16, 4, 3)?;
-    println!("format: {fmt}  ({:.2} bits/value in chunked storage)\n", fmt.storage_bits_per_value());
+    println!(
+        "format: {fmt}  ({:.2} bits/value in chunked storage)\n",
+        fmt.storage_bits_per_value()
+    );
 
     // Quantize a group of activations (round to nearest).
     let xs: Vec<f32> = (0..16).map(|i| 0.8f32 * (0.4 * i as f32).sin()).collect();
@@ -21,15 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("shared exponent: {}", group.shared_exponent());
     println!("mantissas:       {:?}", group.mantissas());
     let back = group.dequantize();
-    println!("max abs error:   {:.4}\n",
-        xs.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max));
+    println!(
+        "max abs error:   {:.4}\n",
+        xs.iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    );
 
     // Gradients get stochastic rounding from a hardware-style LFSR
     // (Theorem 1: unbiased in expectation — essential at 2-4 bit mantissas).
     let mut lfsr = Lfsr16::new(0xACE1);
     let grads: Vec<f32> = (0..16).map(|i| 1e-3 * (i as f32 - 8.0)).collect();
     let sr = BfpGroup::quantize(&grads, fmt, Rounding::STOCHASTIC8, &mut lfsr, None);
-    println!("stochastically rounded gradient mantissas: {:?}\n", sr.mantissas());
+    println!(
+        "stochastically rounded gradient mantissas: {:?}\n",
+        sr.mantissas()
+    );
 
     // A BFP dot product: one integer MAC chain + one exponent addition.
     let ws: Vec<f32> = (0..16).map(|i| 0.5f32 * (0.9 * i as f32).cos()).collect();
@@ -41,8 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cb = ChunkedGroup::from_group(&wg)?;
     let chunked = dot_chunked(&ca, &cb);
     println!("dot product (direct):        {direct}");
-    println!("dot product (fMAC chunks):   {} in {} passes", chunked.value, chunked.passes);
-    assert_eq!(direct, chunked.value, "chunk-serial arithmetic is bit-exact");
+    println!(
+        "dot product (fMAC chunks):   {} in {} passes",
+        chunked.value, chunked.passes
+    );
+    assert_eq!(
+        direct, chunked.value,
+        "chunk-serial arithmetic is bit-exact"
+    );
 
     // FP32 reference for comparison.
     let exact: f32 = xs.iter().zip(&ws).map(|(a, b)| a * b).sum();

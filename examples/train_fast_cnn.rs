@@ -40,8 +40,13 @@ fn main() {
             n += 1;
         }
         let acc = trainer.evaluate_classification(&data.test_batches(64));
-        println!("  epoch {:>2}: loss {:.3}  val acc {:.1}%  sim time {:.4}s",
-            epoch + 1, loss / n as f64, acc, meter.total_seconds());
+        println!(
+            "  epoch {:>2}: loss {:.3}  val acc {:.1}%  sim time {:.4}s",
+            epoch + 1,
+            loss / n as f64,
+            acc,
+            meter.total_seconds()
+        );
     }
 
     // --- What did the controller decide? -----------------------------------
@@ -75,7 +80,15 @@ fn main() {
     }
     let speedup = fp32_meter.total_seconds() / meter.total_seconds();
     println!("\nsimulated hardware time for {iters} iterations:");
-    println!("  FAST system (256x64 fMAC): {:.4}s, {:.2} J", meter.total_seconds(), meter.total_energy_j);
-    println!("  FP32 system (equal area):  {:.4}s, {:.2} J", fp32_meter.total_seconds(), fp32_meter.total_energy_j);
+    println!(
+        "  FAST system (256x64 fMAC): {:.4}s, {:.2} J",
+        meter.total_seconds(),
+        meter.total_energy_j
+    );
+    println!(
+        "  FP32 system (equal area):  {:.4}s, {:.2} J",
+        fp32_meter.total_seconds(),
+        fp32_meter.total_energy_j
+    );
     println!("  per-iteration speedup: {speedup:.1}x (paper reports 2-6x TTA across models)");
 }

@@ -10,12 +10,17 @@
 use fast_dnn::data::SequenceTask;
 use fast_dnn::nn::models::{tiny_transformer, TransformerConfig};
 use fast_dnn::nn::{
-    accuracy_percent, set_uniform_precision, Adam, Layer, LayerPrecision, Session,
-    softmax_cross_entropy,
+    accuracy_percent, set_uniform_precision, softmax_cross_entropy, Adam, Layer, LayerPrecision,
+    Session,
 };
 use rand::SeedableRng;
 
-fn train(precision: LayerPrecision, label: &str, data: &SequenceTask, cfg: TransformerConfig) -> f64 {
+fn train(
+    precision: LayerPrecision,
+    label: &str,
+    data: &SequenceTask,
+    cfg: TransformerConfig,
+) -> f64 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut model = tiny_transformer(cfg, &mut rng);
     set_uniform_precision(&mut model, precision);
@@ -45,15 +50,39 @@ fn train(precision: LayerPrecision, label: &str, data: &SequenceTask, cfg: Trans
 }
 
 fn main() {
-    let cfg = TransformerConfig { vocab: 12, d_model: 32, heads: 4, ff_dim: 64, layers: 2, seq_len: 8 };
+    let cfg = TransformerConfig {
+        vocab: 12,
+        d_model: 32,
+        heads: 4,
+        ff_dim: 64,
+        layers: 2,
+        seq_len: 8,
+    };
     let data = SequenceTask::generate(cfg.vocab, cfg.seq_len, 384, 192, 11);
-    println!("sequence reversal task (vocab {}, seq {}), 8 epochs:\n", cfg.vocab, cfg.seq_len);
+    println!(
+        "sequence reversal task (vocab {}, seq {}), 8 epochs:\n",
+        cfg.vocab, cfg.seq_len
+    );
 
     let fp32 = train(LayerPrecision::fp32(), "FP32", &data, cfg);
-    let high = train(LayerPrecision::bfp_fixed(4), "HighBFP (g=16, m=4, SR)", &data, cfg);
-    let low = train(LayerPrecision::bfp_fixed(2), "LowBFP  (g=16, m=2, SR)", &data, cfg);
+    let high = train(
+        LayerPrecision::bfp_fixed(4),
+        "HighBFP (g=16, m=4, SR)",
+        &data,
+        cfg,
+    );
+    let low = train(
+        LayerPrecision::bfp_fixed(2),
+        "LowBFP  (g=16, m=2, SR)",
+        &data,
+        cfg,
+    );
 
     println!("\nexpected shape (paper Table II, Transformer row):");
     println!("  HighBFP within ~1 point of FP32; LowBFP visibly behind.");
-    println!("  measured gaps: HighBFP {:.1}, LowBFP {:.1}", fp32 - high, fp32 - low);
+    println!(
+        "  measured gaps: HighBFP {:.1}, LowBFP {:.1}",
+        fp32 - high,
+        fp32 - low
+    );
 }

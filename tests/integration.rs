@@ -4,8 +4,7 @@
 use fast_dnn::bfp::{relative_improvement, BfpFormat, BfpGroup};
 use fast_dnn::data::{GaussianClusters, SyntheticImages};
 use fast_dnn::fast::{
-    CostMeter, DimScale, EpsilonSchedule, FastController, LayerwisePolicy, Setting,
-    TemporalPolicy,
+    CostMeter, DimScale, EpsilonSchedule, FastController, LayerwisePolicy, Setting, TemporalPolicy,
 };
 use fast_dnn::hw::{BfpConverter, SystemConfig};
 use fast_dnn::nn::models::{mlp, resnet_lite, ResNetConfig};
@@ -67,8 +66,7 @@ fn fast_adaptive_end_to_end_on_cnn() {
 
     // Compare against an all-high-precision run of the same shapes.
     set_uniform_precision(&mut trainer.model, LayerPrecision::fast(4, 4, 4));
-    let mut high_meter =
-        CostMeter::new(SystemConfig::fast()).with_dim_scale(DimScale::CNN_PAPER);
+    let mut high_meter = CostMeter::new(SystemConfig::fast()).with_dim_scale(DimScale::CNN_PAPER);
     let high = high_meter.record(&mut trainer.model);
     let adaptive_mean = meter.total_cycles / iters as u64;
     assert!(
@@ -79,11 +77,16 @@ fn fast_adaptive_end_to_end_on_cnn() {
 
     // The trace grows in precision over time for at least the early layers.
     let max_iter = iters;
-    let early: f64 =
-        (0..3).map(|l| ctl.trace.mean_legend_index(l, 0, max_iter / 2)).sum();
-    let late: f64 =
-        (0..3).map(|l| ctl.trace.mean_legend_index(l, max_iter / 2, max_iter)).sum();
-    assert!(late >= early, "precision should grow: early {early}, late {late}");
+    let early: f64 = (0..3)
+        .map(|l| ctl.trace.mean_legend_index(l, 0, max_iter / 2))
+        .sum();
+    let late: f64 = (0..3)
+        .map(|l| ctl.trace.mean_legend_index(l, max_iter / 2, max_iter))
+        .sum();
+    assert!(
+        late >= early,
+        "precision should grow: early {early}, late {late}"
+    );
 }
 
 /// Static schedules apply the formats they promise, layer by layer.
@@ -98,7 +101,10 @@ fn schedules_apply_expected_precisions() {
     temporal.before_iteration(0, &mut model);
     let mut bfp_layers = 0;
     model.visit_quant(&mut |q| {
-        if matches!(q.precision().weights, fast_dnn::nn::NumericFormat::Bfp { .. }) {
+        if matches!(
+            q.precision().weights,
+            fast_dnn::nn::NumericFormat::Bfp { .. }
+        ) {
             bfp_layers += 1;
         }
     });
@@ -108,9 +114,16 @@ fn schedules_apply_expected_precisions() {
     layerwise.before_iteration(0, &mut model);
     let mut kinds = Vec::new();
     model.visit_quant(&mut |q| {
-        kinds.push(matches!(q.precision().weights, fast_dnn::nn::NumericFormat::Fp32));
+        kinds.push(matches!(
+            q.precision().weights,
+            fast_dnn::nn::NumericFormat::Fp32
+        ));
     });
-    assert_eq!(kinds, vec![true, true, false], "first half FP32, second half BFP");
+    assert_eq!(
+        kinds,
+        vec![true, true, false],
+        "first half FP32, second half BFP"
+    );
 }
 
 /// The hardware converter and the software quantizer agree on tensors that
@@ -121,7 +134,10 @@ fn hw_converter_agrees_with_training_tensors() {
     let mut model = mlp(&[6, 24, 2], &mut rng);
     let mut session = Session::new(0);
     let mut opt = Sgd::new(0.1, 0.9, 0.0);
-    let x = Tensor::from_vec(vec![8, 6], (0..48).map(|i| ((i as f32) * 0.21).sin()).collect());
+    let x = Tensor::from_vec(
+        vec![8, 6],
+        (0..48).map(|i| ((i as f32) * 0.21).sin()).collect(),
+    );
     let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
     for _ in 0..20 {
         let out = model.forward(&x, &mut session);
@@ -159,7 +175,10 @@ fn improvement_statistic_in_decision_range() {
     // should produce r in a range the schedule can actually discriminate.
     let schedule = EpsilonSchedule::paper_default();
     let eps_start = schedule.epsilon(0, 10, 0, 100);
-    assert!(r_values.iter().any(|&r| r < eps_start), "some tensor starts low-precision");
+    assert!(
+        r_values.iter().any(|&r| r < eps_start),
+        "some tensor starts low-precision"
+    );
 }
 
 /// Settings order matches the hardware cost model at the tier level.
@@ -193,5 +212,8 @@ fn eval_does_not_corrupt_training() {
     }
     let first = losses.first().copied().unwrap_or(0.0);
     let last = losses.last().copied().unwrap_or(f64::MAX);
-    assert!(last < first, "loss should still fall with interleaved evals: {first} -> {last}");
+    assert!(
+        last < first,
+        "loss should still fall with interleaved evals: {first} -> {last}"
+    );
 }

@@ -1,0 +1,69 @@
+//! Workspace smoke test: every umbrella re-export of `fast_dnn` is reachable
+//! and minimally functional. Complements `tests/integration.rs`, which
+//! exercises deeper cross-crate behavior.
+
+use fast_dnn::bfp::{BfpFormat, BfpGroup, Rounding};
+use fast_dnn::data::GaussianClusters;
+use fast_dnn::fast::{EpsilonSchedule, Setting};
+use fast_dnn::hw::{BfpConverter, SystemConfig};
+use fast_dnn::nn::{Dense, Layer, Session};
+use fast_dnn::tensor::{matmul, Tensor};
+use rand::SeedableRng;
+
+#[test]
+fn bfp_reexport_quantizes() {
+    let fmt = BfpFormat::new(16, 4, 8).expect("valid format");
+    let xs = vec![0.5f32; 16];
+    let group = BfpGroup::quantize_nearest(&xs, fmt);
+    assert_eq!(group.dequantize(), xs);
+}
+
+#[test]
+fn tensor_reexport_multiplies() {
+    let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+    let b = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+    assert_eq!(matmul(&a, &b).data(), a.data());
+}
+
+#[test]
+fn nn_reexport_runs_a_layer() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut layer = Dense::new(3, 2, true, &mut rng);
+    let x = Tensor::from_vec(vec![1, 3], vec![0.1, -0.2, 0.3]);
+    let y = layer.forward(&x, &mut Session::eval(0));
+    assert_eq!(y.shape(), &[1, 2]);
+    assert!(y.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn data_reexport_generates() {
+    let d = GaussianClusters::generate(2, 4, 8, 4, 0.5, 7);
+    assert_eq!(d.dim(), 4);
+}
+
+#[test]
+fn fast_reexport_schedules() {
+    let sched = EpsilonSchedule::paper_default();
+    let early = sched.epsilon(0, 8, 0, 100);
+    let late = sched.epsilon(7, 8, 99, 100);
+    assert!(early.is_finite() && late.is_finite());
+    assert!(early >= late, "epsilon must not grow over training");
+    assert_eq!(Setting::legend_order().len(), 8);
+}
+
+#[test]
+fn hw_reexport_converts_and_configures() {
+    let fmt = BfpFormat::new(16, 4, 8).expect("valid format");
+    let mut conv = BfpConverter::new(fmt, 0xACE1);
+    let out = conv.convert(&[1.0, -0.5, 0.25, 0.0], false);
+    assert_eq!(out.group.len(), 4);
+    assert!(SystemConfig::all().len() >= 2);
+}
+
+#[test]
+fn rounding_modes_are_distinct() {
+    assert_ne!(
+        format!("{:?}", Rounding::Nearest),
+        format!("{:?}", Rounding::Truncate)
+    );
+}

@@ -1,0 +1,310 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace's benches.
+//!
+//! The build environment has no registry access, so this crate stands in for
+//! crates.io `criterion`. It performs simple wall-clock measurement — a
+//! warm-up pass to calibrate iterations per sample, then `sample_size` timed
+//! samples within roughly `measurement_time` — and prints mean/min/max per
+//! benchmark. There are no plots, baselines, or statistical analysis.
+//!
+//! Swap this for the real `criterion = "0.5"` in `[workspace.dependencies]`
+//! once crates.io is reachable; no call sites need to change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.label(), self, &mut f);
+        self
+    }
+}
+
+/// Identifies one benchmark, optionally `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+///
+/// `measurement_time`/`sample_size` overrides apply only within the group,
+/// matching real criterion's scoping.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn effective_config(&self) -> Criterion {
+        let mut config = self.criterion.clone();
+        if let Some(dur) = self.measurement_time {
+            config.measurement_time = dur;
+        }
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        config
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_benchmark(&label, &self.effective_config(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_benchmark(&label, &self.effective_config(), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Overrides the measurement time for benchmarks in this group only.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    /// Overrides the sample count for benchmarks in this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Ends the group. (No-op in this shim; provided for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to be measurable.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.calibrating {
+            // One un-timed execution so calibration can estimate cost.
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples
+            .push(elapsed / u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX));
+    }
+}
+
+fn run_benchmark<F>(label: &str, config: &Criterion, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: run single iterations until warm_up_time elapses to
+    // estimate per-iteration cost.
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::ZERO;
+    let mut calibration_runs = 0u32;
+    while warm_up_start.elapsed() < config.warm_up_time && calibration_runs < 10_000 {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            calibrating: true,
+        };
+        f(&mut bencher);
+        if let Some(&sample) = bencher.samples.last() {
+            per_iter = sample;
+        }
+        calibration_runs += 1;
+    }
+
+    let per_sample = config.measurement_time.max(Duration::from_millis(10))
+        / u32::try_from(config.sample_size).unwrap_or(u32::MAX);
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(config.sample_size),
+        calibrating: false,
+    };
+    for _ in 0..config.sample_size {
+        f(&mut bencher);
+    }
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label:<40} (no samples — closure never called iter)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  \
+         ({} samples x {} iters)",
+        samples.len(),
+        iters_per_sample
+    );
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,88 @@
+//! The per-test case loop behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runtime knobs for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test as a whole fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried with new ones.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failing variant.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+fn seed_for(test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across tests, so failures reproduce deterministically.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `case_fn` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases ([`TestCaseError::Reject`]) are replaced, up to a
+/// bounded number of retries.
+pub fn run(
+    test_name: &str,
+    config: ProptestConfig,
+    mut case_fn: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let max_attempts = u64::from(config.cases) * 8;
+    let mut passed = 0u64;
+    for attempt in 0..max_attempts {
+        if passed >= u64::from(config.cases) {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed_for(test_name, attempt));
+        match case_fn(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest {test_name}: case {attempt} failed\n{message}")
+            }
+        }
+    }
+    if passed < u64::from(config.cases) {
+        panic!(
+            "proptest {test_name}: too many rejected cases \
+             ({passed}/{} passed after {max_attempts} attempts)",
+            config.cases
+        );
+    }
+}

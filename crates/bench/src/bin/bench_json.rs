@@ -1,0 +1,225 @@
+//! JSON microbenchmark runner for the perf-tracked hot paths.
+//!
+//! Times the three costs that dominate a quantized training step — BFP
+//! slice quantization, the quantize+GEMM pair of one layer, and a full
+//! training iteration — and writes the medians to a JSON file so the repo
+//! keeps a perf trajectory (`BENCH_quant_gemm.json` at the repo root).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--quick] [--out PATH] [--baseline-file PATH]
+//! ```
+//!
+//! `--quick` lowers iteration counts for CI smoke runs. `--baseline-file`
+//! embeds a previously written measurement object under `"baseline"` and
+//! reports speedup ratios against it.
+
+use fast_bfp::kernel::fake_quantize_slice_with;
+use fast_bfp::GroupAxis;
+use fast_bfp::{BfpFormat, Lfsr16, Rounding};
+use fast_nn::models::{resnet_lite, ResNetConfig};
+use fast_nn::{set_uniform_precision, LayerPrecision, NoopHook, NumericFormat, Sgd, Trainer};
+use fast_tensor::{matmul, Tensor};
+
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` `iters` times after `warmup` unmeasured runs; returns the median
+/// wall time per iteration in nanoseconds.
+fn time_ns<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Pulls `"key": <number>` out of a flat JSON object without a JSON parser
+/// (the workspace is offline; good enough for our own output format).
+fn extract_ns(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_quant_gemm.json".to_string());
+    let baseline = arg_value("--baseline-file").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let (warmup, iters, step_iters) = if quick { (1, 5, 3) } else { (3, 15, 8) };
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    // --- Slice quantization: 64k values, HighBFP (g=16, m=4, e=3). ---
+    let fmt = BfpFormat::high();
+    let base: Vec<f32> = (0..65536).map(|i| (i as f32 * 0.137).sin() * 3.0).collect();
+    let mut buf = base.clone();
+    let mut lfsr = Lfsr16::default();
+    results.push((
+        "quant_slice_m4_nearest_ns",
+        time_ns(warmup, iters, || {
+            buf.copy_from_slice(&base);
+            black_box(fake_quantize_slice_with(
+                &mut buf,
+                fmt,
+                Rounding::Nearest,
+                &mut lfsr,
+                None,
+            ));
+        }),
+    ));
+    results.push((
+        "quant_slice_m4_stochastic_ns",
+        time_ns(warmup, iters, || {
+            buf.copy_from_slice(&base);
+            black_box(fake_quantize_slice_with(
+                &mut buf,
+                fmt,
+                Rounding::STOCHASTIC8,
+                &mut lfsr,
+                None,
+            ));
+        }),
+    ));
+
+    // --- Quantize + GEMM, the `quant_matmul` criterion config (64×256×64). ---
+    let (m, k, n) = (64usize, 256, 64);
+    let a = Tensor::from_vec(
+        vec![m, k],
+        (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(),
+    );
+    let b = Tensor::from_vec(
+        vec![k, n],
+        (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(),
+    );
+    results.push((
+        "fp32_gemm_ns",
+        time_ns(warmup, iters, || {
+            black_box(matmul(black_box(&a), black_box(&b)));
+        }),
+    ));
+    for (key, numfmt) in [
+        (
+            "quant_gemm_bfp_m4_ns",
+            NumericFormat::bfp_nearest(BfpFormat::high()),
+        ),
+        (
+            "quant_gemm_bfp_m2_ns",
+            NumericFormat::bfp_nearest(BfpFormat::low()),
+        ),
+        (
+            "quant_gemm_bfp_m4_sr_ns",
+            NumericFormat::bfp_stochastic(BfpFormat::high()),
+        ),
+    ] {
+        results.push((
+            key,
+            time_ns(warmup, iters, || {
+                let mut aq = a.clone();
+                let mut bq = b.clone();
+                numfmt.quantize_matrix(&mut aq, GroupAxis::AlongRow, &mut lfsr);
+                numfmt.quantize_matrix(&mut bq, GroupAxis::AlongCol, &mut lfsr);
+                black_box(matmul(&aq, &bq));
+            }),
+        ));
+    }
+
+    // --- One training step of the small ResNet under HighBFP. ---
+    let x = Tensor::from_vec(
+        vec![8, 3, 16, 16],
+        (0..8 * 3 * 256)
+            .map(|i| (i as f32 * 0.01).sin().abs())
+            .collect(),
+    );
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut model = resnet_lite(ResNetConfig::resnet18(4, 4), &mut rng);
+    set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
+    let mut trainer = Trainer::new(model, Sgd::new(0.01, 0.9, 0.0), 0);
+    let mut hook = NoopHook;
+    results.push((
+        "training_step_high_bfp_ns",
+        time_ns(1, step_iters, || {
+            black_box(trainer.step_classification(&x, &labels, &mut hook));
+        }),
+    ));
+
+    // --- Emit JSON. ---
+    let mut current = String::from("{\n");
+    current.push_str(&format!("  \"quick\": {quick},\n"));
+    current.push_str(&format!(
+        "  \"gemm_workers\": {},\n",
+        fast_tensor::parallelism().workers()
+    ));
+    current.push_str("  \"gemm_config\": [64, 256, 64],\n");
+    for (i, (key, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        current.push_str(&format!("  \"{key}\": {ns:.0}{sep}\n"));
+    }
+    current.push('}');
+
+    let json = match &baseline {
+        None => format!("{{\n  \"current\": {}\n}}\n", current.replace('\n', "\n  ")),
+        Some(base_json) => {
+            let trimmed = base_json.trim();
+            assert!(
+                trimmed.starts_with('{') && trimmed.ends_with('}'),
+                "baseline file is not a JSON object"
+            );
+            // Chaining on a previous bench_json output: compare against (and
+            // embed) its flat "current" section, not the whole nested file.
+            let base_obj = match trimmed.find("\"current\":") {
+                Some(pos) => {
+                    let rest = &trimmed[pos + "\"current\":".len()..];
+                    let open = rest.find('{').expect("\"current\" must be an object");
+                    let close = rest[open..]
+                        .find('}')
+                        .expect("\"current\" object must be closed")
+                        + open;
+                    rest[open..=close].to_string()
+                }
+                None => trimmed.to_string(),
+            };
+            let speedups: Vec<String> = results
+                .iter()
+                .filter_map(|(key, ns)| {
+                    let before = extract_ns(&base_obj, key)?;
+                    (*ns > 0.0).then(|| {
+                        format!("    \"{}\": {:.2}", key.replace("_ns", "_x"), before / ns)
+                    })
+                })
+                .collect();
+            format!(
+                "{{\n  \"baseline\": {},\n  \"current\": {},\n  \"speedup\": {{\n{}\n  }}\n}}\n",
+                base_obj.replace('\n', "\n  "),
+                current.replace('\n', "\n  "),
+                speedups.join(",\n")
+            )
+        }
+    };
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -3,7 +3,7 @@
 //! gradients), truncate to `m` bits.
 
 use crate::format::BfpFormat;
-use crate::fp::exponent_of;
+use crate::kernel;
 use crate::lfsr::BitSource;
 use crate::rounding::Rounding;
 
@@ -34,27 +34,10 @@ impl ExponentWindow {
     /// Builds a window from a slice: the reference is the largest exponent
     /// present (or 0 for an all-zero slice).
     pub fn from_values(values: &[f32], exponent_bits: u32) -> Self {
-        let reference_exponent = values
-            .iter()
-            .filter_map(|&v| exponent_of(sanitize(v)))
-            .max()
-            .unwrap_or(0);
         ExponentWindow {
-            reference_exponent,
+            reference_exponent: kernel::max_exponent(values).unwrap_or(0),
             exponent_bits,
         }
-    }
-}
-
-/// Replaces non-finite values by the signed largest finite f32 (NaN by 0),
-/// mirroring saturating hardware conversion.
-fn sanitize(v: f32) -> f32 {
-    if v.is_nan() {
-        0.0
-    } else if v.is_infinite() {
-        f32::MAX.copysign(v)
-    } else {
-        v
     }
 }
 
@@ -88,6 +71,13 @@ impl BfpGroup {
     /// 3. `rounding` decides the low-order bits (stochastic for gradients);
     /// 4. magnitudes are truncated/saturated to `m` bits.
     ///
+    /// The arithmetic is executed by the integer batch kernel of
+    /// [`crate::kernel`]; this type remains the explanatory, materialized
+    /// view of one group (see DESIGN.md §7). Saturating sanitization —
+    /// non-finite values become the signed largest finite f32, NaN becomes
+    /// zero — and rounding-parameter validation both happen once per group,
+    /// not once per value.
+    ///
     /// # Panics
     ///
     /// Panics if `values` is empty or longer than the format's group size.
@@ -105,12 +95,7 @@ impl BfpGroup {
             values.len(),
             format.group_size()
         );
-        let m = format.mantissa_bits();
-        let natural_exp = values
-            .iter()
-            .filter_map(|&v| exponent_of(sanitize(v)))
-            .max();
-        let shared_exponent = match natural_exp {
+        let shared_exponent = match kernel::max_exponent(values) {
             None => {
                 // All-zero group: store zero mantissas under the window floor
                 // (or 0 when unbounded).
@@ -126,26 +111,15 @@ impl BfpGroup {
                 None => e,
             },
         };
-        let max_mag = format.max_magnitude();
-        // Scale factor mapping |x| onto mantissa units: |x| * 2^(m-1-E).
-        let scale = 2.0f64.powi(m as i32 - 1 - shared_exponent);
-        let mantissas = values
-            .iter()
-            .map(|&v| {
-                let v = sanitize(v);
-                if v == 0.0 {
-                    return 0;
-                }
-                let scaled = (v.abs() as f64) * scale;
-                let mag = rounding.round(scaled, bits).min(max_mag);
-                let mag = mag as i32;
-                if v < 0.0 {
-                    -mag
-                } else {
-                    mag
-                }
-            })
-            .collect();
+        let mut mantissas = Vec::with_capacity(values.len());
+        kernel::quantize_group_mantissas(
+            values,
+            shared_exponent,
+            format,
+            rounding,
+            bits,
+            &mut mantissas,
+        );
         BfpGroup {
             format,
             shared_exponent,

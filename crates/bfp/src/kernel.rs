@@ -1,0 +1,762 @@
+//! Zero-allocation integer BFP fake-quantization kernels.
+//!
+//! The explanatory path ([`crate::BfpGroup`]) models paper Fig 4 with f64
+//! arithmetic: one heap-allocated group per 16 values, an `f64::powi` per
+//! group and an f64 multiply per element. This module is the production
+//! substrate behind it: the same align-shift-round pipeline executed as
+//! integer bit manipulation on `f32::to_bits` patterns, monomorphized over
+//! the rounding mode and the [`BitSource`] so the per-element `dyn` call of
+//! the seed implementation disappears from the hot loop.
+//!
+//! The kernels are *bit-identical* to the f64 reference for every finite,
+//! infinite and NaN input, every `m ∈ 1..=16`, every exponent window and
+//! every stochastic noise width (`crates/bfp/tests/proptests.rs` pins this
+//! across the full f32 range). The equivalence argument, spelled out in
+//! DESIGN.md §7: an f32 magnitude is `sig · 2^p` with `sig < 2^24`, so the
+//! scaled mantissa `|x| · 2^(m-1-E)` of the reference is the exact rational
+//! `sig / 2^t` with `t = E + 1 - m - p`, and every rounding rule of
+//! [`Rounding`] reduces to integer shifts against that denominator. The f64
+//! reference computes the same quantity exactly except when the scaled value
+//! is large enough that `2^m - 1` saturation hides the difference.
+//!
+//! Groups are never materialized: each group is quantized and written back
+//! (or emitted into a caller-provided buffer) in one pass, and
+//! [`QuantStats`] counting happens inline instead of re-scanning mantissas.
+
+use crate::format::BfpFormat;
+use crate::group::ExponentWindow;
+use crate::lfsr::BitSource;
+use crate::rounding::Rounding;
+use crate::tensor_quant::{GroupAxis, QuantStats};
+
+/// Number of columns staged per panel by the `AlongCol` matrix kernel.
+///
+/// 32 columns × f32 keeps a panel row inside two cache lines while the
+/// gather/scatter walks the matrix row-major.
+const COL_PANEL: usize = 32;
+
+/// Splits a finite non-zero f32 magnitude bit pattern into `(sig, p)` with
+/// `|x| = sig · 2^p` and `sig < 2^24` (subnormals keep their raw fraction).
+#[inline(always)]
+fn decompose(abs_bits: u32) -> (u32, i32) {
+    let exp_field = abs_bits >> 23;
+    let frac = abs_bits & 0x7F_FFFF;
+    if exp_field == 0 {
+        (frac, -149)
+    } else {
+        (frac | 0x80_0000, exp_field as i32 - 150)
+    }
+}
+
+/// The unbiased exponent `floor(log2 |x|)` of a decomposed magnitude.
+#[inline(always)]
+fn exponent_of_parts(sig: u32, p: i32) -> i32 {
+    p + (31 - sig.leading_zeros() as i32)
+}
+
+/// Maximum exponent over a slice after saturating sanitization: NaN values
+/// are ignored (they quantize to zero), infinities count as `f32::MAX`.
+/// Returns `None` for an all-zero (or all-NaN) slice.
+///
+/// Integer twin of `exponent_of(sanitize(v))` folded with `max` — the
+/// comparator tree of the paper's converter (Fig 14). Because
+/// `floor(log2 |x|)` is monotone in the magnitude bit pattern, the scan
+/// reduces to an integer max over sanitized patterns with a single exponent
+/// decode at the end.
+pub fn max_exponent(values: &[f32]) -> Option<i32> {
+    let (best, _) = scan_group(values);
+    (best != 0).then(|| {
+        let (sig, p) = decompose(best);
+        exponent_of_parts(sig, p)
+    })
+}
+
+/// One pass over a group: the maximum sanitized magnitude bit pattern, and
+/// whether every element is a normal number or zero (the precondition for
+/// the branch-free quantization loop).
+#[inline]
+fn scan_group(values: &[f32]) -> (u32, bool) {
+    let mut best = 0u32;
+    let mut plain = true;
+    for &v in values {
+        let abs = v.to_bits() & 0x7FFF_FFFF;
+        plain &= abs == 0 || abs.wrapping_sub(0x0080_0000) <= 0x7EFF_FFFF;
+        let abs = if abs >= 0x7F80_0000 {
+            if abs == 0x7F80_0000 {
+                0x7F7F_FFFF // infinity saturates to f32::MAX
+            } else {
+                0 // NaN sanitizes to zero
+            }
+        } else {
+            abs
+        };
+        if abs > best {
+            best = abs;
+        }
+    }
+    (best, plain)
+}
+
+/// Exact `2^e` in f64: bit-assembled for the normal range, `powi` (which is
+/// also exact for powers of two) outside it. Pathological exponent windows
+/// can push `e` anywhere in `i32`, including under/overflow — `powi`'s
+/// `0.0`/`inf` results reproduce the reference behavior there.
+#[inline(always)]
+fn pow2_f64(e: i32) -> f64 {
+    if (-1022..=1023).contains(&e) {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        2.0f64.powi(e)
+    }
+}
+
+/// Exact `2^e` in f32 for `e ∈ [-149, 127]` (the fast-path scale range);
+/// subnormal powers are assembled as a raw fraction bit.
+#[inline(always)]
+fn pow2_f32(e: i32) -> f32 {
+    if e >= -126 {
+        f32::from_bits(((e + 127) as u32) << 23)
+    } else {
+        f32::from_bits(1u32 << (e + 149))
+    }
+}
+
+/// A monomorphizable rounding rule: rounds the exact rational `sig / 2^t`
+/// (with `sig < 2^24`) to an unsigned integer magnitude. `t <= 0` means the
+/// scaled mantissa is the exact integer `sig << -t`.
+///
+/// Magnitudes far beyond any representable mantissa are clamped to
+/// `u64::MAX`; the caller's `min(max_mag)` saturation makes that exact.
+trait RoundOp {
+    /// Whether this rule consumes random bits. Deterministic rules may be
+    /// evaluated in any element order (enabling column-parallel kernels);
+    /// stochastic rules must see elements in the reference order.
+    const DRAWS_BITS: bool;
+
+    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64;
+
+    /// Fast-path variant with the precondition `t >= 1` (guaranteed when
+    /// the shared exponent is at least the group's natural exponent, since
+    /// then `t >= 24 - m >= 8`): branch-free for the deterministic modes
+    /// via shift clamping — for `sig < 2^24` every clamped shift yields the
+    /// same result as the exact one. The result fits u32 (`<= 2^16`).
+    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32;
+}
+
+/// Shifts the already-integer scaled mantissa into place (`t <= 0` case
+/// shared by all modes).
+#[inline(always)]
+fn shift_up(sig: u32, t: i64) -> u64 {
+    if t < -39 {
+        u64::MAX // magnitude beyond any mantissa; saturates downstream
+    } else {
+        (sig as u64) << (-t as u32)
+    }
+}
+
+struct NearestOp;
+impl RoundOp for NearestOp {
+    const DRAWS_BITS: bool = false;
+
+    #[inline(always)]
+    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, _bits: &mut B) -> u64 {
+        if t <= 0 {
+            shift_up(sig, t)
+        } else if t >= 25 {
+            0 // sig < 2^24, so sig + 2^(t-1) < 2^t
+        } else {
+            ((sig as u64) + (1u64 << (t - 1))) >> t
+        }
+    }
+
+    #[inline(always)]
+    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, _bits: &mut B) -> u32 {
+        let t = t.min(25) as u32; // t = 25: sig + 2^24 < 2^25, result 0
+        (sig + (1u32 << (t - 1))) >> t
+    }
+}
+
+struct TruncateOp;
+impl RoundOp for TruncateOp {
+    const DRAWS_BITS: bool = false;
+
+    #[inline(always)]
+    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, _bits: &mut B) -> u64 {
+        if t <= 0 {
+            shift_up(sig, t)
+        } else if t >= 24 {
+            0
+        } else {
+            (sig as u64) >> t
+        }
+    }
+
+    #[inline(always)]
+    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, _bits: &mut B) -> u32 {
+        sig >> t.min(24) as u32
+    }
+}
+
+/// Stochastic rounding with `noise_bits`-wide noise; `noise_bits` is
+/// validated once at dispatch, not per element.
+struct StochasticOp {
+    noise_bits: u32,
+}
+impl RoundOp for StochasticOp {
+    const DRAWS_BITS: bool = true;
+
+    #[inline(always)]
+    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64 {
+        // The reference draws noise for every non-zero element, including
+        // ones the shift decides outright, so the stream stays aligned.
+        let r = bits.next_bits(self.noise_bits) as u64;
+        let nb = self.noise_bits as i64;
+        if t <= 0 {
+            shift_up(sig, t) // floor(integer + noise) = integer
+        } else if t >= 64 {
+            0 // sig/2^t < 2^-40 and noise < 1 - 2^-nb, so the sum is < 1
+        } else if t >= nb {
+            // floor((sig + r·2^(t-nb)) / 2^t); r·2^(t-nb) < 2^t <= 2^63.
+            ((sig as u64) + (r << (t - nb) as u32)) >> t as u32
+        } else {
+            // floor((sig·2^(nb-t) + r) / 2^nb); sig·2^(nb-t) < 2^54.
+            (((sig as u64) << (nb - t) as u32) + r) >> nb as u32
+        }
+    }
+
+    #[inline(always)]
+    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32 {
+        if sig == 0 {
+            return 0; // zeros never draw noise (stream parity with seed)
+        }
+        let r = bits.next_bits(self.noise_bits) as u64;
+        let nb = self.noise_bits as i64;
+        // Clamping t at 63 is exact: for t >= 63 both terms shift to zero
+        // (sig < 2^24 and r·2^(63-nb) + sig < 2^63 for nb <= 31).
+        let t = (t as i64).min(63);
+        let mag = if t >= nb {
+            ((sig as u64) + (r << (t - nb) as u32)) >> t as u32
+        } else {
+            (((sig as u64) << (nb - t) as u32) + r) >> nb as u32
+        };
+        mag as u32
+    }
+}
+
+/// Quantizes one group of `values` against shared exponent `e`, pushing the
+/// signed integer mantissas onto `out`.
+#[inline]
+fn group_mantissas<R: RoundOp, B: BitSource + ?Sized>(
+    values: &[f32],
+    e: i32,
+    m: u32,
+    max_mag: u64,
+    round: &R,
+    bits: &mut B,
+    out: &mut Vec<i32>,
+) {
+    let t_base = e as i64 + 1 - m as i64;
+    for &v in values {
+        let raw = v.to_bits();
+        let abs = raw & 0x7FFF_FFFF;
+        if abs == 0 || abs > 0x7F80_0000 {
+            out.push(0); // zero or NaN
+            continue;
+        }
+        let abs = if abs == 0x7F80_0000 { 0x7F7F_FFFF } else { abs };
+        let (sig, p) = decompose(abs);
+        let mag = round.round(sig, t_base - p as i64, bits).min(max_mag) as i32;
+        out.push(if raw >> 31 == 1 { -mag } else { mag });
+    }
+}
+
+/// Fake-quantizes one group in place, folding [`QuantStats`] counting into
+/// the same pass. Write-back matches `BfpGroup::dequantize_into` bit for
+/// bit: `mantissa · 2^(E-m+1)` with a single rounding to f32.
+#[inline]
+fn fake_quantize_group<R: RoundOp, B: BitSource + ?Sized>(
+    chunk: &mut [f32],
+    m: u32,
+    max_mag: u64,
+    window: Option<ExponentWindow>,
+    round: &R,
+    bits: &mut B,
+    stats: &mut QuantStats,
+) {
+    stats.groups += 1;
+    let (max_bits, plain) = scan_group(chunk);
+    if max_bits == 0 {
+        // All-zero group: every reconstruction is +0.0.
+        stats.zeros += chunk.len() as u64;
+        for v in chunk {
+            *v = 0.0;
+        }
+        return;
+    }
+    let natural = {
+        let (sig, p) = decompose(max_bits);
+        exponent_of_parts(sig, p)
+    };
+    let e = window.map_or(natural, |w| w.clamp(natural));
+    // Fast path: every element normal or zero, the shared exponent not
+    // clamped below the natural one (so every per-element shift is a right
+    // shift), and the group ulp representable in f32. Covers everything
+    // outside NaN/inf/subnormal inputs and pathological hand-built windows.
+    if plain && e >= natural && e <= 127 {
+        fake_quantize_group_plain(chunk, e, m, max_mag, round, bits, stats);
+    } else {
+        fake_quantize_group_general(chunk, e, m, max_mag, round, bits, stats);
+    }
+}
+
+/// Branch-free per-element loop for the all-normal-or-zero case.
+///
+/// Bit-equivalence with the general loop: `man as f32 * scale` performs one
+/// round-to-nearest of the exact product (both factors are exact, the scale
+/// `2^(E-m+1) ∈ [2^-141, 2^127]` is itself exact), which is precisely what
+/// the f64 multiply followed by an f32 narrowing computes.
+#[inline]
+fn fake_quantize_group_plain<R: RoundOp, B: BitSource + ?Sized>(
+    chunk: &mut [f32],
+    e: i32,
+    m: u32,
+    max_mag: u64,
+    round: &R,
+    bits: &mut B,
+    stats: &mut QuantStats,
+) {
+    let t_base = e + 1 - m as i32;
+    let max_mag = max_mag as u32;
+    let scale = pow2_f32(e - m as i32 + 1);
+    let mut zeros = 0u32;
+    let mut saturated = 0u32;
+    for v in chunk.iter_mut() {
+        let raw = v.to_bits();
+        let abs = raw & 0x7FFF_FFFF;
+        // Zeros keep sig = 0 and quantize to +0.0 without branching.
+        let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+        let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+        let p = (abs >> 23) as i32 - 150;
+        let mag = round.round_aligned(sig, t_base - p, bits).min(max_mag);
+        zeros += (mag == 0) as u32;
+        saturated += (mag == max_mag) as u32; // max_mag >= 1, disjoint from 0
+                                              // Branchless conditional negation by the sign bit.
+        let s = (raw as i32) >> 31;
+        let man = (mag as i32 ^ s) - s;
+        *v = man as f32 * scale;
+    }
+    stats.zeros += zeros as u64;
+    stats.saturated += saturated as u64;
+}
+
+/// General per-element loop: NaN/infinity sanitization, subnormal inputs,
+/// and shared exponents pushed anywhere by a hand-built window.
+fn fake_quantize_group_general<R: RoundOp, B: BitSource + ?Sized>(
+    chunk: &mut [f32],
+    e: i32,
+    m: u32,
+    max_mag: u64,
+    round: &R,
+    bits: &mut B,
+    stats: &mut QuantStats,
+) {
+    let t_base = e as i64 + 1 - m as i64;
+    // One ulp, 2^(E-m+1), computed once per group.
+    let scale = pow2_f64(e - m as i32 + 1);
+    let mut zeros = 0u64;
+    let mut saturated = 0u64;
+    for v in chunk.iter_mut() {
+        let raw = v.to_bits();
+        let abs = raw & 0x7FFF_FFFF;
+        if abs == 0 || abs > 0x7F80_0000 {
+            zeros += 1;
+            *v = 0.0;
+            continue;
+        }
+        let abs = if abs == 0x7F80_0000 { 0x7F7F_FFFF } else { abs };
+        let (sig, p) = decompose(abs);
+        let mag = round.round(sig, t_base - p as i64, bits).min(max_mag);
+        zeros += (mag == 0) as u64;
+        saturated += (mag == max_mag) as u64; // max_mag >= 1, disjoint from 0
+        let man = if raw >> 31 == 1 {
+            -(mag as i64)
+        } else {
+            mag as i64
+        };
+        *v = (man as f64 * scale) as f32;
+    }
+    stats.zeros += zeros;
+    stats.saturated += saturated;
+}
+
+/// The paper's gradient configuration (`noise_bits = 8`), specialized so
+/// the noise width is a compile-time constant: the LFSR's 8-bit jump and
+/// the shift arithmetic fold into straight-line code.
+struct Stochastic8Op;
+impl RoundOp for Stochastic8Op {
+    const DRAWS_BITS: bool = true;
+
+    #[inline(always)]
+    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64 {
+        StochasticOp { noise_bits: 8 }.round(sig, t, bits)
+    }
+
+    #[inline(always)]
+    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32 {
+        if sig == 0 {
+            return 0; // zeros never draw noise (stream parity with seed)
+        }
+        let r = bits.next_bits(8) as u64;
+        // Fast-path precondition t >= 24 - m >= 8 = noise_bits, so only the
+        // single-shift form is needed; clamping at 63 is exact (see
+        // `StochasticOp::round_aligned`).
+        debug_assert!(t >= 8);
+        let t = (t as i64).min(63) as u32;
+        (((sig as u64) + (r << (t - 8))) >> t) as u32
+    }
+}
+
+/// Validates `Stochastic` parameters once, outside the element loop.
+#[inline]
+fn check_noise_bits(rounding: Rounding) {
+    if let Rounding::Stochastic { noise_bits } = rounding {
+        assert!(
+            (1..=31).contains(&noise_bits),
+            "noise_bits must be in 1..=31"
+        );
+    }
+}
+
+#[inline]
+fn slice_kernel<R: RoundOp, B: BitSource + ?Sized>(
+    values: &mut [f32],
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    let mut stats = QuantStats::default();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u64;
+    for chunk in values.chunks_mut(fmt.group_size()) {
+        fake_quantize_group(chunk, m, max_mag, window, round, bits, &mut stats);
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+#[inline]
+fn matrix_kernel<R: RoundOp, B: BitSource + ?Sized>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    use_window: bool,
+) -> QuantStats {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let window = use_window.then(|| ExponentWindow {
+        reference_exponent: max_exponent(data).unwrap_or(0),
+        exponent_bits: fmt.exponent_bits(),
+    });
+    match axis {
+        GroupAxis::AlongRow => {
+            let mut stats = QuantStats::default();
+            let m = fmt.mantissa_bits();
+            let max_mag = fmt.max_magnitude() as u64;
+            for row in data.chunks_mut(cols) {
+                for chunk in row.chunks_mut(fmt.group_size()) {
+                    fake_quantize_group(chunk, m, max_mag, window, round, bits, &mut stats);
+                }
+            }
+            stats
+        }
+        GroupAxis::AlongCol => along_col_kernel(data, rows, cols, fmt, round, bits, window),
+    }
+}
+
+/// `AlongCol` quantization: column-parallel for deterministic rounding,
+/// panel-staged sequential for stochastic rounding.
+fn along_col_kernel<R: RoundOp, B: BitSource + ?Sized>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    if !R::DRAWS_BITS {
+        along_col_vertical(data, rows, cols, fmt, round, bits, window)
+    } else {
+        along_col_panels(data, rows, cols, fmt, round, bits, window)
+    }
+}
+
+/// Deterministic `AlongCol` path: every column group in a row block is
+/// quantized simultaneously, lane-wise across the columns — the natural
+/// SIMD layout for a row-major matrix, with no transpose staging at all.
+/// Valid because nearest/truncate rounding consumes no bit stream, so
+/// element order is free; each element still gets exactly the arithmetic of
+/// [`fake_quantize_group`].
+fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    let mut stats = QuantStats::default();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u32;
+    let g = fmt.group_size();
+    // Per-column state for the current row block, plus accumulated counters.
+    let mut col_max = vec![0u32; cols];
+    let mut t_base = vec![0i32; cols];
+    let mut scale = vec![0.0f32; cols];
+    let mut zeros = vec![0u32; cols];
+    let mut saturated = vec![0u32; cols];
+    let mut scratch = Vec::new(); // only used by the rare fallback
+    let mut row0 = 0;
+    while row0 < rows {
+        let rb = g.min(rows - row0);
+        // Lane-wise scan: per-column sanitized maximum, plus one flag that
+        // stays true only if every element in the block is normal or zero.
+        col_max[..cols].fill(0);
+        let mut odd = 0u32;
+        for r in row0..row0 + rb {
+            let row = &data[r * cols..(r + 1) * cols];
+            for (c, &v) in row.iter().enumerate() {
+                let abs = v.to_bits() & 0x7FFF_FFFF;
+                odd |= ((abs != 0) as u32) & ((abs.wrapping_sub(0x0080_0000) > 0x7EFF_FFFF) as u32);
+                if abs > col_max[c] {
+                    col_max[c] = abs;
+                }
+            }
+        }
+        if odd != 0 {
+            // Subnormal/inf/NaN present: gather each column group and run the
+            // general scalar pipeline (order is irrelevant — no draws).
+            scratch.resize(rb, 0.0);
+            for c in 0..cols {
+                for (k, s) in scratch.iter_mut().enumerate() {
+                    *s = data[(row0 + k) * cols + c];
+                }
+                fake_quantize_group(
+                    &mut scratch,
+                    m,
+                    max_mag as u64,
+                    window,
+                    round,
+                    bits,
+                    &mut stats,
+                );
+                for (k, &s) in scratch.iter().enumerate() {
+                    data[(row0 + k) * cols + c] = s;
+                }
+            }
+            row0 += rb;
+            continue;
+        }
+        stats.groups += cols;
+        // Decode per-column shared exponents (max is a normal number, so the
+        // exponent field is the exponent; matrix windows are built from the
+        // matrix-wide maximum and can only raise it, keeping E in [-126,127]).
+        for c in 0..cols {
+            if col_max[c] == 0 {
+                t_base[c] = 26; // all-zero group: sig = 0 everywhere
+                scale[c] = 0.0;
+            } else {
+                let natural = (col_max[c] >> 23) as i32 - 127;
+                let e = window.map_or(natural, |w| w.clamp(natural));
+                t_base[c] = e + 1 - m as i32;
+                scale[c] = pow2_f32(e - m as i32 + 1);
+            }
+        }
+        // Lane-wise quantization of the block, same arithmetic as
+        // `fake_quantize_group_plain`.
+        for r in row0..row0 + rb {
+            let row = &mut data[r * cols..(r + 1) * cols];
+            for (c, v) in row.iter_mut().enumerate() {
+                let raw = v.to_bits();
+                let abs = raw & 0x7FFF_FFFF;
+                let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+                let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+                let p = (abs >> 23) as i32 - 150;
+                let mag = round.round_aligned(sig, t_base[c] - p, bits).min(max_mag);
+                zeros[c] += (mag == 0) as u32;
+                saturated[c] += (mag == max_mag) as u32;
+                let s = (raw as i32) >> 31;
+                let man = (mag as i32 ^ s) - s;
+                *v = man as f32 * scale[c];
+            }
+        }
+        row0 += rb;
+    }
+    stats.zeros += zeros.iter().map(|&z| z as u64).sum::<u64>();
+    stats.saturated += saturated.iter().map(|&z| z as u64).sum::<u64>();
+    stats
+}
+
+/// Stochastic `AlongCol` path via cache-friendly column panels.
+///
+/// Columns are staged [`COL_PANEL`] at a time into a contiguous transposed
+/// scratch buffer (streaming the matrix row-major for both gather and
+/// scatter), quantized as contiguous slices, and written back. Columns are
+/// still consumed left to right, rows top to bottom, so a stochastic bit
+/// stream sees exactly the element order of the strided reference.
+fn along_col_panels<R: RoundOp, B: BitSource + ?Sized>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    let mut stats = QuantStats::default();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u64;
+    let g = fmt.group_size();
+    let mut scratch = vec![0.0f32; rows * COL_PANEL.min(cols.max(1))];
+    let mut col = 0;
+    while col < cols {
+        let pc = COL_PANEL.min(cols - col);
+        for (r, row) in data.chunks(cols).enumerate() {
+            for (c, &v) in row[col..col + pc].iter().enumerate() {
+                scratch[c * rows + r] = v;
+            }
+        }
+        for colbuf in scratch[..pc * rows].chunks_mut(rows) {
+            for chunk in colbuf.chunks_mut(g) {
+                fake_quantize_group(chunk, m, max_mag, window, round, bits, &mut stats);
+            }
+        }
+        for (r, row) in data.chunks_mut(cols).enumerate() {
+            for (c, v) in row[col..col + pc].iter_mut().enumerate() {
+                *v = scratch[c * rows + r];
+            }
+        }
+        col += pc;
+    }
+    stats
+}
+
+/// Computes the signed mantissas of one group against a fixed shared
+/// exponent, appending to `out` (the [`crate::BfpGroup`] construction path).
+///
+/// # Panics
+///
+/// Panics if `rounding` is `Stochastic` with `noise_bits` outside `1..=31`.
+pub fn quantize_group_mantissas<B: BitSource + ?Sized>(
+    values: &[f32],
+    shared_exponent: i32,
+    fmt: BfpFormat,
+    rounding: Rounding,
+    bits: &mut B,
+    out: &mut Vec<i32>,
+) {
+    check_noise_bits(rounding);
+    let (e, m, max_mag) = (
+        shared_exponent,
+        fmt.mantissa_bits(),
+        fmt.max_magnitude() as u64,
+    );
+    match rounding {
+        Rounding::Nearest => group_mantissas(values, e, m, max_mag, &NearestOp, bits, out),
+        Rounding::Truncate => group_mantissas(values, e, m, max_mag, &TruncateOp, bits, out),
+        Rounding::Stochastic { noise_bits: 8 } => {
+            group_mantissas(values, e, m, max_mag, &Stochastic8Op, bits, out)
+        }
+        Rounding::Stochastic { noise_bits } => group_mantissas(
+            values,
+            e,
+            m,
+            max_mag,
+            &StochasticOp { noise_bits },
+            bits,
+            out,
+        ),
+    }
+}
+
+/// Fake-quantizes a contiguous slice in groups of `fmt.group_size()`,
+/// monomorphized over the [`BitSource`]. Semantically identical to
+/// [`crate::fake_quantize_slice`] (which wraps this with a `dyn` source).
+///
+/// # Panics
+///
+/// Panics if `rounding` is `Stochastic` with `noise_bits` outside `1..=31`.
+pub fn fake_quantize_slice_with<B: BitSource + ?Sized>(
+    values: &mut [f32],
+    fmt: BfpFormat,
+    rounding: Rounding,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    check_noise_bits(rounding);
+    match rounding {
+        Rounding::Nearest => slice_kernel(values, fmt, &NearestOp, bits, window),
+        Rounding::Truncate => slice_kernel(values, fmt, &TruncateOp, bits, window),
+        Rounding::Stochastic { noise_bits: 8 } => {
+            slice_kernel(values, fmt, &Stochastic8Op, bits, window)
+        }
+        Rounding::Stochastic { noise_bits } => {
+            slice_kernel(values, fmt, &StochasticOp { noise_bits }, bits, window)
+        }
+    }
+}
+
+/// Fake-quantizes a row-major `rows × cols` matrix with groups along
+/// `axis`, monomorphized over the [`BitSource`]. Semantically identical to
+/// [`crate::fake_quantize_matrix`] (which wraps this with a `dyn` source).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`, or if `rounding` is `Stochastic`
+/// with `noise_bits` outside `1..=31`.
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+pub fn fake_quantize_matrix_with<B: BitSource + ?Sized>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    rounding: Rounding,
+    bits: &mut B,
+    use_window: bool,
+) -> QuantStats {
+    check_noise_bits(rounding);
+    match rounding {
+        Rounding::Nearest => {
+            matrix_kernel(data, rows, cols, axis, fmt, &NearestOp, bits, use_window)
+        }
+        Rounding::Truncate => {
+            matrix_kernel(data, rows, cols, axis, fmt, &TruncateOp, bits, use_window)
+        }
+        Rounding::Stochastic { noise_bits: 8 } => matrix_kernel(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &Stochastic8Op,
+            bits,
+            use_window,
+        ),
+        Rounding::Stochastic { noise_bits } => matrix_kernel(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &StochasticOp { noise_bits },
+            bits,
+            use_window,
+        ),
+    }
+}

@@ -30,6 +30,43 @@ pub struct Lfsr16 {
     state: u16,
 }
 
+/// Per-byte jump table for [`Lfsr16`]: `JUMP8[b]` is the accumulated tap
+/// injection after 8 Galois steps whose shifted-out bits were `b`
+/// (`state_after_8 = (state >> 8) ^ JUMP8[state & 0xFF]`).
+///
+/// Valid because the taps (`0xB400`) only touch bits ≥ 10, so the low 8
+/// state bits are shifted out unmodified and each set bit `i` contributes
+/// its injection shifted right by the remaining `7 - i` steps.
+const JUMP8: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut acc = 0u16;
+        let mut i = 0;
+        while i < 8 {
+            if (b >> i) & 1 == 1 {
+                acc ^= Lfsr16::TAPS >> (7 - i);
+            }
+            i += 1;
+        }
+        table[b] = acc;
+        b += 1;
+    }
+    table
+};
+
+/// Bit-reversal table: the 8 bits shifted out of the LFSR, reassembled in
+/// draw order (first-drawn bit is the MSB of the returned byte).
+const BITREV8: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        table[b] = (b as u8).reverse_bits();
+        b += 1;
+    }
+    table
+};
+
 impl Lfsr16 {
     /// Feedback tap mask for the maximal-length polynomial.
     const TAPS: u16 = 0xB400;
@@ -52,6 +89,17 @@ impl Lfsr16 {
         lsb
     }
 
+    /// Advances 8 steps at once and returns the byte of output bits in draw
+    /// order — identical to eight [`Lfsr16::next_bit`] calls, but O(1) via
+    /// the linearity of the Galois step (the stochastic-rounding hot path
+    /// draws 8-bit noise per gradient element).
+    #[inline]
+    pub fn next_byte(&mut self) -> u8 {
+        let low = (self.state & 0xFF) as usize;
+        self.state = (self.state >> 8) ^ JUMP8[low];
+        BITREV8[low]
+    }
+
     /// Current register state (for inspection/tests).
     pub fn state(&self) -> u16 {
         self.state
@@ -71,7 +119,12 @@ impl BitSource for Lfsr16 {
             "next_bits supports 1..=32 bits, got {n}"
         );
         let mut out = 0u32;
-        for _ in 0..n {
+        let mut left = n;
+        while left >= 8 {
+            out = (out << 8) | self.next_byte() as u32;
+            left -= 8;
+        }
+        for _ in 0..left {
             out = (out << 1) | self.next_bit();
         }
         out
@@ -145,6 +198,36 @@ mod tests {
                 dev < 0.25,
                 "byte {byte} count {c} deviates {dev:.2} from uniform"
             );
+        }
+    }
+
+    #[test]
+    fn jump8_matches_eight_single_steps() {
+        let mut fast = Lfsr16::new(0x1D5B);
+        let mut slow = fast.clone();
+        for _ in 0..70000 {
+            let mut byte = 0u8;
+            for _ in 0..8 {
+                byte = (byte << 1) | slow.next_bit() as u8;
+            }
+            assert_eq!(fast.next_byte(), byte);
+            assert_eq!(fast.state(), slow.state());
+        }
+    }
+
+    #[test]
+    fn next_bits_matches_bit_serial_for_all_widths() {
+        for n in 1..=32u32 {
+            let mut fast = Lfsr16::new(0xACE1);
+            let mut slow = fast.clone();
+            for _ in 0..1000 {
+                let mut want = 0u32;
+                for _ in 0..n {
+                    want = (want << 1) | slow.next_bit();
+                }
+                assert_eq!(fast.next_bits(n), want, "width {n}");
+                assert_eq!(fast.state(), slow.state());
+            }
         }
     }
 

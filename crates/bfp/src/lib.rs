@@ -14,6 +14,10 @@
 //!   paper's BFP converter (Fig 14).
 //! * [`ChunkedGroup`] — the 2-bit-chunk mantissa memory layout of Fig 15
 //!   that enables variable-precision arithmetic (Fig 13).
+//! * [`kernel`] — the zero-allocation integer batch kernels behind all of
+//!   the above: `f32::to_bits` exponent extraction, integer mantissa shifts,
+//!   rounding and noise source monomorphized out of the hot loop
+//!   (bit-identical to the explanatory f64 path; see DESIGN.md §7).
 //! * [`dot`] — BFP dot products: the direct integer form (Fig 5) and the
 //!   chunk-serial form executed by the fMAC, which are bit-identical.
 //! * [`tensor_quant`] — matrix-level grouped (fake-)quantization along a
@@ -51,6 +55,7 @@ mod lfsr;
 mod rounding;
 
 pub mod dot;
+pub mod kernel;
 pub mod stats;
 pub mod tensor_quant;
 

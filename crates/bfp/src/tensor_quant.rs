@@ -36,25 +36,17 @@ pub struct QuantStats {
     pub zeros: u64,
 }
 
-impl QuantStats {
-    fn absorb(&mut self, group: &BfpGroup, max_mag: i32) {
-        self.groups += 1;
-        for &m in group.mantissas() {
-            if m == 0 {
-                self.zeros += 1;
-            } else if m.abs() == max_mag {
-                self.saturated += 1;
-            }
-        }
-    }
-}
-
 /// Fake-quantizes a contiguous slice in groups of `fmt.group_size()`,
 /// overwriting each value with its BFP reconstruction. The final group may
 /// be shorter than `g`.
 ///
 /// If `window` is `Some`, the shared exponents are clamped into the `e`-bit
 /// window (per-tensor reference model; see [`ExponentWindow`]).
+///
+/// Thin `dyn`-sourced wrapper over the integer batch kernel; callers with a
+/// concrete [`BitSource`] should prefer
+/// [`kernel::fake_quantize_slice_with`](crate::kernel::fake_quantize_slice_with)
+/// to monomorphize the stochastic-rounding draw.
 pub fn fake_quantize_slice(
     values: &mut [f32],
     fmt: BfpFormat,
@@ -62,19 +54,16 @@ pub fn fake_quantize_slice(
     bits: &mut dyn BitSource,
     window: Option<ExponentWindow>,
 ) -> QuantStats {
-    let mut stats = QuantStats::default();
-    let max_mag = fmt.max_magnitude() as i32;
-    for chunk in values.chunks_mut(fmt.group_size()) {
-        let group = BfpGroup::quantize(chunk, fmt, rounding, bits, window);
-        stats.absorb(&group, max_mag);
-        group.dequantize_into(chunk);
-    }
-    stats
+    crate::kernel::fake_quantize_slice_with(values, fmt, rounding, bits, window)
 }
 
 /// Fake-quantizes a row-major `rows × cols` matrix with groups running
 /// along `axis`. When `use_window` is set, an [`ExponentWindow`] with the
 /// matrix-wide max exponent models the finite `e`-bit exponent field.
+///
+/// Thin `dyn`-sourced wrapper over the integer batch kernel; callers with a
+/// concrete [`BitSource`] should prefer
+/// [`kernel::fake_quantize_matrix_with`](crate::kernel::fake_quantize_matrix_with).
 ///
 /// # Panics
 ///
@@ -90,45 +79,9 @@ pub fn fake_quantize_matrix(
     bits: &mut dyn BitSource,
     use_window: bool,
 ) -> QuantStats {
-    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
-    let window = use_window.then(|| ExponentWindow::from_values(data, fmt.exponent_bits()));
-    match axis {
-        GroupAxis::AlongRow => {
-            let mut stats = QuantStats::default();
-            let max_mag = fmt.max_magnitude() as i32;
-            for row in data.chunks_mut(cols) {
-                for chunk in row.chunks_mut(fmt.group_size()) {
-                    let group = BfpGroup::quantize(chunk, fmt, rounding, bits, window);
-                    stats.absorb(&group, max_mag);
-                    group.dequantize_into(chunk);
-                }
-            }
-            stats
-        }
-        GroupAxis::AlongCol => {
-            let mut stats = QuantStats::default();
-            let max_mag = fmt.max_magnitude() as i32;
-            let g = fmt.group_size();
-            let mut scratch = vec![0.0f32; g];
-            for col in 0..cols {
-                let mut row = 0;
-                while row < rows {
-                    let n = g.min(rows - row);
-                    for (k, s) in scratch[..n].iter_mut().enumerate() {
-                        *s = data[(row + k) * cols + col];
-                    }
-                    let group = BfpGroup::quantize(&scratch[..n], fmt, rounding, bits, window);
-                    stats.absorb(&group, max_mag);
-                    group.dequantize_into(&mut scratch[..n]);
-                    for (k, &s) in scratch[..n].iter().enumerate() {
-                        data[(row + k) * cols + col] = s;
-                    }
-                    row += n;
-                }
-            }
-            stats
-        }
-    }
+    crate::kernel::fake_quantize_matrix_with(
+        data, rows, cols, axis, fmt, rounding, bits, use_window,
+    )
 }
 
 /// Computes the FAST relative improvement `r(X)` of paper Eq. 2:

@@ -7,8 +7,8 @@
 
 use fast_bfp::dot::{dot_chunked, dot_dequantized, dot_f32};
 use fast_bfp::{
-    exponent_of, relative_improvement, BfpFormat, BfpGroup, BitSource, ChunkedGroup, Lfsr16,
-    RngBits, Rounding,
+    exponent_of, relative_improvement, BfpFormat, BfpGroup, BitSource, ChunkedGroup, GroupAxis,
+    Lfsr16, RngBits, Rounding,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -191,5 +191,296 @@ struct NoBitsNeeded;
 impl BitSource for NoBitsNeeded {
     fn next_bits(&mut self, _n: u32) -> u32 {
         unreachable!()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer-kernel equivalence: the batch kernel of `fast_bfp::kernel` must be
+// bit-identical to the seed f64 implementation (PR 2) for every f32 bit
+// pattern, format, exponent window and rounding mode. The `seed_reference`
+// module below is a verbatim transcription of the pre-kernel implementation.
+// ---------------------------------------------------------------------------
+
+mod seed_reference {
+    use fast_bfp::{exponent_of, BfpFormat, BitSource, ExponentWindow, Rounding};
+
+    fn sanitize(v: f32) -> f32 {
+        if v.is_nan() {
+            0.0
+        } else if v.is_infinite() {
+            f32::MAX.copysign(v)
+        } else {
+            v
+        }
+    }
+
+    fn round(rounding: Rounding, scaled: f64, bits: &mut dyn BitSource) -> i64 {
+        match rounding {
+            Rounding::Nearest => (scaled + 0.5).floor() as i64,
+            Rounding::Truncate => scaled.floor() as i64,
+            Rounding::Stochastic { noise_bits } => {
+                assert!((1..=31).contains(&noise_bits));
+                let q = 1u64 << noise_bits;
+                let noise = bits.next_bits(noise_bits) as f64 / q as f64;
+                (scaled + noise).floor() as i64
+            }
+        }
+    }
+
+    /// Seed `BfpGroup::quantize`, returning `(shared_exponent, mantissas)`.
+    pub fn quantize(
+        values: &[f32],
+        format: BfpFormat,
+        rounding: Rounding,
+        bits: &mut dyn BitSource,
+        window: Option<ExponentWindow>,
+    ) -> (i32, Vec<i32>) {
+        let m = format.mantissa_bits();
+        let natural_exp = values
+            .iter()
+            .filter_map(|&v| exponent_of(sanitize(v)))
+            .max();
+        let shared_exponent = match natural_exp {
+            None => {
+                let e = window.map(|w| w.clamp(i32::MIN / 2)).unwrap_or(0);
+                return (e, vec![0; values.len()]);
+            }
+            Some(e) => match window {
+                Some(w) => w.clamp(e),
+                None => e,
+            },
+        };
+        let max_mag = format.max_magnitude();
+        let scale = 2.0f64.powi(m as i32 - 1 - shared_exponent);
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let v = sanitize(v);
+                if v == 0.0 {
+                    return 0;
+                }
+                let scaled = (v.abs() as f64) * scale;
+                let mag = round(rounding, scaled, bits).min(max_mag) as i32;
+                if v < 0.0 {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+        (shared_exponent, mantissas)
+    }
+
+    /// Seed `BfpGroup::dequantize_into` for a quantized group.
+    pub fn dequantize(shared_exponent: i32, mantissas: &[i32], format: BfpFormat) -> Vec<f32> {
+        let s = 2.0f64.powi(shared_exponent - format.mantissa_bits() as i32 + 1);
+        mantissas.iter().map(|&m| (m as f64 * s) as f32).collect()
+    }
+
+    /// Seed `fake_quantize_slice`, returning `(groups, saturated, zeros)`.
+    pub fn fake_quantize_slice(
+        values: &mut [f32],
+        fmt: BfpFormat,
+        rounding: Rounding,
+        bits: &mut dyn BitSource,
+        window: Option<ExponentWindow>,
+    ) -> (usize, u64, u64) {
+        let mut stats = (0usize, 0u64, 0u64);
+        let max_mag = fmt.max_magnitude() as i32;
+        for chunk in values.chunks_mut(fmt.group_size()) {
+            let (e, mantissas) = quantize(chunk, fmt, rounding, bits, window);
+            stats.0 += 1;
+            for &m in &mantissas {
+                if m == 0 {
+                    stats.2 += 1;
+                } else if m.abs() == max_mag {
+                    stats.1 += 1;
+                }
+            }
+            chunk.copy_from_slice(&dequantize(e, &mantissas, fmt));
+        }
+        stats
+    }
+
+    /// Seed `fake_quantize_matrix` with the strided per-column gather.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fake_quantize_matrix(
+        data: &mut [f32],
+        rows: usize,
+        cols: usize,
+        along_col: bool,
+        fmt: BfpFormat,
+        rounding: Rounding,
+        bits: &mut dyn BitSource,
+        use_window: bool,
+    ) -> (usize, u64, u64) {
+        let window = use_window.then(|| ExponentWindow::from_values(data, fmt.exponent_bits()));
+        if !along_col {
+            let mut stats = (0usize, 0u64, 0u64);
+            for row in data.chunks_mut(cols) {
+                let (g, s, z) = fake_quantize_slice(row, fmt, rounding, bits, window);
+                stats.0 += g;
+                stats.1 += s;
+                stats.2 += z;
+            }
+            return stats;
+        }
+        let mut stats = (0usize, 0u64, 0u64);
+        let max_mag = fmt.max_magnitude() as i32;
+        let g = fmt.group_size();
+        let mut scratch = vec![0.0f32; g];
+        for col in 0..cols {
+            let mut row = 0;
+            while row < rows {
+                let n = g.min(rows - row);
+                for (k, s) in scratch[..n].iter_mut().enumerate() {
+                    *s = data[(row + k) * cols + col];
+                }
+                let (e, mantissas) = quantize(&scratch[..n], fmt, rounding, bits, window);
+                stats.0 += 1;
+                for &m in &mantissas {
+                    if m == 0 {
+                        stats.2 += 1;
+                    } else if m.abs() == max_mag {
+                        stats.1 += 1;
+                    }
+                }
+                scratch[..n].copy_from_slice(&dequantize(e, &mantissas, fmt));
+                for (k, &s) in scratch[..n].iter().enumerate() {
+                    data[(row + k) * cols + col] = s;
+                }
+                row += n;
+            }
+        }
+        stats
+    }
+}
+
+/// Every f32 bit pattern, weighted toward the hard cases: subnormals,
+/// zeros, infinities, NaN, and huge/tiny magnitudes.
+fn any_f32_bits() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        4 => (0u32..=u32::MAX).prop_map(f32::from_bits),
+        2 => (0u32..0x80_0000).prop_map(f32::from_bits),                  // subnormal
+        2 => (0u32..0x80_0000).prop_map(|b| f32::from_bits(b | 0x8000_0000)),
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::INFINITY),
+        1 => Just(f32::NEG_INFINITY),
+        1 => Just(f32::NAN),
+        2 => (-120.0f32..120.0).prop_map(|e| e.exp2()),
+    ]
+}
+
+fn any_rounding() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Nearest),
+        Just(Rounding::Truncate),
+        (1u32..=31).prop_map(|noise_bits| Rounding::Stochastic { noise_bits }),
+    ]
+}
+
+/// Window selector: 0 = no window, otherwise an `e`-bit window whose
+/// reference may lie far *below* the data exponents (forcing saturation).
+fn window_from(sel: u32, reference_exponent: i32) -> Option<fast_bfp::ExponentWindow> {
+    (sel != 0).then_some(fast_bfp::ExponentWindow {
+        reference_exponent,
+        exponent_bits: sel,
+    })
+}
+
+proptest! {
+    /// The integer kernel behind `BfpGroup::quantize` reproduces the seed
+    /// f64 pipeline bit for bit — shared exponent, mantissas, and the f32
+    /// reconstruction — for arbitrary bit patterns, formats, windows and
+    /// rounding modes, with stochastic draws consuming an identical LFSR.
+    #[test]
+    fn kernel_group_is_bit_identical_to_seed(
+        values in prop::collection::vec(any_f32_bits(), 1..=24),
+        m in 1u32..=16,
+        e in 1u32..=8,
+        rounding in any_rounding(),
+        win_sel in 0u32..=8,
+        win_ref in -200i32..=200,
+        seed in 0u16..=u16::MAX,
+    ) {
+        let fmt = BfpFormat::new(24, m, e).expect("valid format");
+        let window = window_from(win_sel, win_ref);
+        let mut lfsr_a = Lfsr16::new(seed);
+        let mut lfsr_b = lfsr_a.clone();
+        let got = BfpGroup::quantize(&values, fmt, rounding, &mut lfsr_a, window);
+        let (want_e, want_m) = seed_reference::quantize(&values, fmt, rounding, &mut lfsr_b, window);
+        prop_assert_eq!(got.shared_exponent(), want_e);
+        prop_assert_eq!(got.mantissas(), &want_m[..]);
+        prop_assert_eq!(lfsr_a.state(), lfsr_b.state(), "bit streams diverged");
+        let want_back = seed_reference::dequantize(want_e, &want_m, fmt);
+        for (g, w) in got.dequantize().iter().zip(&want_back) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// Slice fake-quantization (the batched entry point) is bit-identical to
+    /// the seed path, including the fused `QuantStats` counters.
+    #[test]
+    fn kernel_slice_is_bit_identical_to_seed(
+        values in prop::collection::vec(any_f32_bits(), 1..=64),
+        g in 1usize..=17,
+        m in 1u32..=16,
+        rounding in any_rounding(),
+        win_sel in 0u32..=8,
+        win_ref in -200i32..=200,
+        seed in 0u16..=u16::MAX,
+    ) {
+        let fmt = BfpFormat::new(g, m, 8).expect("valid format");
+        let window = window_from(win_sel, win_ref);
+        let mut got_buf = values.clone();
+        let mut want_buf = values.clone();
+        let mut lfsr_a = Lfsr16::new(seed);
+        let mut lfsr_b = lfsr_a.clone();
+        let stats = fast_bfp::kernel::fake_quantize_slice_with(
+            &mut got_buf, fmt, rounding, &mut lfsr_a, window);
+        let (groups, saturated, zeros) = seed_reference::fake_quantize_slice(
+            &mut want_buf, fmt, rounding, &mut lfsr_b, window);
+        prop_assert_eq!((stats.groups, stats.saturated, stats.zeros), (groups, saturated, zeros));
+        prop_assert_eq!(lfsr_a.state(), lfsr_b.state(), "bit streams diverged");
+        for (g, w) in got_buf.iter().zip(&want_buf) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// Matrix fake-quantization — both group axes — is bit-identical to the
+    /// seed's strided implementation: the `AlongCol` panel kernel must
+    /// consume the stochastic bit stream in exactly the seed's element
+    /// order (columns left to right, rows top to bottom).
+    #[test]
+    fn kernel_matrix_is_bit_identical_to_seed(
+        rows in 1usize..=40,
+        cols in 1usize..=40,
+        g in 1usize..=17,
+        m in 1u32..=16,
+        rounding in any_rounding(),
+        along_col in 0u32..=1,
+        use_window in 0u32..=1,
+        seed in 0u16..=u16::MAX,
+        fill in 0u32..=u32::MAX,
+    ) {
+        let fmt = BfpFormat::new(g, m, 3).expect("valid format");
+        let values: Vec<f32> = (0..rows * cols)
+            .map(|i| f32::from_bits(fill.wrapping_mul(i as u32 + 1).rotate_left(i as u32 % 31)))
+            .collect();
+        let axis = if along_col == 1 { GroupAxis::AlongCol } else { GroupAxis::AlongRow };
+        let mut got_buf = values.clone();
+        let mut want_buf = values;
+        let mut lfsr_a = Lfsr16::new(seed);
+        let mut lfsr_b = lfsr_a.clone();
+        let stats = fast_bfp::kernel::fake_quantize_matrix_with(
+            &mut got_buf, rows, cols, axis, fmt, rounding, &mut lfsr_a, use_window == 1);
+        let (groups, saturated, zeros) = seed_reference::fake_quantize_matrix(
+            &mut want_buf, rows, cols, along_col == 1, fmt, rounding, &mut lfsr_b, use_window == 1);
+        prop_assert_eq!((stats.groups, stats.saturated, stats.zeros), (groups, saturated, zeros));
+        prop_assert_eq!(lfsr_a.state(), lfsr_b.state(), "bit streams diverged");
+        for (g, w) in got_buf.iter().zip(&want_buf) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 }

@@ -90,11 +90,11 @@ impl Layer for Conv2d {
         // down the rows of `cols` (AlongCol) and along the rows of `W_mat`.
         self.precision
             .activations
-            .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.bits());
+            .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.rng());
         let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
         self.precision
             .weights
-            .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.bits());
+            .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.rng());
         let mut out_mat = matmul(&w_mat, &cols);
         if self.use_bias {
             let p = d.p_dim();
@@ -133,11 +133,11 @@ impl Layer for Conv2d {
         let mut gq = g_mat.clone();
         self.precision
             .gradients
-            .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+            .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.rng());
         let mut cols = im2col(x, d);
         self.precision
             .activations
-            .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.bits());
+            .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.rng());
         let gw =
             matmul_nt(&gq, &cols).reshape(vec![self.out_c, self.in_c, self.kernel, self.kernel]);
         self.gw.add_assign(&gw);
@@ -152,11 +152,11 @@ impl Layer for Conv2d {
         let mut gq2 = g_mat;
         self.precision
             .gradients
-            .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+            .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.rng());
         let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
         self.precision
             .weights
-            .quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.bits());
+            .quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.rng());
         let grad_cols = matmul_tn(&w_mat, &gq2);
         let grad_input = col2im(&grad_cols, d);
 
@@ -306,13 +306,13 @@ impl Layer for DepthwiseConv2d {
             self.precision.activations.quantize_matrix(
                 &mut cols,
                 GroupAxis::AlongCol,
-                session.bits(),
+                session.rng(),
             );
             let mut w_row =
                 Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
             self.precision
                 .weights
-                .quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.bits());
+                .quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.rng());
             let out_mat = matmul(&w_row, &cols); // (1, B·OH·OW)
             let od = out.data_mut();
             for bi in 0..b {
@@ -350,12 +350,12 @@ impl Layer for DepthwiseConv2d {
             let mut gq = g_mat.clone();
             self.precision
                 .gradients
-                .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.bits());
+                .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.rng());
             let mut cols = im2col(&xc, d);
             self.precision.activations.quantize_matrix(
                 &mut cols,
                 GroupAxis::AlongRow,
-                session.bits(),
+                session.rng(),
             );
             let gw_row = matmul_nt(&gq, &cols); // (1, k²)
             for (i, &v) in gw_row.data().iter().enumerate() {
@@ -366,12 +366,12 @@ impl Layer for DepthwiseConv2d {
             let mut gq2 = g_mat;
             self.precision
                 .gradients
-                .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.bits());
+                .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.rng());
             let mut w_row =
                 Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
             self.precision
                 .weights
-                .quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.bits());
+                .quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.rng());
             let grad_cols = matmul_tn(&w_row, &gq2); // (k², B·OH·OW)
             let gic = col2im(&grad_cols, d); // (B,1,H,W)
             for bi in 0..b {

@@ -37,8 +37,15 @@ impl Session {
         }
     }
 
-    /// The stochastic-rounding bit source.
+    /// The stochastic-rounding bit source, type-erased.
     pub fn bits(&mut self) -> &mut dyn BitSource {
+        &mut self.bits
+    }
+
+    /// The stochastic-rounding bit source with its concrete type, so layer
+    /// hot paths monomorphize the quantization kernels (no virtual call per
+    /// stochastic draw; see `fast_bfp::kernel`).
+    pub fn rng(&mut self) -> &mut RngBits<StdRng> {
         &mut self.bits
     }
 }

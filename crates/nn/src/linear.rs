@@ -85,14 +85,14 @@ impl Layer for Dense {
             n: self.out_dim(),
         });
 
-        let mut xq = input.clone();
-        self.precision
-            .activations
-            .quantize_matrix(&mut xq, GroupAxis::AlongRow, session.bits());
-        let mut wq = self.w.clone();
-        self.precision
+        let xq =
+            self.precision
+                .activations
+                .quantize_copy(input, GroupAxis::AlongRow, session.rng());
+        let wq = self
+            .precision
             .weights
-            .quantize_matrix(&mut wq, GroupAxis::AlongCol, session.bits());
+            .quantize_copy(&self.w, GroupAxis::AlongCol, session.rng());
         let mut out = matmul(&xq, &wq);
         if self.use_bias {
             let n = self.out_dim();
@@ -117,14 +117,14 @@ impl Layer for Dense {
         assert_eq!(grad_output.shape(), &[x.shape()[0], self.out_dim()]);
 
         // ∇W = Aᵀ·∇O, reduction over the batch dimension.
-        let mut xq = x.clone();
-        self.precision
+        let xq = self
+            .precision
             .activations
-            .quantize_matrix(&mut xq, GroupAxis::AlongCol, session.bits());
-        let mut gq = grad_output.clone();
-        self.precision
-            .gradients
-            .quantize_matrix(&mut gq, GroupAxis::AlongCol, session.bits());
+            .quantize_copy(x, GroupAxis::AlongCol, session.rng());
+        let gq =
+            self.precision
+                .gradients
+                .quantize_copy(grad_output, GroupAxis::AlongCol, session.rng());
         self.gw.add_assign(&matmul_tn(&xq, &gq));
         if self.use_bias {
             let sums = col_sums(grad_output);
@@ -134,14 +134,14 @@ impl Layer for Dense {
         }
 
         // ∇A = ∇O·Wᵀ, reduction over the output dimension.
-        let mut gq2 = grad_output.clone();
-        self.precision
-            .gradients
-            .quantize_matrix(&mut gq2, GroupAxis::AlongRow, session.bits());
-        let mut wq = self.w.clone();
-        self.precision
+        let gq2 =
+            self.precision
+                .gradients
+                .quantize_copy(grad_output, GroupAxis::AlongRow, session.rng());
+        let wq = self
+            .precision
             .weights
-            .quantize_matrix(&mut wq, GroupAxis::AlongRow, session.bits());
+            .quantize_copy(&self.w, GroupAxis::AlongRow, session.rng());
         // matmul_nt(g (B,N), W (K,N)) reduces over N and yields (B,K) = g·Wᵀ.
         let grad_input = matmul_nt(&gq2, &wq);
         self.last_grad = Some(grad_output.clone());

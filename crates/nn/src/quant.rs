@@ -1,9 +1,7 @@
 //! Numeric formats for quantization-aware training (paper Fig 2) and the
 //! per-layer precision assignment that the FAST controller manipulates.
 
-use fast_bfp::{
-    fake_quantize_matrix, quantize_minifloat, BfpFormat, BitSource, GroupAxis, Minifloat, Rounding,
-};
+use fast_bfp::{quantize_minifloat, BfpFormat, BitSource, GroupAxis, Minifloat, Rounding};
 use fast_tensor::Tensor;
 
 /// A number format a tensor can be quantized to before entering a GEMM.
@@ -127,10 +125,19 @@ impl NumericFormat {
     /// Quantizes a rank-2 tensor in place, grouping along `axis` for BFP
     /// formats (scalar formats ignore the axis).
     ///
+    /// Generic over the [`BitSource`] so BFP quantization dispatches into
+    /// the monomorphized batch kernels of `fast_bfp::kernel`; `&mut dyn
+    /// BitSource` still works (and erases the source as before).
+    ///
     /// # Panics
     ///
     /// Panics if `t` is not rank 2.
-    pub fn quantize_matrix(&self, t: &mut Tensor, axis: GroupAxis, bits: &mut dyn BitSource) {
+    pub fn quantize_matrix<B: BitSource + ?Sized>(
+        &self,
+        t: &mut Tensor,
+        axis: GroupAxis,
+        bits: &mut B,
+    ) {
         assert_eq!(t.rank(), 2, "quantize_matrix requires a rank-2 tensor");
         let (rows, cols) = (t.shape()[0], t.shape()[1]);
         match self {
@@ -147,7 +154,7 @@ impl NumericFormat {
                 rounding,
                 windowed,
             } => {
-                fake_quantize_matrix(
+                fast_bfp::kernel::fake_quantize_matrix_with(
                     t.data_mut(),
                     rows,
                     cols,
@@ -159,6 +166,19 @@ impl NumericFormat {
                 );
             }
         }
+    }
+
+    /// Returns a quantized copy of `src` (the clone-then-quantize pattern of
+    /// the layer GEMM paths, fused into one entry point).
+    pub fn quantize_copy<B: BitSource + ?Sized>(
+        &self,
+        src: &Tensor,
+        axis: GroupAxis,
+        bits: &mut B,
+    ) -> Tensor {
+        let mut out = src.clone();
+        self.quantize_matrix(&mut out, axis, bits);
+        out
     }
 }
 

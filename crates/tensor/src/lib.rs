@@ -25,6 +25,7 @@
 mod conv;
 mod init;
 mod matmul;
+mod parallel;
 mod pool;
 mod reduce;
 mod tensor;
@@ -35,6 +36,7 @@ pub use conv::{
 };
 pub use init::{kaiming_normal, uniform_init};
 pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use parallel::{parallelism, set_parallelism, Parallelism};
 pub use pool::{
     global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolOutput,
 };

@@ -1,4 +1,4 @@
-//! Blocked f32 GEMM kernels.
+//! Blocked, multi-threaded f32 GEMM kernels.
 //!
 //! Three orientations cover the DNN training GEMMs of paper Fig 3 without
 //! materializing transposes:
@@ -9,7 +9,20 @@
 //!
 //! All kernels accumulate in f32, matching the FP32 accumulator that spans
 //! BFP groups in the fMAC (paper Section V-B).
+//!
+//! The kernels are register/cache tiled — [`matmul`] and [`matmul_tn`] run
+//! the reduction through blocked row updates (a 4×32 register micro-kernel
+//! for full tiles, a pairwise-tree row update for remainder rows and column
+//! tails), [`matmul_nt`] runs four dot-product chains at a time — and
+//! output row panels are sharded across scoped worker threads per the
+//! process-wide [`crate::Parallelism`] setting. Each output element's
+//! summation tree is a fixed function of its position and the operand
+//! shapes alone: panels split at micro-kernel granularity, so the
+//! block/remainder decomposition — and therefore every f32 result bit — is
+//! identical for every worker count, including `Parallelism::sequential()`
+//! (pinned by `tests/proptests.rs`).
 
+use crate::parallel::shard_rows;
 use crate::tensor::Tensor;
 
 /// `C (m×n) = A (m×k) · B (k×n)`.
@@ -23,21 +36,123 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ka, kb, "matmul inner dimensions disagree: {ka} vs {kb}");
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    // i-k-j loop order: streams B rows, accumulates into C rows.
-    for i in 0..m {
-        let c_row = &mut out[i * n..(i + 1) * n];
-        for k in 0..ka {
-            let aik = ad[i * ka + k];
-            if aik == 0.0 {
-                continue;
+    shard_rows(&mut out, n, 2 * ka * n, MR, |row_start, panel| {
+        let mut ri = 0;
+        let rows = panel.len() / n;
+        while ri + MR <= rows {
+            let i = row_start + ri;
+            let a_quad = |r: usize| &ad[(i + r) * ka..(i + r) * ka + ka];
+            micro_tile(
+                [a_quad(0), a_quad(1), a_quad(2), a_quad(3)],
+                bd,
+                n,
+                &mut panel[ri * n..(ri + MR) * n],
+            );
+            ri += MR;
+        }
+        while ri < rows {
+            let a_row = &ad[(row_start + ri) * ka..(row_start + ri) * ka + ka];
+            accumulate_row(&mut panel[ri * n..(ri + 1) * n], a_row, bd, n);
+            ri += 1;
+        }
+    });
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Micro-kernel row height (output rows per register tile).
+const MR: usize = 4;
+/// Micro-kernel column width (output columns per register tile).
+const NR: usize = 32;
+
+/// Register-blocked `MR×NR` tile: `MR` output rows advance together down
+/// the whole reduction, sharing each B row load; the `MR·NR` accumulators
+/// live in registers, so C is touched once per tile instead of once per
+/// reduction block. Each accumulator sums its products in ascending-`k`
+/// order. Column remainders fall back to [`accumulate_row`] per row.
+#[inline]
+fn micro_tile(a: [&[f32]; MR], bd: &[f32], n: usize, c_quad: &mut [f32]) {
+    let k = a[0].len();
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        let mut acc = [[0.0f32; NR]; MR];
+        for kk in 0..k {
+            let b = &bd[kk * n + j0..kk * n + j0 + NR];
+            for r in 0..MR {
+                let ar = a[r][kk];
+                for (x, acc_rx) in acc[r].iter_mut().enumerate() {
+                    *acc_rx += ar * b[x];
+                }
             }
-            let b_row = &bd[k * n..(k + 1) * n];
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let c = &mut c_quad[r * n + j0..r * n + j0 + NR];
+            for (cx, &ax) in c.iter_mut().zip(acc_r) {
+                *cx += ax;
+            }
+        }
+        j0 += NR;
+    }
+    if j0 < n {
+        for r in 0..MR {
+            accumulate_tail(&mut c_quad[r * n + j0..(r + 1) * n], a[r], bd, n, j0);
+        }
+    }
+}
+
+/// Scalar column-tail update: `c_row[j0..] += Σ_k a[k] · b_row(k)[j0..]`.
+fn accumulate_tail(c_tail: &mut [f32], a: &[f32], bd: &[f32], n: usize, j0: usize) {
+    for (kk, &ak) in a.iter().enumerate() {
+        if ak != 0.0 {
+            let b_tail = &bd[kk * n + j0..(kk + 1) * n];
+            for (c, &bv) in c_tail.iter_mut().zip(b_tail) {
+                *c += ak * bv;
+            }
+        }
+    }
+}
+
+/// `c_row += Σ_k a[k] · b_row(k)` with the reduction blocked four wide;
+/// products are added in ascending-`k` order. Blocks of four zero
+/// coefficients are skipped (BFP-quantized operands are sparse).
+#[inline]
+fn accumulate_row(c_row: &mut [f32], a: &[f32], bd: &[f32], n: usize) {
+    let c_row = &mut c_row[..n];
+    let k = a.len();
+    let mut kk = 0;
+    while kk + 8 <= k {
+        let ab = &a[kk..kk + 8];
+        if ab.iter().any(|&v| v != 0.0) {
+            let b0 = &bd[kk * n..kk * n + n];
+            let b1 = &bd[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &bd[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &bd[(kk + 3) * n..(kk + 3) * n + n];
+            let b4 = &bd[(kk + 4) * n..(kk + 4) * n + n];
+            let b5 = &bd[(kk + 5) * n..(kk + 5) * n + n];
+            let b6 = &bd[(kk + 6) * n..(kk + 6) * n + n];
+            let b7 = &bd[(kk + 7) * n..(kk + 7) * n + n];
+            for j in 0..n {
+                // Fixed pairwise reduction: three-deep adder tree instead of
+                // an eight-long serial chain (same tree on every path, so
+                // results are deterministic and worker-count-independent).
+                let s01 = ab[0] * b0[j] + ab[1] * b1[j];
+                let s23 = ab[2] * b2[j] + ab[3] * b3[j];
+                let s45 = ab[4] * b4[j] + ab[5] * b5[j];
+                let s67 = ab[6] * b6[j] + ab[7] * b7[j];
+                c_row[j] += (s01 + s23) + (s45 + s67);
+            }
+        }
+        kk += 8;
+    }
+    while kk < k {
+        let aik = a[kk];
+        if aik != 0.0 {
+            let b_row = &bd[kk * n..kk * n + n];
             for (c, &bv) in c_row.iter_mut().zip(b_row) {
                 *c += aik * bv;
             }
         }
+        kk += 1;
     }
-    Tensor::from_vec(vec![m, n], out)
 }
 
 /// `C (m×n) = A (m×k) · Bᵀ` where `B` is stored as `n×k`.
@@ -51,17 +166,44 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ka, kb, "matmul_nt inner dimensions disagree: {ka} vs {kb}");
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for i in 0..m {
-        let a_row = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let b_row = &bd[j * kb..(j + 1) * kb];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+    shard_rows(&mut out, n, 2 * ka * n, 1, |row_start, panel| {
+        for (ri, c_row) in panel.chunks_mut(n).enumerate() {
+            let c_row = &mut c_row[..n];
+            let a_row = &ad[(row_start + ri) * ka..(row_start + ri) * ka + ka];
+            let mut j = 0;
+            // Four dot products at a time: independent accumulator chains
+            // give instruction-level parallelism while each chain keeps the
+            // sequential ascending-k order.
+            while j + 4 <= n {
+                let b0 = &bd[j * ka..j * ka + ka];
+                let b1 = &bd[(j + 1) * ka..(j + 1) * ka + ka];
+                let b2 = &bd[(j + 2) * ka..(j + 2) * ka + ka];
+                let b3 = &bd[(j + 3) * ka..(j + 3) * ka + ka];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for p in 0..ka {
+                    let av = a_row[p];
+                    s0 += av * b0[p];
+                    s1 += av * b1[p];
+                    s2 += av * b2[p];
+                    s3 += av * b3[p];
+                }
+                c_row[j] = s0;
+                c_row[j + 1] = s1;
+                c_row[j + 2] = s2;
+                c_row[j + 3] = s3;
+                j += 4;
             }
-            out[i * n + j] = acc;
+            while j < n {
+                let b_row = &bd[j * ka..j * ka + ka];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                c_row[j] = acc;
+                j += 1;
+            }
         }
-    }
+    });
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -76,19 +218,41 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ka, kb, "matmul_tn inner dimensions disagree: {ka} vs {kb}");
     let mut out = vec![0.0f32; m * n];
     let (ad, bd) = (a.data(), b.data());
-    for k in 0..ka {
-        let a_row = &ad[k * m..(k + 1) * m];
-        let b_row = &bd[k * n..(k + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    shard_rows(&mut out, n, 2 * ka * n, MR, |row_start, panel| {
+        for (ri, c_row) in panel.chunks_mut(n).enumerate() {
+            let c_row = &mut c_row[..n];
+            let i = row_start + ri;
+            let mut kk = 0;
+            while kk + 4 <= ka {
+                let (a0, a1, a2, a3) = (
+                    ad[kk * m + i],
+                    ad[(kk + 1) * m + i],
+                    ad[(kk + 2) * m + i],
+                    ad[(kk + 3) * m + i],
+                );
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    let b0 = &bd[kk * n..kk * n + n];
+                    let b1 = &bd[(kk + 1) * n..(kk + 1) * n + n];
+                    let b2 = &bd[(kk + 2) * n..(kk + 2) * n + n];
+                    let b3 = &bd[(kk + 3) * n..(kk + 3) * n + n];
+                    for j in 0..n {
+                        c_row[j] = c_row[j] + a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                }
+                kk += 4;
             }
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row) {
-                *c += av * bv;
+            while kk < ka {
+                let av = ad[kk * m + i];
+                if av != 0.0 {
+                    let b_row = &bd[kk * n..kk * n + n];
+                    for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                        *c += av * bv;
+                    }
+                }
+                kk += 1;
             }
         }
-    }
+    });
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -139,7 +303,7 @@ mod tests {
 
     #[test]
     fn matches_naive_on_random() {
-        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (7, 13, 2), (16, 16, 16)] {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (7, 13, 2), (16, 16, 16), (9, 34, 11)] {
             let a = rand_tensor(vec![m, k], 1);
             let b = rand_tensor(vec![k, n], 2);
             let fast = matmul(&a, &b);
@@ -181,6 +345,26 @@ mod tests {
         }
         assert_eq!(matmul(&a, &eye), a);
         assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bitwise() {
+        use crate::parallel::{parallelism, set_parallelism, Parallelism};
+        let saved = parallelism();
+        // Big enough that the work-size heuristic actually shards.
+        let a = rand_tensor(vec![101, 256], 11);
+        let b = rand_tensor(vec![256, 67], 12);
+        let bt = rand_tensor(vec![67, 256], 13);
+        let at = rand_tensor(vec![256, 101], 14);
+        set_parallelism(Parallelism::sequential());
+        let (s1, s2, s3) = (matmul(&a, &b), matmul_nt(&a, &bt), matmul_tn(&at, &b));
+        for workers in [2, 3, 8] {
+            set_parallelism(Parallelism::new(workers));
+            assert_eq!(matmul(&a, &b), s1, "matmul, {workers} workers");
+            assert_eq!(matmul_nt(&a, &bt), s2, "matmul_nt, {workers} workers");
+            assert_eq!(matmul_tn(&at, &b), s3, "matmul_tn, {workers} workers");
+        }
+        set_parallelism(saved);
     }
 
     #[test]

@@ -128,3 +128,52 @@ proptest! {
         prop_assert!((total - by_cols).abs() < 1e-3);
     }
 }
+
+proptest! {
+    /// Threaded GEMMs are bit-identical to sequential ones for every worker
+    /// count and all three orientations: row panels are sharded at the
+    /// micro-kernel granularity, and each output element accumulates its
+    /// products in the same order no matter how many workers run.
+    #[test]
+    fn threaded_matmul_is_bit_identical_to_sequential(
+        m in 1usize..=64,
+        k in 32usize..=96,
+        n in 32usize..=96,
+        seed in 0u64..=u64::MAX,
+        workers in 2usize..=9,
+    ) {
+        let a = tensor_from_seed(vec![m, k], seed);
+        let b = tensor_from_seed(vec![k, n], seed ^ 0x9E37_79B9);
+        let bt = tensor_from_seed(vec![n, k], seed ^ 0x517C_C1B7);
+        let at = tensor_from_seed(vec![k, m], seed ^ 0x2545_F491);
+        let saved = fast_tensor::parallelism();
+        fast_tensor::set_parallelism(fast_tensor::Parallelism::sequential());
+        let s_nn = matmul(&a, &b);
+        let s_nt = matmul_nt(&a, &bt);
+        let s_tn = matmul_tn(&at, &b);
+        fast_tensor::set_parallelism(fast_tensor::Parallelism::new(workers));
+        let t_nn = matmul(&a, &b);
+        let t_nt = matmul_nt(&a, &bt);
+        let t_tn = matmul_tn(&at, &b);
+        fast_tensor::set_parallelism(saved);
+        for (x, y) in s_nn.data().iter().zip(t_nn.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in s_nt.data().iter().zip(t_nt.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in s_tn.data().iter().zip(t_tn.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+fn tensor_from_seed(shape: Vec<usize>, seed: u64) -> Tensor {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let len: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+    )
+}

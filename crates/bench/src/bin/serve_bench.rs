@@ -1,0 +1,270 @@
+//! Serving benchmark for the `fast_serve` inference engine.
+//!
+//! Two measurements, written to `BENCH_serve.json` (the serving companion
+//! of `BENCH_quant_gemm.json`; experiment index in DESIGN.md §4):
+//!
+//! 1. **Single-stream**: batch-1 forward latency of the re-quantize-every-
+//!    forward evaluation path vs the frozen [`CompiledModel`] path on the
+//!    ResNet-lite, MLP and Transformer-lite workloads. The ratio is the
+//!    payoff of caching frozen weights (DESIGN.md §8).
+//! 2. **Served load**: a closed-loop load generator (C client threads in a
+//!    submit→wait loop) against a [`Server`] with replicated workers and
+//!    dynamic micro-batching; reports QPS, p50/p99 latency and the
+//!    batch-size histogram.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` lowers iteration counts for CI smoke runs.
+
+use fast_nn::models::{mlp, resnet_lite, tiny_transformer, ResNetConfig, TransformerConfig};
+use fast_nn::{set_uniform_precision, Layer, LayerPrecision, Sequential, Session};
+use fast_serve::{BatchConfig, CompiledModel, Server};
+use fast_tensor::Tensor;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times two closures in alternating *blocks* (several rounds of `block`
+/// iterations each, after a warm-up block) and returns the median
+/// per-iteration wall time of each. Alternating blocks keeps clock drift
+/// (frequency scaling, noisy neighbours) from biasing the a/b ratio the way
+/// one long back-to-back pair would, while a whole block per switch still
+/// lets each path run cache-hot, as it would in a real serving process.
+fn time_pair_ns<F, G>(rounds: usize, block: usize, mut a: F, mut b: G) -> (f64, f64)
+where
+    F: FnMut(),
+    G: FnMut(),
+{
+    for _ in 0..block {
+        a();
+        b();
+    }
+    let mut sa = Vec::with_capacity(rounds * block);
+    let mut sb = Vec::with_capacity(rounds * block);
+    for _ in 0..rounds {
+        for _ in 0..block {
+            let t = Instant::now();
+            a();
+            sa.push(t.elapsed().as_nanos() as f64);
+        }
+        for _ in 0..block {
+            let t = Instant::now();
+            b();
+            sb.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+    let median = |s: &mut Vec<f64>| {
+        s.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        s[s.len() / 2]
+    };
+    (median(&mut sa), median(&mut sb))
+}
+
+/// One workload: a model builder (fresh, identically seeded model per call)
+/// and a batch-1 sample input.
+struct Workload {
+    name: &'static str,
+    build: Box<dyn Fn() -> Sequential>,
+    sample: Tensor,
+}
+
+fn workloads() -> Vec<Workload> {
+    let precision = LayerPrecision::bfp_fixed(4); // HighBFP, the paper default
+    let with_precision = move |mut m: Sequential| {
+        set_uniform_precision(&mut m, precision);
+        m
+    };
+    vec![
+        Workload {
+            // ResNet-18-lite at serving width (stem 16 → 16/32/64-channel
+            // stages): the deep stages are weight-dominated at batch 1,
+            // which is exactly what frozen-weight serving amortizes.
+            name: "resnet",
+            build: Box::new(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                with_precision(resnet_lite(ResNetConfig::resnet18(16, 10), &mut rng))
+            }),
+            sample: Tensor::from_vec(
+                vec![1, 3, 16, 16],
+                (0..3 * 256).map(|i| (i as f32 * 0.021).sin()).collect(),
+            ),
+        },
+        Workload {
+            name: "mlp",
+            build: Box::new(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                with_precision(mlp(&[64, 256, 256, 10], &mut rng))
+            }),
+            sample: Tensor::from_vec(
+                vec![1, 64],
+                (0..64).map(|i| (i as f32 * 0.13).cos()).collect(),
+            ),
+        },
+        Workload {
+            name: "transformer",
+            build: Box::new(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                let cfg = TransformerConfig {
+                    vocab: 12,
+                    d_model: 32,
+                    heads: 4,
+                    ff_dim: 64,
+                    layers: 2,
+                    seq_len: 8,
+                };
+                with_precision(tiny_transformer(cfg, &mut rng))
+            }),
+            sample: Tensor::from_vec(vec![1, 8], (0..8).map(|i| (i % 12) as f32).collect()),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let (rounds, block) = if quick { (3, 5) } else { (7, 11) };
+    let mut fields: Vec<(String, String)> = vec![
+        ("quick".into(), quick.to_string()),
+        (
+            "gemm_workers".into(),
+            fast_tensor::parallelism().workers().to_string(),
+        ),
+        ("resnet_config".into(), "\"resnet18-lite stem=16\"".into()),
+        ("mlp_config".into(), "\"64-256-256-10\"".into()),
+        (
+            "transformer_config".into(),
+            "\"d=32 h=4 ff=64 L=2 seq=8\"".into(),
+        ),
+    ];
+
+    // --- 1. Single-stream: re-quantize path vs frozen compiled path. ---
+    for w in workloads() {
+        let mut train_path = (w.build)();
+        let mut eval = Session::eval(0);
+        let mut compiled = CompiledModel::compile((w.build)(), 0);
+        compiled.warm(&w.sample);
+        let (requant_ns, compiled_ns) = time_pair_ns(
+            rounds,
+            block,
+            || {
+                black_box(train_path.forward(black_box(&w.sample), &mut eval));
+            },
+            || {
+                black_box(compiled.infer(black_box(&w.sample)));
+            },
+        );
+
+        let speedup = requant_ns / compiled_ns;
+        println!(
+            "{:<12} requant {:>9.0} ns  compiled {:>9.0} ns  speedup {:.2}x",
+            w.name, requant_ns, compiled_ns, speedup
+        );
+        fields.push((format!("{}_requant_ns", w.name), format!("{requant_ns:.0}")));
+        fields.push((
+            format!("{}_compiled_ns", w.name),
+            format!("{compiled_ns:.0}"),
+        ));
+        fields.push((
+            format!("{}_cached_speedup_x", w.name),
+            format!("{speedup:.2}"),
+        ));
+    }
+
+    // --- 2. Served load: closed-loop clients against a worker pool. ---
+    let workers = 2usize;
+    let clients = 4usize;
+    let per_client = if quick { 40usize } else { 250 };
+    let cfg = BatchConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+    };
+    let resnet = workloads().swap_remove(0);
+    let replicas: Vec<CompiledModel> = (0..workers)
+        .map(|_| {
+            let mut c = CompiledModel::compile((resnet.build)(), 0);
+            c.warm(&resnet.sample); // freeze before the clock starts
+            c
+        })
+        .collect();
+    let server = Server::start(replicas, cfg);
+
+    let wall = Instant::now();
+    let mut latencies_ns: Vec<f64> = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let server = &server;
+                let sample = &resnet.sample;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let t = Instant::now();
+                        black_box(server.infer(sample.clone()));
+                        lat.push(t.elapsed().as_nanos() as f64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies_ns.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize] / 1000.0;
+    let total = latencies_ns.len();
+    let qps = total as f64 / wall_s;
+    println!(
+        "served {total} requests: {qps:.0} QPS, p50 {:.0} µs, p99 {:.0} µs, mean batch {:.2}",
+        pct(0.50),
+        pct(0.99),
+        stats.mean_batch()
+    );
+
+    fields.push(("serve_workers".into(), workers.to_string()));
+    fields.push(("serve_clients".into(), clients.to_string()));
+    fields.push(("serve_max_batch".into(), cfg.max_batch.to_string()));
+    fields.push((
+        "serve_max_wait_us".into(),
+        cfg.max_wait.as_micros().to_string(),
+    ));
+    fields.push(("serve_requests".into(), total.to_string()));
+    fields.push(("serve_qps".into(), format!("{qps:.0}")));
+    fields.push(("serve_p50_us".into(), format!("{:.0}", pct(0.50))));
+    fields.push(("serve_p99_us".into(), format!("{:.0}", pct(0.99))));
+    fields.push((
+        "serve_mean_batch".into(),
+        format!("{:.2}", stats.mean_batch()),
+    ));
+    let hist = stats
+        .batch_histogram
+        .iter()
+        .map(|(size, n)| format!("\"{size}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    fields.push(("serve_batch_histogram".into(), format!("{{ {hist} }}")));
+
+    // --- Emit JSON. ---
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n  \"current\": {{\n{body}\n  }}\n}}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

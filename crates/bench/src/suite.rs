@@ -133,13 +133,13 @@ impl Workload {
         }
     }
 
-    /// Trains under a format-zoo entry (convenience over [`run_fixed`]).
+    /// Trains under a format-zoo entry (convenience over [`Self::run_fixed`]).
     pub fn run_entry(&self, scale: Scale, entry: &FormatEntry, seed: u64, meter: bool) -> TrainRun {
         let system = meter.then(|| (entry.system)());
         self.run_fixed(scale, entry.precision, system, seed, 0)
     }
 
-    /// [`run_entry`] with extra epochs appended (TTA experiments).
+    /// [`Self::run_entry`] with extra epochs appended (TTA experiments).
     pub fn run_entry_extended(
         &self,
         scale: Scale,
@@ -167,7 +167,7 @@ impl Workload {
         self.run_fast_adaptive_extended(scale, seed, meter, 0)
     }
 
-    /// [`run_fast_adaptive`] with extra epochs appended.
+    /// [`Self::run_fast_adaptive`] with extra epochs appended.
     pub fn run_fast_adaptive_extended(
         &self,
         scale: Scale,

@@ -1,0 +1,146 @@
+//! Reusable cached quantized buffers for frozen-weight inference.
+//!
+//! Training re-quantizes FP32 master weights on every GEMM because
+//! Algorithm 1 may change a layer's precision between iterations. At
+//! inference the weights and the format assignment are frozen, so the
+//! FP32 → BFP → FP32 conversion can run **once** and be replayed from a
+//! cache (DESIGN.md §8). [`QuantCache`] is that cache at the slice level:
+//! it owns the quantized buffer, tracks a caller-supplied version key, and
+//! rebuilds only when the key changes — repeat hits cost nothing and
+//! allocate nothing.
+
+/// A reusable buffer holding one quantized copy of a source slice.
+///
+/// The cache is format-agnostic: the caller passes a closure that performs
+/// the actual in-place quantization (any [`crate::Rounding`], any format —
+/// or a non-BFP scalar format). Staleness is tracked through an opaque
+/// `u64` key; bump the key whenever the source values or the target format
+/// change and the next [`QuantCache::get_or_build`] call rebuilds.
+///
+/// ```
+/// use fast_bfp::cache::QuantCache;
+/// use fast_bfp::kernel::fake_quantize_slice_with;
+/// use fast_bfp::{BfpFormat, Lfsr16, Rounding};
+///
+/// let weights = vec![0.111f32; 32];
+/// let mut cache = QuantCache::new();
+/// let mut builds = 0u32;
+/// for _request in 0..3 {
+///     let q = cache.get_or_build(7, &weights, |buf| {
+///         builds += 1;
+///         fake_quantize_slice_with(
+///             buf,
+///             BfpFormat::high(),
+///             Rounding::Nearest,
+///             &mut Lfsr16::default(),
+///             None,
+///         );
+///     });
+///     assert_eq!(q.len(), weights.len());
+/// }
+/// assert_eq!(builds, 1, "repeat hits replay the cached buffer");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct QuantCache {
+    buf: Vec<f32>,
+    key: Option<u64>,
+}
+
+impl QuantCache {
+    /// Creates an empty (invalid) cache.
+    pub const fn new() -> Self {
+        QuantCache {
+            buf: Vec::new(),
+            key: None,
+        }
+    }
+
+    /// Whether the cache currently holds a build for `key`.
+    pub fn is_valid(&self, key: u64) -> bool {
+        self.key == Some(key)
+    }
+
+    /// Drops the cached build; the next [`QuantCache::get_or_build`]
+    /// rebuilds regardless of key. The allocation is retained for reuse.
+    pub fn invalidate(&mut self) {
+        self.key = None;
+    }
+
+    /// Returns the cached quantized copy of `src`, rebuilding it first if
+    /// the cache is invalid, holds a different `key`, or `src` changed
+    /// length. On rebuild, `src` is copied into the internal buffer and
+    /// `quantize` is invoked on it in place (exactly once); on a hit the
+    /// stored buffer is returned untouched and `quantize` is not called.
+    pub fn get_or_build(
+        &mut self,
+        key: u64,
+        src: &[f32],
+        quantize: impl FnOnce(&mut [f32]),
+    ) -> &[f32] {
+        if self.key != Some(key) || self.buf.len() != src.len() {
+            self.buf.clear();
+            self.buf.extend_from_slice(src);
+            quantize(&mut self.buf);
+            self.key = Some(key);
+        }
+        &self.buf
+    }
+
+    /// The cached buffer (empty if never built).
+    pub fn data(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_per_key() {
+        let src = [1.0f32, 2.0, 3.0];
+        let mut cache = QuantCache::new();
+        let mut builds = 0;
+        for _ in 0..4 {
+            let out = cache.get_or_build(1, &src, |b| {
+                builds += 1;
+                for v in b.iter_mut() {
+                    *v *= 0.5;
+                }
+            });
+            assert_eq!(out, &[0.5, 1.0, 1.5]);
+        }
+        assert_eq!(builds, 1);
+        assert!(cache.is_valid(1));
+        assert!(!cache.is_valid(2));
+    }
+
+    #[test]
+    fn key_change_rebuilds_from_fresh_source() {
+        let mut cache = QuantCache::new();
+        cache.get_or_build(1, &[1.0, 1.0], |b| b[0] = 9.0);
+        // New key: the buffer must be re-seeded from src, not from the
+        // previous quantized contents.
+        let out = cache.get_or_build(2, &[2.0, 2.0], |b| b[1] = 3.0);
+        assert_eq!(out, &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn invalidate_forces_rebuild() {
+        let mut cache = QuantCache::new();
+        let mut builds = 0;
+        cache.get_or_build(5, &[1.0], |_| builds += 1);
+        cache.invalidate();
+        assert!(!cache.is_valid(5));
+        cache.get_or_build(5, &[1.0], |_| builds += 1);
+        assert_eq!(builds, 2);
+    }
+
+    #[test]
+    fn length_change_rebuilds() {
+        let mut cache = QuantCache::new();
+        cache.get_or_build(1, &[1.0, 2.0], |_| {});
+        let out = cache.get_or_build(1, &[3.0], |_| {});
+        assert_eq!(out, &[3.0]);
+    }
+}

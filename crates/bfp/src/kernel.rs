@@ -688,6 +688,25 @@ pub fn quantize_group_mantissas<B: BitSource + ?Sized>(
 /// monomorphized over the [`BitSource`]. Semantically identical to
 /// [`crate::fake_quantize_slice`] (which wraps this with a `dyn` source).
 ///
+/// ```
+/// use fast_bfp::kernel::fake_quantize_slice_with;
+/// use fast_bfp::{BfpFormat, Lfsr16, Rounding};
+///
+/// // One HighBFP group (g=16, m=4): the largest magnitude anchors the
+/// // shared exponent and survives with full m-bit fidelity.
+/// let mut xs: Vec<f32> = (1..=16).map(|i| 0.01 * i as f32).collect();
+/// let stats = fake_quantize_slice_with(
+///     &mut xs,
+///     BfpFormat::high(),
+///     Rounding::Nearest,
+///     &mut Lfsr16::default(),
+///     None,
+/// );
+/// assert_eq!(stats.groups, 1);
+/// let rel_err = (xs[15] - 0.16).abs() / 0.16;
+/// assert!(rel_err < 0.1);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `rounding` is `Stochastic` with `noise_bits` outside `1..=31`.

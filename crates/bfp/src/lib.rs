@@ -18,6 +18,9 @@
 //!   the above: `f32::to_bits` exponent extraction, integer mantissa shifts,
 //!   rounding and noise source monomorphized out of the hot loop
 //!   (bit-identical to the explanatory f64 path; see DESIGN.md §7).
+//! * [`cache`] — reusable cached quantized buffers for frozen-weight
+//!   inference serving (DESIGN.md §8): quantize once at load, replay on
+//!   every request.
 //! * [`dot`] — BFP dot products: the direct integer form (Fig 5) and the
 //!   chunk-serial form executed by the fMAC, which are bit-identical.
 //! * [`tensor_quant`] — matrix-level grouped (fake-)quantization along a
@@ -54,6 +57,7 @@ mod group;
 mod lfsr;
 mod rounding;
 
+pub mod cache;
 pub mod dot;
 pub mod kernel;
 pub mod stats;

@@ -14,6 +14,25 @@ use fast_bfp::relative_improvement;
 use fast_nn::{LayerPrecision, Sequential, TrainHook};
 
 /// Paper Algorithm 1, packaged as a [`TrainHook`].
+///
+/// Hook it into a training loop (e.g. `fast_nn::Trainer`) and it rewrites
+/// every layer's `(W, A, G)` mantissa widths before each iteration:
+///
+/// ```
+/// use fast_core::{EpsilonSchedule, FastController};
+/// use fast_nn::models::mlp;
+/// use fast_nn::{collect_precisions, TrainHook};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = mlp(&[8, 16, 4], &mut rng);
+/// let mut ctl = FastController::new(100, EpsilonSchedule::paper_default());
+/// ctl.before_iteration(0, &mut model);
+/// // Every GEMM layer now carries a 2- or 4-bit BFP assignment…
+/// assert_eq!(ctl.settings().len(), 2);
+/// // …and the model's precisions match what the controller recorded.
+/// assert_eq!(collect_precisions(&mut model).len(), 2);
+/// ```
 #[derive(Debug)]
 pub struct FastController {
     schedule: EpsilonSchedule,

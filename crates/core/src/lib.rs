@@ -15,6 +15,10 @@
 //! * [`CostMeter`] — accumulates simulated hardware time/energy per
 //!   iteration on a `fast_hw::SystemConfig` (the cost axis of Figs 19/20).
 //!
+//! Determinism conventions (seeds, stochastic-rounding streams) are in
+//! DESIGN.md §5; the experiment binaries driving this controller are
+//! indexed in DESIGN.md §4.
+//!
 //! ```
 //! use fast_core::{EpsilonSchedule, FastController};
 //! use fast_nn::models::mlp;

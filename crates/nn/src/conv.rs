@@ -3,14 +3,16 @@
 //!
 //! Convolutions are lowered to GEMMs over the im2col matrix (paper Fig 3);
 //! operands are quantized along each GEMM's reduction axis exactly as in
-//! [`crate::linear::Dense`].
+//! [`crate::linear::Dense`], including the frozen-weight cache used by
+//! inference-serving sessions (DESIGN.md §8).
 
+use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
 use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
 use fast_tensor::{
-    col2im, gemm_out_to_nchw, im2col, kaiming_normal, matmul, matmul_nt, matmul_tn,
-    nchw_to_gemm_out, row_sums, Conv2dDims, Tensor,
+    col2im, gemm_out_to_nchw, im2col, im2row, kaiming_normal, matmul, matmul_bt, matmul_nt,
+    matmul_tn, nchw_to_gemm_out, row_sums, Conv2dDims, Tensor,
 };
 use rand::Rng;
 
@@ -28,6 +30,7 @@ pub struct Conv2d {
     pad: usize,
     use_bias: bool,
     precision: LayerPrecision,
+    frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
     last_shape: Option<GemmShape>,
@@ -59,6 +62,7 @@ impl Conv2d {
             pad,
             use_bias,
             precision: LayerPrecision::default(),
+            frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
             last_shape: None,
@@ -82,20 +86,67 @@ impl Conv2d {
     }
 }
 
+/// Below this many output positions the frozen path unfolds patches with
+/// [`im2row`] and multiplies with [`matmul_bt`]: under `matmul`'s 32-column
+/// tile width, narrow-`P` GEMMs (small inference batches on small feature
+/// maps) fall into its strided column-tail loop, while the transposed
+/// layout runs contiguous dot products — bit-identical either way.
+const IM2ROW_MAX_P: usize = 32;
+
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
         let d = self.dims_for(input);
-        let mut cols = im2col(input, d);
-        // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups run
-        // down the rows of `cols` (AlongCol) and along the rows of `W_mat`.
-        self.precision
-            .activations
-            .quantize_matrix(&mut cols, GroupAxis::AlongCol, session.rng());
-        let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
-        self.precision
-            .weights
-            .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.rng());
-        let mut out_mat = matmul(&w_mat, &cols);
+        let mut out_mat = if session.freeze_weights {
+            // The im2col weight matrix is the (out_c, C·k²) reshape of the
+            // master tensor — same row-major buffer, so the cache can build
+            // straight from it.
+            let wq = self.frozen_w.get(
+                &self.w,
+                self.out_c,
+                d.k_dim(),
+                self.precision.weights,
+                GroupAxis::AlongRow,
+            );
+            if d.p_dim() < IM2ROW_MAX_P {
+                // Transposed patches: the quantization groups that run down
+                // an im2col column are exactly an im2row row's AlongRow
+                // groups, so values are identical and the grouping kernel is
+                // the faster row-wise one. (An SR activation format draws
+                // its noise in a different element order here — same
+                // distribution, different stream; deterministic rounding is
+                // bit-identical. See DESIGN.md §8.)
+                let mut rows = im2row(input, d);
+                self.precision.activations.quantize_matrix(
+                    &mut rows,
+                    GroupAxis::AlongRow,
+                    session.rng(),
+                );
+                matmul_bt(wq, &rows)
+            } else {
+                let mut cols = im2col(input, d);
+                self.precision.activations.quantize_matrix(
+                    &mut cols,
+                    GroupAxis::AlongCol,
+                    session.rng(),
+                );
+                matmul(wq, &cols)
+            }
+        } else {
+            // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups
+            // run down the rows of `cols` (AlongCol) and along the rows of
+            // `W_mat`.
+            let mut cols = im2col(input, d);
+            self.precision.activations.quantize_matrix(
+                &mut cols,
+                GroupAxis::AlongCol,
+                session.rng(),
+            );
+            let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
+            self.precision
+                .weights
+                .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.rng());
+            matmul(&w_mat, &cols)
+        };
         if self.use_bias {
             let p = d.p_dim();
             let bd = self.b.data();
@@ -165,6 +216,7 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.frozen_w.mark_dirty();
         f(Param {
             value: &mut self.w,
             grad: &mut self.gw,
@@ -234,6 +286,7 @@ pub struct DepthwiseConv2d {
     stride: usize,
     pad: usize,
     precision: LayerPrecision,
+    frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
     last_shape: Option<GemmShape>,
@@ -257,6 +310,7 @@ impl DepthwiseConv2d {
             stride,
             pad,
             precision: LayerPrecision::default(),
+            frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
             last_shape: None,
@@ -300,6 +354,20 @@ impl Layer for DepthwiseConv2d {
         let (b, oh, ow) = (d.batch, d.out_h(), d.out_w());
         let mut out = Tensor::zeros(vec![b, self.channels, oh, ow]);
         let k2 = self.kernel * self.kernel;
+        // Each channel's kernel row is quantized as its own (1, k²) matrix;
+        // the frozen cache builds all rows at once with per-row windows so
+        // both paths see identical values. The cached tensor is borrowed
+        // (no whole-tensor copy); the loop still re-wraps each k²-float row
+        // into a (1, k²) tensor, which skips the quantization, not the
+        // (tiny) row copy.
+        let frozen_rows: Option<&Tensor> = if session.freeze_weights {
+            Some(
+                self.frozen_w
+                    .get_per_row(&self.w, self.channels, k2, self.precision.weights),
+            )
+        } else {
+            None
+        };
         for c in 0..self.channels {
             let xc = Self::slice_channel(input, c);
             let mut cols = im2col(&xc, d); // (k², B·OH·OW)
@@ -308,11 +376,21 @@ impl Layer for DepthwiseConv2d {
                 GroupAxis::AlongCol,
                 session.rng(),
             );
-            let mut w_row =
-                Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
-            self.precision
-                .weights
-                .quantize_matrix(&mut w_row, GroupAxis::AlongRow, session.rng());
+            let w_row = match &frozen_rows {
+                Some(rows) => {
+                    Tensor::from_vec(vec![1, k2], rows.data()[c * k2..(c + 1) * k2].to_vec())
+                }
+                None => {
+                    let mut w_row =
+                        Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
+                    self.precision.weights.quantize_matrix(
+                        &mut w_row,
+                        GroupAxis::AlongRow,
+                        session.rng(),
+                    );
+                    w_row
+                }
+            };
             let out_mat = matmul(&w_row, &cols); // (1, B·OH·OW)
             let od = out.data_mut();
             for bi in 0..b {
@@ -386,6 +464,7 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.frozen_w.mark_dirty();
         f(Param {
             value: &mut self.w,
             grad: &mut self.gw,
@@ -561,6 +640,43 @@ mod tests {
             layer.w.data_mut()[idx] = orig;
             assert!(((lp - lm) / (2.0 * eps) - analytic_w.data()[idx]).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn depthwise_frozen_forward_is_bit_identical() {
+        use crate::layer::QuantControlled;
+        use crate::quant::{LayerPrecision, NumericFormat};
+        use fast_bfp::{BfpFormat, Rounding};
+        // A windowed format is the case the per-row cache build exists for:
+        // each channel row must take its own exponent window, not one
+        // window shared across the whole weight tensor.
+        let windowed = NumericFormat::Bfp {
+            format: BfpFormat::new(4, 3, 2).unwrap(),
+            rounding: Rounding::Nearest,
+            windowed: true,
+        };
+        let mut r = rng();
+        let mut layer = DepthwiseConv2d::new(3, 3, 1, 1, &mut r);
+        // Spread channel kernels over many octaves so per-row vs whole-
+        // tensor windows actually disagree.
+        for (i, v) in layer.w.data_mut().iter_mut().enumerate() {
+            *v = (1.5 + (i % 5) as f32) * 2.0f32.powi(-((i / 9) as i32 * 6));
+        }
+        *layer.precision_mut() = LayerPrecision {
+            weights: windowed,
+            activations: NumericFormat::Fp32,
+            gradients: NumericFormat::Fp32,
+        };
+        use rand::Rng;
+        let x = Tensor::from_vec(
+            vec![2, 3, 4, 4],
+            (0..96).map(|_| r.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let want = layer.forward(&x, &mut Session::eval(0));
+        let mut frozen = Session::inference(0);
+        assert_eq!(layer.forward(&x, &mut frozen), want);
+        // Cache replay stays identical.
+        assert_eq!(layer.forward(&x, &mut frozen), want);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Frozen-weight quantization caches for inference serving (DESIGN.md §8).
+//!
+//! During training, every GEMM re-quantizes the FP32 master weights because
+//! Algorithm 1 may reassign the layer's format between iterations. At
+//! inference both the weights and the format assignment are frozen, so each
+//! weight operand can be converted FP32 → BFP → FP32 **once** and replayed
+//! on every request. [`FrozenWeight`] owns that cached copy for one layer
+//! operand: a [`QuantCache`] holding the quantized buffer plus the
+//! materialized [`Tensor`] the GEMM consumes.
+//!
+//! Correctness invariants:
+//!
+//! * the cache is consulted only when [`Session::freeze_weights`] is set
+//!   (never during training);
+//! * any weight update invalidates it — weight-bearing layers bump their
+//!   version in `visit_params`, the only mutable access path optimizers
+//!   have — as does any change of format or grouping axis;
+//! * cache builds use a deterministic bit source, so every replica of a
+//!   model quantizes to bit-identical weights regardless of request order,
+//!   and for deterministic rounding the cached copy is bit-identical to
+//!   what the training-path forward would have produced.
+//!
+//! [`Session::freeze_weights`]: crate::Session
+
+use crate::quant::NumericFormat;
+use fast_bfp::cache::QuantCache;
+use fast_bfp::{GroupAxis, Lfsr16};
+use fast_tensor::Tensor;
+
+/// A cached quantized copy of one weight operand.
+///
+/// The cache is stale whenever the owning layer's weight version, the
+/// numeric format, or the grouping axis differ from the last build; `get`
+/// then rebuilds from the FP32 master copy. Repeat hits return the cached
+/// tensor with no allocation or quantization work.
+///
+/// The quantized values are held twice — in the slice-level [`QuantCache`]
+/// (which owns the staleness bookkeeping) and materialized as the [`Tensor`]
+/// the GEMM consumes. That doubles resident frozen-weight memory (weights
+/// are kilobytes at lite scale) in exchange for zero per-request work and a
+/// plain `&Tensor` on the hot path; the extra copy happens only on rebuild.
+#[derive(Debug, Default)]
+pub(crate) struct FrozenWeight {
+    /// Weight version: bumped by the owning layer on every mutable weight
+    /// access (parameter visitation / direct accessor).
+    version: u64,
+    /// `(format, axis, per_row)` of the current build, if any.
+    built: Option<(NumericFormat, GroupAxis, bool)>,
+    /// The quantized buffer (slice-level cache; owns staleness by version).
+    cache: QuantCache,
+    /// The buffer materialized as the tensor the GEMM consumes.
+    tensor: Option<Tensor>,
+}
+
+impl FrozenWeight {
+    /// Records a (potential) weight mutation, invalidating the cache.
+    pub fn mark_dirty(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        self.cache.invalidate();
+        self.tensor = None;
+    }
+
+    /// Returns the cached quantized weight shaped `rows × cols`, rebuilding
+    /// from `master` if the weights, the format, or the axis changed since
+    /// the last build.
+    ///
+    /// Builds draw stochastic-rounding bits (only relevant for SR weight
+    /// formats) from a freshly seeded hardware LFSR, so rebuilds and
+    /// replicas are deterministic — see DESIGN.md §8.
+    pub fn get(
+        &mut self,
+        master: &Tensor,
+        rows: usize,
+        cols: usize,
+        fmt: NumericFormat,
+        axis: GroupAxis,
+    ) -> &Tensor {
+        self.fetch(master, rows, cols, (fmt, axis, false), |buf| {
+            fmt.quantize_slice(buf, rows, cols, axis, &mut Lfsr16::default());
+        })
+    }
+
+    /// Like [`FrozenWeight::get`], but quantizes every row as an
+    /// *independent* `1 × cols` matrix with groups along the row.
+    ///
+    /// [`DepthwiseConv2d`](crate::DepthwiseConv2d) quantizes each channel's
+    /// kernel row separately, so windowed formats take a per-row exponent
+    /// window; a single `rows × cols` build would wrongly share one window
+    /// across all channels.
+    pub fn get_per_row(
+        &mut self,
+        master: &Tensor,
+        rows: usize,
+        cols: usize,
+        fmt: NumericFormat,
+    ) -> &Tensor {
+        self.fetch(
+            master,
+            rows,
+            cols,
+            (fmt, GroupAxis::AlongRow, true),
+            |buf| {
+                let mut bits = Lfsr16::default();
+                for row in buf.chunks_mut(cols) {
+                    fmt.quantize_slice(row, 1, cols, GroupAxis::AlongRow, &mut bits);
+                }
+            },
+        )
+    }
+
+    /// Shared staleness protocol: invalidate on a key change, rebuild the
+    /// quantized buffer when the version moved, and rematerialize the
+    /// tensor only on rebuild.
+    fn fetch(
+        &mut self,
+        master: &Tensor,
+        rows: usize,
+        cols: usize,
+        key: (NumericFormat, GroupAxis, bool),
+        quantize: impl FnOnce(&mut [f32]),
+    ) -> &Tensor {
+        if self.built != Some(key) {
+            self.cache.invalidate();
+            self.built = Some(key);
+        }
+        let mut rebuilt = false;
+        let data = self.cache.get_or_build(self.version, master.data(), |buf| {
+            quantize(buf);
+            rebuilt = true;
+        });
+        if rebuilt || self.tensor.is_none() {
+            self.tensor = Some(Tensor::from_vec(vec![rows, cols], data.to_vec()));
+        }
+        self.tensor
+            .as_ref()
+            .expect("frozen weight tensor just built")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_bfp::BfpFormat;
+
+    fn master() -> Tensor {
+        Tensor::from_vec(
+            vec![2, 16],
+            (0..32).map(|i| 0.013 * i as f32 - 0.2).collect(),
+        )
+    }
+
+    #[test]
+    fn hit_returns_same_values_without_rebuild() {
+        let w = master();
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut fz = FrozenWeight::default();
+        let first = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        let second = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        assert_eq!(first, second);
+        // And it matches a direct quantization of the master copy.
+        let mut direct = w.clone();
+        fmt.quantize_matrix(&mut direct, GroupAxis::AlongRow, &mut Lfsr16::default());
+        assert_eq!(first, direct);
+    }
+
+    #[test]
+    fn dirty_mark_triggers_rebuild_from_new_master() {
+        let mut w = master();
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut fz = FrozenWeight::default();
+        let before = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        w.data_mut()[0] += 1.0;
+        // Without the mark the stale copy would be served.
+        fz.mark_dirty();
+        let after = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn format_change_invalidates() {
+        let w = master();
+        let mut fz = FrozenWeight::default();
+        let high = fz
+            .get(
+                &w,
+                2,
+                16,
+                NumericFormat::bfp_nearest(BfpFormat::high()),
+                GroupAxis::AlongRow,
+            )
+            .clone();
+        let low = fz
+            .get(
+                &w,
+                2,
+                16,
+                NumericFormat::bfp_nearest(BfpFormat::low()),
+                GroupAxis::AlongRow,
+            )
+            .clone();
+        assert_ne!(high, low, "m=4 vs m=2 must differ on this data");
+    }
+
+    #[test]
+    fn axis_change_invalidates() {
+        let w = Tensor::from_vec(
+            vec![16, 16],
+            (0..256i32).map(|i| 2.0f32.powi(-(i % 23))).collect(),
+        );
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut fz = FrozenWeight::default();
+        let by_row = fz.get(&w, 16, 16, fmt, GroupAxis::AlongRow).clone();
+        let by_col = fz.get(&w, 16, 16, fmt, GroupAxis::AlongCol).clone();
+        assert_ne!(by_row, by_col);
+    }
+}

@@ -17,6 +17,13 @@ pub struct Session {
     /// Whether layers should behave in training mode (batch-norm statistics,
     /// activation caching for backward, …).
     pub train: bool,
+    /// Whether weight-bearing layers may serve quantized weights from their
+    /// frozen-weight caches instead of re-quantizing the FP32 masters on
+    /// every forward pass (DESIGN.md §8). Off for training — Algorithm 1
+    /// changes per-layer formats between iterations — and on for serving,
+    /// where weights and formats are frozen. Caches are invalidated by any
+    /// weight update, so flipping this flag mid-run is always safe.
+    pub freeze_weights: bool,
     bits: RngBits<StdRng>,
 }
 
@@ -25,14 +32,29 @@ impl Session {
     pub fn new(seed: u64) -> Self {
         Session {
             train: true,
+            freeze_weights: false,
             bits: RngBits(StdRng::seed_from_u64(seed)),
         }
     }
 
-    /// Creates an evaluation (inference) session.
+    /// Creates an evaluation session: no training-mode caching, but weights
+    /// are still re-quantized on every forward pass (the path used for
+    /// mid-training validation, where the controller may change formats).
     pub fn eval(seed: u64) -> Self {
         Session {
             train: false,
+            freeze_weights: false,
+            bits: RngBits(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Creates an inference-serving session: evaluation behavior plus
+    /// frozen-weight caching — each layer quantizes its weights once and
+    /// replays the cached copy on every subsequent request (DESIGN.md §8).
+    pub fn inference(seed: u64) -> Self {
+        Session {
+            train: false,
+            freeze_weights: true,
             bits: RngBits(StdRng::seed_from_u64(seed)),
         }
     }
@@ -107,7 +129,11 @@ pub trait QuantControlled {
 /// the cached forward state and returns the gradient w.r.t. the layer
 /// input; parameter gradients are *accumulated* internally until an
 /// optimizer step visits them.
-pub trait Layer {
+///
+/// `Send` is a supertrait so whole models can move across threads — the
+/// serving engine hands each worker thread its own model replica
+/// (DESIGN.md §8). Layers are plain tensor data, so this costs nothing.
+pub trait Layer: Send {
     /// Runs the layer on `input`, caching whatever backward needs when
     /// `session.train` is set.
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor;

@@ -2,18 +2,21 @@
 //!
 //! This crate provides everything the paper's evaluation trains:
 //!
-//! * [`quant`] — the number-format zoo of paper Fig 2 ([`NumericFormat`])
-//!   and the per-layer `(W, A, G)` assignment ([`LayerPrecision`]) that
-//!   Algorithm 1 manipulates.
-//! * [`layer`] — the [`Layer`] trait with forward/backward, parameter
-//!   visitation for optimizers, and [`QuantControlled`] access for the FAST
-//!   controller.
+//! * The number-format zoo of paper Fig 2 ([`NumericFormat`]) and the
+//!   per-layer `(W, A, G)` assignment ([`LayerPrecision`]) that Algorithm 1
+//!   manipulates.
+//! * The [`Layer`] trait with forward/backward, parameter visitation for
+//!   optimizers, and [`QuantControlled`] access for the FAST controller.
 //! * GEMM layers ([`Dense`], [`Conv2d`], [`DepthwiseConv2d`],
 //!   [`MultiHeadSelfAttention`]) that quantize every training GEMM of paper
 //!   Fig 3 along its reduction axis.
 //! * [`models`] — scaled-down analogues of the paper's six evaluation DNNs.
 //! * Losses, optimizers (SGD/momentum, Adam), metrics and a [`Trainer`]
 //!   with controller hooks.
+//! * An inference-serving mode ([`Session::inference`]): weight-bearing
+//!   layers quantize their weights once and replay the cached copy per
+//!   request, invalidated by any weight update — the layer half of the
+//!   `fast_serve` engine (DESIGN.md §8; fake-quant fidelity in §3).
 //!
 //! ```
 //! use fast_nn::models::mlp;
@@ -37,6 +40,7 @@ mod act;
 mod attention;
 mod conv;
 mod embed;
+mod frozen;
 mod layer;
 mod linear;
 mod loss;

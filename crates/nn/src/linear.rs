@@ -8,9 +8,13 @@
 //! * `∇A = ∇O·Wᵀ` — reduce over `N`: `∇O` along rows, `W` along rows;
 //! * `∇W = Aᵀ·∇O` — reduce over the batch: both grouped along columns.
 //!
-//! Master weights stay FP32 and are re-quantized on every use, which is what
-//! permits Algorithm 1's per-iteration precision changes.
+//! Master weights stay FP32. During training they are re-quantized on every
+//! use, which is what permits Algorithm 1's per-iteration precision changes;
+//! under a frozen-weight inference session ([`Session::inference`]) the
+//! forward-path quantized copy is built once and replayed from a
+//! frozen-weight cache (DESIGN.md §8), invalidated by any weight update.
 
+use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
 use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
@@ -26,6 +30,7 @@ pub struct Dense {
     gb: Tensor,
     use_bias: bool,
     precision: LayerPrecision,
+    frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
     last_shape: Option<GemmShape>,
@@ -43,6 +48,7 @@ impl Dense {
             gb: Tensor::zeros(vec![out_dim]),
             use_bias,
             precision: LayerPrecision::default(),
+            frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
             last_shape: None,
@@ -64,8 +70,10 @@ impl Dense {
         &self.w
     }
 
-    /// Mutable weight access (for tests / serialization).
+    /// Mutable weight access (for tests / serialization). Invalidates the
+    /// frozen-weight cache.
     pub fn weights_mut(&mut self) -> &mut Tensor {
+        self.frozen_w.mark_dirty();
         &mut self.w
     }
 }
@@ -85,15 +93,27 @@ impl Layer for Dense {
             n: self.out_dim(),
         });
 
+        let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
         let xq =
             self.precision
                 .activations
                 .quantize_copy(input, GroupAxis::AlongRow, session.rng());
-        let wq = self
-            .precision
-            .weights
-            .quantize_copy(&self.w, GroupAxis::AlongCol, session.rng());
-        let mut out = matmul(&xq, &wq);
+        let mut out = if session.freeze_weights {
+            let wq = self.frozen_w.get(
+                &self.w,
+                in_dim,
+                out_dim,
+                self.precision.weights,
+                GroupAxis::AlongCol,
+            );
+            matmul(&xq, wq)
+        } else {
+            let wq =
+                self.precision
+                    .weights
+                    .quantize_copy(&self.w, GroupAxis::AlongCol, session.rng());
+            matmul(&xq, &wq)
+        };
         if self.use_bias {
             let n = self.out_dim();
             let bd = self.b.data();
@@ -149,6 +169,9 @@ impl Layer for Dense {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        // Parameter visitation hands out mutable weight access (it is how
+        // optimizers step), so conservatively invalidate the frozen cache.
+        self.frozen_w.mark_dirty();
         f(Param {
             value: &mut self.w,
             grad: &mut self.gw,
@@ -318,6 +341,37 @@ mod tests {
         assert!(layer.last_grad_output().is_some());
         assert_eq!(layer.gemm_shape(), Some(GemmShape { m: 2, k: 4, n: 4 }));
         assert_eq!(layer.label(), "dense(4->4)");
+    }
+
+    #[test]
+    fn frozen_forward_is_bit_identical_and_invalidates_on_update() {
+        let mut r = rng();
+        let mut layer = Dense::new(16, 8, true, &mut r);
+        *layer.precision_mut() = LayerPrecision::bfp_fixed(4);
+        let x = Tensor::from_vec(
+            vec![2, 16],
+            (0..32)
+                .map(|i| ((i * 29) % 17) as f32 * 0.05 - 0.4)
+                .collect(),
+        );
+        let y_requant = layer.forward(&x, &mut Session::eval(0));
+        let mut frozen = Session::inference(0);
+        let y_frozen = layer.forward(&x, &mut frozen);
+        assert_eq!(
+            y_requant, y_frozen,
+            "cached weights must not change outputs"
+        );
+        // Repeat request replays the cache and stays identical.
+        assert_eq!(y_frozen, layer.forward(&x, &mut frozen));
+        // A weight update through the visitation path invalidates the cache.
+        layer.visit_params(&mut |p| {
+            if p.decay {
+                p.value.data_mut()[0] += 0.5;
+            }
+        });
+        let y_updated = layer.forward(&x, &mut frozen);
+        assert_ne!(y_frozen, y_updated, "stale cache served after update");
+        assert_eq!(y_updated, layer.forward(&x, &mut Session::eval(0)));
     }
 
     #[test]

@@ -49,11 +49,16 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, session);
+        match self.layers.split_first_mut() {
+            None => input.clone(),
+            Some((first, rest)) => {
+                let mut x = first.forward(input, session);
+                for layer in rest {
+                    x = layer.forward(&x, session);
+                }
+                x
+            }
         }
-        x
     }
 
     fn backward(&mut self, grad_output: &Tensor, session: &mut Session) -> Tensor {

@@ -57,8 +57,34 @@ impl Layer for BatchNorm2d {
         );
         assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
         let n = (b * h * w) as f64;
+        if !session.train {
+            // Inference: a per-channel affine with running statistics,
+            // emitted plane by plane in NCHW order (no clone, no zero
+            // fill). The per-channel divide/sqrt is hoisted out of the
+            // batch loop; the per-element expression is kept verbatim so
+            // results are bit-identical to the unhoisted form.
+            let istd: Vec<f32> = self
+                .running_var
+                .iter()
+                .map(|&var| 1.0 / (var + self.eps).sqrt())
+                .collect();
+            let mut data = Vec::with_capacity(b * c * h * w);
+            for bi in 0..b {
+                for ci in 0..c {
+                    let (mean, istd) = (self.running_mean[ci], istd[ci]);
+                    let (g, be) = (self.gamma.data()[ci], self.beta.data()[ci]);
+                    let base = (bi * c + ci) * h * w;
+                    data.extend(
+                        input.data()[base..base + h * w]
+                            .iter()
+                            .map(|&v| g * (v - mean) * istd + be),
+                    );
+                }
+            }
+            return Tensor::from_vec(input.shape().to_vec(), data);
+        }
         let mut out = input.clone();
-        if session.train {
+        {
             let mut x_hat = input.clone();
             let mut inv_std = vec![0.0f32; c];
             for (ci, inv_std_ci) in inv_std.iter_mut().enumerate() {
@@ -94,18 +120,6 @@ impl Layer for BatchNorm2d {
                 inv_std,
                 shape: input.shape().to_vec(),
             });
-        } else {
-            for ci in 0..c {
-                let mean = self.running_mean[ci];
-                let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
-                let (g, be) = (self.gamma.data()[ci], self.beta.data()[ci]);
-                for bi in 0..b {
-                    let base = (bi * c + ci) * h * w;
-                    for i in base..base + h * w {
-                        out.data_mut()[i] = g * (input.data()[i] - mean) * istd + be;
-                    }
-                }
-            }
         }
         out
     }

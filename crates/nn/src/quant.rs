@@ -140,14 +140,36 @@ impl NumericFormat {
     ) {
         assert_eq!(t.rank(), 2, "quantize_matrix requires a rank-2 tensor");
         let (rows, cols) = (t.shape()[0], t.shape()[1]);
+        self.quantize_slice(t.data_mut(), rows, cols, axis, bits);
+    }
+
+    /// Slice-level form of [`NumericFormat::quantize_matrix`]: quantizes a
+    /// row-major `rows × cols` buffer in place. This is the entry point the
+    /// frozen-weight caches use, since they hold raw buffers
+    /// (`fast_bfp::cache::QuantCache`) rather than tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn quantize_slice<B: BitSource + ?Sized>(
+        &self,
+        data: &mut [f32],
+        rows: usize,
+        cols: usize,
+        axis: GroupAxis,
+        bits: &mut B,
+    ) {
+        assert_eq!(data.len(), rows * cols, "quantize_slice shape mismatch");
         match self {
             NumericFormat::Fp32 => {}
             NumericFormat::Mini(m) => {
                 let m = *m;
-                t.apply(|v| quantize_minifloat(v, m));
+                for v in data.iter_mut() {
+                    *v = quantize_minifloat(*v, m);
+                }
             }
             NumericFormat::Int { bits: b } => {
-                quantize_int_symmetric(t.data_mut(), *b);
+                quantize_int_symmetric(data, *b);
             }
             NumericFormat::Bfp {
                 format,
@@ -155,14 +177,7 @@ impl NumericFormat {
                 windowed,
             } => {
                 fast_bfp::kernel::fake_quantize_matrix_with(
-                    t.data_mut(),
-                    rows,
-                    cols,
-                    axis,
-                    *format,
-                    *rounding,
-                    bits,
-                    *windowed,
+                    data, rows, cols, axis, *format, *rounding, bits, *windowed,
                 );
             }
         }

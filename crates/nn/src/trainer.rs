@@ -30,16 +30,41 @@ pub trait TrainHook {
 pub struct NoopHook;
 impl TrainHook for NoopHook {}
 
-/// One classification training step's outcome.
+/// One training step's outcome, returned by [`Trainer::step_classification`]
+/// and [`Trainer::step_custom`].
+///
+/// The loss is recorded *before* the optimizer step of the same iteration,
+/// so plotting `loss` against `iter` gives the conventional training curve
+/// (the value the controller hooks also observe).
 #[derive(Debug, Clone, Copy)]
 pub struct StepStats {
-    /// Iteration index.
+    /// 0-based iteration index of the step that produced these stats.
     pub iter: usize,
-    /// Mean cross-entropy of the batch.
+    /// Mean loss over the batch (cross-entropy for
+    /// [`Trainer::step_classification`]; whatever the closure returned for
+    /// [`Trainer::step_custom`]).
     pub loss: f64,
 }
 
 /// Owns the pieces of a training run.
+///
+/// ```
+/// use fast_nn::{Dense, Relu, Sequential, Sgd, NoopHook, Trainer};
+/// use fast_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Sequential::new()
+///     .push(Dense::new(2, 8, true, &mut rng))
+///     .push(Relu::new())
+///     .push(Dense::new(8, 2, true, &mut rng));
+/// let mut trainer = Trainer::new(model, Sgd::new(0.1, 0.9, 0.0), 0);
+/// let x = Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 1.0, 0.0]);
+/// let stats = trainer.step_classification(&x, &[1, 0], &mut NoopHook);
+/// assert_eq!(stats.iter, 0);
+/// assert!(stats.loss.is_finite());
+/// assert_eq!(trainer.iterations(), 1);
+/// ```
 pub struct Trainer {
     /// The model being trained.
     pub model: Sequential,
@@ -138,6 +163,19 @@ impl std::fmt::Debug for Trainer {
     }
 }
 
+/// Compact progress line for logs: the step count and the model's layer
+/// count, e.g. `trainer @ iter 42 (5 layers)`.
+impl std::fmt::Display for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trainer @ iter {} ({} layers)",
+            self.iter,
+            self.model.len()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +226,6 @@ mod tests {
         trainer.step_classification(&x, &[1], &mut rec);
         assert_eq!(rec.events, vec!["before", "after", "before", "after"]);
         assert_eq!(trainer.iterations(), 2);
+        assert_eq!(format!("{trainer}"), "trainer @ iter 2 (1 layers)");
     }
 }

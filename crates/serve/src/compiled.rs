@@ -1,0 +1,134 @@
+//! Frozen, forward-only models for serving.
+
+use fast_nn::{Layer, Sequential, Session};
+use fast_tensor::Tensor;
+
+/// A trained model compiled for inference serving.
+///
+/// Compilation freezes the model: forwards run under an inference
+/// [`Session`] (`train = false`, `freeze_weights = true`), so
+///
+/// * each GEMM layer quantizes its weights to the layer's configured
+///   [`fast_nn::NumericFormat`] **once** — with a deterministic bit source,
+///   so every replica holds bit-identical weights — and replays the cached
+///   copy on subsequent requests (DESIGN.md §8);
+/// * activations are still quantized per request, preserving the
+///   fake-quantization fidelity argument of DESIGN.md §3 — for
+///   deterministic rounding the compiled forward is bit-identical to the
+///   training-path evaluation forward;
+/// * no activations are stashed for a backward pass.
+///
+/// The weight caches live inside the layers and are invalidated by any
+/// weight update (parameter visitation), so a model can be updated through
+/// [`CompiledModel::model_mut`] — e.g. reloaded from a checkpoint — and the
+/// next request re-freezes it automatically.
+#[derive(Debug)]
+pub struct CompiledModel {
+    model: Sequential,
+    session: Session,
+}
+
+impl CompiledModel {
+    /// Freezes `model` for serving. `seed` feeds the session bit source
+    /// used for *activation* stochastic rounding, if any layer's activation
+    /// format requests it; weight-cache builds do not consume it.
+    pub fn compile(model: Sequential, seed: u64) -> Self {
+        CompiledModel {
+            model,
+            session: Session::inference(seed),
+        }
+    }
+
+    /// Runs one forward pass. The first call after compilation (or after a
+    /// weight update) builds the layer weight caches; subsequent calls
+    /// replay them.
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.model.forward(input, &mut self.session)
+    }
+
+    /// Eagerly builds every layer's weight cache by running one forward
+    /// pass on `sample`, so the first real request does not pay the
+    /// quantization cost. Returns the warm-up output (useful for checking
+    /// the served model before exposing it).
+    pub fn warm(&mut self, sample: &Tensor) -> Tensor {
+        self.infer(sample)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Mutable access to the underlying model, e.g. to load updated
+    /// weights. Weight updates through parameter visitation invalidate the
+    /// layer caches; the next request re-quantizes.
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+
+    /// Unfreezes the model, returning it for further training.
+    pub fn into_model(self) -> Sequential {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_nn::{set_uniform_precision, Dense, LayerPrecision, Relu};
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new()
+            .push(Dense::new(8, 16, true, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(16, 4, true, &mut rng));
+        set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+        m
+    }
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(vec![1, 8], (0..8).map(|i| 0.1 * i as f32 - 0.3).collect())
+    }
+
+    #[test]
+    fn compiled_matches_eval_forward() {
+        let x = sample();
+        let mut train_path = model(3);
+        let want = train_path.forward(&x, &mut Session::eval(0));
+        let mut compiled = CompiledModel::compile(model(3), 0);
+        assert_eq!(compiled.warm(&x), want);
+        assert_eq!(compiled.infer(&x), want, "cache replay must be identical");
+    }
+
+    #[test]
+    fn replicas_are_bit_identical() {
+        let x = sample();
+        let mut a = CompiledModel::compile(model(5), 0);
+        let mut b = CompiledModel::compile(model(5), 0);
+        assert_eq!(a.infer(&x), b.infer(&x));
+    }
+
+    #[test]
+    fn weight_update_refreezes() {
+        let x = sample();
+        let mut compiled = CompiledModel::compile(model(7), 0);
+        let before = compiled.infer(&x);
+        compiled.model_mut().visit_params(&mut |p| {
+            if p.decay {
+                p.value.data_mut()[0] += 1.0;
+            }
+        });
+        let after = compiled.infer(&x);
+        assert_ne!(before, after, "update must invalidate the frozen cache");
+        // And the refrozen model again matches the training-path forward.
+        let mut reference = model(7);
+        reference.visit_params(&mut |p| {
+            if p.decay {
+                p.value.data_mut()[0] += 1.0;
+            }
+        });
+        assert_eq!(after, reference.forward(&x, &mut Session::eval(0)));
+    }
+}

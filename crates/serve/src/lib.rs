@@ -1,0 +1,49 @@
+//! Batched BFP inference serving for FAST-trained models (DESIGN.md §8).
+//!
+//! Training re-quantizes FP32 master weights on every forward pass because
+//! the FAST controller may reassign per-layer formats between iterations
+//! (paper Algorithm 1). At deployment the weights and the format assignment
+//! are frozen, so that work is pure overhead. This crate is the serving
+//! half of the system:
+//!
+//! * [`CompiledModel`] — a trained [`fast_nn::Sequential`] frozen for
+//!   inference: each layer's weights are quantized to its configured BFP
+//!   format once (deterministically, so replicas are bit-identical) and
+//!   replayed from a cache on every request; activations are still
+//!   quantized per request, preserving the fake-quant fidelity of
+//!   DESIGN.md §3.
+//! * [`BatchConfig`] — dynamic micro-batching policy: coalesce queued
+//!   single-sample requests into batches of up to `max_batch`, holding a
+//!   batch open at most `max_wait`.
+//! * [`Server`] — N worker threads, each owning a replica, behind a
+//!   round-robin dispatcher; [`ServeStats`] reports batch-size histograms.
+//!
+//! ```
+//! use fast_nn::{models::mlp, set_uniform_precision, LayerPrecision};
+//! use fast_serve::{BatchConfig, CompiledModel, Server};
+//! use fast_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = mlp(&[4, 16, 2], &mut rng);
+//! set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
+//! let server = Server::start(
+//!     vec![CompiledModel::compile(model, 0)],
+//!     BatchConfig::default(),
+//! );
+//! let logits = server.infer(Tensor::zeros(vec![1, 4]));
+//! assert_eq!(logits.shape(), &[1, 2]);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.samples, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod compiled;
+mod server;
+
+pub use batcher::BatchConfig;
+pub use compiled::CompiledModel;
+pub use server::{Pending, ServeStats, Server};

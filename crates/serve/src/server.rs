@@ -1,0 +1,492 @@
+//! The serving engine: replicated workers behind a round-robin dispatcher.
+//!
+//! Each worker thread owns one [`CompiledModel`] replica and one request
+//! queue; [`Server::submit`] round-robins requests across the queues. A
+//! worker drains its queue into a batch (up to `max_batch` samples, holding
+//! the batch open for at most `max_wait`), runs one coalesced forward, and
+//! sends each requester its slice of the output (DESIGN.md §8).
+
+use crate::batcher::{sample_count, split_output, stack_inputs, BatchConfig, Request};
+use crate::compiled::CompiledModel;
+use fast_tensor::Tensor;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Aggregate serving statistics, merged across workers at shutdown.
+#[derive(Debug, Default, Clone)]
+pub struct ServeStats {
+    /// Coalesced forward passes executed.
+    pub batches: u64,
+    /// Total samples served.
+    pub samples: u64,
+    /// `batch size → count` over all executed batches.
+    pub batch_histogram: BTreeMap<usize, u64>,
+}
+
+impl ServeStats {
+    fn record(&mut self, batch_samples: usize) {
+        self.batches += 1;
+        self.samples += batch_samples as u64;
+        *self.batch_histogram.entry(batch_samples).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: ServeStats) {
+        self.batches += other.batches;
+        self.samples += other.samples;
+        for (size, n) in other.batch_histogram {
+            *self.batch_histogram.entry(size).or_insert(0) += n;
+        }
+    }
+
+    /// Mean samples per executed batch (0 if nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A response handle returned by [`Server::submit`].
+#[derive(Debug)]
+pub struct Pending(mpsc::Receiver<Tensor>);
+
+impl Pending {
+    /// Blocks until the result arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request was dropped instead of answered — the model
+    /// rejected it (e.g. a shape the model cannot take) or the worker died.
+    pub fn wait(self) -> Tensor {
+        self.0.recv().expect("serve worker dropped the request")
+    }
+}
+
+struct QueueState {
+    requests: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct WorkerQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl WorkerQueue {
+    fn new() -> Self {
+        WorkerQueue {
+            state: Mutex::new(QueueState {
+                requests: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Whether the request at the queue front can join the staged batch:
+/// it must fit under `max` samples and share the batch head's per-sample
+/// shape (so one oddly shaped request can never poison its neighbours).
+fn front_can_join(state: &QueueState, batch: &[Request], samples: usize, max: usize) -> bool {
+    match state.requests.front() {
+        // An empty batch always takes the front request, even if it alone
+        // exceeds max_batch (a pre-batched client request).
+        Some(r) => {
+            batch.is_empty()
+                || (samples + sample_count(&r.input) <= max
+                    && r.input.shape()[1..] == batch[0].input.shape()[1..])
+        }
+        None => false,
+    }
+}
+
+/// Moves queued requests into `batch` while the front request can join.
+fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, samples: &mut usize, max: usize) {
+    while *samples < max && front_can_join(state, batch, *samples, max) {
+        let r = state.requests.pop_front().expect("front exists");
+        *samples += sample_count(&r.input);
+        batch.push(r);
+    }
+}
+
+fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConfig) -> ServeStats {
+    let mut stats = ServeStats::default();
+    loop {
+        let batch = {
+            let mut state = queue.state.lock().expect("serve queue poisoned");
+            while state.requests.is_empty() {
+                if state.shutdown {
+                    return stats;
+                }
+                state = queue.ready.wait(state).expect("serve queue poisoned");
+            }
+            let mut batch = Vec::new();
+            let mut samples = 0usize;
+            drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
+            // Hold the batch open briefly to coalesce stragglers — but not
+            // if the queue front already cannot join (full batch, or a
+            // different shape head-of-line): waiting could never grow the
+            // batch, and shipping now unblocks the requests behind it.
+            if samples < cfg.max_batch && !cfg.max_wait.is_zero() {
+                let deadline = Instant::now() + cfg.max_wait;
+                while samples < cfg.max_batch && !state.shutdown {
+                    if !state.requests.is_empty()
+                        && !front_can_join(&state, &batch, samples, cfg.max_batch)
+                    {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = queue
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .expect("serve queue poisoned");
+                    state = guard;
+                    drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            batch
+        }; // lock released before the forward pass runs
+        if let [lone] = &batch[..] {
+            // Batch of one: skip the stack/split copies entirely.
+            if serve_one(&mut model, lone) {
+                stats.record(sample_count(&lone.input));
+            }
+        } else if serve_coalesced(&mut model, &batch) {
+            stats.record(batch.iter().map(|r| sample_count(&r.input)).sum());
+        } else {
+            // The coalesced forward panicked — some request in the batch is
+            // one the model rejects at the value level (e.g. an out-of-vocab
+            // token), which shape-gated coalescing cannot screen out. Retry
+            // each request alone so only the poisonous one fails: its
+            // response sender is dropped and the client's
+            // [`Pending::wait`] fails loudly instead of hanging, while the
+            // neighbours still get their answers.
+            for req in &batch {
+                if serve_one(&mut model, req) {
+                    stats.record(sample_count(&req.input));
+                }
+            }
+        }
+    }
+}
+
+/// Runs one request through the model, catching a model panic (bad shape,
+/// malformed tokens, …) so a rejected request cannot kill the worker and
+/// strand every later request on its queue. Returns whether it was served.
+///
+/// The model carries no cross-request state that a mid-forward unwind could
+/// corrupt (weight caches are rebuilt from versioned masters), so resuming
+/// with the same replica is sound. Note the process-global panic hook still
+/// runs for each rejection (one stderr backtrace per bad request, plus one
+/// for the coalesced attempt it poisoned) — a library must not swap the
+/// global hook; embedders who consider rejects routine can install a
+/// quieter hook themselves.
+fn serve_one(model: &mut CompiledModel, req: &Request) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let out = model.infer(&req.input);
+        // A dropped receiver means the client gave up waiting.
+        let _ = req.resp.send(out);
+    }))
+    .is_ok()
+}
+
+/// Runs a coalesced batch through the model; on a panic no response has
+/// been sent yet (sends happen strictly after the forward and the split),
+/// so the caller can safely retry the requests one by one.
+fn serve_coalesced(model: &mut CompiledModel, batch: &[Request]) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let samples: Vec<usize> = inputs.iter().map(|t| sample_count(t)).collect();
+        let out = model.infer(&stack_inputs(&inputs));
+        for (req, piece) in batch.iter().zip(split_output(&out, &samples)) {
+            let _ = req.resp.send(piece);
+        }
+    }))
+    .is_ok()
+}
+
+/// A running inference service: N worker threads, each owning a
+/// [`CompiledModel`] replica and a request queue, behind a round-robin
+/// dispatcher.
+///
+/// ```
+/// use fast_nn::{Dense, Sequential};
+/// use fast_serve::{BatchConfig, CompiledModel, Server};
+/// use fast_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// // Two bit-identical replicas (same build seed).
+/// let replicas: Vec<CompiledModel> = (0..2)
+///     .map(|_| {
+///         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+///         let model = Sequential::new().push(Dense::new(4, 2, true, &mut rng));
+///         CompiledModel::compile(model, 0)
+///     })
+///     .collect();
+/// let server = Server::start(replicas, BatchConfig::default());
+/// let y = server.infer(Tensor::from_vec(vec![1, 4], vec![0.1, 0.2, 0.3, 0.4]));
+/// assert_eq!(y.shape(), &[1, 2]);
+/// server.shutdown();
+/// ```
+pub struct Server {
+    queues: Vec<Arc<WorkerQueue>>,
+    workers: Vec<JoinHandle<ServeStats>>,
+    next: AtomicUsize,
+}
+
+impl Server {
+    /// Starts one worker thread per replica.
+    ///
+    /// Replicas are typically built from the same seed so every worker
+    /// serves bit-identical results; [`CompiledModel::compile`] quantizes
+    /// weights deterministically, so this holds even across processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn start(replicas: Vec<CompiledModel>, cfg: BatchConfig) -> Server {
+        assert!(!replicas.is_empty(), "need at least one model replica");
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let mut queues = Vec::with_capacity(replicas.len());
+        let mut workers = Vec::with_capacity(replicas.len());
+        for replica in replicas {
+            let queue = Arc::new(WorkerQueue::new());
+            let worker_queue = Arc::clone(&queue);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(replica, worker_queue, cfg)
+            }));
+            queues.push(queue);
+        }
+        Server {
+            queues,
+            workers,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker replicas.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a request (leading dimension = samples, usually 1) on the
+    /// next worker in round-robin order and returns a handle to await the
+    /// result.
+    pub fn submit(&self, input: Tensor) -> Pending {
+        let (tx, rx) = mpsc::channel();
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let queue = &self.queues[idx];
+        {
+            let mut state = queue.state.lock().expect("serve queue poisoned");
+            state.requests.push_back(Request { input, resp: tx });
+        }
+        queue.ready.notify_one();
+        Pending(rx)
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn infer(&self, input: Tensor) -> Tensor {
+        self.submit(input).wait()
+    }
+
+    /// Signals every worker, drains remaining requests, joins the threads,
+    /// and returns the merged serving statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> ServeStats {
+        for queue in &self.queues {
+            let mut state = queue.state.lock().expect("serve queue poisoned");
+            state.shutdown = true;
+            drop(state);
+            queue.ready.notify_all();
+        }
+        let mut stats = ServeStats::default();
+        for handle in self.workers.drain(..) {
+            stats.merge(handle.join().expect("serve worker panicked"));
+        }
+        stats
+    }
+}
+
+impl Drop for Server {
+    /// Dropping without [`Server::shutdown`] still stops and joins the
+    /// workers (statistics are discarded).
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_nn::{set_uniform_precision, Dense, LayerPrecision, Relu, Sequential};
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    fn replica(seed: u64) -> CompiledModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new()
+            .push(Dense::new(6, 12, true, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(12, 3, true, &mut rng));
+        set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+        CompiledModel::compile(m, 0)
+    }
+
+    fn sample(i: usize) -> Tensor {
+        Tensor::from_vec(
+            vec![1, 6],
+            (0..6)
+                .map(|j| ((i * 7 + j * 3) % 11) as f32 * 0.1 - 0.5)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn coalesced_batches_match_per_request_results() {
+        // Ground truth: each sample through a lone compiled model.
+        let mut reference = replica(1);
+        let want: Vec<Tensor> = (0..12).map(|i| reference.infer(&sample(i))).collect();
+
+        // Large max_wait + pre-loaded queue force real coalescing.
+        let server = Server::start(
+            vec![replica(1)],
+            BatchConfig {
+                max_batch: 5,
+                max_wait: Duration::from_millis(20),
+            },
+        );
+        let pending: Vec<Pending> = (0..12).map(|i| server.submit(sample(i))).collect();
+        for (p, w) in pending.into_iter().zip(&want) {
+            assert_eq!(&p.wait(), w, "batched result differs from single-sample");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 12);
+        assert!(
+            stats.batches < 12,
+            "12 queued requests should coalesce, got {:?}",
+            stats.batch_histogram
+        );
+        assert!(stats.batch_histogram.keys().all(|&s| s <= 5));
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_across_workers() {
+        let server = Server::start(
+            vec![replica(2), replica(2), replica(2)],
+            BatchConfig::no_wait(4),
+        );
+        assert_eq!(server.workers(), 3);
+        let pending: Vec<Pending> = (0..9).map(|i| server.submit(sample(i))).collect();
+        let outs: Vec<Tensor> = pending.into_iter().map(Pending::wait).collect();
+        // All workers hold bit-identical replicas, so identical inputs give
+        // identical outputs no matter which worker served them.
+        assert_eq!(outs[0], server.infer(sample(0)));
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 10);
+    }
+
+    #[test]
+    fn prebatched_request_larger_than_max_batch_is_served() {
+        let server = Server::start(vec![replica(3)], BatchConfig::no_wait(2));
+        let big = Tensor::zeros(vec![7, 6]);
+        let y = server.infer(big);
+        assert_eq!(y.shape(), &[7, 3]);
+        let stats = server.shutdown();
+        assert_eq!(stats.batch_histogram.get(&7), Some(&1));
+    }
+
+    #[test]
+    fn rejected_request_fails_loudly_and_worker_keeps_serving() {
+        let server = Server::start(vec![replica(5)], BatchConfig::no_wait(4));
+        // Wrong width: the model panics on it inside the worker; the
+        // request must fail loudly (not hang) and the worker must survive.
+        let bad = server.submit(Tensor::zeros(vec![1, 5]));
+        let bad_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
+        assert!(bad_result.is_err(), "rejected request must not hang");
+        let y = server.infer(sample(0));
+        assert_eq!(y.shape(), &[1, 3], "worker must survive a bad request");
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 1, "rejected requests are not counted");
+    }
+
+    #[test]
+    fn mixed_shapes_never_coalesce() {
+        // Queue a [1,6] and a [2,6] (fine together) and a [1,5] (different
+        // per-sample shape) while the worker is busy; the odd one must not
+        // poison the shape-matched batch.
+        let server = Server::start(
+            vec![replica(6)],
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(10),
+            },
+        );
+        let good1 = server.submit(sample(1));
+        let bad = server.submit(Tensor::zeros(vec![1, 5]));
+        let good2 = server.submit(sample(2));
+        assert_eq!(good1.wait().shape(), &[1, 3]);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait())).is_err(),
+            "mis-shaped request must fail alone"
+        );
+        assert_eq!(good2.wait().shape(), &[1, 3]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn value_poisoned_batch_is_retried_individually() {
+        use fast_nn::Embedding;
+        // Embedding rejects out-of-vocab tokens at the value level — shape
+        // gating cannot screen those out of a coalesced batch.
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            let m = Sequential::new().push(Embedding::new(12, 4, &mut rng));
+            CompiledModel::compile(m, 0)
+        };
+        let tokens = |t: f32| Tensor::from_vec(vec![1, 3], vec![t, 1.0, 2.0]);
+        let mut reference = build();
+        let want = reference.infer(&tokens(0.0));
+
+        let server = Server::start(
+            vec![build()],
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(20),
+            },
+        );
+        let good1 = server.submit(tokens(0.0));
+        let poison = server.submit(tokens(99.0)); // out of vocab
+        let good2 = server.submit(tokens(0.0));
+        assert_eq!(good1.wait(), want, "neighbour must survive the poison");
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| poison.wait())).is_err(),
+            "poison request must fail loudly"
+        );
+        assert_eq!(good2.wait(), want, "neighbour must survive the poison");
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 2, "only valid requests count as served");
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let server = Server::start(vec![replica(4)], BatchConfig::default());
+        let _ = server.infer(sample(0));
+        drop(server); // must not hang
+    }
+}

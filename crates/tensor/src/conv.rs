@@ -96,14 +96,28 @@ pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
                             continue;
                         }
                         let iy = iy as usize;
-                        for ox in 0..ow {
-                            let ix = (ox * d.stride + kw) as isize - d.pad as isize;
-                            if ix < 0 || ix >= d.in_w as isize {
-                                continue;
+                        let img_row = &id[((b * d.in_c + c) * d.in_h + iy) * d.in_w..][..d.in_w];
+                        let col_row = &mut cols[krow * p_dim + (b * oh + oy) * ow..][..ow];
+                        if d.stride == 1 {
+                            // Unit stride: source and destination both advance
+                            // one element per output x, so the in-bounds run
+                            // is a single contiguous copy.
+                            let shift = kw as isize - d.pad as isize;
+                            let ox_lo = (-shift).max(0) as usize;
+                            let ox_hi = (d.in_w as isize - shift).clamp(0, ow as isize) as usize;
+                            if ox_lo < ox_hi {
+                                let src_lo = (ox_lo as isize + shift) as usize;
+                                col_row[ox_lo..ox_hi]
+                                    .copy_from_slice(&img_row[src_lo..src_lo + (ox_hi - ox_lo)]);
                             }
-                            let p = (b * oh + oy) * ow + ox;
-                            cols[krow * p_dim + p] =
-                                id[((b * d.in_c + c) * d.in_h + iy) * d.in_w + ix as usize];
+                        } else {
+                            for (ox, col) in col_row.iter_mut().enumerate() {
+                                let ix = (ox * d.stride + kw) as isize - d.pad as isize;
+                                if ix < 0 || ix >= d.in_w as isize {
+                                    continue;
+                                }
+                                *col = img_row[ix as usize];
+                            }
                         }
                     }
                 }
@@ -111,6 +125,64 @@ pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
         }
     }
     Tensor::from_vec(vec![k_dim, p_dim], cols)
+}
+
+/// Unfolds an NCHW `input` into the transposed im2col matrix of shape
+/// `(P, K)`: row `p` is the flattened `C·k·k` patch feeding output position
+/// `p`, contiguous in memory.
+///
+/// This is [`im2col`] with the axes swapped (`im2row(x, d)` equals
+/// `im2col(x, d).transpose2()`). The layout pairs with [`matmul_bt`]: for
+/// narrow-`P` GEMMs (small batches at inference) the patch-contiguous rows
+/// turn the forward GEMM into cache-friendly dot products, and quantization
+/// groups that ran *down* an im2col column run *along* an im2row row — the
+/// same value groups, on the faster `AlongRow` kernel path.
+///
+/// [`matmul_bt`]: crate::matmul_bt
+///
+/// # Panics
+///
+/// Panics if `input` is not `(batch, in_c, in_h, in_w)`.
+pub fn im2row(input: &Tensor, d: Conv2dDims) -> Tensor {
+    d.validate();
+    assert_eq!(
+        input.shape(),
+        &[d.batch, d.in_c, d.in_h, d.in_w],
+        "input shape does not match conv dims"
+    );
+    let (oh, ow) = (d.out_h(), d.out_w());
+    let k_dim = d.k_dim();
+    let p_dim = d.p_dim();
+    let mut rows = vec![0.0f32; p_dim * k_dim];
+    let id = input.data();
+    for b in 0..d.batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let patch = &mut rows[((b * oh + oy) * ow + ox) * k_dim..][..k_dim];
+                for c in 0..d.in_c {
+                    for kh in 0..d.kernel {
+                        let iy = (oy * d.stride + kh) as isize - d.pad as isize;
+                        if iy < 0 || iy >= d.in_h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let img_row = &id[((b * d.in_c + c) * d.in_h + iy) * d.in_w..][..d.in_w];
+                        let patch_row = &mut patch[(c * d.kernel + kh) * d.kernel..][..d.kernel];
+                        let shift = (ox * d.stride) as isize - d.pad as isize;
+                        let kw_lo = (-shift).max(0) as usize;
+                        let kw_hi = (d.in_w as isize - shift).clamp(0, d.kernel as isize) as usize;
+                        if kw_lo < kw_hi {
+                            // The kw run maps to consecutive image pixels.
+                            let src = (kw_lo as isize + shift) as usize;
+                            patch_row[kw_lo..kw_hi]
+                                .copy_from_slice(&img_row[src..src + (kw_hi - kw_lo)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![p_dim, k_dim], rows)
 }
 
 /// Folds an im2col-shaped gradient `(K, P)` back to an NCHW tensor, summing
@@ -241,20 +313,18 @@ pub fn gemm_out_to_nchw(out_mat: &Tensor, d: Conv2dDims) -> Tensor {
     );
     let (oh, ow) = (d.out_h(), d.out_w());
     let p_dim = d.p_dim();
-    let mut out = Tensor::zeros(vec![d.batch, d.out_c, oh, ow]);
-    let od = out.data_mut();
+    let hw = oh * ow;
+    // For a fixed (o, b) pair both layouts are contiguous over (y, x), and
+    // batch-major iteration emits the NCHW buffer in order: plane copies
+    // into an uninitialized buffer, no zero fill.
+    let mut data = Vec::with_capacity(d.batch * d.out_c * hw);
     let md = out_mat.data();
-    for o in 0..d.out_c {
-        for b in 0..d.batch {
-            for y in 0..oh {
-                for x in 0..ow {
-                    let p = (b * oh + y) * ow + x;
-                    od[((b * d.out_c + o) * oh + y) * ow + x] = md[o * p_dim + p];
-                }
-            }
+    for b in 0..d.batch {
+        for o in 0..d.out_c {
+            data.extend_from_slice(&md[o * p_dim + b * hw..][..hw]);
         }
     }
-    out
+    Tensor::from_vec(vec![d.batch, d.out_c, oh, ow], data)
 }
 
 /// Reorders an NCHW gradient into the `(out_c, P)` GEMM layout.
@@ -270,16 +340,14 @@ pub fn nchw_to_gemm_out(g: &Tensor, d: Conv2dDims) -> Tensor {
     );
     let (oh, ow) = (d.out_h(), d.out_w());
     let p_dim = d.p_dim();
-    let mut out = vec![0.0f32; d.out_c * p_dim];
+    let hw = oh * ow;
+    // The adjoint reordering of [`gemm_out_to_nchw`]: plane copies, emitted
+    // in channel-major order so the output buffer is built sequentially.
+    let mut out = Vec::with_capacity(d.out_c * p_dim);
     let gd = g.data();
-    for b in 0..d.batch {
-        for o in 0..d.out_c {
-            for y in 0..oh {
-                for x in 0..ow {
-                    let p = (b * oh + y) * ow + x;
-                    out[o * p_dim + p] = gd[((b * d.out_c + o) * oh + y) * ow + x];
-                }
-            }
+    for o in 0..d.out_c {
+        for b in 0..d.batch {
+            out.extend_from_slice(&gd[(b * d.out_c + o) * hw..][..hw]);
         }
     }
     Tensor::from_vec(vec![d.out_c, p_dim], out)

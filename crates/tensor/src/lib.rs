@@ -10,6 +10,11 @@
 //! GEMMs run, which — as established in `fast-bfp` — is bit-faithful to the
 //! fMAC's integer-multiply / FP32-accumulate pipeline.
 //!
+//! The GEMM kernels are register-tiled and thread-sharded with
+//! worker-count-independent results (DESIGN.md §7); [`matmul_bt`] and
+//! [`im2row`] are the inference-serving variants that replay the training
+//! kernels' exact arithmetic from transposed layouts (DESIGN.md §8).
+//!
 //! ```
 //! use fast_tensor::{matmul, Tensor};
 //!
@@ -31,11 +36,11 @@ mod reduce;
 mod tensor;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_from_cols, gemm_out_to_nchw, im2col, nchw_to_gemm_out,
-    Conv2dDims, ConvGrads,
+    col2im, conv2d, conv2d_backward, conv2d_from_cols, gemm_out_to_nchw, im2col, im2row,
+    nchw_to_gemm_out, Conv2dDims, ConvGrads,
 };
 pub use init::{kaiming_normal, uniform_init};
-pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use matmul::{matmul, matmul_bt, matmul_nt, matmul_tn};
 pub use parallel::{parallelism, set_parallelism, Parallelism};
 pub use pool::{
     global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolOutput,

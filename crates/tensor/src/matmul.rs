@@ -63,6 +63,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 const MR: usize = 4;
 /// Micro-kernel column width (output columns per register tile).
 const NR: usize = 32;
+/// [`matmul_bt`] column-block width (independent dot chains per row).
+const JB: usize = 8;
 
 /// Register-blocked `MR×NR` tile: `MR` output rows advance together down
 /// the whole reduction, sharing each B row load; the `MR·NR` accumulators
@@ -153,6 +155,169 @@ fn accumulate_row(c_row: &mut [f32], a: &[f32], bd: &[f32], n: usize) {
         }
         kk += 1;
     }
+}
+
+/// `C (m×n) = A (m×k) · B (k×n)` with `B` supplied **pre-transposed** as an
+/// `n×k` tensor — **bit-identical** to `matmul(a, b)`.
+///
+/// [`matmul_nt`] computes the same product from the same layout but with
+/// its own (backward-kernel) summation trees; this kernel instead replays
+/// [`matmul`]'s exact per-element arithmetic so callers can swap operand
+/// layouts without changing a single result bit (pinned by
+/// `tests/proptests.rs`). The frozen-inference conv path uses it with
+/// `im2row` patches, where narrow-`n` GEMMs become contiguous dot products
+/// instead of [`matmul`]'s strided column tails.
+///
+/// Why the bits match, region by region (including non-finite operands —
+/// [`matmul`] skips exact-zero coefficients in its column *tail* but not in
+/// its full 32-column tiles, which matters when a skipped `0.0` would have
+/// met an `∞`/`NaN`):
+///
+/// * full-4-row blocks, columns inside `matmul`'s full-tile region
+///   (`j < (n / 32) * 32`): serial ascending-`k` chains with **no** skip,
+///   exactly like `micro_tile`'s register tile;
+/// * full-4-row blocks, tail columns: serial ascending-`k` chains that
+///   skip `a == 0.0` coefficients, exactly like `accumulate_tail`;
+/// * remainder rows (`m % 4`): `accumulate_row`'s eight-wide pairwise
+///   reduction tree, replayed verbatim by `tree_dot`.
+///
+/// The tail skip is mirrored literally only when `B` contains non-finite
+/// values (detected by one scan); for finite `B` the skip is an exact
+/// no-op, so the branch-free tile serves the hot path.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn matmul_bt(a: &Tensor, bt: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a, "A");
+    let (n, kb) = dims2(bt, "Bᵀ");
+    assert_eq!(ka, kb, "matmul_bt inner dimensions disagree: {ka} vs {kb}");
+    // Columns below this bound sit in matmul's full-NR-tile region (no
+    // zero-coefficient skip); columns at or above it are its tail (skip).
+    let n_full = (n / NR) * NR;
+    // The tail's skip is *observable* only when a skipped `0.0` coefficient
+    // would have met a non-finite B value (0·∞ = NaN); for finite B a
+    // skipped `±0.0` product is an exact no-op, because an accumulator that
+    // starts at `+0.0` can never become `-0.0` (IEEE-754 round-to-nearest
+    // yields `-0.0` only when both addends are `-0.0`). So scan B once and
+    // keep the branch-free tile on the hot path; the literal skip-mirroring
+    // loops only run for non-finite B.
+    let b_all_finite = n_full == n || m < MR || bt.data().iter().all(|v| v.is_finite());
+    let mut out = vec![0.0f32; m * n];
+    let (ad, btd) = (a.data(), bt.data());
+    shard_rows(&mut out, n, 2 * ka * n, MR, |row_start, panel| {
+        let rows = panel.len() / n;
+        let mut ri = 0;
+        while ri + MR <= rows {
+            let i = row_start + ri;
+            let a_row = |r: usize| &ad[(i + r) * ka..(i + r) * ka + ka];
+            let a = [a_row(0), a_row(1), a_row(2), a_row(3)];
+            let c_quad = &mut panel[ri * n..(ri + MR) * n];
+            // MR×JB register tiles: every accumulator is an independent
+            // serial ascending-k chain (the same per-element order as
+            // matmul's paths), and 32 live chains hide the f32 add latency
+            // that a lone dot product would serialize on. JB divides NR, so
+            // each tile falls wholly inside the full-tile or tail region.
+            let mut j0 = 0;
+            while j0 + JB <= n {
+                if b_all_finite || j0 + JB <= n_full {
+                    bt_quad_tile::<false>(&a, btd, ka, n, j0, c_quad);
+                } else {
+                    bt_quad_tile::<true>(&a, btd, ka, n, j0, c_quad);
+                }
+                j0 += JB;
+            }
+            for j in j0..n {
+                // Column singles are always in the tail region (skip mode,
+                // unless finite B makes the skip unobservable).
+                let bj = &btd[j * ka..j * ka + ka];
+                let mut s = [0.0f32; MR];
+                for p in 0..ka {
+                    let bv = bj[p];
+                    for (r, s_r) in s.iter_mut().enumerate() {
+                        let ar = a[r][p];
+                        if b_all_finite || ar != 0.0 {
+                            *s_r += ar * bv;
+                        }
+                    }
+                }
+                for (r, &s_r) in s.iter().enumerate() {
+                    c_quad[r * n + j] = s_r;
+                }
+            }
+            ri += MR;
+        }
+        while ri < rows {
+            let a_row = &ad[(row_start + ri) * ka..(row_start + ri) * ka + ka];
+            let c_row = &mut panel[ri * n..(ri + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                *c = tree_dot(a_row, &btd[j * ka..j * ka + ka]);
+            }
+            ri += 1;
+        }
+    });
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// One `MR×JB` register tile of [`matmul_bt`]'s full-4-row path, starting
+/// at column `j0`. `SKIP` mirrors which of [`matmul`]'s column regions the
+/// tile lies in: `false` replays the full-tile (no zero skip) arithmetic,
+/// `true` replays [`accumulate_tail`]'s per-coefficient `a == 0.0` skip.
+/// Monomorphized so the no-skip serving path stays branch-free.
+#[inline]
+fn bt_quad_tile<const SKIP: bool>(
+    a: &[&[f32]; MR],
+    btd: &[f32],
+    ka: usize,
+    n: usize,
+    j0: usize,
+    c_quad: &mut [f32],
+) {
+    let bj: [&[f32]; JB] = std::array::from_fn(|jj| &btd[(j0 + jj) * ka..(j0 + jj) * ka + ka]);
+    let mut acc = [[0.0f32; JB]; MR];
+    for p in 0..ka {
+        let bvs: [f32; JB] = std::array::from_fn(|jj| bj[jj][p]);
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let ar = a[r][p];
+            if SKIP && ar == 0.0 {
+                continue;
+            }
+            for (acc_rj, &bv) in acc_r.iter_mut().zip(&bvs) {
+                *acc_rj += ar * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        c_quad[r * n + j0..r * n + j0 + JB].copy_from_slice(acc_r);
+    }
+}
+
+/// [`accumulate_row`]'s eight-wide pairwise reduction, replayed as a dot
+/// product over contiguous slices (for [`matmul_bt`]'s remainder rows).
+#[inline]
+fn tree_dot(a: &[f32], b: &[f32]) -> f32 {
+    let k = a.len();
+    let mut acc = 0.0f32;
+    let mut kk = 0;
+    while kk + 8 <= k {
+        let ab = &a[kk..kk + 8];
+        if ab.iter().any(|&v| v != 0.0) {
+            let bb = &b[kk..kk + 8];
+            let s01 = ab[0] * bb[0] + ab[1] * bb[1];
+            let s23 = ab[2] * bb[2] + ab[3] * bb[3];
+            let s45 = ab[4] * bb[4] + ab[5] * bb[5];
+            let s67 = ab[6] * bb[6] + ab[7] * bb[7];
+            acc += (s01 + s23) + (s45 + s67);
+        }
+        kk += 8;
+    }
+    while kk < k {
+        if a[kk] != 0.0 {
+            acc += a[kk] * b[kk];
+        }
+        kk += 1;
+    }
+    acc
 }
 
 /// `C (m×n) = A (m×k) · Bᵀ` where `B` is stored as `n×k`.
@@ -345,6 +510,63 @@ mod tests {
         }
         assert_eq!(matmul(&a, &eye), a);
         assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn bt_is_bit_identical_to_matmul() {
+        // Cross the NR=32 column boundary, the MR=4 row remainder, and the
+        // 8-wide reduction blocking; include exact zeros (BFP operands are
+        // sparse) to exercise the skip paths.
+        for (m, k, n) in [
+            (4, 576, 4),
+            (1, 9, 40),
+            (7, 13, 2),
+            (64, 72, 256),
+            (9, 34, 33),
+            (5, 8, 31),
+            (3, 17, 1),
+        ] {
+            let mut a = rand_tensor(vec![m, k], (m * k + n) as u64);
+            let b = rand_tensor(vec![k, n], (m + k * n) as u64);
+            for (i, v) in a.data_mut().iter_mut().enumerate() {
+                if i % 5 == 0 {
+                    *v = 0.0;
+                }
+            }
+            assert_eq!(
+                matmul_bt(&a, &b.transpose2()),
+                matmul(&a, &b),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn bt_matches_matmul_bitwise_with_nonfinite_operands() {
+        // 0·∞ = NaN makes matmul's zero-coefficient skip observable, so
+        // matmul_bt must skip in exactly the same column regions. Cover
+        // tail-only (n < 32), full-tile + tail (n > 32), and remainder rows.
+        for (m, k, n) in [(4, 40, 4), (5, 17, 40), (8, 9, 33), (3, 20, 8)] {
+            let mut a = rand_tensor(vec![m, k], 77);
+            for (i, v) in a.data_mut().iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let mut b = rand_tensor(vec![k, n], 78);
+            for (i, v) in b.data_mut().iter_mut().enumerate() {
+                if i % 7 == 0 {
+                    *v = f32::INFINITY;
+                } else if i % 11 == 0 {
+                    *v = f32::NAN;
+                }
+            }
+            let want = matmul(&a, &b);
+            let got = matmul_bt(&a, &b.transpose2());
+            for (idx, (x, y)) in want.data().iter().zip(got.data()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{k},{n}) elem {idx}");
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! adjointness, pooling invariants.
 
 use fast_tensor::{
-    col2im, col_sums, conv2d, global_avg_pool, im2col, matmul, matmul_nt, matmul_tn, max_pool2d,
-    row_sums, Conv2dDims, Tensor,
+    col2im, col_sums, conv2d, global_avg_pool, im2col, im2row, matmul, matmul_bt, matmul_nt,
+    matmul_tn, max_pool2d, row_sums, Conv2dDims, Tensor,
 };
 use proptest::prelude::*;
 
@@ -84,6 +84,50 @@ proptest! {
         let lhs: f64 = ax.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         let rhs: f64 = x.data().iter().zip(aty.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         prop_assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// im2row is exactly im2col transposed, for random geometries.
+    #[test]
+    fn im2row_is_im2col_transposed(
+        x_data in prop::collection::vec(-1.0f32..1.0, 2 * 3 * 6 * 6),
+        kernel in 1usize..=3,
+        stride in 1usize..=2,
+        pad in 0usize..=1,
+    ) {
+        prop_assume!(6 + 2 * pad >= kernel);
+        let d = Conv2dDims {
+            batch: 2, in_c: 3, in_h: 6, in_w: 6, out_c: 1, kernel, stride, pad,
+        };
+        let x = Tensor::from_vec(vec![2, 3, 6, 6], x_data);
+        prop_assert_eq!(im2row(&x, d), im2col(&x, d).transpose2());
+    }
+
+    /// matmul_bt replays matmul's exact summation trees from the transposed
+    /// layout: results are bit-identical across shapes spanning the 4-row
+    /// micro-kernel remainder, the 32-column tile boundary and the 8-wide
+    /// reduction blocking, with exact zeros present (quantized operands are
+    /// sparse, and the kernels skip zero blocks).
+    #[test]
+    fn matmul_bt_is_bit_identical_to_matmul(
+        m in 1usize..=9,
+        k in 1usize..=40,
+        n in 1usize..=40,
+        seed in 0u64..=u64::MAX,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|_| if rng.gen_range(0u8..4) == 0 { 0.0 } else { rng.gen_range(-2.0f32..2.0) })
+                .collect()
+        };
+        let a = Tensor::from_vec(vec![m, k], fill(m * k));
+        let b = Tensor::from_vec(vec![k, n], fill(k * n));
+        let want = matmul(&a, &b);
+        let got = matmul_bt(&a, &b.transpose2());
+        for (x, y) in want.data().iter().zip(got.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     /// Convolution with a 1×1 all-ones kernel sums channels.

@@ -14,6 +14,8 @@
 //!   training schedules.
 //! * [`hw`] — the FAST hardware model: fMAC, systolic array, BFP converter,
 //!   area/power/energy accounting.
+//! * [`serve`] — batched BFP inference serving: frozen compiled models,
+//!   dynamic micro-batching, replicated workers.
 //!
 //! See the repository README for a guided tour and `examples/` for runnable
 //! entry points.
@@ -37,4 +39,5 @@ pub use fast_core as fast;
 pub use fast_data as data;
 pub use fast_hw as hw;
 pub use fast_nn as nn;
+pub use fast_serve as serve;
 pub use fast_tensor as tensor;

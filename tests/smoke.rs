@@ -7,6 +7,7 @@ use fast_dnn::data::GaussianClusters;
 use fast_dnn::fast::{EpsilonSchedule, Setting};
 use fast_dnn::hw::{BfpConverter, SystemConfig};
 use fast_dnn::nn::{Dense, Layer, Session};
+use fast_dnn::serve::{BatchConfig, CompiledModel, Server};
 use fast_dnn::tensor::{matmul, Tensor};
 use rand::SeedableRng;
 
@@ -58,6 +59,20 @@ fn hw_reexport_converts_and_configures() {
     let out = conv.convert(&[1.0, -0.5, 0.25, 0.0], false);
     assert_eq!(out.group.len(), 4);
     assert!(SystemConfig::all().len() >= 2);
+}
+
+#[test]
+fn serve_reexport_serves_a_request() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let model = fast_dnn::nn::Sequential::new().push(Dense::new(3, 2, true, &mut rng));
+    let server = Server::start(
+        vec![CompiledModel::compile(model, 0)],
+        BatchConfig::default(),
+    );
+    let y = server.infer(Tensor::from_vec(vec![1, 3], vec![0.1, 0.2, 0.3]));
+    assert_eq!(y.shape(), &[1, 2]);
+    let stats = server.shutdown();
+    assert_eq!(stats.samples, 1);
 }
 
 #[test]

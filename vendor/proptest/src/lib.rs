@@ -7,7 +7,8 @@
 //! `ProptestConfig::cases` generated inputs, seeded per-case so failures are
 //! reproducible. Supported surface:
 //!
-//! * [`Strategy`] with `prop_map`, numeric range strategies, and [`Just`],
+//! * [`strategy::Strategy`] with `prop_map`, numeric range strategies, and
+//!   [`strategy::Just`],
 //! * [`collection::vec`] and [`sample::select`],
 //! * [`prop_oneof!`] (weighted or unweighted arms),
 //! * [`proptest!`] with optional `#![proptest_config(...)]`,

@@ -19,7 +19,10 @@ use fast_bfp::kernel::fake_quantize_slice_with;
 use fast_bfp::GroupAxis;
 use fast_bfp::{BfpFormat, Lfsr16, Rounding};
 use fast_nn::models::{resnet_lite, ResNetConfig};
-use fast_nn::{set_uniform_precision, LayerPrecision, NoopHook, NumericFormat, Sgd, Trainer};
+use fast_nn::qgemm::{execute, prepare, Orient};
+use fast_nn::{
+    set_uniform_precision, LayerPrecision, NoopHook, NumericFormat, Session, Sgd, Trainer,
+};
 use fast_tensor::{matmul, Tensor};
 
 use rand::SeedableRng;
@@ -146,6 +149,53 @@ fn main() {
         ));
     }
 
+    // --- The same quantize+GEMM configs through the shared qgemm plan:
+    // operands are packed to i8 mantissas + group scales and multiplied
+    // without the dequantized f32 materialization (bit-identical results;
+    // compare each `qgemm_*` row to its `quant_gemm_*` twin above). ---
+    let mut session = Session::new(0);
+    for (key, numfmt) in [
+        (
+            "qgemm_bfp_m4_ns",
+            NumericFormat::bfp_nearest(BfpFormat::high()),
+        ),
+        (
+            "qgemm_bfp_m2_ns",
+            NumericFormat::bfp_nearest(BfpFormat::low()),
+        ),
+        (
+            "qgemm_bfp_m4_sr_ns",
+            NumericFormat::bfp_stochastic(BfpFormat::high()),
+        ),
+    ] {
+        results.push((
+            key,
+            time_ns(warmup, iters, || {
+                let ap = prepare(&mut session, black_box(&a), numfmt, GroupAxis::AlongRow);
+                let bp = prepare(&mut session, black_box(&b), numfmt, GroupAxis::AlongCol);
+                black_box(execute(&mut session, Orient::Nn, &ap, &bp));
+            }),
+        ));
+    }
+
+    // Within-run plan-vs-pipeline ratios (same machine state for both
+    // sides, unlike the cross-commit "speedup" section).
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for fmt_key in ["bfp_m4", "bfp_m2", "bfp_m4_sr"] {
+        let find = |k: &str| results.iter().find(|(key, _)| *key == k).map(|&(_, ns)| ns);
+        if let (Some(pipeline), Some(plan)) = (
+            find(&format!("quant_gemm_{fmt_key}_ns")),
+            find(&format!("qgemm_{fmt_key}_ns")),
+        ) {
+            if plan > 0.0 {
+                ratios.push((
+                    format!("qgemm_over_quant_gemm_{fmt_key}_x"),
+                    pipeline / plan,
+                ));
+            }
+        }
+    }
+
     // --- One training step of the small ResNet under HighBFP. ---
     let x = Tensor::from_vec(
         vec![8, 3, 16, 16],
@@ -174,11 +224,13 @@ fn main() {
         fast_tensor::parallelism().workers()
     ));
     current.push_str("  \"gemm_config\": [64, 256, 64],\n");
-    for (i, (key, ns)) in results.iter().enumerate() {
-        let sep = if i + 1 == results.len() { "" } else { "," };
-        current.push_str(&format!("  \"{key}\": {ns:.0}{sep}\n"));
-    }
-    current.push('}');
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(key, ns)| format!("  \"{key}\": {ns:.0}"))
+        .chain(ratios.iter().map(|(key, x)| format!("  \"{key}\": {x:.2}")))
+        .collect();
+    current.push_str(&entries.join(",\n"));
+    current.push_str("\n}");
 
     let json = match &baseline {
         None => format!("{{\n  \"current\": {}\n}}\n", current.replace('\n', "\n  ")),

@@ -22,6 +22,9 @@ fn main() {
     let epochs = scale.pick(4, 12);
     let cfg = RunCfg::images(epochs, 0);
     let mut session = Session::new(0);
+    // This experiment reads the captured gradient tensors below; sensitivity
+    // caching is off by default for plain training.
+    session.record_sensitivity = true;
     let mut opt = fast_nn::Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
     for epoch in 0..epochs {
         for (x, labels) in data.train_batches(cfg.batch, epoch as u64) {

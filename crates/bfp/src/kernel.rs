@@ -38,7 +38,7 @@ const COL_PANEL: usize = 32;
 /// Splits a finite non-zero f32 magnitude bit pattern into `(sig, p)` with
 /// `|x| = sig · 2^p` and `sig < 2^24` (subnormals keep their raw fraction).
 #[inline(always)]
-fn decompose(abs_bits: u32) -> (u32, i32) {
+pub(crate) fn decompose(abs_bits: u32) -> (u32, i32) {
     let exp_field = abs_bits >> 23;
     let frac = abs_bits & 0x7F_FFFF;
     if exp_field == 0 {
@@ -50,7 +50,7 @@ fn decompose(abs_bits: u32) -> (u32, i32) {
 
 /// The unbiased exponent `floor(log2 |x|)` of a decomposed magnitude.
 #[inline(always)]
-fn exponent_of_parts(sig: u32, p: i32) -> i32 {
+pub(crate) fn exponent_of_parts(sig: u32, p: i32) -> i32 {
     p + (31 - sig.leading_zeros() as i32)
 }
 
@@ -75,7 +75,7 @@ pub fn max_exponent(values: &[f32]) -> Option<i32> {
 /// whether every element is a normal number or zero (the precondition for
 /// the branch-free quantization loop).
 #[inline]
-fn scan_group(values: &[f32]) -> (u32, bool) {
+pub(crate) fn scan_group(values: &[f32]) -> (u32, bool) {
     let mut best = 0u32;
     let mut plain = true;
     for &v in values {
@@ -113,7 +113,7 @@ fn pow2_f64(e: i32) -> f64 {
 /// Exact `2^e` in f32 for `e ∈ [-149, 127]` (the fast-path scale range);
 /// subnormal powers are assembled as a raw fraction bit.
 #[inline(always)]
-fn pow2_f32(e: i32) -> f32 {
+pub(crate) fn pow2_f32(e: i32) -> f32 {
     if e >= -126 {
         f32::from_bits(((e + 127) as u32) << 23)
     } else {
@@ -127,7 +127,7 @@ fn pow2_f32(e: i32) -> f32 {
 ///
 /// Magnitudes far beyond any representable mantissa are clamped to
 /// `u64::MAX`; the caller's `min(max_mag)` saturation makes that exact.
-trait RoundOp {
+pub(crate) trait RoundOp {
     /// Whether this rule consumes random bits. Deterministic rules may be
     /// evaluated in any element order (enabling column-parallel kernels);
     /// stochastic rules must see elements in the reference order.
@@ -154,7 +154,7 @@ fn shift_up(sig: u32, t: i64) -> u64 {
     }
 }
 
-struct NearestOp;
+pub(crate) struct NearestOp;
 impl RoundOp for NearestOp {
     const DRAWS_BITS: bool = false;
 
@@ -176,7 +176,7 @@ impl RoundOp for NearestOp {
     }
 }
 
-struct TruncateOp;
+pub(crate) struct TruncateOp;
 impl RoundOp for TruncateOp {
     const DRAWS_BITS: bool = false;
 
@@ -199,8 +199,8 @@ impl RoundOp for TruncateOp {
 
 /// Stochastic rounding with `noise_bits`-wide noise; `noise_bits` is
 /// validated once at dispatch, not per element.
-struct StochasticOp {
-    noise_bits: u32,
+pub(crate) struct StochasticOp {
+    pub(crate) noise_bits: u32,
 }
 impl RoundOp for StochasticOp {
     const DRAWS_BITS: bool = true;
@@ -392,7 +392,7 @@ fn fake_quantize_group_general<R: RoundOp, B: BitSource + ?Sized>(
 /// The paper's gradient configuration (`noise_bits = 8`), specialized so
 /// the noise width is a compile-time constant: the LFSR's 8-bit jump and
 /// the shift arithmetic fold into straight-line code.
-struct Stochastic8Op;
+pub(crate) struct Stochastic8Op;
 impl RoundOp for Stochastic8Op {
     const DRAWS_BITS: bool = true;
 
@@ -418,7 +418,7 @@ impl RoundOp for Stochastic8Op {
 
 /// Validates `Stochastic` parameters once, outside the element loop.
 #[inline]
-fn check_noise_bits(rounding: Rounding) {
+pub(crate) fn check_noise_bits(rounding: Rounding) {
     if let Rounding::Stochastic { noise_bits } = rounding {
         assert!(
             (1..=31).contains(&noise_bits),

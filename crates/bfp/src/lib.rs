@@ -18,9 +18,11 @@
 //!   the above: `f32::to_bits` exponent extraction, integer mantissa shifts,
 //!   rounding and noise source monomorphized out of the hot loop
 //!   (bit-identical to the explanatory f64 path; see DESIGN.md §7).
-//! * [`cache`] — reusable cached quantized buffers for frozen-weight
-//!   inference serving (DESIGN.md §8): quantize once at load, replay on
-//!   every request.
+//! * [`packed`] — BFP-native packed operands: integer mantissas plus
+//!   per-group scales produced straight from f32 data, bit-replayable as
+//!   `mantissa × scale` without ever materializing the dequantized copy —
+//!   the quantized-GEMM execution layer's representation, and what
+//!   frozen-weight serving caches hold (DESIGN.md §8–§9).
 //! * [`dot`] — BFP dot products: the direct integer form (Fig 5) and the
 //!   chunk-serial form executed by the fMAC, which are bit-identical.
 //! * [`tensor_quant`] — matrix-level grouped (fake-)quantization along a
@@ -57,9 +59,9 @@ mod group;
 mod lfsr;
 mod rounding;
 
-pub mod cache;
 pub mod dot;
 pub mod kernel;
+pub mod packed;
 pub mod stats;
 pub mod tensor_quant;
 

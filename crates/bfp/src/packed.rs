@@ -1,0 +1,576 @@
+//! Packing FP32 matrices into BFP-native operands: integer mantissas plus
+//! per-group shared-exponent scales, **without materializing the
+//! dequantized f32 copy**.
+//!
+//! The fake-quantization kernels ([`crate::kernel`]) overwrite an f32
+//! buffer with the dequantized BFP values; a GEMM then re-reads that buffer
+//! — two full passes over memory per operand beyond the arithmetic itself.
+//! This module produces the same quantization decision in packed form: one
+//! `i8` mantissa per value and one f32 scale (`2^(E-m+1)`) per group. A
+//! downstream kernel reconstructs each value as `mantissa as f32 * scale`,
+//! which is **bit-identical** to what the fake-quantize kernel would have
+//! written, because that is literally the same expression the kernel's
+//! plain path evaluates (see `fake_quantize_group_plain` and DESIGN.md §9).
+//!
+//! Packing is restricted to the cases where the fake-quantize kernel takes
+//! its plain path for every group, so the reconstruction identity holds
+//! with no further argument:
+//!
+//! * mantissa width `m ≤ 7`, so signed mantissas fit `i8` (`|M| ≤ 127`);
+//! * every input value is a normal number or zero — NaN/infinity/subnormal
+//!   inputs force the kernel's general (f64) path, whose subnormal-scale
+//!   rounding an `i8 × f32` pair cannot replay.
+//!
+//! [`pack_matrix_with`] detects both conditions with a draw-free prescan
+//! and returns `None` — having consumed **no** stochastic-rounding bits —
+//! so the caller can fall back to the fake-quantize + dense-GEMM path with
+//! an unperturbed bit stream. Stochastic draws, when packing does proceed,
+//! happen in exactly the element order of the strided reference
+//! ([`crate::fake_quantize_matrix`]), so a packed operand and a
+//! fake-quantized one consume identical bit streams.
+
+use crate::format::BfpFormat;
+use crate::group::ExponentWindow;
+use crate::kernel::{
+    check_noise_bits, exponent_of_parts, pow2_f32, scan_group, NearestOp, RoundOp, Stochastic8Op,
+    StochasticOp, TruncateOp,
+};
+use crate::lfsr::BitSource;
+use crate::rounding::Rounding;
+use crate::tensor_quant::{GroupAxis, QuantStats};
+
+/// Widest mantissa packable into `i8` storage (`2^7 - 1 = 127 = i8::MAX`).
+pub const MAX_PACKED_MANTISSA_BITS: u32 = 7;
+
+/// A BFP-packed matrix: signed integer mantissas plus per-group scales.
+///
+/// Layout is row-major `rows × cols` for the mantissas. For
+/// [`GroupAxis::AlongRow`] the scales form a `rows × ceil(cols/g)` matrix
+/// (`scale_of(i, j) = scales[i * gpr + j / g]`); for
+/// [`GroupAxis::AlongCol`] they form a `ceil(rows/g) × cols` matrix
+/// (`scale_of(i, j) = scales[(i / g) * cols + j]`).
+#[derive(Debug, Clone)]
+pub struct PackedData {
+    /// Signed mantissas, row-major, one per value.
+    pub mantissas: Vec<i8>,
+    /// Per-group scales `2^(E - m + 1)` (`0.0` for all-zero groups).
+    pub scales: Vec<f32>,
+    /// The same counters the fake-quantize kernel would have produced.
+    pub stats: QuantStats,
+}
+
+/// Packs a row-major `rows × cols` matrix into BFP mantissas + scales with
+/// groups along `axis`, or returns `None` — consuming no random bits — when
+/// the packed fast path cannot reproduce the fake-quantize kernel's bits
+/// (mantissa wider than [`MAX_PACKED_MANTISSA_BITS`], or any non-normal
+/// non-zero input value).
+///
+/// When `use_window` is set, the shared exponents are clamped into an
+/// `e`-bit [`ExponentWindow`] anchored at the matrix-wide maximum exponent,
+/// exactly as [`crate::fake_quantize_matrix`] does.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`, or if `rounding` is `Stochastic`
+/// with `noise_bits` outside `1..=31`.
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+pub fn pack_matrix_with<B: BitSource + ?Sized>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    rounding: Rounding,
+    bits: &mut B,
+    use_window: bool,
+) -> Option<PackedData> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    check_noise_bits(rounding);
+    if fmt.mantissa_bits() > MAX_PACKED_MANTISSA_BITS {
+        return None;
+    }
+    // Draw-free prescan: the packed path requires every group to take the
+    // fake-quantize kernel's plain path, which holds exactly when every
+    // value is a normal number or zero (window clamping only ever *raises*
+    // a group exponent toward the matrix maximum, so `e ∈ [natural, 127]`
+    // is automatic). The scan also yields the matrix maximum for the window.
+    let (max_bits, plain) = scan_group(data);
+    if !plain {
+        return None;
+    }
+    let window = use_window.then(|| ExponentWindow {
+        reference_exponent: if max_bits == 0 {
+            0
+        } else {
+            let (sig, p) = crate::kernel::decompose(max_bits);
+            exponent_of_parts(sig, p)
+        },
+        exponent_bits: fmt.exponent_bits(),
+    });
+    Some(match rounding {
+        Rounding::Nearest => pack_kernel(data, rows, cols, axis, fmt, &NearestOp, bits, window),
+        Rounding::Truncate => pack_kernel(data, rows, cols, axis, fmt, &TruncateOp, bits, window),
+        Rounding::Stochastic { noise_bits: 8 } => {
+            pack_kernel(data, rows, cols, axis, fmt, &Stochastic8Op, bits, window)
+        }
+        Rounding::Stochastic { noise_bits } => pack_kernel(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &StochasticOp { noise_bits },
+            bits,
+            window,
+        ),
+    })
+}
+
+#[allow(clippy::too_many_arguments)] // monomorphization split of the above
+fn pack_kernel<R: RoundOp, B: BitSource + ?Sized>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> PackedData {
+    match axis {
+        GroupAxis::AlongRow => pack_along_row(data, rows, cols, fmt, round, bits, window),
+        GroupAxis::AlongCol if !R::DRAWS_BITS => {
+            pack_along_col_vertical(data, rows, cols, fmt, round, bits, window)
+        }
+        GroupAxis::AlongCol => {
+            pack_along_col_stochastic(data, rows, cols, fmt, round, bits, window)
+        }
+    }
+}
+
+/// Packs one contiguous group of plain (normal-or-zero) values, returning
+/// the group scale and appending per-element counters to `stats`. Mirrors
+/// `fake_quantize_group_plain` arithmetic exactly; the reconstruction
+/// `man as f32 * scale` therefore reproduces its written f32s bit for bit.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the fake-quantize group kernel
+fn pack_group_plain<R: RoundOp, B: BitSource + ?Sized>(
+    values: &[f32],
+    m: u32,
+    max_mag: u32,
+    window: Option<ExponentWindow>,
+    round: &R,
+    bits: &mut B,
+    stats: &mut QuantStats,
+    out: &mut [i8],
+) -> f32 {
+    stats.groups += 1;
+    let mut group_max = 0u32;
+    for &v in values {
+        let abs = v.to_bits() & 0x7FFF_FFFF;
+        if abs > group_max {
+            group_max = abs;
+        }
+    }
+    if group_max == 0 {
+        stats.zeros += values.len() as u64;
+        out[..values.len()].fill(0);
+        return 0.0;
+    }
+    let natural = (group_max >> 23) as i32 - 127;
+    let e = window.map_or(natural, |w| w.clamp(natural));
+    let t_base = e + 1 - m as i32;
+    let scale = pow2_f32(e - m as i32 + 1);
+    let mut zeros = 0u32;
+    let mut saturated = 0u32;
+    for (v, o) in values.iter().zip(out.iter_mut()) {
+        let raw = v.to_bits();
+        let abs = raw & 0x7FFF_FFFF;
+        let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+        let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+        let p = (abs >> 23) as i32 - 150;
+        let mag = round.round_aligned(sig, t_base - p, bits).min(max_mag);
+        zeros += (mag == 0) as u32;
+        saturated += (mag == max_mag) as u32;
+        let s = (raw as i32) >> 31;
+        *o = ((mag as i32 ^ s) - s) as i8;
+    }
+    stats.zeros += zeros as u64;
+    stats.saturated += saturated as u64;
+    scale
+}
+
+/// `AlongRow` packing: groups are contiguous within each row, visited in
+/// the strided reference's element order (row-major), so stochastic draws
+/// line up stream-for-stream.
+fn pack_along_row<R: RoundOp, B: BitSource + ?Sized>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> PackedData {
+    let g = fmt.group_size();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u32;
+    let gpr = cols.div_ceil(g).max(1);
+    let mut mans = vec![0i8; rows * cols];
+    let mut scales = vec![0.0f32; rows * gpr];
+    let mut stats = QuantStats::default();
+    for (r, row) in data.chunks(cols).enumerate() {
+        for (gi, chunk) in row.chunks(g).enumerate() {
+            let scale = pack_group_plain(
+                chunk,
+                m,
+                max_mag,
+                window,
+                round,
+                bits,
+                &mut stats,
+                &mut mans[r * cols + gi * g..r * cols + gi * g + chunk.len()],
+            );
+            scales[r * gpr + gi] = scale;
+        }
+    }
+    PackedData {
+        mantissas: mans,
+        scales,
+        stats,
+    }
+}
+
+/// Deterministic `AlongCol` packing: lane-wise over row blocks (the same
+/// traversal as the fake-quantize kernel's vertical path — element order is
+/// free because nearest/truncate rounding draws no bits).
+fn pack_along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> PackedData {
+    let g = fmt.group_size();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u32;
+    let mut mans = vec![0i8; rows * cols];
+    let mut scales = vec![0.0f32; rows.div_ceil(g).max(1) * cols];
+    let mut stats = QuantStats::default();
+    let mut col_max = vec![0u32; cols];
+    let mut t_base = vec![0i32; cols];
+    let mut zeros = vec![0u32; cols];
+    let mut saturated = vec![0u32; cols];
+    let mut row0 = 0;
+    while row0 < rows {
+        let rb = g.min(rows - row0);
+        col_max[..cols].fill(0);
+        for r in row0..row0 + rb {
+            for (c, &v) in data[r * cols..(r + 1) * cols].iter().enumerate() {
+                let abs = v.to_bits() & 0x7FFF_FFFF;
+                if abs > col_max[c] {
+                    col_max[c] = abs;
+                }
+            }
+        }
+        stats.groups += cols;
+        let scale_row = &mut scales[(row0 / g) * cols..(row0 / g) * cols + cols];
+        for c in 0..cols {
+            if col_max[c] == 0 {
+                t_base[c] = 26; // all-zero group: sig = 0 everywhere
+                scale_row[c] = 0.0;
+            } else {
+                let natural = (col_max[c] >> 23) as i32 - 127;
+                let e = window.map_or(natural, |w| w.clamp(natural));
+                t_base[c] = e + 1 - m as i32;
+                scale_row[c] = pow2_f32(e - m as i32 + 1);
+            }
+        }
+        for r in row0..row0 + rb {
+            let row = &data[r * cols..(r + 1) * cols];
+            let man_row = &mut mans[r * cols..(r + 1) * cols];
+            for (c, (&v, o)) in row.iter().zip(man_row.iter_mut()).enumerate() {
+                let raw = v.to_bits();
+                let abs = raw & 0x7FFF_FFFF;
+                let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+                let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+                let p = (abs >> 23) as i32 - 150;
+                let mag = round.round_aligned(sig, t_base[c] - p, bits).min(max_mag);
+                zeros[c] += (mag == 0) as u32;
+                saturated[c] += (mag == max_mag) as u32;
+                let s = (raw as i32) >> 31;
+                *o = ((mag as i32 ^ s) - s) as i8;
+            }
+        }
+        row0 += rb;
+    }
+    stats.zeros += zeros.iter().map(|&z| z as u64).sum::<u64>();
+    stats.saturated += saturated.iter().map(|&z| z as u64).sum::<u64>();
+    PackedData {
+        mantissas: mans,
+        scales,
+        stats,
+    }
+}
+
+/// Number of columns staged per panel by the stochastic `AlongCol` packer
+/// (matches the fake-quantize kernel's panel width).
+const COL_PANEL: usize = 32;
+
+/// Stochastic `AlongCol` packing via cache-friendly column panels, exactly
+/// like the fake-quantize kernel's stochastic path: [`COL_PANEL`] columns
+/// are gathered into a contiguous transposed scratch (streaming the matrix
+/// row-major), packed column by column, and the mantissas scattered back
+/// row-major. Columns are consumed left to right, rows top to bottom, so
+/// the noise stream sees the exact element order of the strided reference.
+fn pack_along_col_stochastic<R: RoundOp, B: BitSource + ?Sized>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut B,
+    window: Option<ExponentWindow>,
+) -> PackedData {
+    let g = fmt.group_size();
+    let m = fmt.mantissa_bits();
+    let max_mag = fmt.max_magnitude() as u32;
+    let mut mans = vec![0i8; rows * cols];
+    let gpr = rows.div_ceil(g).max(1);
+    let mut scales = vec![0.0f32; gpr * cols];
+    let mut stats = QuantStats::default();
+    let pw = COL_PANEL.min(cols.max(1));
+    let mut gather = vec![0.0f32; rows * pw];
+    let mut packed = vec![0i8; rows * pw];
+    let mut col = 0;
+    while col < cols {
+        let pc = COL_PANEL.min(cols - col);
+        for (r, row) in data.chunks(cols).enumerate() {
+            for (c, &v) in row[col..col + pc].iter().enumerate() {
+                gather[c * rows + r] = v;
+            }
+        }
+        for c in 0..pc {
+            let colbuf = &gather[c * rows..c * rows + rows];
+            let manbuf = &mut packed[c * rows..c * rows + rows];
+            for (gi, (chunk, out)) in colbuf.chunks(g).zip(manbuf.chunks_mut(g)).enumerate() {
+                let scale =
+                    pack_group_plain(chunk, m, max_mag, window, round, bits, &mut stats, out);
+                scales[gi * cols + col + c] = scale;
+            }
+        }
+        for (r, row) in mans.chunks_mut(cols).enumerate() {
+            for (c, o) in row[col..col + pc].iter_mut().enumerate() {
+                *o = packed[c * rows + r];
+            }
+        }
+        col += pc;
+    }
+    PackedData {
+        mantissas: mans,
+        scales,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::fake_quantize_matrix_with;
+    use crate::lfsr::{Lfsr16, RngBits};
+    use rand::{Rng, SeedableRng};
+
+    struct NoBits;
+    impl BitSource for NoBits {
+        fn next_bits(&mut self, _n: u32) -> u32 {
+            unreachable!("deterministic rounding draws no bits")
+        }
+    }
+
+    fn dequantize(p: &PackedData, rows: usize, cols: usize, axis: GroupAxis, g: usize) -> Vec<f32> {
+        let gpr = cols.div_ceil(g).max(1);
+        (0..rows * cols)
+            .map(|idx| {
+                let (i, j) = (idx / cols, idx % cols);
+                let scale = match axis {
+                    GroupAxis::AlongRow => p.scales[i * gpr + j / g],
+                    GroupAxis::AlongCol => p.scales[(i / g) * cols + j],
+                };
+                p.mantissas[idx] as f32 * scale
+            })
+            .collect()
+    }
+
+    fn rand_data(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| rng.gen_range(-4.0f32..4.0) * 2.0f32.powi(rng.gen_range(-12..6)))
+            .collect()
+    }
+
+    #[test]
+    fn packed_reconstruction_matches_fake_quantize_bitwise() {
+        for (rows, cols) in [(1usize, 1usize), (3, 17), (16, 16), (7, 33)] {
+            let data = rand_data(rows * cols, (rows * 31 + cols) as u64);
+            for axis in [GroupAxis::AlongRow, GroupAxis::AlongCol] {
+                for (fmt, rounding) in [
+                    (BfpFormat::high(), Rounding::Nearest),
+                    (BfpFormat::low(), Rounding::Truncate),
+                    (BfpFormat::new(5, 7, 8).unwrap(), Rounding::Nearest),
+                    (BfpFormat::high(), Rounding::STOCHASTIC8),
+                    (BfpFormat::mid(), Rounding::Stochastic { noise_bits: 3 }),
+                ] {
+                    for windowed in [false, true] {
+                        let mut want = data.clone();
+                        let mut bits = Lfsr16::default();
+                        fake_quantize_matrix_with(
+                            &mut want, rows, cols, axis, fmt, rounding, &mut bits, windowed,
+                        );
+                        let mut bits2 = Lfsr16::default();
+                        let packed = pack_matrix_with(
+                            &data, rows, cols, axis, fmt, rounding, &mut bits2, windowed,
+                        )
+                        .expect("plain data must pack");
+                        assert_eq!(bits, bits2, "bit streams must advance identically");
+                        let got = dequantize(&packed, rows, cols, axis, fmt.group_size());
+                        for (idx, (w, g)) in want.iter().zip(&got).enumerate() {
+                            assert_eq!(
+                                w.to_bits(),
+                                g.to_bits(),
+                                "({rows}x{cols}) {axis:?} {fmt} {rounding:?} win={windowed} @{idx}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_fake_quantize() {
+        let data = rand_data(8 * 24, 5);
+        for axis in [GroupAxis::AlongRow, GroupAxis::AlongCol] {
+            let mut buf = data.clone();
+            let want = fake_quantize_matrix_with(
+                &mut buf,
+                8,
+                24,
+                axis,
+                BfpFormat::low(),
+                Rounding::Nearest,
+                &mut NoBits,
+                false,
+            );
+            let packed = pack_matrix_with(
+                &data,
+                8,
+                24,
+                axis,
+                BfpFormat::low(),
+                Rounding::Nearest,
+                &mut NoBits,
+                false,
+            )
+            .unwrap();
+            assert_eq!(packed.stats, want, "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn non_plain_inputs_refuse_to_pack_without_drawing_bits() {
+        for bad in [f32::NAN, f32::INFINITY, 1e-40f32] {
+            let data = vec![1.0f32, bad, 0.5, -2.0];
+            let mut bits = Lfsr16::default();
+            let fresh = bits.clone();
+            let got = pack_matrix_with(
+                &data,
+                2,
+                2,
+                GroupAxis::AlongRow,
+                BfpFormat::high(),
+                Rounding::STOCHASTIC8,
+                &mut bits,
+                false,
+            );
+            assert!(got.is_none(), "{bad} must force the fallback");
+            assert_eq!(bits, fresh, "fallback must not consume noise bits");
+        }
+    }
+
+    #[test]
+    fn wide_mantissas_refuse_to_pack() {
+        let data = vec![1.0f32; 16];
+        let fmt = BfpFormat::new(16, 8, 3).unwrap();
+        assert!(pack_matrix_with(
+            &data,
+            1,
+            16,
+            GroupAxis::AlongRow,
+            fmt,
+            Rounding::Nearest,
+            &mut NoBits,
+            false,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn stochastic_packing_matches_reference_draw_order() {
+        // A host RNG (not the LFSR) as the bit source: stream alignment must
+        // hold for any BitSource, including AlongCol's column-major order.
+        let data = rand_data(48 * 5, 9);
+        for axis in [GroupAxis::AlongRow, GroupAxis::AlongCol] {
+            let mut want = data.clone();
+            let mut b1 = RngBits(rand::rngs::StdRng::seed_from_u64(3));
+            fake_quantize_matrix_with(
+                &mut want,
+                48,
+                5,
+                axis,
+                BfpFormat::high(),
+                Rounding::STOCHASTIC8,
+                &mut b1,
+                false,
+            );
+            let mut b2 = RngBits(rand::rngs::StdRng::seed_from_u64(3));
+            let packed = pack_matrix_with(
+                &data,
+                48,
+                5,
+                axis,
+                BfpFormat::high(),
+                Rounding::STOCHASTIC8,
+                &mut b2,
+                false,
+            )
+            .unwrap();
+            let got = dequantize(&packed, 48, 5, axis, 16);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{axis:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_matrix_packs_to_zero_scales() {
+        let data = vec![0.0f32; 32];
+        let packed = pack_matrix_with(
+            &data,
+            2,
+            16,
+            GroupAxis::AlongRow,
+            BfpFormat::high(),
+            Rounding::Nearest,
+            &mut NoBits,
+            true,
+        )
+        .unwrap();
+        assert!(packed.scales.iter().all(|&s| s == 0.0));
+        assert!(packed.mantissas.iter().all(|&m| m == 0));
+        assert_eq!(packed.stats.zeros, 32);
+    }
+}

@@ -36,6 +36,16 @@ pub struct QuantStats {
     pub zeros: u64,
 }
 
+impl QuantStats {
+    /// Folds another pass's counters into this one (the accumulation the
+    /// quantized-GEMM plan performs across operand preparations).
+    pub fn merge(&mut self, other: QuantStats) {
+        self.groups += other.groups;
+        self.saturated += other.saturated;
+        self.zeros += other.zeros;
+    }
+}
+
 /// Fake-quantizes a contiguous slice in groups of `fmt.group_size()`,
 /// overwriting each value with its BFP reconstruction. The final group may
 /// be shorter than `g`.

@@ -82,6 +82,12 @@ impl FastController {
 }
 
 impl TrainHook for FastController {
+    /// Algorithm 1 judges `A` and `G` from the previous iteration's
+    /// tensors, so layers must keep their sensitivity caches.
+    fn wants_sensitivity(&self) -> bool {
+        true
+    }
+
     fn before_iteration(&mut self, iter: usize, model: &mut Sequential) {
         use fast_nn::Layer;
         if !iter.is_multiple_of(self.stride) && !self.current.is_empty() {

@@ -145,6 +145,12 @@ impl TrainHook for HookChain<'_> {
             h.after_backward(iter, model);
         }
     }
+
+    /// A chain needs sensitivity tensors if any member does (e.g. a
+    /// [`FastController`](crate::FastController) chained with a cost meter).
+    fn wants_sensitivity(&self) -> bool {
+        self.hooks.iter().any(|h| h.wants_sensitivity())
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +185,34 @@ mod tests {
         assert!(matches!(ps[1].1.weights, NumericFormat::Bfp { .. }));
         assert!(matches!(ps[2].1.weights, NumericFormat::Fp32));
         assert!(matches!(ps[3].1.weights, NumericFormat::Fp32));
+    }
+
+    #[test]
+    fn hook_chain_forwards_sensitivity_demand() {
+        struct Plain;
+        impl TrainHook for Plain {}
+        struct Needy;
+        impl TrainHook for Needy {
+            fn wants_sensitivity(&self) -> bool {
+                true
+            }
+        }
+        let (mut a, mut b) = (Plain, Plain);
+        assert!(!HookChain::new()
+            .push(&mut a)
+            .push(&mut b)
+            .wants_sensitivity());
+        let (mut a, mut needy) = (Plain, Needy);
+        assert!(
+            HookChain::new()
+                .push(&mut a)
+                .push(&mut needy)
+                .wants_sensitivity(),
+            "a chained FastController must keep sensitivity caching on"
+        );
+        // The real case: a FastController inside a chain.
+        let mut ctl = crate::FastController::new(10, crate::EpsilonSchedule::paper_default());
+        assert!(HookChain::new().push(&mut ctl).wants_sensitivity());
     }
 
     #[test]

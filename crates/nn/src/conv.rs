@@ -8,11 +8,12 @@
 
 use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
+use crate::qgemm::{self, GemmOperand, Orient};
 use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
 use fast_tensor::{
-    col2im, gemm_out_to_nchw, im2col, im2row, kaiming_normal, matmul, matmul_bt, matmul_nt,
-    matmul_tn, nchw_to_gemm_out, row_sums, Conv2dDims, Tensor,
+    col2im, gemm_out_to_nchw, im2col, im2row, kaiming_normal, nchw_to_gemm_out, row_sums,
+    Conv2dDims, Tensor,
 };
 use rand::Rng;
 
@@ -99,7 +100,7 @@ impl Layer for Conv2d {
         let mut out_mat = if session.freeze_weights {
             // The im2col weight matrix is the (out_c, C·k²) reshape of the
             // master tensor — same row-major buffer, so the cache can build
-            // straight from it.
+            // (and pack) straight from it.
             let wq = self.frozen_w.get(
                 &self.w,
                 self.out_c,
@@ -114,38 +115,44 @@ impl Layer for Conv2d {
                 // the faster row-wise one. (An SR activation format draws
                 // its noise in a different element order here — same
                 // distribution, different stream; deterministic rounding is
-                // bit-identical. See DESIGN.md §8.)
-                let mut rows = im2row(input, d);
-                self.precision.activations.quantize_matrix(
-                    &mut rows,
+                // bit-identical. See DESIGN.md §8.) Patches stay dense:
+                // they are request scratch for one narrow GEMM, so packing
+                // would cost more staging than it saves.
+                let rows = qgemm::prepare_owned_dense(
+                    session,
+                    im2row(input, d),
+                    self.precision.activations,
                     GroupAxis::AlongRow,
-                    session.rng(),
                 );
-                matmul_bt(wq, &rows)
+                qgemm::execute(session, Orient::Bt, &GemmOperand::Cached(wq), &rows)
             } else {
-                let mut cols = im2col(input, d);
-                self.precision.activations.quantize_matrix(
-                    &mut cols,
+                let cols = qgemm::prepare_owned_dense(
+                    session,
+                    im2col(input, d),
+                    self.precision.activations,
                     GroupAxis::AlongCol,
-                    session.rng(),
                 );
-                matmul(wq, &cols)
+                qgemm::execute(session, Orient::Nn, &GemmOperand::Cached(wq), &cols)
             }
         } else {
             // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups
             // run down the rows of `cols` (AlongCol) and along the rows of
             // `W_mat`.
-            let mut cols = im2col(input, d);
-            self.precision.activations.quantize_matrix(
-                &mut cols,
+            let cols = qgemm::prepare_owned(
+                session,
+                im2col(input, d),
+                self.precision.activations,
                 GroupAxis::AlongCol,
-                session.rng(),
             );
-            let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
-            self.precision
-                .weights
-                .quantize_matrix(&mut w_mat, GroupAxis::AlongRow, session.rng());
-            matmul(&w_mat, &cols)
+            let wq = qgemm::prepare_slice(
+                session,
+                self.w.data(),
+                self.out_c,
+                d.k_dim(),
+                self.precision.weights,
+                GroupAxis::AlongRow,
+            );
+            qgemm::execute(session, Orient::Nn, &wq, &cols)
         };
         if self.use_bias {
             let p = d.p_dim();
@@ -181,16 +188,25 @@ impl Layer for Conv2d {
         let g_mat = nchw_to_gemm_out(grad_output, d); // (out_c, P)
 
         // ∇W = ∇O · colsᵀ, reduction over P.
-        let mut gq = g_mat.clone();
-        self.precision
-            .gradients
-            .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.rng());
-        let mut cols = im2col(x, d);
-        self.precision
-            .activations
-            .quantize_matrix(&mut cols, GroupAxis::AlongRow, session.rng());
-        let gw =
-            matmul_nt(&gq, &cols).reshape(vec![self.out_c, self.in_c, self.kernel, self.kernel]);
+        let gq = qgemm::prepare(
+            session,
+            &g_mat,
+            self.precision.gradients,
+            GroupAxis::AlongRow,
+        );
+        let cols = qgemm::prepare_owned(
+            session,
+            im2col(x, d),
+            self.precision.activations,
+            GroupAxis::AlongRow,
+        );
+        let gw = qgemm::execute(session, Orient::Nt, &gq, &cols).reshape(vec![
+            self.out_c,
+            self.in_c,
+            self.kernel,
+            self.kernel,
+        ]);
+        drop(gq);
         self.gw.add_assign(&gw);
         if self.use_bias {
             let sums = row_sums(&g_mat);
@@ -200,18 +216,26 @@ impl Layer for Conv2d {
         }
 
         // ∇cols = Wᵀ · ∇O, reduction over out_c.
-        let mut gq2 = g_mat;
-        self.precision
-            .gradients
-            .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.rng());
-        let mut w_mat = self.w.clone().reshape(vec![self.out_c, d.k_dim()]);
-        self.precision
-            .weights
-            .quantize_matrix(&mut w_mat, GroupAxis::AlongCol, session.rng());
-        let grad_cols = matmul_tn(&w_mat, &gq2);
+        let gq2 = qgemm::prepare_owned(
+            session,
+            g_mat,
+            self.precision.gradients,
+            GroupAxis::AlongCol,
+        );
+        let wq = qgemm::prepare_slice(
+            session,
+            self.w.data(),
+            self.out_c,
+            d.k_dim(),
+            self.precision.weights,
+            GroupAxis::AlongCol,
+        );
+        let grad_cols = qgemm::execute(session, Orient::Tn, &wq, &gq2);
         let grad_input = col2im(&grad_cols, d);
 
-        self.last_grad = Some(grad_output.clone());
+        if session.record_sensitivity {
+            self.last_grad = Some(grad_output.clone());
+        }
         grad_input
     }
 
@@ -361,37 +385,35 @@ impl Layer for DepthwiseConv2d {
         // into a (1, k²) tensor, which skips the quantization, not the
         // (tiny) row copy.
         let frozen_rows: Option<&Tensor> = if session.freeze_weights {
-            Some(
-                self.frozen_w
-                    .get_per_row(&self.w, self.channels, k2, self.precision.weights),
-            )
+            self.frozen_w
+                .get_per_row(&self.w, self.channels, k2, self.precision.weights)
+                .dense()
         } else {
             None
         };
         for c in 0..self.channels {
             let xc = Self::slice_channel(input, c);
-            let mut cols = im2col(&xc, d); // (k², B·OH·OW)
-            self.precision.activations.quantize_matrix(
-                &mut cols,
+            let cols = qgemm::prepare_owned(
+                session,
+                im2col(&xc, d), // (k², B·OH·OW)
+                self.precision.activations,
                 GroupAxis::AlongCol,
-                session.rng(),
             );
             let w_row = match &frozen_rows {
-                Some(rows) => {
-                    Tensor::from_vec(vec![1, k2], rows.data()[c * k2..(c + 1) * k2].to_vec())
-                }
-                None => {
-                    let mut w_row =
-                        Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
-                    self.precision.weights.quantize_matrix(
-                        &mut w_row,
-                        GroupAxis::AlongRow,
-                        session.rng(),
-                    );
-                    w_row
-                }
+                Some(rows) => GemmOperand::Own(crate::qgemm::Prepared::Dense(Tensor::from_vec(
+                    vec![1, k2],
+                    rows.data()[c * k2..(c + 1) * k2].to_vec(),
+                ))),
+                None => qgemm::prepare_slice(
+                    session,
+                    &self.w.data()[c * k2..(c + 1) * k2],
+                    1,
+                    k2,
+                    self.precision.weights,
+                    GroupAxis::AlongRow,
+                ),
             };
-            let out_mat = matmul(&w_row, &cols); // (1, B·OH·OW)
+            let out_mat = qgemm::execute(session, Orient::Nn, &w_row, &cols); // (1, B·OH·OW)
             let od = out.data_mut();
             for bi in 0..b {
                 for p in 0..oh * ow {
@@ -425,32 +447,40 @@ impl Layer for DepthwiseConv2d {
             let g_mat = nchw_to_gemm_out(&gc, d); // (1, B·OH·OW)
 
             // ∇W row = ∇O · colsᵀ.
-            let mut gq = g_mat.clone();
-            self.precision
-                .gradients
-                .quantize_matrix(&mut gq, GroupAxis::AlongRow, session.rng());
-            let mut cols = im2col(&xc, d);
-            self.precision.activations.quantize_matrix(
-                &mut cols,
+            let gq = qgemm::prepare(
+                session,
+                &g_mat,
+                self.precision.gradients,
                 GroupAxis::AlongRow,
-                session.rng(),
             );
-            let gw_row = matmul_nt(&gq, &cols); // (1, k²)
+            let cols = qgemm::prepare_owned(
+                session,
+                im2col(&xc, d),
+                self.precision.activations,
+                GroupAxis::AlongRow,
+            );
+            let gw_row = qgemm::execute(session, Orient::Nt, &gq, &cols); // (1, k²)
+            drop(gq);
             for (i, &v) in gw_row.data().iter().enumerate() {
                 self.gw.data_mut()[c * k2 + i] += v;
             }
 
             // ∇cols = wᵀ · ∇O.
-            let mut gq2 = g_mat;
-            self.precision
-                .gradients
-                .quantize_matrix(&mut gq2, GroupAxis::AlongCol, session.rng());
-            let mut w_row =
-                Tensor::from_vec(vec![1, k2], self.w.data()[c * k2..(c + 1) * k2].to_vec());
-            self.precision
-                .weights
-                .quantize_matrix(&mut w_row, GroupAxis::AlongCol, session.rng());
-            let grad_cols = matmul_tn(&w_row, &gq2); // (k², B·OH·OW)
+            let gq2 = qgemm::prepare_owned(
+                session,
+                g_mat,
+                self.precision.gradients,
+                GroupAxis::AlongCol,
+            );
+            let wq = qgemm::prepare_slice(
+                session,
+                &self.w.data()[c * k2..(c + 1) * k2],
+                1,
+                k2,
+                self.precision.weights,
+                GroupAxis::AlongCol,
+            );
+            let grad_cols = qgemm::execute(session, Orient::Tn, &wq, &gq2); // (k², B·OH·OW)
             let gic = col2im(&grad_cols, d); // (B,1,H,W)
             for bi in 0..b {
                 for p in 0..h * w {
@@ -459,7 +489,9 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
-        self.last_grad = Some(grad_output.clone());
+        if session.record_sensitivity {
+            self.last_grad = Some(grad_output.clone());
+        }
         grad_input
     }
 

@@ -3,10 +3,12 @@
 //! During training, every GEMM re-quantizes the FP32 master weights because
 //! Algorithm 1 may reassign the layer's format between iterations. At
 //! inference both the weights and the format assignment are frozen, so each
-//! weight operand can be converted FP32 → BFP → FP32 **once** and replayed
-//! on every request. [`FrozenWeight`] owns that cached copy for one layer
-//! operand: a [`QuantCache`] holding the quantized buffer plus the
-//! materialized [`Tensor`] the GEMM consumes.
+//! weight operand can be converted FP32 → BFP **once** and replayed on
+//! every request. [`FrozenWeight`] owns that cached copy for one layer
+//! operand as a plan-[`Prepared`] operand: for packable BFP formats that is
+//! the *packed* representation (`i8` mantissas + per-group scales, ~¼ of
+//! the dense f32 footprint — the serving working set shrinks accordingly),
+//! for everything else a quantized dense tensor.
 //!
 //! Correctness invariants:
 //!
@@ -17,14 +19,14 @@
 //!   have — as does any change of format or grouping axis;
 //! * cache builds use a deterministic bit source, so every replica of a
 //!   model quantizes to bit-identical weights regardless of request order,
-//!   and for deterministic rounding the cached copy is bit-identical to
+//!   and for deterministic rounding the cached operand is bit-identical to
 //!   what the training-path forward would have produced.
 //!
 //! [`Session::freeze_weights`]: crate::Session
 
+use crate::qgemm::{prepare_slice_with, Prepared};
 use crate::quant::NumericFormat;
-use fast_bfp::cache::QuantCache;
-use fast_bfp::{GroupAxis, Lfsr16};
+use fast_bfp::{GroupAxis, Lfsr16, QuantStats};
 use fast_tensor::Tensor;
 
 /// A cached quantized copy of one weight operand.
@@ -32,37 +34,27 @@ use fast_tensor::Tensor;
 /// The cache is stale whenever the owning layer's weight version, the
 /// numeric format, or the grouping axis differ from the last build; `get`
 /// then rebuilds from the FP32 master copy. Repeat hits return the cached
-/// tensor with no allocation or quantization work.
-///
-/// The quantized values are held twice — in the slice-level [`QuantCache`]
-/// (which owns the staleness bookkeeping) and materialized as the [`Tensor`]
-/// the GEMM consumes. That doubles resident frozen-weight memory (weights
-/// are kilobytes at lite scale) in exchange for zero per-request work and a
-/// plain `&Tensor` on the hot path; the extra copy happens only on rebuild.
+/// [`Prepared`] operand with no allocation or quantization work.
 #[derive(Debug, Default)]
 pub(crate) struct FrozenWeight {
     /// Weight version: bumped by the owning layer on every mutable weight
     /// access (parameter visitation / direct accessor).
     version: u64,
-    /// `(format, axis, per_row)` of the current build, if any.
-    built: Option<(NumericFormat, GroupAxis, bool)>,
-    /// The quantized buffer (slice-level cache; owns staleness by version).
-    cache: QuantCache,
-    /// The buffer materialized as the tensor the GEMM consumes.
-    tensor: Option<Tensor>,
+    /// `(format, axis, per_row, version)` of the current build, if any.
+    built: Option<(NumericFormat, GroupAxis, bool, u64)>,
+    /// The cached GEMM operand.
+    prepared: Option<Prepared>,
 }
 
 impl FrozenWeight {
     /// Records a (potential) weight mutation, invalidating the cache.
     pub fn mark_dirty(&mut self) {
         self.version = self.version.wrapping_add(1);
-        self.cache.invalidate();
-        self.tensor = None;
     }
 
-    /// Returns the cached quantized weight shaped `rows × cols`, rebuilding
-    /// from `master` if the weights, the format, or the axis changed since
-    /// the last build.
+    /// Returns the cached quantized weight operand shaped `rows × cols`,
+    /// rebuilding from `master` if the weights, the format, or the axis
+    /// changed since the last build.
     ///
     /// Builds draw stochastic-rounding bits (only relevant for SR weight
     /// formats) from a freshly seeded hardware LFSR, so rebuilds and
@@ -74,66 +66,51 @@ impl FrozenWeight {
         cols: usize,
         fmt: NumericFormat,
         axis: GroupAxis,
-    ) -> &Tensor {
-        self.fetch(master, rows, cols, (fmt, axis, false), |buf| {
-            fmt.quantize_slice(buf, rows, cols, axis, &mut Lfsr16::default());
-        })
+    ) -> &Prepared {
+        let key = (fmt, axis, false, self.version);
+        if self.built != Some(key) || self.prepared.is_none() {
+            let mut stats = QuantStats::default(); // build-once cost, unmetered
+            self.prepared = Some(prepare_slice_with(
+                &mut Lfsr16::default(),
+                &mut stats,
+                master.data(),
+                rows,
+                cols,
+                fmt,
+                axis,
+            ));
+            self.built = Some(key);
+        }
+        self.prepared.as_ref().expect("frozen operand just built")
     }
 
     /// Like [`FrozenWeight::get`], but quantizes every row as an
-    /// *independent* `1 × cols` matrix with groups along the row.
+    /// *independent* `1 × cols` matrix with groups along the row, yielding a
+    /// dense operand.
     ///
     /// [`DepthwiseConv2d`](crate::DepthwiseConv2d) quantizes each channel's
     /// kernel row separately, so windowed formats take a per-row exponent
     /// window; a single `rows × cols` build would wrongly share one window
-    /// across all channels.
+    /// across all channels. The rows are later re-sliced into per-channel
+    /// `1 × k²` GEMM operands, so this cache stays dense.
     pub fn get_per_row(
         &mut self,
         master: &Tensor,
         rows: usize,
         cols: usize,
         fmt: NumericFormat,
-    ) -> &Tensor {
-        self.fetch(
-            master,
-            rows,
-            cols,
-            (fmt, GroupAxis::AlongRow, true),
-            |buf| {
-                let mut bits = Lfsr16::default();
-                for row in buf.chunks_mut(cols) {
-                    fmt.quantize_slice(row, 1, cols, GroupAxis::AlongRow, &mut bits);
-                }
-            },
-        )
-    }
-
-    /// Shared staleness protocol: invalidate on a key change, rebuild the
-    /// quantized buffer when the version moved, and rematerialize the
-    /// tensor only on rebuild.
-    fn fetch(
-        &mut self,
-        master: &Tensor,
-        rows: usize,
-        cols: usize,
-        key: (NumericFormat, GroupAxis, bool),
-        quantize: impl FnOnce(&mut [f32]),
-    ) -> &Tensor {
-        if self.built != Some(key) {
-            self.cache.invalidate();
+    ) -> &Prepared {
+        let key = (fmt, GroupAxis::AlongRow, true, self.version);
+        if self.built != Some(key) || self.prepared.is_none() {
+            let mut buf = master.data().to_vec();
+            let mut bits = Lfsr16::default();
+            for row in buf.chunks_mut(cols) {
+                fmt.quantize_slice(row, 1, cols, GroupAxis::AlongRow, &mut bits);
+            }
+            self.prepared = Some(Prepared::Dense(Tensor::from_vec(vec![rows, cols], buf)));
             self.built = Some(key);
         }
-        let mut rebuilt = false;
-        let data = self.cache.get_or_build(self.version, master.data(), |buf| {
-            quantize(buf);
-            rebuilt = true;
-        });
-        if rebuilt || self.tensor.is_none() {
-            self.tensor = Some(Tensor::from_vec(vec![rows, cols], data.to_vec()));
-        }
-        self.tensor
-            .as_ref()
-            .expect("frozen weight tensor just built")
+        self.prepared.as_ref().expect("frozen operand just built")
     }
 }
 
@@ -154,8 +131,8 @@ mod tests {
         let w = master();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let first = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
-        let second = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        let first = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
+        let second = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
         assert_eq!(first, second);
         // And it matches a direct quantization of the master copy.
         let mut direct = w.clone();
@@ -164,15 +141,35 @@ mod tests {
     }
 
     #[test]
+    fn packable_bfp_weights_are_cached_packed() {
+        let w = master();
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut fz = FrozenWeight::default();
+        let prepared = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow);
+        assert!(
+            matches!(prepared, Prepared::Packed(_)),
+            "m=4 BFP must freeze packed"
+        );
+        // The packed working set is well under the dense f32 footprint.
+        assert!(prepared.heap_bytes() < 4 * 32);
+        // FP32 weights freeze dense.
+        let mut fz2 = FrozenWeight::default();
+        assert!(matches!(
+            fz2.get(&w, 2, 16, NumericFormat::Fp32, GroupAxis::AlongRow),
+            Prepared::Dense(_)
+        ));
+    }
+
+    #[test]
     fn dirty_mark_triggers_rebuild_from_new_master() {
         let mut w = master();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let before = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        let before = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
         w.data_mut()[0] += 1.0;
         // Without the mark the stale copy would be served.
         fz.mark_dirty();
-        let after = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).clone();
+        let after = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
         assert_ne!(before, after);
     }
 
@@ -188,7 +185,7 @@ mod tests {
                 NumericFormat::bfp_nearest(BfpFormat::high()),
                 GroupAxis::AlongRow,
             )
-            .clone();
+            .to_tensor();
         let low = fz
             .get(
                 &w,
@@ -197,7 +194,7 @@ mod tests {
                 NumericFormat::bfp_nearest(BfpFormat::low()),
                 GroupAxis::AlongRow,
             )
-            .clone();
+            .to_tensor();
         assert_ne!(high, low, "m=4 vs m=2 must differ on this data");
     }
 
@@ -209,8 +206,8 @@ mod tests {
         );
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let by_row = fz.get(&w, 16, 16, fmt, GroupAxis::AlongRow).clone();
-        let by_col = fz.get(&w, 16, 16, fmt, GroupAxis::AlongCol).clone();
+        let by_row = fz.get(&w, 16, 16, fmt, GroupAxis::AlongRow).to_tensor();
+        let by_col = fz.get(&w, 16, 16, fmt, GroupAxis::AlongCol).to_tensor();
         assert_ne!(by_row, by_col);
     }
 }

@@ -2,8 +2,9 @@
 //! visitation for optimizers, and quantization control for the FAST
 //! controller.
 
+use crate::qgemm::PlanStats;
 use crate::quant::LayerPrecision;
-use fast_bfp::{BitSource, RngBits};
+use fast_bfp::{BitSource, QuantStats, RngBits};
 use fast_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +12,8 @@ use rand::SeedableRng;
 /// Per-run context threaded through forward/backward passes.
 ///
 /// Owns the random bit source used by stochastic rounding so runs are
-/// reproducible from a single seed.
+/// reproducible from a single seed, and the [`PlanStats`] counters that
+/// every GEMM routed through the [`crate::qgemm`] plan accumulates into.
 #[derive(Debug)]
 pub struct Session {
     /// Whether layers should behave in training mode (batch-norm statistics,
@@ -24,6 +26,19 @@ pub struct Session {
     /// where weights and formats are frozen. Caches are invalidated by any
     /// weight update, so flipping this flag mid-run is always safe.
     pub freeze_weights: bool,
+    /// Whether GEMM layers keep sensitivity tensors (a clone of each
+    /// backward pass's `grad_output`) for [`QuantControlled`] readers. The
+    /// FAST controller and the exponent-distribution experiments need them;
+    /// plain training does not, and skips the per-layer copy. [`Trainer`]
+    /// sets this from [`TrainHook::wants_sensitivity`] every step.
+    ///
+    /// [`Trainer`]: crate::Trainer
+    /// [`TrainHook::wants_sensitivity`]: crate::TrainHook::wants_sensitivity
+    pub record_sensitivity: bool,
+    /// Counters accumulated by the quantized-GEMM execution plan: GEMM and
+    /// MAC counts plus fused [`QuantStats`] from operand preparation — the
+    /// single software-side instrumentation point (DESIGN.md §9).
+    pub plan_stats: PlanStats,
     bits: RngBits<StdRng>,
 }
 
@@ -33,6 +48,8 @@ impl Session {
         Session {
             train: true,
             freeze_weights: false,
+            record_sensitivity: false,
+            plan_stats: PlanStats::default(),
             bits: RngBits(StdRng::seed_from_u64(seed)),
         }
     }
@@ -43,8 +60,7 @@ impl Session {
     pub fn eval(seed: u64) -> Self {
         Session {
             train: false,
-            freeze_weights: false,
-            bits: RngBits(StdRng::seed_from_u64(seed)),
+            ..Session::new(seed)
         }
     }
 
@@ -55,7 +71,7 @@ impl Session {
         Session {
             train: false,
             freeze_weights: true,
-            bits: RngBits(StdRng::seed_from_u64(seed)),
+            ..Session::new(seed)
         }
     }
 
@@ -69,6 +85,12 @@ impl Session {
     /// stochastic draw; see `fast_bfp::kernel`).
     pub fn rng(&mut self) -> &mut RngBits<StdRng> {
         &mut self.bits
+    }
+
+    /// Split borrow for the plan: the bit source and the fused quantization
+    /// counters, simultaneously.
+    pub(crate) fn quant_parts(&mut self) -> (&mut RngBits<StdRng>, &mut QuantStats) {
+        (&mut self.bits, &mut self.plan_stats.quant)
     }
 }
 

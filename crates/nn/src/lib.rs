@@ -9,7 +9,11 @@
 //!   optimizers, and [`QuantControlled`] access for the FAST controller.
 //! * GEMM layers ([`Dense`], [`Conv2d`], [`DepthwiseConv2d`],
 //!   [`MultiHeadSelfAttention`]) that quantize every training GEMM of paper
-//!   Fig 3 along its reduction axis.
+//!   Fig 3 along its reduction axis — all routed through the shared
+//!   quantized-GEMM execution plan ([`qgemm`]): operands are packed into
+//!   BFP-native form (integer mantissas + group scales) and multiplied
+//!   without materializing the dequantized f32 copies, bit-identically to
+//!   the quantize-copy pipeline (DESIGN.md §9).
 //! * [`models`] — scaled-down analogues of the paper's six evaluation DNNs.
 //! * Losses, optimizers (SGD/momentum, Adam), metrics and a [`Trainer`]
 //!   with controller hooks.
@@ -53,6 +57,7 @@ mod quant;
 mod trainer;
 
 pub mod models;
+pub mod qgemm;
 
 pub use act::{LeakyRelu, Relu};
 pub use attention::MultiHeadSelfAttention;
@@ -69,5 +74,6 @@ pub use model::{Residual, Sequential};
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{Adam, Sgd};
 pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
+pub use qgemm::PlanStats;
 pub use quant::{LayerPrecision, NumericFormat};
 pub use trainer::{NoopHook, StepStats, TrainHook, Trainer};

@@ -16,9 +16,10 @@
 
 use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
+use crate::qgemm::{self, GemmOperand, Orient};
 use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
-use fast_tensor::{col_sums, kaiming_normal, matmul, matmul_nt, matmul_tn, Tensor};
+use fast_tensor::{col_sums, kaiming_normal, Tensor};
 use rand::Rng;
 
 /// A dense layer `y = x·W + b` with independently quantized W/A/G tensors.
@@ -94,10 +95,12 @@ impl Layer for Dense {
         });
 
         let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
-        let xq =
-            self.precision
-                .activations
-                .quantize_copy(input, GroupAxis::AlongRow, session.rng());
+        let xq = qgemm::prepare(
+            session,
+            input,
+            self.precision.activations,
+            GroupAxis::AlongRow,
+        );
         let mut out = if session.freeze_weights {
             let wq = self.frozen_w.get(
                 &self.w,
@@ -106,13 +109,15 @@ impl Layer for Dense {
                 self.precision.weights,
                 GroupAxis::AlongCol,
             );
-            matmul(&xq, wq)
+            qgemm::execute(session, Orient::Nn, &xq, &GemmOperand::Cached(wq))
         } else {
-            let wq =
-                self.precision
-                    .weights
-                    .quantize_copy(&self.w, GroupAxis::AlongCol, session.rng());
-            matmul(&xq, &wq)
+            let wq = qgemm::prepare(
+                session,
+                &self.w,
+                self.precision.weights,
+                GroupAxis::AlongCol,
+            );
+            qgemm::execute(session, Orient::Nn, &xq, &wq)
         };
         if self.use_bias {
             let n = self.out_dim();
@@ -137,15 +142,15 @@ impl Layer for Dense {
         assert_eq!(grad_output.shape(), &[x.shape()[0], self.out_dim()]);
 
         // ∇W = Aᵀ·∇O, reduction over the batch dimension.
-        let xq = self
-            .precision
-            .activations
-            .quantize_copy(x, GroupAxis::AlongCol, session.rng());
-        let gq =
-            self.precision
-                .gradients
-                .quantize_copy(grad_output, GroupAxis::AlongCol, session.rng());
-        self.gw.add_assign(&matmul_tn(&xq, &gq));
+        let xq = qgemm::prepare(session, x, self.precision.activations, GroupAxis::AlongCol);
+        let gq = qgemm::prepare(
+            session,
+            grad_output,
+            self.precision.gradients,
+            GroupAxis::AlongCol,
+        );
+        let gw = qgemm::execute(session, Orient::Tn, &xq, &gq);
+        self.gw.add_assign(&gw);
         if self.use_bias {
             let sums = col_sums(grad_output);
             for (g, s) in self.gb.data_mut().iter_mut().zip(sums) {
@@ -154,17 +159,24 @@ impl Layer for Dense {
         }
 
         // ∇A = ∇O·Wᵀ, reduction over the output dimension.
-        let gq2 =
-            self.precision
-                .gradients
-                .quantize_copy(grad_output, GroupAxis::AlongRow, session.rng());
-        let wq = self
-            .precision
-            .weights
-            .quantize_copy(&self.w, GroupAxis::AlongRow, session.rng());
-        // matmul_nt(g (B,N), W (K,N)) reduces over N and yields (B,K) = g·Wᵀ.
-        let grad_input = matmul_nt(&gq2, &wq);
-        self.last_grad = Some(grad_output.clone());
+        let gq2 = qgemm::prepare(
+            session,
+            grad_output,
+            self.precision.gradients,
+            GroupAxis::AlongRow,
+        );
+        let wq = qgemm::prepare(
+            session,
+            &self.w,
+            self.precision.weights,
+            GroupAxis::AlongRow,
+        );
+        // The NT kernel over g (B,N) and W (K,N) reduces over N and yields
+        // (B,K) = g·Wᵀ.
+        let grad_input = qgemm::execute(session, Orient::Nt, &gq2, &wq);
+        if session.record_sensitivity {
+            self.last_grad = Some(grad_output.clone());
+        }
         grad_input
     }
 
@@ -333,6 +345,7 @@ mod tests {
         let mut r = rng();
         let mut layer = Dense::new(4, 4, false, &mut r);
         let mut s = Session::new(0);
+        s.record_sensitivity = true;
         assert!(layer.last_input().is_none());
         let x = Tensor::zeros(vec![2, 4]);
         let y = layer.forward(&x, &mut s);
@@ -341,6 +354,20 @@ mod tests {
         assert!(layer.last_grad_output().is_some());
         assert_eq!(layer.gemm_shape(), Some(GemmShape { m: 2, k: 4, n: 4 }));
         assert_eq!(layer.label(), "dense(4->4)");
+    }
+
+    #[test]
+    fn sensitivity_caching_is_off_by_default() {
+        let mut r = rng();
+        let mut layer = Dense::new(4, 4, false, &mut r);
+        let mut s = Session::new(0);
+        let x = Tensor::zeros(vec![2, 4]);
+        let y = layer.forward(&x, &mut s);
+        let _ = layer.backward(&y, &mut s);
+        assert!(
+            layer.last_grad_output().is_none(),
+            "plain training must not pay the grad_output clone"
+        );
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The shared quantized-GEMM execution plan.
+//!
+//! Every GEMM a layer runs — forward, both backward orientations, the
+//! frozen serving path, and attention's inner score/context products — is
+//! expressed as *prepare the two operands, then execute one orientation*:
+//!
+//! 1. [`prepare`] / [`prepare_owned`] / [`prepare_slice`] quantize one
+//!    operand according to its [`NumericFormat`], choosing the cheapest
+//!    faithful representation: FP32 operands are **borrowed** (no copy at
+//!    all), packable BFP operands become a [`PackedMat`] (integer `i8`
+//!    mantissas + per-group scales, no dequantized f32 copy), and
+//!    everything else falls back to a quantized dense copy.
+//! 2. [`execute`] multiplies the prepared operands with the packed-operand
+//!    kernels of `fast_tensor::qgemm`, which replay the dense kernels'
+//!    exact per-element summation trees.
+//!
+//! The composition is **bit-identical** to the historical
+//! `quantize_copy` + `matmul{,_nt,_tn,_bt}` pipeline for every format,
+//! rounding mode and input (pinned by `crates/nn/tests/proptests.rs`;
+//! argument in DESIGN.md §9), while skipping up to two full f32 tensor
+//! materializations per GEMM.
+//!
+//! [`execute`] is also the system's single software instrumentation point:
+//! it accumulates GEMM/MAC counts and fused [`QuantStats`] into
+//! [`Session::plan_stats`], next to the [`QuantControlled`] state the FAST
+//! controller reads and the [`GemmShape`]s the hardware cost meter consumes.
+//!
+//! [`QuantControlled`]: crate::QuantControlled
+//! [`GemmShape`]: crate::GemmShape
+
+use crate::layer::Session;
+use crate::quant::NumericFormat;
+use fast_bfp::packed::pack_matrix_with;
+use fast_bfp::{BitSource, GroupAxis, QuantStats};
+use fast_tensor::qgemm::{
+    qmatmul, qmatmul_bt, qmatmul_nt, qmatmul_tn, Operand, PackLayout, PackedMat,
+};
+use fast_tensor::Tensor;
+
+/// Counters accumulated by every plan execution (one instance lives on
+/// [`Session`]): how much GEMM work ran and what quantization did to the
+/// operands feeding it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// GEMMs executed through the plan.
+    pub gemms: u64,
+    /// Multiply-accumulates across those GEMMs (`m · k · n` each).
+    pub macs: u64,
+    /// Fused quantization counters from operand preparation.
+    pub quant: QuantStats,
+}
+
+/// GEMM orientation — which dense kernel's arithmetic the execution
+/// replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orient {
+    /// `C = A·B` (forward GEMMs).
+    Nn,
+    /// `C = A·Bᵀ`, `B` stored `n×k` (`∇A = ∇O·Wᵀ`, attention scores).
+    Nt,
+    /// `C = Aᵀ·B`, `A` stored `k×m` (`∇W = Aᵀ·∇O`).
+    Tn,
+    /// `C = A·B` with `B` supplied pre-transposed `n×k`, replaying the NN
+    /// kernel's trees (the narrow-GEMM serving path over `im2row` patches).
+    Bt,
+}
+
+/// An owned, reusable quantized operand — what frozen-weight caches hold.
+#[derive(Debug, Clone)]
+pub enum Prepared {
+    /// A quantized (or FP32) dense tensor.
+    Dense(Tensor),
+    /// A packed-BFP matrix: `i8` mantissas plus per-group scales.
+    Packed(PackedMat),
+}
+
+impl Prepared {
+    /// A kernel-facing view of this operand.
+    pub fn operand(&self) -> Operand<'_> {
+        match self {
+            Prepared::Dense(t) => Operand::Dense(t),
+            Prepared::Packed(p) => Operand::Packed(p),
+        }
+    }
+
+    /// The dense tensor, if this operand is dense.
+    pub fn dense(&self) -> Option<&Tensor> {
+        match self {
+            Prepared::Dense(t) => Some(t),
+            Prepared::Packed(_) => None,
+        }
+    }
+
+    /// Materializes the dequantized dense tensor (tests and slow paths; the
+    /// GEMM kernels never need it).
+    pub fn to_tensor(&self) -> Tensor {
+        match self {
+            Prepared::Dense(t) => t.clone(),
+            Prepared::Packed(p) => p.to_tensor(),
+        }
+    }
+
+    /// Heap bytes this operand occupies — the packed form holds ~¼ of the
+    /// dense f32 footprint for the paper's formats.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Prepared::Dense(t) => 4 * t.numel(),
+            Prepared::Packed(p) => p.heap_bytes(),
+        }
+    }
+}
+
+/// A GEMM-ready operand for one execution: borrowed FP32, owned quantized,
+/// or served from a frozen cache.
+#[derive(Debug)]
+pub enum GemmOperand<'a> {
+    /// The unquantized tensor itself (FP32 format — identity quantization).
+    Borrowed(&'a Tensor),
+    /// A freshly prepared operand owned by this call site.
+    Own(Prepared),
+    /// A cached prepared operand (frozen weights).
+    Cached(&'a Prepared),
+}
+
+impl GemmOperand<'_> {
+    /// A kernel-facing view of this operand.
+    pub fn operand(&self) -> Operand<'_> {
+        match self {
+            GemmOperand::Borrowed(t) => Operand::Dense(t),
+            GemmOperand::Own(p) => p.operand(),
+            GemmOperand::Cached(p) => p.operand(),
+        }
+    }
+}
+
+fn layout_of(axis: GroupAxis) -> PackLayout {
+    match axis {
+        GroupAxis::AlongRow => PackLayout::RowGroups,
+        GroupAxis::AlongCol => PackLayout::ColGroups,
+    }
+}
+
+/// Quantizes a raw `rows × cols` slice into an owned operand with an
+/// explicit bit source — the shared core behind the session-level `prepare*`
+/// entry points and the frozen-weight cache builds (which draw from a
+/// deterministic hardware LFSR rather than the session stream).
+pub fn prepare_slice_with<B: BitSource + ?Sized>(
+    bits: &mut B,
+    stats: &mut QuantStats,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> Prepared {
+    if let NumericFormat::Bfp {
+        format,
+        rounding,
+        windowed,
+    } = fmt
+    {
+        if let Some(p) = pack_matrix_with(data, rows, cols, axis, format, rounding, bits, windowed)
+        {
+            stats.merge(p.stats);
+            return Prepared::Packed(PackedMat::new(
+                rows,
+                cols,
+                format.group_size(),
+                layout_of(axis),
+                p.mantissas,
+                p.scales,
+            ));
+        }
+    }
+    // Dense fallback: wide mantissas, non-plain inputs, scalar formats —
+    // and the identity copy for FP32 (callers that can borrow instead use
+    // `prepare`). `pack_matrix_with` consumed no bits on refusal, so the
+    // stochastic stream here matches the historical quantize-copy path.
+    let mut buf = data.to_vec();
+    stats.merge(fmt.quantize_slice_stats(&mut buf, rows, cols, axis, bits));
+    Prepared::Dense(Tensor::from_vec(vec![rows, cols], buf))
+}
+
+/// Prepares a borrowed rank-2 tensor operand: FP32 formats borrow the
+/// tensor outright (no copy), BFP formats pack, everything else quantizes a
+/// copy.
+///
+/// # Panics
+///
+/// Panics if `t` is not rank-2.
+pub fn prepare<'a>(
+    session: &mut Session,
+    t: &'a Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'a> {
+    if matches!(fmt, NumericFormat::Fp32) {
+        return GemmOperand::Borrowed(t);
+    }
+    assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    let (bits, stats) = session.quant_parts();
+    GemmOperand::Own(prepare_slice_with(
+        bits,
+        stats,
+        t.data(),
+        rows,
+        cols,
+        fmt,
+        axis,
+    ))
+}
+
+/// Prepares an owned rank-2 tensor operand, quantizing **in place** on the
+/// dense fallback path (the right entry point for scratch matrices like
+/// `im2col` buffers — no representation ever copies them).
+///
+/// # Panics
+///
+/// Panics if `t` is not rank-2.
+pub fn prepare_owned(
+    session: &mut Session,
+    mut t: Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    if matches!(fmt, NumericFormat::Fp32) {
+        return GemmOperand::Own(Prepared::Dense(t));
+    }
+    assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    let (bits, stats) = session.quant_parts();
+    if let NumericFormat::Bfp {
+        format,
+        rounding,
+        windowed,
+    } = fmt
+    {
+        if let Some(p) =
+            pack_matrix_with(t.data(), rows, cols, axis, format, rounding, bits, windowed)
+        {
+            stats.merge(p.stats);
+            return GemmOperand::Own(Prepared::Packed(PackedMat::new(
+                rows,
+                cols,
+                format.group_size(),
+                layout_of(axis),
+                p.mantissas,
+                p.scales,
+            )));
+        }
+    }
+    stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
+    GemmOperand::Own(Prepared::Dense(t))
+}
+
+/// Like [`prepare_owned`], but always yields a *dense* operand (in-place
+/// quantization, never packing) — same values bit for bit, different
+/// representation. The right entry for per-request scratch operands of
+/// narrow serving GEMMs (single-digit output rows), where the packed form's
+/// panel staging would be amortized over too few rows to pay for itself;
+/// the serving working set is unaffected because scratch operands live only
+/// for the one call (DESIGN.md §9).
+///
+/// # Panics
+///
+/// Panics if `t` is not rank-2.
+pub fn prepare_owned_dense(
+    session: &mut Session,
+    mut t: Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    if !matches!(fmt, NumericFormat::Fp32) {
+        assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
+        let (rows, cols) = (t.shape()[0], t.shape()[1]);
+        let (bits, stats) = session.quant_parts();
+        stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
+    }
+    GemmOperand::Own(Prepared::Dense(t))
+}
+
+/// Prepares an operand straight from a raw `rows × cols` slice (e.g. a
+/// conv weight tensor viewed as its im2col matrix) using the session bit
+/// source.
+pub fn prepare_slice(
+    session: &mut Session,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    let (bits, stats) = session.quant_parts();
+    GemmOperand::Own(prepare_slice_with(bits, stats, data, rows, cols, fmt, axis))
+}
+
+/// Executes one GEMM over prepared operands, accumulating
+/// [`Session::plan_stats`]. Bit-identical to running the corresponding
+/// dense kernel on dequantized copies of both operands.
+///
+/// # Panics
+///
+/// Panics if the operand shapes disagree for the orientation.
+pub fn execute(
+    session: &mut Session,
+    orient: Orient,
+    a: &GemmOperand<'_>,
+    b: &GemmOperand<'_>,
+) -> Tensor {
+    let (av, bv) = (a.operand(), b.operand());
+    let (ar, ac) = av.dims();
+    let (br, bc) = bv.dims();
+    let (m, k, n) = match orient {
+        Orient::Nn => (ar, ac, bc),
+        Orient::Nt | Orient::Bt => (ar, ac, br),
+        Orient::Tn => (ac, ar, bc),
+    };
+    session.plan_stats.gemms += 1;
+    session.plan_stats.macs += (m * k * n) as u64;
+    match orient {
+        Orient::Nn => qmatmul(av, bv),
+        Orient::Nt => qmatmul_nt(av, bv),
+        Orient::Tn => qmatmul_tn(av, bv),
+        Orient::Bt => qmatmul_bt(av, bv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_bfp::BfpFormat;
+    use fast_tensor::matmul;
+
+    fn tensor(rows: usize, cols: usize, seed: u32) -> Tensor {
+        Tensor::from_vec(
+            vec![rows, cols],
+            (0..rows * cols)
+                .map(|i| ((i as u32).wrapping_mul(2654435761 + seed) % 1000) as f32 * 0.002 - 1.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fp32_operands_are_borrowed_not_copied() {
+        let mut s = Session::new(0);
+        let t = tensor(4, 8, 1);
+        let op = prepare(&mut s, &t, NumericFormat::Fp32, GroupAxis::AlongRow);
+        assert!(matches!(op, GemmOperand::Borrowed(_)));
+        assert_eq!(s.plan_stats.quant, QuantStats::default());
+    }
+
+    #[test]
+    fn bfp_operands_pack_and_count_stats() {
+        let mut s = Session::new(0);
+        let t = tensor(4, 32, 2);
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let op = prepare(&mut s, &t, fmt, GroupAxis::AlongRow);
+        assert!(matches!(op, GemmOperand::Own(Prepared::Packed(_))));
+        assert_eq!(s.plan_stats.quant.groups, 8);
+    }
+
+    #[test]
+    fn wide_mantissa_bfp_falls_back_to_dense() {
+        let mut s = Session::new(0);
+        let t = tensor(2, 16, 3);
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::new(16, 12, 8).unwrap());
+        let op = prepare(&mut s, &t, fmt, GroupAxis::AlongRow);
+        assert!(matches!(op, GemmOperand::Own(Prepared::Dense(_))));
+        assert_eq!(s.plan_stats.quant.groups, 2);
+    }
+
+    #[test]
+    fn execute_matches_reference_composition_and_meters() {
+        let mut s = Session::new(0);
+        let a = tensor(5, 32, 4);
+        let b = tensor(32, 9, 5);
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut aq = a.clone();
+        let mut bq = b.clone();
+        fmt.quantize_matrix(&mut aq, GroupAxis::AlongRow, s.rng());
+        fmt.quantize_matrix(&mut bq, GroupAxis::AlongCol, s.rng());
+        let want = matmul(&aq, &bq);
+
+        let ap = prepare(&mut s, &a, fmt, GroupAxis::AlongRow);
+        let bp = prepare(&mut s, &b, fmt, GroupAxis::AlongCol);
+        let got = execute(&mut s, Orient::Nn, &ap, &bp);
+        assert_eq!(got, want);
+        assert_eq!(s.plan_stats.gemms, 1);
+        assert_eq!(s.plan_stats.macs, 5 * 32 * 9);
+    }
+
+    #[test]
+    fn packed_working_set_is_smaller_than_dense() {
+        let mut s = Session::new(0);
+        let t = tensor(64, 64, 6);
+        let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+        if let GemmOperand::Own(p) = prepare(&mut s, &t, fmt, GroupAxis::AlongCol) {
+            assert!(p.heap_bytes() * 3 < 4 * t.numel(), "{}", p.heap_bytes());
+        } else {
+            panic!("expected an owned packed operand");
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Numeric formats for quantization-aware training (paper Fig 2) and the
 //! per-layer precision assignment that the FAST controller manipulates.
 
-use fast_bfp::{quantize_minifloat, BfpFormat, BitSource, GroupAxis, Minifloat, Rounding};
+use fast_bfp::{
+    quantize_minifloat, BfpFormat, BitSource, GroupAxis, Minifloat, QuantStats, Rounding,
+};
 use fast_tensor::Tensor;
 
 /// A number format a tensor can be quantized to before entering a GEMM.
@@ -145,8 +147,8 @@ impl NumericFormat {
 
     /// Slice-level form of [`NumericFormat::quantize_matrix`]: quantizes a
     /// row-major `rows × cols` buffer in place. This is the entry point the
-    /// frozen-weight caches use, since they hold raw buffers
-    /// (`fast_bfp::cache::QuantCache`) rather than tensors.
+    /// frozen-weight caches and the quantized-GEMM plan's dense fallback
+    /// use, since they hold raw buffers rather than tensors.
     ///
     /// # Panics
     ///
@@ -159,27 +161,44 @@ impl NumericFormat {
         axis: GroupAxis,
         bits: &mut B,
     ) {
+        let _ = self.quantize_slice_stats(data, rows, cols, axis, bits);
+    }
+
+    /// [`NumericFormat::quantize_slice`] returning the [`QuantStats`] of the
+    /// pass (scalar formats, which form no groups, report empty stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn quantize_slice_stats<B: BitSource + ?Sized>(
+        &self,
+        data: &mut [f32],
+        rows: usize,
+        cols: usize,
+        axis: GroupAxis,
+        bits: &mut B,
+    ) -> QuantStats {
         assert_eq!(data.len(), rows * cols, "quantize_slice shape mismatch");
         match self {
-            NumericFormat::Fp32 => {}
+            NumericFormat::Fp32 => QuantStats::default(),
             NumericFormat::Mini(m) => {
                 let m = *m;
                 for v in data.iter_mut() {
                     *v = quantize_minifloat(*v, m);
                 }
+                QuantStats::default()
             }
             NumericFormat::Int { bits: b } => {
                 quantize_int_symmetric(data, *b);
+                QuantStats::default()
             }
             NumericFormat::Bfp {
                 format,
                 rounding,
                 windowed,
-            } => {
-                fast_bfp::kernel::fake_quantize_matrix_with(
-                    data, rows, cols, axis, *format, *rounding, bits, *windowed,
-                );
-            }
+            } => fast_bfp::kernel::fake_quantize_matrix_with(
+                data, rows, cols, axis, *format, *rounding, bits, *windowed,
+            ),
         }
     }
 

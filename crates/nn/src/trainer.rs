@@ -23,6 +23,16 @@ pub trait TrainHook {
     fn after_backward(&mut self, iter: usize, model: &mut Sequential) {
         let _ = (iter, model);
     }
+    /// Whether this hook reads per-layer sensitivity tensors
+    /// (`QuantControlled::last_grad_output`). [`Trainer`] copies the answer
+    /// into [`Session::record_sensitivity`] each step, so plain training
+    /// (the default `false`) skips the per-layer `grad_output` clone that
+    /// only precision controllers consume.
+    ///
+    /// [`Session::record_sensitivity`]: crate::Session
+    fn wants_sensitivity(&self) -> bool {
+        false
+    }
 }
 
 /// A hook that does nothing (plain training).
@@ -101,6 +111,7 @@ impl Trainer {
     ) -> StepStats {
         hook.before_iteration(self.iter, &mut self.model);
         self.session.train = true;
+        self.session.record_sensitivity = hook.wants_sensitivity();
         let logits = self.model.forward(inputs, &mut self.session);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
         self.model.backward(&grad, &mut self.session);
@@ -124,6 +135,7 @@ impl Trainer {
     ) -> StepStats {
         hook.before_iteration(self.iter, &mut self.model);
         self.session.train = true;
+        self.session.record_sensitivity = hook.wants_sensitivity();
         let out = self.model.forward(inputs, &mut self.session);
         let (loss, grad) = loss_fn(&out);
         self.model.backward(&grad, &mut self.session);

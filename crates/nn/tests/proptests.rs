@@ -130,3 +130,163 @@ proptest! {
         prop_assert_eq!(ya, yb);
     }
 }
+
+/// The format zoo the quantized-GEMM plan must be bit-faithful over:
+/// borrow-through FP32, scalar formats (dense fallback), packable BFP
+/// (`m ≤ 7`, every rounding mode, windowed and not), and wide-mantissa BFP
+/// (dense fallback again).
+fn zoo_format(idx: usize) -> NumericFormat {
+    use fast_dnn_test_helpers::*;
+    match idx % 10 {
+        0 => NumericFormat::Fp32,
+        1 => NumericFormat::bf16(),
+        2 => NumericFormat::int8(),
+        3 => NumericFormat::bfp_nearest(BfpFormat::low()),
+        4 => NumericFormat::bfp_nearest(BfpFormat::high()),
+        5 => NumericFormat::bfp_stochastic(BfpFormat::high()),
+        6 => NumericFormat::Bfp {
+            format: BfpFormat::new(16, 3, 3).unwrap(),
+            rounding: Rounding::Stochastic { noise_bits: 5 },
+            windowed: true,
+        },
+        7 => NumericFormat::Bfp {
+            format: BfpFormat::new(8, 7, 8).unwrap(),
+            rounding: Rounding::Truncate,
+            windowed: false,
+        },
+        8 => NumericFormat::bfp_nearest(BfpFormat::new(16, 12, 8).unwrap()),
+        _ => NumericFormat::Bfp {
+            format: BfpFormat::msfp12(),
+            rounding: Rounding::Nearest,
+            windowed: true,
+        },
+    }
+}
+
+/// Imports gathered for [`zoo_format`] without polluting the file head.
+mod fast_dnn_test_helpers {
+    pub use fast_bfp::{BfpFormat, Rounding};
+    pub use fast_nn::NumericFormat;
+}
+use fast_bfp::{GroupAxis, RngBits};
+use fast_nn::qgemm::{execute, prepare, Orient};
+use fast_nn::NumericFormat;
+use fast_tensor::{matmul, matmul_bt, matmul_nt, matmul_tn};
+
+/// Random operand data, optionally salted with exact zeros (BFP operands
+/// are sparse) or non-finite / subnormal values (which must force the
+/// plan's dense fallback and still match bitwise).
+fn operand_data(len: usize, seed: u64, special: usize) -> Vec<f32> {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            if special >= 1 && i % 5 == 0 {
+                0.0
+            } else if special == 2 && i % 13 == 0 {
+                f32::NAN
+            } else if special == 2 && i % 11 == 0 {
+                f32::INFINITY
+            } else if special == 2 && i % 7 == 0 {
+                1e-41 // subnormal
+            } else {
+                rng.gen_range(-4.0f32..4.0) * 2.0f32.powi(rng.gen_range(-10..4))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// **The tentpole invariant**: for every GEMM orientation, every format
+    /// in the zoo (packed-BFP fast path and dense fallbacks alike), every
+    /// rounding mode and operands including non-finite values, the shared
+    /// plan (`prepare` + `execute`) is bit-identical to the historical
+    /// `quantize_copy` + `matmul{,_nt,_tn,_bt}` composition — same result
+    /// bits, same stochastic bit-stream consumption.
+    #[test]
+    fn qgemm_plan_matches_quantize_copy_composition_bitwise(
+        m in 1usize..10,
+        k in 1usize..70,
+        n in 1usize..40,
+        fa_idx in 0usize..10,
+        fb_idx in 0usize..10,
+        orient_idx in 0usize..4,
+        special in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let (fa, fb) = (zoo_format(fa_idx), zoo_format(fb_idx));
+        // Shapes and reduction axes per orientation.
+        let (a_shape, b_shape, a_axis, b_axis, orient) = match orient_idx {
+            0 => ((m, k), (k, n), GroupAxis::AlongRow, GroupAxis::AlongCol, Orient::Nn),
+            1 => ((m, k), (n, k), GroupAxis::AlongRow, GroupAxis::AlongRow, Orient::Nt),
+            2 => ((k, m), (k, n), GroupAxis::AlongCol, GroupAxis::AlongCol, Orient::Tn),
+            _ => ((m, k), (n, k), GroupAxis::AlongRow, GroupAxis::AlongRow, Orient::Bt),
+        };
+        let a = Tensor::from_vec(
+            vec![a_shape.0, a_shape.1],
+            operand_data(a_shape.0 * a_shape.1, seed, special),
+        );
+        let b = Tensor::from_vec(
+            vec![b_shape.0, b_shape.1],
+            operand_data(b_shape.0 * b_shape.1, seed ^ 0x9E37, special),
+        );
+
+        // Reference: the historical composition on one bit stream.
+        let mut bits = RngBits(rand::rngs::StdRng::seed_from_u64(seed));
+        let aq = fa.quantize_copy(&a, a_axis, &mut bits);
+        let bq = fb.quantize_copy(&b, b_axis, &mut bits);
+        let want = match orient {
+            Orient::Nn => matmul(&aq, &bq),
+            Orient::Nt => matmul_nt(&aq, &bq),
+            Orient::Tn => matmul_tn(&aq, &bq),
+            Orient::Bt => matmul_bt(&aq, &bq),
+        };
+
+        // Plan: same seed drives the session bit source.
+        let mut session = Session::new(seed);
+        let ap = prepare(&mut session, &a, fa, a_axis);
+        let bp = prepare(&mut session, &b, fb, b_axis);
+        let got = execute(&mut session, orient, &ap, &bp);
+
+        prop_assert_eq!(got.shape(), want.shape());
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(), w.to_bits(),
+                "elem {} differs: {} vs {} (orient {:?}, fa {}, fb {})",
+                i, g, w, orient, fa.name(), fb.name()
+            );
+        }
+        // The plan metered exactly one GEMM of the composed shape.
+        prop_assert_eq!(session.plan_stats.gemms, 1);
+        prop_assert_eq!(session.plan_stats.macs, (m * k * n) as u64);
+    }
+
+    /// Training a whole quantized layer stack through the plan consumes the
+    /// session bit stream exactly like the historical pipeline: two runs
+    /// from one seed are bit-identical even under stochastic rounding.
+    #[test]
+    fn sr_training_step_is_reproducible_through_the_plan(seed in 0u64..300) {
+        let run = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut model = mlp(&[6, 12, 3], &mut rng);
+            set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(2));
+            let mut s = Session::new(seed);
+            use rand::Rng;
+            let x = Tensor::from_vec(
+                vec![3, 6],
+                (0..18).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            );
+            let y = model.forward(&x, &mut s);
+            let (loss, grad) = softmax_cross_entropy(&y, &[0, 1, 2]);
+            let gin = model.backward(&grad, &mut s);
+            (loss, y, gin)
+        };
+        let (la, ya, ga) = run(seed);
+        let (lb, yb, gb) = run(seed);
+        prop_assert_eq!(la.to_bits(), lb.to_bits());
+        prop_assert_eq!(ya, yb);
+        prop_assert_eq!(ga, gb);
+    }
+}

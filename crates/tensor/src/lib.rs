@@ -13,7 +13,10 @@
 //! The GEMM kernels are register-tiled and thread-sharded with
 //! worker-count-independent results (DESIGN.md §7); [`matmul_bt`] and
 //! [`im2row`] are the inference-serving variants that replay the training
-//! kernels' exact arithmetic from transposed layouts (DESIGN.md §8).
+//! kernels' exact arithmetic from transposed layouts (DESIGN.md §8). The
+//! [`qgemm`] module runs the same kernels over packed-BFP operands (`i8`
+//! mantissas + per-group scales) without materializing the dequantized f32
+//! copy, bit-identical to the dense composition (DESIGN.md §9).
 //!
 //! ```
 //! use fast_tensor::{matmul, Tensor};
@@ -32,6 +35,7 @@ mod init;
 mod matmul;
 mod parallel;
 mod pool;
+pub mod qgemm;
 mod reduce;
 mod tensor;
 

@@ -60,11 +60,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Micro-kernel row height (output rows per register tile).
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Micro-kernel column width (output columns per register tile).
-const NR: usize = 32;
+pub(crate) const NR: usize = 32;
 /// [`matmul_bt`] column-block width (independent dot chains per row).
-const JB: usize = 8;
+pub(crate) const JB: usize = 8;
 
 /// Register-blocked `MR×NR` tile: `MR` output rows advance together down
 /// the whole reduction, sharing each B row load; the `MR·NR` accumulators
@@ -293,9 +293,10 @@ fn bt_quad_tile<const SKIP: bool>(
 }
 
 /// [`accumulate_row`]'s eight-wide pairwise reduction, replayed as a dot
-/// product over contiguous slices (for [`matmul_bt`]'s remainder rows).
+/// product over contiguous slices (for [`matmul_bt`]'s remainder rows and
+/// the packed-operand kernels of [`crate::qgemm`]).
 #[inline]
-fn tree_dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn tree_dot(a: &[f32], b: &[f32]) -> f32 {
     let k = a.len();
     let mut acc = 0.0f32;
     let mut kk = 0;

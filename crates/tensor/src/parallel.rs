@@ -52,7 +52,8 @@ impl Default for Parallelism {
     }
 }
 
-/// 0 = unset (resolve to [`Parallelism::available`] on first use).
+/// 0 = unset (resolve to the environment / [`Parallelism::available`] on
+/// first use).
 static WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the process-wide worker count used by the GEMM kernels.
@@ -60,10 +61,31 @@ pub fn set_parallelism(p: Parallelism) {
     WORKERS.store(p.workers(), Ordering::Relaxed);
 }
 
+/// The default worker count when [`set_parallelism`] has not been called:
+/// the `FAST_TENSOR_WORKERS` environment variable if set to a positive
+/// integer (`FAST_TENSOR_WORKERS=1 cargo test` runs the whole suite
+/// sequentially — the CI leg that pins worker-count independence end to
+/// end), otherwise one worker per available hardware thread.
+fn default_parallelism() -> Parallelism {
+    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let env = *ENV.get_or_init(|| {
+        std::env::var("FAST_TENSOR_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(0)
+    });
+    if env > 0 {
+        Parallelism::new(env)
+    } else {
+        Parallelism::available()
+    }
+}
+
 /// The current process-wide parallelism setting.
 pub fn parallelism() -> Parallelism {
     match WORKERS.load(Ordering::Relaxed) {
-        0 => Parallelism::available(),
+        0 => default_parallelism(),
         n => Parallelism::new(n),
     }
 }

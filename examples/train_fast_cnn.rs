@@ -11,7 +11,7 @@ use fast_dnn::data::SyntheticImages;
 use fast_dnn::fast::{CostMeter, EpsilonSchedule, FastController, Setting};
 use fast_dnn::hw::SystemConfig;
 use fast_dnn::nn::models::{resnet_lite, ResNetConfig};
-use fast_dnn::nn::{NoopHook, Sgd, TrainHook, Trainer};
+use fast_dnn::nn::{NoopHook, Sgd, Trainer};
 use rand::SeedableRng;
 
 fn main() {
@@ -33,8 +33,10 @@ fn main() {
         let mut loss = 0.0;
         let mut n = 0;
         for (x, labels) in data.train_batches(batch, epoch as u64) {
-            controller.before_iteration(trainer.iterations(), &mut trainer.model);
-            let stats = trainer.step_classification(&x, &labels, &mut NoopHook);
+            // The controller rides as the step's hook so the trainer keeps
+            // sensitivity caching on (TrainHook::wants_sensitivity) — the
+            // tensors Algorithm 1 reads for its A/G decisions.
+            let stats = trainer.step_classification(&x, &labels, &mut controller);
             meter.record(&mut trainer.model);
             loss += stats.loss;
             n += 1;

@@ -1,0 +1,142 @@
+//! End-to-end seed determinism (DESIGN.md §5, §9).
+//!
+//! A full multi-step training run — stochastic-rounded BFP quantization,
+//! packed-operand GEMMs, SGD with momentum and weight decay — must be
+//! bit-identical (a) across two runs from the same seed and (b) across GEMM
+//! worker counts, including `Parallelism::sequential()` versus the default.
+//!
+//! Everything lives in one `#[test]` because the worker count is process
+//! global; splitting it across tests would race.
+
+use fast_dnn::nn::models::mlp;
+use fast_dnn::nn::{
+    set_uniform_precision, BatchNorm2d, Conv2d, Dense, Flatten, Layer, LayerPrecision, MaxPool2d,
+    NoopHook, Relu, Sequential, Sgd, Trainer,
+};
+use fast_dnn::tensor::{parallelism, set_parallelism, Parallelism, Tensor};
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-input batch.
+fn batch(shape: Vec<usize>, salt: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|i| {
+                ((i as u64).wrapping_mul(salt.wrapping_add(2654435761)) % 997) as f32 * 0.002 - 1.0
+            })
+            .collect(),
+    )
+}
+
+/// Trains `model` for `steps` cross-entropy steps; returns per-step losses
+/// and the flattened final parameters.
+fn train(mut model: Sequential, input_shape: Vec<usize>, steps: usize) -> (Vec<u64>, Vec<u32>) {
+    // The paper's training setting: nearest-rounded W/A, stochastic-rounded
+    // gradients — the stochastic bit stream is the interesting part.
+    set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
+    let mut trainer = Trainer::new(model, Sgd::new(0.05, 0.9, 1e-4), 42);
+    let classes = 3usize;
+    let mut losses = Vec::new();
+    for step in 0..steps {
+        let x = batch(input_shape.clone(), step as u64 + 1);
+        let labels: Vec<usize> = (0..input_shape[0]).map(|i| (i + step) % classes).collect();
+        let stats = trainer.step_classification(&x, &labels, &mut NoopHook);
+        losses.push(stats.loss.to_bits());
+    }
+    let mut params = Vec::new();
+    trainer
+        .model
+        .visit_params(&mut |p| params.extend(p.value.data().iter().map(|v| v.to_bits())));
+    (losses, params)
+}
+
+fn mlp_run() -> (Vec<u64>, Vec<u32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let model = mlp(&[8, 24, 3], &mut rng);
+    train(model, vec![6, 8], 6)
+}
+
+fn convnet_run() -> (Vec<u64>, Vec<u32>) {
+    // A ResNet-lite-style stem: conv → BN → ReLU → pool → conv → flatten →
+    // dense, exercising Conv2d's forward/backward GEMMs and BatchNorm.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let model = Sequential::new()
+        .push(Conv2d::new(2, 6, 3, 1, 1, false, &mut rng))
+        .push(BatchNorm2d::new(6))
+        .push(Relu::new())
+        .push(MaxPool2d::new(2))
+        .push(Conv2d::new(6, 4, 3, 1, 1, true, &mut rng))
+        .push(Flatten::new())
+        .push(Dense::new(4 * 4 * 4, 3, true, &mut rng));
+    train(model, vec![4, 2, 8, 8], 4)
+}
+
+/// A run that also exercises non-uniform random data paths.
+fn noisy_mlp_run() -> (Vec<u64>, Vec<u32>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let model = mlp(&[5, 16, 3], &mut rng);
+    let mut data_rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mut model = model;
+    set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(2));
+    let mut trainer = Trainer::new(model, Sgd::new(0.1, 0.0, 0.0), 9);
+    let mut losses = Vec::new();
+    for step in 0..5 {
+        let x = Tensor::from_vec(
+            vec![4, 5],
+            (0..20).map(|_| data_rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let labels: Vec<usize> = (0..4).map(|i| (i + step) % 3).collect();
+        losses.push(
+            trainer
+                .step_classification(&x, &labels, &mut NoopHook)
+                .loss
+                .to_bits(),
+        );
+    }
+    let mut params = Vec::new();
+    trainer
+        .model
+        .visit_params(&mut |p| params.extend(p.value.data().iter().map(|v| v.to_bits())));
+    (losses, params)
+}
+
+#[test]
+fn training_is_bit_identical_across_runs_and_worker_counts() {
+    let saved = parallelism();
+
+    // (a) Same seed, same worker count → bit-identical runs.
+    set_parallelism(Parallelism::sequential());
+    let mlp_seq = mlp_run();
+    assert_eq!(mlp_seq, mlp_run(), "MLP run must replay bit-identically");
+    let conv_seq = convnet_run();
+    assert_eq!(
+        conv_seq,
+        convnet_run(),
+        "convnet run must replay bit-identically"
+    );
+    let noisy_seq = noisy_mlp_run();
+    assert_eq!(noisy_seq, noisy_mlp_run());
+
+    // (b) Worker count must not change a single result bit: sequential vs
+    // small pools vs the machine default.
+    for workers in [2usize, 3, 8] {
+        set_parallelism(Parallelism::new(workers));
+        assert_eq!(mlp_seq, mlp_run(), "MLP differs under {workers} workers");
+        assert_eq!(
+            conv_seq,
+            convnet_run(),
+            "convnet differs under {workers} workers"
+        );
+    }
+    set_parallelism(Parallelism::default());
+    assert_eq!(mlp_seq, mlp_run(), "MLP differs under default workers");
+    assert_eq!(
+        conv_seq,
+        convnet_run(),
+        "convnet differs under default workers"
+    );
+    assert_eq!(noisy_seq, noisy_mlp_run());
+
+    set_parallelism(saved);
+}

@@ -1,0 +1,58 @@
+//! Checkpoint subsystem benchmark: artifact capture/encode and
+//! decode/restore for a ResNet-lite-sized trainer (DESIGN.md §10) — the
+//! cost a training loop pays per checkpoint interval, and the cost a
+//! serving replica pays per hot reload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_ckpt::Artifact;
+use fast_nn::models::{resnet_lite, ResNetConfig};
+use fast_nn::{set_uniform_precision, LayerPrecision, NoopHook, Sequential, Sgd, Trainer};
+use fast_tensor::Tensor;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn model() -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut m = resnet_lite(ResNetConfig::resnet18(4, 4), &mut rng);
+    set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+    m
+}
+
+fn trained() -> Trainer {
+    let x = Tensor::from_vec(
+        vec![4, 3, 16, 16],
+        (0..4 * 3 * 256).map(|i| (i as f32 * 0.013).sin()).collect(),
+    );
+    let labels: Vec<usize> = (0..4).map(|i| i % 4).collect();
+    let mut trainer = Trainer::new(model(), Sgd::new(0.01, 0.9, 1e-4), 0);
+    let _ = trainer.step_classification(&x, &labels, &mut NoopHook);
+    trainer
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_roundtrip");
+    group.bench_function("capture_encode", |b| {
+        let mut trainer = trained();
+        b.iter(|| black_box(trainer.checkpoint(None).to_bytes()))
+    });
+    group.bench_function("decode_restore", |b| {
+        let mut trainer = trained();
+        let bytes = trainer.checkpoint(None).to_bytes();
+        b.iter(|| {
+            let artifact = Artifact::from_bytes(black_box(&bytes)).expect("decode");
+            black_box(
+                Trainer::resume(model(), Sgd::new(0.01, 0.9, 1e-4), &artifact, None)
+                    .expect("resume"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

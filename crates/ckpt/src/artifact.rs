@@ -1,0 +1,452 @@
+//! The on-disk artifact container (DESIGN.md §10).
+//!
+//! An artifact is a self-describing binary file: a fixed header identifying
+//! the format and version, a table of named sections, and the section
+//! payloads. Every section carries a CRC-32 so bit rot is detected before
+//! any payload is interpreted. All integers are little-endian; the layout
+//! has no alignment requirements and no external dependencies.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FASTCKPT"
+//! 8       4     format version (u32, currently 1)
+//! 12      4     section count N (u32)
+//!               N section-table entries:
+//!                 u32   name length (bytes)
+//!                 ..    name (UTF-8)
+//!                 u64   payload offset (relative to payload base)
+//!                 u64   payload length
+//!                 u32   CRC-32 (IEEE) of the payload
+//!               payload base: section payloads, in table order
+//! ```
+
+use crate::error::CkptError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Leading magic bytes of every artifact.
+pub const MAGIC: [u8; 8] = *b"FASTCKPT";
+
+/// The artifact format version this build writes and reads.
+///
+/// Compatibility rule: readers accept exactly the versions they know
+/// (currently only `1`); any other version is [`CkptError::UnsupportedVersion`].
+/// Additive evolution (new sections, new state entries) does not bump the
+/// version — unknown sections are preserved and ignored; removing or
+/// re-interpreting existing encodings does.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Hard ceilings rejected during decode so a corrupt length prefix cannot
+/// drive huge allocations: counts (sections, entries) and name lengths.
+const MAX_COUNT: u32 = 1 << 20;
+const MAX_NAME: u32 = 4096;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice — the per-section integrity check.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// One named payload inside an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Section {
+    name: String,
+    bytes: Vec<u8>,
+}
+
+/// A versioned, checksummed container of named binary sections.
+///
+/// `Artifact` is the unit of durability: [`Trainer::save_checkpoint`] writes
+/// one, [`Trainer::resume`] and `fast_serve::Server::reload` read one. The
+/// container itself is payload-agnostic; the `model` / `optimizer` /
+/// `session` / `hook` sections hold [`StateDict`](crate::StateDict)
+/// encodings, and embedders may add their own sections (they round-trip
+/// untouched).
+///
+/// [`Trainer::save_checkpoint`]: https://docs.rs/fast_nn
+/// [`Trainer::resume`]: https://docs.rs/fast_nn
+///
+/// ```
+/// use fast_ckpt::Artifact;
+///
+/// let mut a = Artifact::new();
+/// a.insert("notes", b"hello".to_vec());
+/// let bytes = a.to_bytes();
+/// let b = Artifact::from_bytes(&bytes).unwrap();
+/// assert_eq!(b.section("notes"), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Artifact {
+    sections: Vec<Section>,
+}
+
+impl Artifact {
+    /// Creates an empty artifact.
+    pub fn new() -> Self {
+        Artifact::default()
+    }
+
+    /// Inserts (or replaces) a named section.
+    pub fn insert(&mut self, name: &str, bytes: Vec<u8>) {
+        match self.sections.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.bytes = bytes,
+            None => self.sections.push(Section {
+                name: name.to_string(),
+                bytes,
+            }),
+        }
+    }
+
+    /// The payload of section `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.bytes.as_slice())
+    }
+
+    /// The payload of section `name`, or [`CkptError::MissingSection`].
+    pub fn require(&self, name: &str) -> Result<&[u8], CkptError> {
+        self.section(name).ok_or_else(|| CkptError::MissingSection {
+            section: name.to_string(),
+        })
+    }
+
+    /// Section names in storage order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Serializes the artifact to its byte representation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = 0u64;
+        for s in &self.sections {
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(s.bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(&s.bytes).to_le_bytes());
+            offset += s.bytes.len() as u64;
+        }
+        for s in &self.sections {
+            out.extend_from_slice(&s.bytes);
+        }
+        out
+    }
+
+    /// Decodes an artifact, verifying magic, version, table consistency and
+    /// every section checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`],
+    /// [`CkptError::Truncated`], [`CkptError::ChecksumMismatch`] or
+    /// [`CkptError::Corrupt`] depending on what is wrong with the input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = Cursor::new(bytes);
+        let magic = r.take_array::<8>("magic")?;
+        if magic != MAGIC {
+            return Err(CkptError::BadMagic { found: magic });
+        }
+        let version = r.take_u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::UnsupportedVersion { found: version });
+        }
+        let count = r.take_u32("section count")?;
+        if count > MAX_COUNT {
+            return Err(CkptError::Corrupt {
+                context: format!("section count {count} exceeds limit"),
+            });
+        }
+        let mut table = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name = r.take_name("section name")?;
+            let offset = r.take_u64("section offset")?;
+            let len = r.take_u64("section length")?;
+            let crc = r.take_u32("section checksum")?;
+            table.push((name, offset, len, crc));
+        }
+        let payload = r.rest();
+        let mut sections = Vec::with_capacity(table.len());
+        let mut expected_offset = 0u64;
+        for (name, offset, len, crc) in table {
+            if offset != expected_offset {
+                return Err(CkptError::Corrupt {
+                    context: format!(
+                        "section `{name}` offset {offset} does not follow its predecessor ({expected_offset})"
+                    ),
+                });
+            }
+            let end = offset.checked_add(len).ok_or_else(|| CkptError::Corrupt {
+                context: format!("section `{name}` extent overflows"),
+            })?;
+            if end > payload.len() as u64 {
+                return Err(CkptError::Truncated {
+                    context: "section payload",
+                });
+            }
+            let body = &payload[offset as usize..end as usize];
+            if crc32(body) != crc {
+                return Err(CkptError::ChecksumMismatch { section: name });
+            }
+            expected_offset = end;
+            sections.push(Section {
+                name,
+                bytes: body.to_vec(),
+            });
+        }
+        if expected_offset != payload.len() as u64 {
+            return Err(CkptError::Corrupt {
+                context: format!(
+                    "{} trailing payload bytes after the last section",
+                    payload.len() as u64 - expected_offset
+                ),
+            });
+        }
+        Ok(Artifact { sections })
+    }
+
+    /// Writes the serialized artifact to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CkptError> {
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact from `r` (consumes `r` to EOF).
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CkptError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Artifact::from_bytes(&bytes)
+    }
+
+    /// Saves the artifact to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CkptError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads an artifact from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CkptError> {
+        Artifact::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice. Shared by the
+/// artifact and state decoders; every read reports *what* was truncated.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CkptError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(CkptError::Truncated { context });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn take_array<const N: usize>(
+        &mut self,
+        context: &'static str,
+    ) -> Result<[u8; N], CkptError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N, context)?);
+        Ok(out)
+    }
+
+    pub fn take_u8(&mut self, context: &'static str) -> Result<u8, CkptError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub fn take_u32(&mut self, context: &'static str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take_array::<4>(context)?))
+    }
+
+    pub fn take_u64(&mut self, context: &'static str) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take_array::<8>(context)?))
+    }
+
+    /// Reads a `u32` length-prefixed UTF-8 string with the name-size cap.
+    pub fn take_name(&mut self, context: &'static str) -> Result<String, CkptError> {
+        let len = self.take_u32(context)?;
+        if len > MAX_NAME {
+            return Err(CkptError::Corrupt {
+                context: format!("name length {len} exceeds limit"),
+            });
+        }
+        let bytes = self.take(len as usize, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CkptError::Corrupt {
+            context: format!("{context}: name is not UTF-8"),
+        })
+    }
+
+    /// Reads a `u32` element count with the global count cap.
+    pub fn take_count(&mut self, context: &'static str) -> Result<u32, CkptError> {
+        let n = self.take_u32(context)?;
+        if n > MAX_COUNT {
+            return Err(CkptError::Corrupt {
+                context: format!("{context}: count {n} exceeds limit"),
+            });
+        }
+        Ok(n)
+    }
+
+    pub fn rest(self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let mut a = Artifact::new();
+        a.insert("alpha", vec![1, 2, 3, 4]);
+        a.insert("beta", Vec::new());
+        a.insert("gamma", (0u8..255).collect());
+        a
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_sections_and_order() {
+        let a = sample();
+        let b = Artifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.names(), vec!["alpha", "beta", "gamma"]);
+        assert_eq!(b.section("beta"), Some(&[][..]));
+        assert!(b.section("delta").is_none());
+        assert!(matches!(
+            b.require("delta"),
+            Err(CkptError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_replaces_existing_section() {
+        let mut a = sample();
+        a.insert("alpha", vec![9]);
+        assert_eq!(a.section("alpha"), Some(&[9u8][..]));
+        assert_eq!(a.names().len(), 3);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        match Artifact::from_bytes(&bytes) {
+            Err(CkptError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(CkptError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_not_panics() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let result = Artifact::from_bytes(&bytes[..cut]);
+            assert!(result.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_right_sections_checksum() {
+        let bytes = sample().to_bytes();
+        // Flip the final payload byte: that's inside `gamma`.
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 0x80;
+        match Artifact::from_bytes(&bad) {
+            Err(CkptError::ChecksumMismatch { section }) => assert_eq!(section, "gamma"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(CkptError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_counts_are_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Artifact::from_bytes(&bytes),
+            Err(CkptError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fast_ckpt_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.fastckpt");
+        let a = sample();
+        a.save(&path).unwrap();
+        assert_eq!(Artifact::load(&path).unwrap(), a);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

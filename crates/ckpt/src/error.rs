@@ -1,0 +1,129 @@
+//! Typed checkpoint errors.
+//!
+//! Every way an artifact can fail to load — short file, foreign file, future
+//! format, bit rot, architecture mismatch — gets its own variant so callers
+//! can distinguish "retry with a newer binary" from "the file is damaged".
+//! Nothing in this crate panics on malformed input.
+
+/// Errors produced by artifact encoding/decoding and state restoration.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the artifact magic (`FASTCKPT`).
+    BadMagic {
+        /// The 8 bytes actually found at the head of the file.
+        found: [u8; 8],
+    },
+    /// The artifact carries a format version this binary does not read.
+    UnsupportedVersion {
+        /// The version stamped in the artifact header.
+        found: u32,
+    },
+    /// The input ended before the structure it promised was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: String,
+    },
+    /// A section the decoder requires is absent from the artifact.
+    MissingSection {
+        /// Name of the absent section.
+        section: String,
+    },
+    /// A state entry the restore target visits is absent from the artifact.
+    MissingEntry {
+        /// Fully scoped name of the absent entry.
+        name: String,
+    },
+    /// A state entry exists but holds a different kind of value.
+    WrongKind {
+        /// Fully scoped name of the entry.
+        name: String,
+        /// The kind the restore target expected.
+        expected: &'static str,
+    },
+    /// A tensor entry's recorded shape differs from the restore target's.
+    ShapeMismatch {
+        /// Fully scoped name of the entry.
+        name: String,
+        /// Shape of the tensor being restored into.
+        expected: Vec<usize>,
+        /// Shape recorded in the artifact.
+        found: Vec<usize>,
+    },
+    /// The artifact carries state entries the restore target never visited —
+    /// the saved object had state this object lacks (architecture mismatch).
+    UnconsumedEntries {
+        /// The first few unconsumed entry names.
+        names: Vec<String>,
+    },
+    /// Structurally invalid content that fits no more specific variant.
+    Corrupt {
+        /// What was found to be inconsistent.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic { found } => {
+                write!(f, "not a FAST checkpoint (magic bytes {found:02x?})")
+            }
+            CkptError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            CkptError::Truncated { context } => {
+                write!(f, "checkpoint truncated while reading {context}")
+            }
+            CkptError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section `{section}`")
+            }
+            CkptError::MissingSection { section } => {
+                write!(f, "checkpoint has no `{section}` section")
+            }
+            CkptError::MissingEntry { name } => {
+                write!(f, "checkpoint has no state entry `{name}`")
+            }
+            CkptError::WrongKind { name, expected } => {
+                write!(f, "state entry `{name}` is not a {expected}")
+            }
+            CkptError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "state entry `{name}` has shape {found:?}, target expects {expected:?}"
+            ),
+            CkptError::UnconsumedEntries { names } => {
+                write!(
+                    f,
+                    "checkpoint carries state the target never visited: {names:?}"
+                )
+            }
+            CkptError::Corrupt { context } => write!(f, "corrupt checkpoint: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}

@@ -1,0 +1,78 @@
+//! Checkpoint & model-artifact subsystem for the FAST reproduction
+//! (DESIGN.md §10).
+//!
+//! FAST training is stateful end to end: the variable-precision schedule,
+//! the stochastic-rounding bit streams, and the optimizer moments evolve
+//! together, so a durable artifact must capture *everything* that
+//! determines the trajectory — and a resumed run must continue
+//! **bit-identically**, not just "loss looks similar". This crate provides
+//! the two layers that make that possible without any external
+//! dependencies:
+//!
+//! * [`Artifact`] — a versioned, self-describing binary container: magic,
+//!   format version, named section table, CRC-32 per section. Decoding
+//!   malformed input returns typed [`CkptError`]s; nothing panics.
+//! * [`StateVisitor`] / [`VisitState`] / [`StateDict`] — named, shaped
+//!   state enumeration. An object walks its state once; the same walk
+//!   captures ([`capture_state`]) and restores ([`restore_state`]), with
+//!   strict validation (missing entries, kind/shape mismatches, and
+//!   entries the target never visited are all errors).
+//!
+//! `fast_nn` builds on this: every [`Layer`] exposes `visit_state`,
+//! optimizers implement [`VisitState`] (so any future optimizer is
+//! checkpointable by construction), and `Trainer::{save_checkpoint,
+//! resume}` assemble/replay the standard sections below. `fast_serve`
+//! consumes the same artifacts for hot weight swaps (`Server::reload`).
+//!
+//! [`Layer`]: https://docs.rs/fast_nn
+//!
+//! ```
+//! use fast_ckpt::{capture_state, restore_state, Artifact, StateVisitor, VisitState, SECTION_MODEL};
+//! use fast_tensor::Tensor;
+//!
+//! struct Counter {
+//!     steps: u64,
+//! }
+//! impl VisitState for Counter {
+//!     fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+//!         v.scalar_u64("steps", &mut self.steps);
+//!     }
+//! }
+//!
+//! let mut trained = Counter { steps: 41 };
+//! let mut artifact = Artifact::new();
+//! artifact.insert(SECTION_MODEL, capture_state(&mut trained).to_bytes());
+//!
+//! let bytes = artifact.to_bytes(); // ← what `save`/`load` put on disk
+//! let loaded = Artifact::from_bytes(&bytes).unwrap();
+//! let mut resumed = Counter { steps: 0 };
+//! restore_state(
+//!     &mut resumed,
+//!     &fast_ckpt::StateDict::from_bytes(loaded.require(SECTION_MODEL).unwrap()).unwrap(),
+//! )
+//! .unwrap();
+//! assert_eq!(resumed.steps, 41);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod error;
+mod state;
+
+pub use artifact::{crc32, Artifact, FORMAT_VERSION, MAGIC};
+pub use error::CkptError;
+pub use state::{capture_state, restore_state, StateDict, StateValue, StateVisitor, VisitState};
+
+/// Standard section: model parameters, buffers and per-layer formats.
+pub const SECTION_MODEL: &str = "model";
+/// Standard section: optimizer slots (momenta, moments, step counter).
+pub const SECTION_OPTIMIZER: &str = "optimizer";
+/// Standard section: session RNG and plan counters.
+pub const SECTION_SESSION: &str = "session";
+/// Standard section: training-loop metadata (iteration count).
+pub const SECTION_META: &str = "meta";
+/// Standard section: controller/hook state (e.g. `fast_core`'s
+/// `FastController` precision settings and trace).
+pub const SECTION_HOOK: &str = "hook";

@@ -1,0 +1,743 @@
+//! Named, shaped state capture and replay.
+//!
+//! [`StateVisitor`] is the double-ended enumeration protocol: a stateful
+//! object (layer tree, optimizer, controller) implements [`VisitState`] by
+//! walking its state *once*, handing every piece to the visitor under a
+//! stable, hierarchical name. The same walk serves both directions —
+//! [`capture_state`] records every entry into a [`StateDict`], and
+//! [`restore_state`] writes artifact values back through the identical
+//! traversal, so save and load can never disagree about what exists.
+//!
+//! Restoration is strict: a visited entry missing from the dict, a kind or
+//! shape mismatch, and dict entries the object never visited are all typed
+//! errors ([`CkptError`]) — an artifact from a different architecture fails
+//! loudly instead of silently resuming from half a model.
+
+use crate::artifact::Cursor;
+use crate::error::CkptError;
+use fast_tensor::Tensor;
+use std::collections::BTreeSet;
+
+/// One captured state value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateValue {
+    /// A shaped f32 tensor (parameters, moments, cached activations).
+    Tensor(Tensor),
+    /// A scalar counter (step counts, RNG words, LFSR registers).
+    U64(u64),
+    /// A scalar hyper-parameter (learning rate).
+    F32(f32),
+    /// A flat `u32` list (precision settings).
+    U32s(Vec<u32>),
+    /// A flat `f32` list (running statistics).
+    F32s(Vec<f32>),
+    /// An opaque, owner-defined encoding (numeric formats, traces).
+    Bytes(Vec<u8>),
+    /// An ordered list of shaped tensors (optimizer slot buffers, which are
+    /// sized lazily and so must carry their shapes through the artifact).
+    TensorSeq(Vec<Tensor>),
+}
+
+impl StateValue {
+    /// Human-readable kind tag, as used in [`CkptError::WrongKind`] messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StateValue::Tensor(_) => "tensor",
+            StateValue::U64(_) => "u64",
+            StateValue::F32(_) => "f32",
+            StateValue::U32s(_) => "u32 list",
+            StateValue::F32s(_) => "f32 list",
+            StateValue::Bytes(_) => "byte string",
+            StateValue::TensorSeq(_) => "tensor list",
+        }
+    }
+}
+
+/// An ordered dictionary of fully-scoped names to [`StateValue`]s — the
+/// decoded form of one artifact section.
+///
+/// Entries keep capture order (the byte encoding is deterministic), with a
+/// name index on the side so lookups during restore stay O(1) even for
+/// models with thousands of state entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: Vec<(String, StateValue)>,
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl StateDict {
+    /// Creates an empty dict.
+    pub fn new() -> Self {
+        StateDict::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dict is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by fully-scoped name.
+    pub fn get(&self, name: &str) -> Option<&StateValue> {
+        self.index.get(name).map(|&i| &self.entries[i].1)
+    }
+
+    /// Inserts an entry, replacing any previous value under the same name.
+    pub fn insert(&mut self, name: String, value: StateValue) {
+        match self.index.get(&name) {
+            Some(&i) => self.entries[i].1 = value,
+            None => {
+                self.index.insert(name.clone(), self.entries.len());
+                self.entries.push((name, value));
+            }
+        }
+    }
+
+    /// Iterates entries in capture order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StateValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Encodes the dict to section bytes (little-endian, length-prefixed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, value) in &self.entries {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            match value {
+                StateValue::Tensor(t) => {
+                    out.push(1);
+                    encode_tensor(&mut out, t);
+                }
+                StateValue::U64(v) => {
+                    out.push(2);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                StateValue::F32(v) => {
+                    out.push(3);
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                StateValue::U32s(vs) => {
+                    out.push(4);
+                    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                    for v in vs {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                StateValue::F32s(vs) => {
+                    out.push(5);
+                    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+                    for v in vs {
+                        out.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+                StateValue::Bytes(bs) => {
+                    out.push(6);
+                    out.extend_from_slice(&(bs.len() as u64).to_le_bytes());
+                    out.extend_from_slice(bs);
+                }
+                StateValue::TensorSeq(ts) => {
+                    out.push(7);
+                    out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+                    for t in ts {
+                        encode_tensor(&mut out, t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a dict from section bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] or [`CkptError::Corrupt`] on malformed input;
+    /// never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = Cursor::new(bytes);
+        let count = r.take_count("state entry count")?;
+        let mut dict = StateDict::new();
+        for _ in 0..count {
+            let name = r.take_name("state entry name")?;
+            let tag = r.take_u8("state entry kind")?;
+            let value = match tag {
+                1 => StateValue::Tensor(decode_tensor(&mut r)?),
+                2 => StateValue::U64(r.take_u64("u64 entry")?),
+                3 => StateValue::F32(f32::from_bits(r.take_u32("f32 entry")?)),
+                4 => {
+                    let n = r.take_count("u32 list length")? as usize;
+                    let body = r.take(n * 4, "u32 list")?;
+                    StateValue::U32s(
+                        body.chunks_exact(4)
+                            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                            .collect(),
+                    )
+                }
+                5 => {
+                    let n = r.take_count("f32 list length")? as usize;
+                    let body = r.take(n * 4, "f32 list")?;
+                    StateValue::F32s(
+                        body.chunks_exact(4)
+                            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+                            .collect(),
+                    )
+                }
+                6 => {
+                    let n = r.take_u64("byte string length")?;
+                    if n > bytes.len() as u64 {
+                        return Err(CkptError::Truncated {
+                            context: "byte string",
+                        });
+                    }
+                    StateValue::Bytes(r.take(n as usize, "byte string")?.to_vec())
+                }
+                7 => {
+                    let n = r.take_count("tensor list length")? as usize;
+                    let mut ts = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        ts.push(decode_tensor(&mut r)?);
+                    }
+                    StateValue::TensorSeq(ts)
+                }
+                other => {
+                    return Err(CkptError::Corrupt {
+                        context: format!("unknown state entry kind tag {other}"),
+                    })
+                }
+            };
+            if dict.get(&name).is_some() {
+                return Err(CkptError::Corrupt {
+                    context: format!("duplicate state entry `{name}`"),
+                });
+            }
+            dict.insert(name, value);
+        }
+        if !r.is_empty() {
+            return Err(CkptError::Corrupt {
+                context: "trailing bytes after the last state entry".to_string(),
+            });
+        }
+        Ok(dict)
+    }
+}
+
+fn encode_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_tensor(r: &mut Cursor<'_>) -> Result<Tensor, CkptError> {
+    let rank = r.take_count("tensor rank")?;
+    if rank > 8 {
+        return Err(CkptError::Corrupt {
+            context: format!("tensor rank {rank} exceeds limit"),
+        });
+    }
+    let mut shape = Vec::with_capacity(rank as usize);
+    let mut numel = 1u64;
+    for _ in 0..rank {
+        let d = r.take_u64("tensor dimension")?;
+        numel = numel.checked_mul(d).ok_or_else(|| CkptError::Corrupt {
+            context: "tensor element count overflows".to_string(),
+        })?;
+        shape.push(d as usize);
+    }
+    let body = r.take((numel as usize).saturating_mul(4), "tensor data")?;
+    let data = body
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect();
+    Ok(Tensor::from_vec(shape, data))
+}
+
+/// The enumeration protocol between stateful objects and checkpoint codecs.
+///
+/// Objects call these methods once per piece of state, in a stable order,
+/// under stable names; nested objects are bracketed with
+/// [`enter`](StateVisitor::enter)/[`exit`](StateVisitor::exit) so names
+/// compose hierarchically (`"3:dense/w"`). Each method takes `&mut` access
+/// because the *same* traversal both captures (reads) and restores (writes).
+pub trait StateVisitor {
+    /// Opens a nested scope; subsequent names are prefixed with `scope/`.
+    fn enter(&mut self, scope: &str);
+    /// Closes the innermost scope.
+    fn exit(&mut self);
+    /// A shaped tensor. Restore requires an identical shape.
+    fn tensor(&mut self, name: &str, value: &mut Tensor);
+    /// A tensor that may be absent (per-layer caches). Captured only when
+    /// `Some`; restored to `None` when the artifact has no such entry.
+    fn opt_tensor(&mut self, name: &str, value: &mut Option<Tensor>);
+    /// An ordered tensor list whose length and shapes are defined by the
+    /// artifact on restore (lazily-sized optimizer slots).
+    fn tensor_seq(&mut self, name: &str, value: &mut Vec<Tensor>);
+    /// A `u64` scalar.
+    fn scalar_u64(&mut self, name: &str, value: &mut u64);
+    /// An `f32` scalar.
+    fn scalar_f32(&mut self, name: &str, value: &mut f32);
+    /// A flat `u32` list (length defined by the artifact on restore).
+    fn u32s(&mut self, name: &str, value: &mut Vec<u32>);
+    /// A flat `f32` list (length defined by the artifact on restore).
+    fn f32s(&mut self, name: &str, value: &mut Vec<f32>);
+    /// An opaque byte string with an owner-defined encoding.
+    fn bytes(&mut self, name: &str, value: &mut Vec<u8>);
+    /// Reports that an owner-defined encoding (a [`StateVisitor::bytes`]
+    /// entry the object just tried to parse) is malformed. Restoration
+    /// surfaces this as [`CkptError::Corrupt`]; capture treats it as an
+    /// object-side bug (the object failed to re-parse its own encoding).
+    fn invalid(&mut self, name: &str, why: String);
+}
+
+/// An object whose trajectory-determining state can be walked by a
+/// [`StateVisitor`] — the property that makes it checkpointable by
+/// construction.
+pub trait VisitState {
+    /// Walks every piece of state exactly once, in a stable order.
+    fn visit_state(&mut self, v: &mut dyn StateVisitor);
+}
+
+/// Any `FnMut(&mut dyn StateVisitor)` is a state walk — the bridge for
+/// objects that expose a visitation *method* rather than implementing the
+/// trait (e.g. walking a `&mut dyn Layer` from `fast_nn`):
+/// `capture_state(&mut |v| layer.visit_state(v))`.
+impl<F: FnMut(&mut dyn StateVisitor)> VisitState for F {
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        self(v)
+    }
+}
+
+/// Shared scope bookkeeping for the two visitor directions.
+#[derive(Default)]
+struct ScopeStack {
+    parts: Vec<String>,
+}
+
+impl ScopeStack {
+    fn qualify(&self, name: &str) -> String {
+        if self.parts.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.parts.join("/"), name)
+        }
+    }
+}
+
+/// Captures a visited object's state into a fresh [`StateDict`].
+pub fn capture_state(obj: &mut dyn VisitState) -> StateDict {
+    let mut v = SaveVisitor {
+        scope: ScopeStack::default(),
+        dict: StateDict::new(),
+    };
+    obj.visit_state(&mut v);
+    v.dict
+}
+
+struct SaveVisitor {
+    scope: ScopeStack,
+    dict: StateDict,
+}
+
+impl SaveVisitor {
+    fn record(&mut self, name: &str, value: StateValue) {
+        let full = self.scope.qualify(name);
+        debug_assert!(
+            self.dict.get(&full).is_none(),
+            "state entry `{full}` visited twice"
+        );
+        self.dict.insert(full, value);
+    }
+}
+
+impl StateVisitor for SaveVisitor {
+    fn enter(&mut self, scope: &str) {
+        self.scope.parts.push(scope.to_string());
+    }
+    fn exit(&mut self) {
+        self.scope.parts.pop().expect("exit without matching enter");
+    }
+    fn tensor(&mut self, name: &str, value: &mut Tensor) {
+        self.record(name, StateValue::Tensor(value.clone()));
+    }
+    fn opt_tensor(&mut self, name: &str, value: &mut Option<Tensor>) {
+        if let Some(t) = value {
+            self.record(name, StateValue::Tensor(t.clone()));
+        }
+    }
+    fn tensor_seq(&mut self, name: &str, value: &mut Vec<Tensor>) {
+        self.record(name, StateValue::TensorSeq(value.clone()));
+    }
+    fn scalar_u64(&mut self, name: &str, value: &mut u64) {
+        self.record(name, StateValue::U64(*value));
+    }
+    fn scalar_f32(&mut self, name: &str, value: &mut f32) {
+        self.record(name, StateValue::F32(*value));
+    }
+    fn u32s(&mut self, name: &str, value: &mut Vec<u32>) {
+        self.record(name, StateValue::U32s(value.clone()));
+    }
+    fn f32s(&mut self, name: &str, value: &mut Vec<f32>) {
+        self.record(name, StateValue::F32s(value.clone()));
+    }
+    fn bytes(&mut self, name: &str, value: &mut Vec<u8>) {
+        self.record(name, StateValue::Bytes(value.clone()));
+    }
+    fn invalid(&mut self, name: &str, why: String) {
+        debug_assert!(false, "object rejected its own `{name}` encoding: {why}");
+    }
+}
+
+/// Restores a captured [`StateDict`] into a visited object.
+///
+/// The walk must mirror the one that captured the dict: every visited entry
+/// must exist with the right kind (and shape, for tensors), and every dict
+/// entry must be visited. Optional tensors are the one asymmetry — absent
+/// entries restore to `None`.
+///
+/// # Errors
+///
+/// The first mismatch encountered, as a typed [`CkptError`]. The object may
+/// be partially written when an error is returned; callers should treat it
+/// as unusable (both `Trainer::resume` and `Server::reload` restore into a
+/// scratch object and discard it on failure).
+pub fn restore_state(obj: &mut dyn VisitState, dict: &StateDict) -> Result<(), CkptError> {
+    let mut v = RestoreVisitor {
+        scope: ScopeStack::default(),
+        dict,
+        consumed: BTreeSet::new(),
+        error: None,
+    };
+    obj.visit_state(&mut v);
+    if let Some(e) = v.error {
+        return Err(e);
+    }
+    let unconsumed: Vec<String> = dict
+        .iter()
+        .filter(|(n, _)| !v.consumed.contains(*n))
+        .map(|(n, _)| n.to_string())
+        .take(8)
+        .collect();
+    if !unconsumed.is_empty() {
+        return Err(CkptError::UnconsumedEntries { names: unconsumed });
+    }
+    Ok(())
+}
+
+struct RestoreVisitor<'a> {
+    scope: ScopeStack,
+    dict: &'a StateDict,
+    consumed: BTreeSet<String>,
+    error: Option<CkptError>,
+}
+
+impl RestoreVisitor<'_> {
+    /// Looks up `name`, marks it consumed, and hands it to `apply`; records
+    /// the first error and turns all later visits into no-ops.
+    fn with_entry(
+        &mut self,
+        name: &str,
+        expected: &'static str,
+        apply: impl FnOnce(&StateValue, &str) -> Result<(), CkptError>,
+    ) {
+        if self.error.is_some() {
+            return;
+        }
+        let full = self.scope.qualify(name);
+        match self.dict.get(&full) {
+            None => self.error = Some(CkptError::MissingEntry { name: full }),
+            Some(value) => {
+                self.consumed.insert(full.clone());
+                if let Err(e) = apply(value, &full) {
+                    let _ = expected;
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn wrong_kind(name: &str, expected: &'static str) -> CkptError {
+        CkptError::WrongKind {
+            name: name.to_string(),
+            expected,
+        }
+    }
+}
+
+fn restore_tensor(target: &mut Tensor, found: &Tensor, name: &str) -> Result<(), CkptError> {
+    if target.shape() != found.shape() {
+        return Err(CkptError::ShapeMismatch {
+            name: name.to_string(),
+            expected: target.shape().to_vec(),
+            found: found.shape().to_vec(),
+        });
+    }
+    target.data_mut().copy_from_slice(found.data());
+    Ok(())
+}
+
+impl StateVisitor for RestoreVisitor<'_> {
+    fn enter(&mut self, scope: &str) {
+        self.scope.parts.push(scope.to_string());
+    }
+    fn exit(&mut self) {
+        self.scope.parts.pop().expect("exit without matching enter");
+    }
+    fn tensor(&mut self, name: &str, value: &mut Tensor) {
+        self.with_entry(name, "tensor", |v, full| match v {
+            StateValue::Tensor(t) => restore_tensor(value, t, full),
+            _ => Err(RestoreVisitor::wrong_kind(full, "tensor")),
+        });
+    }
+    fn opt_tensor(&mut self, name: &str, value: &mut Option<Tensor>) {
+        if self.error.is_some() {
+            return;
+        }
+        let full = self.scope.qualify(name);
+        match self.dict.get(&full) {
+            None => *value = None,
+            Some(StateValue::Tensor(t)) => {
+                self.consumed.insert(full);
+                *value = Some(t.clone());
+            }
+            Some(_) => self.error = Some(RestoreVisitor::wrong_kind(&full, "tensor")),
+        }
+    }
+    fn tensor_seq(&mut self, name: &str, value: &mut Vec<Tensor>) {
+        self.with_entry(name, "tensor list", |v, full| match v {
+            StateValue::TensorSeq(ts) => {
+                *value = ts.clone();
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "tensor list")),
+        });
+    }
+    fn scalar_u64(&mut self, name: &str, value: &mut u64) {
+        self.with_entry(name, "u64", |v, full| match v {
+            StateValue::U64(x) => {
+                *value = *x;
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "u64")),
+        });
+    }
+    fn scalar_f32(&mut self, name: &str, value: &mut f32) {
+        self.with_entry(name, "f32", |v, full| match v {
+            StateValue::F32(x) => {
+                *value = *x;
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "f32")),
+        });
+    }
+    fn u32s(&mut self, name: &str, value: &mut Vec<u32>) {
+        self.with_entry(name, "u32 list", |v, full| match v {
+            StateValue::U32s(xs) => {
+                *value = xs.clone();
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "u32 list")),
+        });
+    }
+    fn f32s(&mut self, name: &str, value: &mut Vec<f32>) {
+        self.with_entry(name, "f32 list", |v, full| match v {
+            StateValue::F32s(xs) => {
+                *value = xs.clone();
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "f32 list")),
+        });
+    }
+    fn bytes(&mut self, name: &str, value: &mut Vec<u8>) {
+        self.with_entry(name, "byte string", |v, full| match v {
+            StateValue::Bytes(bs) => {
+                *value = bs.clone();
+                Ok(())
+            }
+            _ => Err(RestoreVisitor::wrong_kind(full, "byte string")),
+        });
+    }
+    fn invalid(&mut self, name: &str, why: String) {
+        if self.error.is_none() {
+            self.error = Some(CkptError::Corrupt {
+                context: format!("state entry `{}`: {why}", self.scope.qualify(name)),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy checkpointable object exercising every entry kind and nesting.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        w: Tensor,
+        cache: Option<Tensor>,
+        slots: Vec<Tensor>,
+        step: u64,
+        lr: f32,
+        settings: Vec<u32>,
+        running: Vec<f32>,
+        blob: Vec<u8>,
+    }
+
+    impl Toy {
+        fn filled() -> Self {
+            Toy {
+                w: Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.5, 0.0, f32::MIN, 1e-40]),
+                cache: Some(Tensor::from_vec(vec![1, 2], vec![9.0, -9.0])),
+                slots: vec![Tensor::zeros(vec![4]), Tensor::full(vec![2, 2], 7.0)],
+                step: 123_456_789_000,
+                lr: 0.05,
+                settings: vec![2, 4, 2],
+                running: vec![0.25, -1.5],
+                blob: vec![0xDE, 0xAD],
+            }
+        }
+
+        fn blank() -> Self {
+            Toy {
+                w: Tensor::zeros(vec![2, 3]),
+                cache: None,
+                slots: Vec::new(),
+                step: 0,
+                lr: 0.0,
+                settings: Vec::new(),
+                running: Vec::new(),
+                blob: Vec::new(),
+            }
+        }
+    }
+
+    impl VisitState for Toy {
+        fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+            v.enter("inner");
+            v.tensor("w", &mut self.w);
+            v.opt_tensor("cache", &mut self.cache);
+            v.exit();
+            v.tensor_seq("slots", &mut self.slots);
+            v.scalar_u64("step", &mut self.step);
+            v.scalar_f32("lr", &mut self.lr);
+            v.u32s("settings", &mut self.settings);
+            v.f32s("running", &mut self.running);
+            v.bytes("blob", &mut self.blob);
+        }
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_is_exact() {
+        let mut original = Toy::filled();
+        let dict = capture_state(&mut original);
+        assert_eq!(dict.get("inner/w").map(StateValue::kind), Some("tensor"));
+        let encoded = dict.to_bytes();
+        let decoded = StateDict::from_bytes(&encoded).unwrap();
+        assert_eq!(decoded, dict);
+        let mut restored = Toy::blank();
+        restore_state(&mut restored, &decoded).unwrap();
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn absent_optional_tensor_restores_to_none() {
+        let mut original = Toy::filled();
+        original.cache = None;
+        let dict = capture_state(&mut original);
+        let mut restored = Toy::filled(); // starts with Some
+        restore_state(&mut restored, &dict).unwrap();
+        assert_eq!(restored.cache, None);
+    }
+
+    #[test]
+    fn missing_entry_is_a_typed_error() {
+        let full = capture_state(&mut Toy::filled());
+        let mut dict = StateDict::new();
+        for (name, value) in full.iter().filter(|(n, _)| *n != "step") {
+            dict.insert(name.to_string(), value.clone());
+        }
+        let err = restore_state(&mut Toy::blank(), &dict).unwrap_err();
+        assert!(matches!(err, CkptError::MissingEntry { name } if name == "step"));
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_typed_error() {
+        let mut dict = capture_state(&mut Toy::filled());
+        dict.insert("step".into(), StateValue::F32(1.0));
+        let err = restore_state(&mut Toy::blank(), &dict).unwrap_err();
+        assert!(matches!(err, CkptError::WrongKind { .. }));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let mut dict = capture_state(&mut Toy::filled());
+        dict.insert(
+            "inner/w".into(),
+            StateValue::Tensor(Tensor::zeros(vec![3, 2])),
+        );
+        let err = restore_state(&mut Toy::blank(), &dict).unwrap_err();
+        assert!(matches!(err, CkptError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn unvisited_entries_are_a_typed_error() {
+        let mut dict = capture_state(&mut Toy::filled());
+        dict.insert("stray".into(), StateValue::U64(1));
+        let err = restore_state(&mut Toy::blank(), &dict).unwrap_err();
+        assert!(matches!(err, CkptError::UnconsumedEntries { names } if names == ["stray"]));
+    }
+
+    #[test]
+    fn nan_payloads_roundtrip_bit_exactly() {
+        let mut dict = StateDict::new();
+        let bits = [f32::NAN.to_bits(), 0xFFC0_0001, 0x7F80_0000, 0x8000_0000];
+        dict.insert(
+            "weird".into(),
+            StateValue::Tensor(Tensor::from_vec(
+                vec![4],
+                bits.iter().map(|&b| f32::from_bits(b)).collect(),
+            )),
+        );
+        let decoded = StateDict::from_bytes(&dict.to_bytes()).unwrap();
+        match decoded.get("weird").unwrap() {
+            StateValue::Tensor(t) => {
+                let got: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, bits);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_truncations_error_not_panic() {
+        let bytes = capture_state(&mut Toy::filled()).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                StateDict::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_tag_is_rejected() {
+        let mut dict = StateDict::new();
+        dict.insert("x".into(), StateValue::U64(1));
+        let mut bytes = dict.to_bytes();
+        // The kind tag sits right after the 4-byte count, 4-byte name
+        // length and 1-byte name.
+        bytes[4 + 4 + 1] = 250;
+        assert!(matches!(
+            StateDict::from_bytes(&bytes),
+            Err(CkptError::Corrupt { .. })
+        ));
+    }
+}

@@ -11,7 +11,7 @@
 use crate::threshold::EpsilonSchedule;
 use crate::trace::{PrecisionTrace, Setting};
 use fast_bfp::relative_improvement;
-use fast_nn::{LayerPrecision, Sequential, TrainHook};
+use fast_nn::{LayerPrecision, Sequential, StateVisitor, TrainHook, VisitState};
 
 /// Paper Algorithm 1, packaged as a [`TrainHook`].
 ///
@@ -77,6 +77,41 @@ impl FastController {
             2
         } else {
             4
+        }
+    }
+}
+
+/// The controller's trajectory state, so a resumed run makes identical
+/// precision decisions: the currently-applied per-layer settings (which
+/// [`FastController::with_stride`] holds between re-evaluations) and the
+/// recorded trace (so the Fig 17 history continues seamlessly). Pass the
+/// controller as the `hook_state` of `fast_nn::Trainer::{save_checkpoint,
+/// resume}` — the schedule, iteration budget and stride are configuration,
+/// rebuilt by constructing the controller the same way.
+impl VisitState for FastController {
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        let mut current: Vec<u32> = self.current.iter().flat_map(|s| [s.w, s.a, s.g]).collect();
+        v.u32s("current", &mut current);
+        if current.len().is_multiple_of(3) {
+            self.current = current
+                .chunks_exact(3)
+                .map(|c| Setting {
+                    w: c[0],
+                    a: c[1],
+                    g: c[2],
+                })
+                .collect();
+        } else {
+            v.invalid(
+                "current",
+                format!("{} values do not form (w, a, g) triples", current.len()),
+            );
+        }
+        let mut trace = self.trace.to_wire();
+        v.bytes("trace", &mut trace);
+        match PrecisionTrace::from_wire(&trace) {
+            Ok(t) => self.trace = t,
+            Err(why) => v.invalid("trace", why),
         }
     }
 }
@@ -218,6 +253,26 @@ mod tests {
             late >= early,
             "precision should not decrease over training: early {early}, late {late}"
         );
+    }
+
+    #[test]
+    fn controller_state_roundtrips_through_the_visitor() {
+        use fast_ckpt::{capture_state, restore_state};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut model = mlp(&[4, 8, 2], &mut rng);
+        let mut ctl = FastController::new(20, EpsilonSchedule::paper_default()).with_stride(5);
+        ctl.before_iteration(0, &mut model);
+        ctl.before_iteration(1, &mut model);
+        let dict = capture_state(&mut ctl);
+        let mut resumed = FastController::new(20, EpsilonSchedule::paper_default()).with_stride(5);
+        restore_state(&mut resumed, &dict).unwrap();
+        assert_eq!(resumed.settings(), ctl.settings());
+        assert_eq!(resumed.trace.samples, ctl.trace.samples);
+        assert_eq!(resumed.trace.layer_labels, ctl.trace.layer_labels);
+        // The stride logic keeps held settings identical after resume.
+        ctl.before_iteration(2, &mut model);
+        resumed.before_iteration(2, &mut model);
+        assert_eq!(resumed.settings(), ctl.settings());
     }
 
     #[test]

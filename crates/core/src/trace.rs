@@ -105,11 +105,92 @@ impl PrecisionTrace {
         }
     }
 
+    /// Encodes the trace into the checkpoint wire form (little-endian,
+    /// length-prefixed): labels, then `(iteration, settings)` samples. A
+    /// resumed run's Fig 17 heat map continues seamlessly from the
+    /// pre-checkpoint history.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.layer_labels.len() as u32).to_le_bytes());
+        for label in &self.layer_labels {
+            out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+            out.extend_from_slice(label.as_bytes());
+        }
+        out.extend_from_slice(&(self.samples.len() as u32).to_le_bytes());
+        for (iter, settings) in &self.samples {
+            out.extend_from_slice(&(*iter as u64).to_le_bytes());
+            out.extend_from_slice(&(settings.len() as u32).to_le_bytes());
+            for s in settings {
+                for field in [s.w, s.a, s.g] {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a [`PrecisionTrace::to_wire`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field; never panics.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], String> {
+            let out = bytes
+                .get(pos..pos + n)
+                .ok_or_else(|| "precision trace encoding truncated".to_string())?;
+            pos += n;
+            Ok(out)
+        };
+        fn u32_at(b: &[u8]) -> u32 {
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+        }
+        let mut trace = PrecisionTrace::new();
+        let label_count = u32_at(take(4)?);
+        for _ in 0..label_count {
+            let len = u32_at(take(4)?) as usize;
+            let body = take(len)?;
+            trace.layer_labels.push(
+                String::from_utf8(body.to_vec()).map_err(|_| "label is not UTF-8".to_string())?,
+            );
+        }
+        let sample_count = u32_at(take(4)?);
+        for _ in 0..sample_count {
+            let b = take(8)?;
+            let iter =
+                u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]) as usize;
+            let len = u32_at(take(4)?) as usize;
+            let mut settings = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                let b = take(12)?;
+                settings.push(Setting {
+                    w: u32_at(&b[0..4]),
+                    a: u32_at(&b[4..8]),
+                    g: u32_at(&b[8..12]),
+                });
+            }
+            trace.samples.push((iter, settings));
+        }
+        if pos != bytes.len() {
+            return Err("trailing bytes after precision trace".to_string());
+        }
+        Ok(trace)
+    }
+
     /// Renders an ASCII heat map: one row per layer (deepest at top, as in
     /// Fig 17), one column per sampled iteration bucket; cells show the
     /// legend index 0–7.
+    ///
+    /// Always emits at least one line: an empty trace — no samples, zero
+    /// buckets, *or* samples recorded over zero layers (a model with no
+    /// quantized layers) — renders as a `(empty trace)` placeholder line,
+    /// so callers can split on lines unconditionally.
     pub fn render_ascii(&self, buckets: usize) -> String {
-        if self.samples.is_empty() || buckets == 0 {
+        // The zero-layer guard matters: samples recorded from a model with
+        // no quantized layers used to render as the empty string, and
+        // consumers taking the first line (`ascii.lines().next()`) panicked.
+        if self.samples.is_empty() || buckets == 0 || self.layer_count() == 0 {
             return String::from("(empty trace)\n");
         }
         let layers = self.layer_count();
@@ -178,8 +259,66 @@ mod tests {
         assert_eq!(t.mean_legend_index(1, 5, 10), 7.0);
         let ascii = t.render_ascii(2);
         assert!(ascii.contains("l1"));
-        // Deepest layer (l1) rendered first.
-        let first_line = ascii.lines().next().unwrap();
+        // Deepest layer (l1) rendered first. `render_ascii` guarantees at
+        // least one line, so taking the first cannot fail.
+        let first_line = ascii.lines().next().expect("render emits a line");
         assert!(first_line.contains("l1"));
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_and_rejects_garbage() {
+        let mut t = PrecisionTrace::new();
+        t.layer_labels = vec!["conv3x3(2->6)".into(), "dense(64->3)".into()];
+        t.record(
+            0,
+            vec![Setting { w: 2, a: 2, g: 2 }, Setting { w: 4, a: 2, g: 4 }],
+        );
+        t.record(
+            7,
+            vec![Setting { w: 4, a: 4, g: 4 }, Setting { w: 2, a: 4, g: 2 }],
+        );
+        let enc = t.to_wire();
+        let back = PrecisionTrace::from_wire(&enc).unwrap();
+        assert_eq!(back.layer_labels, t.layer_labels);
+        assert_eq!(back.samples, t.samples);
+        // Empty trace round-trips too.
+        let empty = PrecisionTrace::new();
+        assert_eq!(
+            PrecisionTrace::from_wire(&empty.to_wire()).unwrap().samples,
+            empty.samples
+        );
+        // Truncations and trailing garbage are errors, not panics.
+        for cut in 0..enc.len() {
+            assert!(PrecisionTrace::from_wire(&enc[..cut]).is_err(), "cut {cut}");
+        }
+        let mut padded = enc;
+        padded.push(0);
+        assert!(PrecisionTrace::from_wire(&padded).is_err());
+    }
+
+    #[test]
+    fn empty_traces_always_render_a_line() {
+        // Regression: every degenerate trace must render the placeholder
+        // line — consumers take `ascii.lines().next()` unconditionally, and
+        // a zero-layer trace (samples recorded from a model with no
+        // quantized layers) used to render as the empty string and panic
+        // them.
+        let no_samples = PrecisionTrace::new();
+        let mut zero_layers = PrecisionTrace::new();
+        for it in 0..3 {
+            zero_layers.record(it, Vec::new());
+        }
+        let some = Setting { w: 2, a: 2, g: 2 };
+        let mut zero_buckets = PrecisionTrace::new();
+        zero_buckets.record(0, vec![some]);
+        for (name, trace, buckets) in [
+            ("no samples", &no_samples, 4),
+            ("zero layers", &zero_layers, 4),
+            ("zero buckets", &zero_buckets, 0),
+        ] {
+            let ascii = trace.render_ascii(buckets);
+            let first = ascii.lines().next();
+            assert_eq!(first, Some("(empty trace)"), "{name}");
+        }
     }
 }

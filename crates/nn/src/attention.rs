@@ -268,6 +268,20 @@ impl Layer for MultiHeadSelfAttention {
         self.wo.visit_quant(f);
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        for (scope, proj) in [
+            ("wq", &mut self.wq),
+            ("wk", &mut self.wk),
+            ("wv", &mut self.wv),
+            ("wo", &mut self.wo),
+        ] {
+            v.enter(scope);
+            proj.visit_state(v);
+            v.exit();
+        }
+        crate::quant::visit_format(v, "inner_format", &mut self.inner_format);
+    }
+
     fn kind(&self) -> &'static str {
         "mhsa"
     }

@@ -259,6 +259,17 @@ impl Layer for Conv2d {
         f(self);
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        self.frozen_w.mark_dirty();
+        v.tensor("w", &mut self.w);
+        if self.use_bias {
+            v.tensor("b", &mut self.b);
+        }
+        crate::quant::visit_precision(v, &mut self.precision);
+        v.opt_tensor("saved_input", &mut self.saved_input);
+        v.opt_tensor("last_grad", &mut self.last_grad);
+    }
+
     fn kind(&self) -> &'static str {
         "conv2d"
     }
@@ -506,6 +517,14 @@ impl Layer for DepthwiseConv2d {
 
     fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
         f(self);
+    }
+
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        self.frozen_w.mark_dirty();
+        v.tensor("w", &mut self.w);
+        crate::quant::visit_precision(v, &mut self.precision);
+        v.opt_tensor("saved_input", &mut self.saved_input);
+        v.opt_tensor("last_grad", &mut self.last_grad);
     }
 
     fn kind(&self) -> &'static str {

@@ -88,6 +88,10 @@ impl Layer for Embedding {
         });
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        v.tensor("table", &mut self.table);
+    }
+
     fn kind(&self) -> &'static str {
         "embedding"
     }
@@ -152,6 +156,10 @@ impl Layer for PositionalEmbedding {
             grad: &mut self.grad,
             decay: false,
         });
+    }
+
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        v.tensor("table", &mut self.table);
     }
 
     fn kind(&self) -> &'static str {

@@ -5,6 +5,7 @@
 use crate::qgemm::PlanStats;
 use crate::quant::LayerPrecision;
 use fast_bfp::{BitSource, QuantStats, RngBits};
+use fast_ckpt::{StateVisitor, VisitState};
 use fast_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +93,53 @@ impl Session {
     pub(crate) fn quant_parts(&mut self) -> (&mut RngBits<StdRng>, &mut QuantStats) {
         (&mut self.bits, &mut self.plan_stats.quant)
     }
+
+    /// The raw state of the stochastic-rounding generator, for exact
+    /// checkpoint/resume (the xoshiro256** words of the session RNG).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.bits.0.state()
+    }
+
+    /// Restores the stochastic-rounding generator to a [`Session::rng_state`]
+    /// snapshot, so the next draw continues the recorded stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state (never produced by a real generator).
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.bits.0 = StdRng::from_state(state);
+    }
+}
+
+/// The session state that determines a training trajectory: the
+/// stochastic-rounding RNG words plus the cumulative plan counters (so a
+/// resumed run reports the same totals as an uninterrupted one). The
+/// `train`/`freeze_weights`/`record_sensitivity` flags are *not* state —
+/// the training loop reasserts them every step.
+impl VisitState for Session {
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        let mut rng = self.rng_state();
+        v.scalar_u64("rng0", &mut rng[0]);
+        v.scalar_u64("rng1", &mut rng[1]);
+        v.scalar_u64("rng2", &mut rng[2]);
+        v.scalar_u64("rng3", &mut rng[3]);
+        // A live xoshiro256** generator is never all-zero, so an artifact
+        // carrying four zero words is corrupt — report it through the
+        // visitor (a typed error on restore) instead of letting
+        // `set_rng_state` assert.
+        if rng.iter().any(|&w| w != 0) {
+            self.set_rng_state(rng);
+        } else {
+            v.invalid("rng0", "all-zero RNG state".to_string());
+        }
+        v.scalar_u64("plan_gemms", &mut self.plan_stats.gemms);
+        v.scalar_u64("plan_macs", &mut self.plan_stats.macs);
+        let mut groups = self.plan_stats.quant.groups as u64;
+        v.scalar_u64("quant_groups", &mut groups);
+        self.plan_stats.quant.groups = groups as usize;
+        v.scalar_u64("quant_saturated", &mut self.plan_stats.quant.saturated);
+        v.scalar_u64("quant_zeros", &mut self.plan_stats.quant.zeros);
+    }
 }
 
 /// A mutable view of one parameter tensor and its gradient accumulator.
@@ -177,6 +225,22 @@ pub trait Layer: Send {
     /// order — the layer indexing used by Algorithm 1.
     fn visit_quant(&mut self, f: &mut dyn FnMut(&mut dyn QuantControlled)) {
         let _ = f;
+    }
+
+    /// Walks the layer's trajectory-determining state under stable names:
+    /// parameters *and* everything else a bit-exact resume needs —
+    /// persistent buffers (batch-norm running statistics), the per-layer
+    /// precision assignment, and the sensitivity caches the FAST controller
+    /// reads at the top of the next iteration (DESIGN.md §10).
+    ///
+    /// Extends [`Layer::visit_params`] (which enumerates anonymous
+    /// value/grad pairs for optimizers) with names and shapes so state can
+    /// round-trip through `fast_ckpt` artifacts. Stateless layers keep the
+    /// default no-op. Implementations that hand out mutable weight access
+    /// must invalidate their frozen-weight caches, exactly as
+    /// `visit_params` does.
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        let _ = v;
     }
 
     /// A short kind tag, e.g. `"dense"`.

@@ -21,6 +21,11 @@
 //!   layers quantize their weights once and replay the cached copy per
 //!   request, invalidated by any weight update — the layer half of the
 //!   `fast_serve` engine (DESIGN.md §8; fake-quant fidelity in §3).
+//! * Checkpointing ([`Layer::visit_state`], [`Trainer::save_checkpoint`] /
+//!   [`Trainer::resume`]): every piece of trajectory-determining state —
+//!   parameters, buffers, per-layer formats, optimizer slots, RNG words —
+//!   round-trips through `fast_ckpt` artifacts for bit-exact resume and
+//!   serving hot reload (DESIGN.md §10).
 //!
 //! ```
 //! use fast_nn::models::mlp;
@@ -77,3 +82,8 @@ pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
 pub use qgemm::PlanStats;
 pub use quant::{LayerPrecision, NumericFormat};
 pub use trainer::{NoopHook, StepStats, TrainHook, Trainer};
+
+// Checkpoint vocabulary, re-exported so layer/optimizer/controller authors
+// (and `fast_core`/`fast_serve`) share one `StateVisitor` without naming
+// `fast_ckpt` directly.
+pub use fast_ckpt::{StateVisitor, VisitState};

@@ -202,6 +202,19 @@ impl Layer for Dense {
         f(self);
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        // Hands out mutable weight access, so invalidate the frozen cache
+        // (same rule as `visit_params`).
+        self.frozen_w.mark_dirty();
+        v.tensor("w", &mut self.w);
+        if self.use_bias {
+            v.tensor("b", &mut self.b);
+        }
+        crate::quant::visit_precision(v, &mut self.precision);
+        v.opt_tensor("saved_input", &mut self.saved_input);
+        v.opt_tensor("last_grad", &mut self.last_grad);
+    }
+
     fn kind(&self) -> &'static str {
         "dense"
     }

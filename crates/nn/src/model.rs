@@ -81,8 +81,28 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        // Scope names carry each child's position *and* kind, so restoring
+        // into a different architecture fails with a name mismatch instead
+        // of silently loading one layer's tensors into another.
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            v.enter(&format!("{i}:{}", layer.kind()));
+            layer.visit_state(v);
+            v.exit();
+        }
+    }
+
     fn kind(&self) -> &'static str {
         "sequential"
+    }
+}
+
+/// A [`Sequential`] chain is directly checkpointable: its state walk is the
+/// [`Layer::visit_state`] traversal of the whole tree. (`fast_ckpt` talks to
+/// `VisitState`; this is the bridge for the common whole-model case.)
+impl fast_ckpt::VisitState for Sequential {
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        Layer::visit_state(self, v);
     }
 }
 
@@ -160,6 +180,17 @@ impl Layer for Residual {
         self.main.visit_quant(f);
         if let Some(s) = &mut self.shortcut {
             s.visit_quant(f);
+        }
+    }
+
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        v.enter("main");
+        Layer::visit_state(&mut self.main, v);
+        v.exit();
+        if let Some(s) = &mut self.shortcut {
+            v.enter("shortcut");
+            Layer::visit_state(s, v);
+            v.exit();
         }
     }
 

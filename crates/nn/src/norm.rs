@@ -179,6 +179,16 @@ impl Layer for BatchNorm2d {
         });
     }
 
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        v.tensor("gamma", &mut self.gamma);
+        v.tensor("beta", &mut self.beta);
+        // The running statistics are persistent buffers, not parameters: no
+        // optimizer touches them, but eval/serving outputs depend on them,
+        // so an artifact without them would not serve the trained model.
+        v.f32s("running_mean", &mut self.running_mean);
+        v.f32s("running_var", &mut self.running_var);
+    }
+
     fn kind(&self) -> &'static str {
         "batchnorm2d"
     }
@@ -294,6 +304,11 @@ impl Layer for LayerNorm {
             grad: &mut self.g_beta,
             decay: false,
         });
+    }
+
+    fn visit_state(&mut self, v: &mut dyn fast_ckpt::StateVisitor) {
+        v.tensor("gamma", &mut self.gamma);
+        v.tensor("beta", &mut self.beta);
     }
 
     fn kind(&self) -> &'static str {

@@ -214,6 +214,145 @@ impl NumericFormat {
         self.quantize_matrix(&mut out, axis, bits);
         out
     }
+
+    /// Encodes the format into the stable little-endian wire form used by
+    /// checkpoint artifacts (DESIGN.md §10): a one-byte tag followed by the
+    /// variant's fields. [`NumericFormat::from_wire`] reverses it exactly.
+    pub fn to_wire(&self) -> Vec<u8> {
+        match self {
+            NumericFormat::Fp32 => vec![0],
+            NumericFormat::Mini(m) => vec![1, m.exp_bits as u8, m.man_bits as u8],
+            NumericFormat::Int { bits } => vec![2, *bits as u8],
+            NumericFormat::Bfp {
+                format,
+                rounding,
+                windowed,
+            } => {
+                let mut out = vec![3];
+                out.extend_from_slice(&(format.group_size() as u32).to_le_bytes());
+                out.push(format.mantissa_bits() as u8);
+                out.push(format.exponent_bits() as u8);
+                match rounding {
+                    Rounding::Nearest => out.push(0),
+                    Rounding::Truncate => out.push(1),
+                    Rounding::Stochastic { noise_bits } => {
+                        out.push(2);
+                        out.push(*noise_bits as u8);
+                    }
+                }
+                out.push(u8::from(*windowed));
+                out
+            }
+        }
+    }
+
+    /// Decodes a format from its [`NumericFormat::to_wire`] bytes,
+    /// validating every field (BFP parameters go back through
+    /// [`fast_bfp::BfpFormat::new`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field — the caller (the
+    /// checkpoint restore path) wraps it into its own typed error.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        let take = |i: usize| -> Result<u8, String> {
+            bytes
+                .get(i)
+                .copied()
+                .ok_or_else(|| "numeric format encoding truncated".to_string())
+        };
+        let fmt = match take(0)? {
+            0 => (NumericFormat::Fp32, 1),
+            1 => {
+                let exp_bits = take(1)? as u32;
+                let man_bits = take(2)? as u32;
+                // Bounds of an FP32-sourced minifloat: at least one exponent
+                // bit (the bias computes `2^(e-1) - 1`), no wider than the
+                // source's 8-bit exponent / 23-bit fraction.
+                if !(1..=8).contains(&exp_bits) {
+                    return Err(format!("minifloat exponent bits {exp_bits} out of range"));
+                }
+                if man_bits > 23 {
+                    return Err(format!("minifloat mantissa bits {man_bits} out of range"));
+                }
+                (NumericFormat::Mini(Minifloat { exp_bits, man_bits }), 3)
+            }
+            2 => {
+                let bits = take(1)? as u32;
+                if !(2..=16).contains(&bits) {
+                    return Err(format!("INT bit width {bits} out of range"));
+                }
+                (NumericFormat::Int { bits }, 2)
+            }
+            3 => {
+                if bytes.len() < 5 {
+                    return Err("numeric format encoding truncated".to_string());
+                }
+                let g = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+                let m = take(5)? as u32;
+                let e = take(6)? as u32;
+                let format = BfpFormat::new(g, m, e).map_err(|err| err.to_string())?;
+                let (rounding, next) = match take(7)? {
+                    0 => (Rounding::Nearest, 8),
+                    1 => (Rounding::Truncate, 8),
+                    2 => {
+                        let noise_bits = take(8)? as u32;
+                        if !(1..=31).contains(&noise_bits) {
+                            return Err(format!("SR noise bits {noise_bits} out of range"));
+                        }
+                        (Rounding::Stochastic { noise_bits }, 9)
+                    }
+                    other => return Err(format!("unknown rounding tag {other}")),
+                };
+                let windowed = match take(next)? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("bad windowed flag {other}")),
+                };
+                (
+                    NumericFormat::Bfp {
+                        format,
+                        rounding,
+                        windowed,
+                    },
+                    next + 1,
+                )
+            }
+            other => return Err(format!("unknown numeric format tag {other}")),
+        };
+        let (value, used) = fmt;
+        if bytes.len() != used {
+            return Err("trailing bytes after numeric format".to_string());
+        }
+        Ok(value)
+    }
+}
+
+/// Visits a layer's precision assignment as a `"precision"` bytes entry:
+/// capture records the wire encoding, restore re-parses it (reporting a
+/// malformed encoding through the visitor instead of panicking).
+pub(crate) fn visit_precision(v: &mut dyn fast_ckpt::StateVisitor, precision: &mut LayerPrecision) {
+    let mut enc = precision.to_wire();
+    v.bytes("precision", &mut enc);
+    match LayerPrecision::from_wire(&enc) {
+        Ok(p) => *precision = p,
+        Err(why) => v.invalid("precision", why),
+    }
+}
+
+/// Visits a single [`NumericFormat`] as a named bytes entry (the attention
+/// layer's inner-GEMM format).
+pub(crate) fn visit_format(
+    v: &mut dyn fast_ckpt::StateVisitor,
+    name: &str,
+    format: &mut NumericFormat,
+) {
+    let mut enc = format.to_wire();
+    v.bytes(name, &mut enc);
+    match NumericFormat::from_wire(&enc) {
+        Ok(f) => *format = f,
+        Err(why) => v.invalid(name, why),
+    }
 }
 
 impl std::fmt::Display for NumericFormat {
@@ -339,6 +478,47 @@ impl LayerPrecision {
             self.gradients.mantissa_bits(),
         )
     }
+
+    /// Encodes the (W, A, G) assignment into the checkpoint wire form:
+    /// three length-prefixed [`NumericFormat::to_wire`] encodings.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for fmt in [&self.weights, &self.activations, &self.gradients] {
+            let enc = fmt.to_wire();
+            out.push(enc.len() as u8);
+            out.extend_from_slice(&enc);
+        }
+        out
+    }
+
+    /// Decodes a [`LayerPrecision::to_wire`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let mut next = || -> Result<NumericFormat, String> {
+            let len = *bytes
+                .get(pos)
+                .ok_or_else(|| "layer precision encoding truncated".to_string())?
+                as usize;
+            let body = bytes
+                .get(pos + 1..pos + 1 + len)
+                .ok_or_else(|| "layer precision encoding truncated".to_string())?;
+            pos += 1 + len;
+            NumericFormat::from_wire(body)
+        };
+        let precision = LayerPrecision {
+            weights: next()?,
+            activations: next()?,
+            gradients: next()?,
+        };
+        if pos != bytes.len() {
+            return Err("trailing bytes after layer precision".to_string());
+        }
+        Ok(precision)
+    }
 }
 
 impl Default for LayerPrecision {
@@ -462,6 +642,77 @@ mod tests {
             }
         ));
         assert_eq!(p.mantissa_widths(), (4, 2, 4));
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_the_format_zoo() {
+        let formats = [
+            NumericFormat::Fp32,
+            NumericFormat::bf16(),
+            NumericFormat::fp16(),
+            NumericFormat::tf32(),
+            NumericFormat::hfp8_fwd(),
+            NumericFormat::hfp8_bwd(),
+            NumericFormat::int8(),
+            NumericFormat::int12(),
+            NumericFormat::bfp_nearest(BfpFormat::low()),
+            NumericFormat::bfp_stochastic(BfpFormat::high()),
+            NumericFormat::Bfp {
+                format: BfpFormat::new(8, 7, 8).unwrap(),
+                rounding: Rounding::Truncate,
+                windowed: true,
+            },
+            NumericFormat::Bfp {
+                format: BfpFormat::new(16, 3, 3).unwrap(),
+                rounding: Rounding::Stochastic { noise_bits: 5 },
+                windowed: false,
+            },
+        ];
+        for fmt in formats {
+            assert_eq!(NumericFormat::from_wire(&fmt.to_wire()), Ok(fmt));
+        }
+        let precisions = [
+            LayerPrecision::fp32(),
+            LayerPrecision::hfp8(),
+            LayerPrecision::bfp_fixed(4),
+            LayerPrecision::fast(2, 4, 2),
+            LayerPrecision::msfp12(),
+        ];
+        for p in precisions {
+            assert_eq!(LayerPrecision::from_wire(&p.to_wire()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn wire_codec_rejects_malformed_input() {
+        assert!(NumericFormat::from_wire(&[]).is_err());
+        assert!(NumericFormat::from_wire(&[99]).is_err());
+        assert!(NumericFormat::from_wire(&[2, 200]).is_err(), "INT width");
+        assert!(NumericFormat::from_wire(&[3, 0, 0]).is_err(), "truncated");
+        assert!(
+            NumericFormat::from_wire(&[1, 0, 7]).is_err(),
+            "minifloat with zero exponent bits"
+        );
+        assert!(
+            NumericFormat::from_wire(&[1, 9, 7]).is_err(),
+            "minifloat exponent wider than FP32's"
+        );
+        assert!(
+            NumericFormat::from_wire(&[1, 5, 24]).is_err(),
+            "minifloat mantissa wider than FP32's"
+        );
+        // Valid prefix with trailing garbage.
+        let mut enc = NumericFormat::Fp32.to_wire();
+        enc.push(0);
+        assert!(NumericFormat::from_wire(&enc).is_err());
+        // BFP with out-of-range mantissa width.
+        let mut bfp = NumericFormat::bfp_nearest(BfpFormat::high()).to_wire();
+        bfp[5] = 40;
+        assert!(NumericFormat::from_wire(&bfp).is_err());
+        assert!(LayerPrecision::from_wire(&[7, 0]).is_err());
+        let mut p = LayerPrecision::fp32().to_wire();
+        p.push(1);
+        assert!(LayerPrecision::from_wire(&p).is_err());
     }
 
     #[test]

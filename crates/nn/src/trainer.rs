@@ -11,7 +11,12 @@ use crate::loss::softmax_cross_entropy;
 use crate::metrics::accuracy_percent;
 use crate::model::Sequential;
 use crate::optim::Sgd;
+use fast_ckpt::{
+    capture_state, restore_state, Artifact, CkptError, StateDict, StateVisitor, VisitState,
+    SECTION_HOOK, SECTION_META, SECTION_MODEL, SECTION_OPTIMIZER, SECTION_SESSION,
+};
 use fast_tensor::Tensor;
+use std::path::Path;
 
 /// Observer/controller invoked around each training iteration.
 pub trait TrainHook {
@@ -149,6 +154,108 @@ impl Trainer {
         stats
     }
 
+    /// Captures the full training state as a checkpoint [`Artifact`]:
+    /// model parameters/buffers/formats (`model` section), optimizer slots
+    /// (`optimizer`), session RNG + plan counters (`session`) and the
+    /// iteration count (`meta`). Pass the precision controller (or any
+    /// other stateful hook) as `hook_state` to ride along in the `hook`
+    /// section (DESIGN.md §10).
+    ///
+    /// Checkpoints are taken at step boundaries — after an optimizer step,
+    /// before the next `step_*` call — where gradient accumulators are zero
+    /// and the captured state is exactly what the next iteration reads. A
+    /// run resumed from the artifact continues **bit-identically** to an
+    /// uninterrupted one (`tests/determinism.rs`).
+    pub fn checkpoint(&mut self, hook_state: Option<&mut dyn VisitState>) -> Artifact {
+        let mut artifact = Artifact::new();
+        let mut meta = TrainerMeta {
+            iterations: self.iter as u64,
+        };
+        artifact.insert(SECTION_META, capture_state(&mut meta).to_bytes());
+        artifact.insert(SECTION_MODEL, capture_state(&mut self.model).to_bytes());
+        artifact.insert(SECTION_OPTIMIZER, capture_state(&mut self.opt).to_bytes());
+        artifact.insert(SECTION_SESSION, capture_state(&mut self.session).to_bytes());
+        if let Some(hook) = hook_state {
+            artifact.insert(SECTION_HOOK, capture_state(hook).to_bytes());
+        }
+        artifact
+    }
+
+    /// [`Trainer::checkpoint`] written straight to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] if the file cannot be written.
+    pub fn save_checkpoint<P: AsRef<Path>>(
+        &mut self,
+        path: P,
+        hook_state: Option<&mut dyn VisitState>,
+    ) -> Result<(), CkptError> {
+        self.checkpoint(hook_state).save(path)
+    }
+
+    /// Rebuilds a trainer from a checkpoint artifact.
+    ///
+    /// `model` and `opt` supply the *architecture* and configuration —
+    /// construct them exactly as the original run did (any RNG used for
+    /// initialization is about to be overwritten, so the seed does not
+    /// matter); the artifact supplies every tensor, counter and RNG word.
+    /// Pass the freshly constructed controller as `hook_state` to restore
+    /// its `hook` section too. Restoration is strict: missing or extra
+    /// entries, kind/shape mismatches and malformed encodings are typed
+    /// errors, and the partially-written trainer is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`] from section decoding or state restoration.
+    pub fn resume(
+        model: Sequential,
+        opt: Sgd,
+        artifact: &Artifact,
+        hook_state: Option<&mut dyn VisitState>,
+    ) -> Result<Trainer, CkptError> {
+        let mut trainer = Trainer::new(model, opt, 0);
+        let mut meta = TrainerMeta { iterations: 0 };
+        restore_state(
+            &mut meta,
+            &StateDict::from_bytes(artifact.require(SECTION_META)?)?,
+        )?;
+        trainer.iter = meta.iterations as usize;
+        restore_state(
+            &mut trainer.model,
+            &StateDict::from_bytes(artifact.require(SECTION_MODEL)?)?,
+        )?;
+        restore_state(
+            &mut trainer.opt,
+            &StateDict::from_bytes(artifact.require(SECTION_OPTIMIZER)?)?,
+        )?;
+        restore_state(
+            &mut trainer.session,
+            &StateDict::from_bytes(artifact.require(SECTION_SESSION)?)?,
+        )?;
+        if let Some(hook) = hook_state {
+            restore_state(
+                hook,
+                &StateDict::from_bytes(artifact.require(SECTION_HOOK)?)?,
+            )?;
+        }
+        Ok(trainer)
+    }
+
+    /// [`Trainer::resume`] reading the artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`] from reading, decoding or restoring.
+    pub fn resume_from_path<P: AsRef<Path>>(
+        model: Sequential,
+        opt: Sgd,
+        path: P,
+        hook_state: Option<&mut dyn VisitState>,
+    ) -> Result<Trainer, CkptError> {
+        Trainer::resume(model, opt, &Artifact::load(path)?, hook_state)
+    }
+
     /// Evaluates classification accuracy (%) over a set of batches.
     pub fn evaluate_classification(&mut self, batches: &[(Tensor, Vec<usize>)]) -> f64 {
         self.session.train = false;
@@ -166,6 +273,17 @@ impl Trainer {
         } else {
             correct_weighted / total as f64
         }
+    }
+}
+
+/// The `meta` section payload: loop-level counters.
+struct TrainerMeta {
+    iterations: u64,
+}
+
+impl VisitState for TrainerMeta {
+    fn visit_state(&mut self, v: &mut dyn StateVisitor) {
+        v.scalar_u64("iterations", &mut self.iterations);
     }
 }
 

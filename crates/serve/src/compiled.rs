@@ -1,5 +1,6 @@
 //! Frozen, forward-only models for serving.
 
+use fast_ckpt::{capture_state, restore_state, CkptError, StateDict};
 use fast_nn::{Layer, Sequential, Session};
 use fast_tensor::Tensor;
 
@@ -70,6 +71,64 @@ impl CompiledModel {
     pub fn into_model(self) -> Sequential {
         self.model
     }
+
+    /// Replaces the model's weights (and buffers/formats) with a decoded
+    /// checkpoint `model` section — the replica half of
+    /// [`Server::reload`](crate::Server::reload).
+    ///
+    /// The restore walks [`fast_nn::Layer::visit_state`], which bumps each
+    /// layer's weight version exactly like an optimizer step would, so the
+    /// frozen-weight caches re-quantize from the new masters on the next
+    /// request; for deterministic-rounding formats the swap is
+    /// bit-transparent (a request after the swap equals an eval forward of
+    /// the restored model).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CkptError`] if the artifact does not match this model's
+    /// architecture; the model is rolled back to its pre-call state, so a
+    /// failed reload keeps serving the old weights.
+    pub fn apply_state(&mut self, state: &StateDict) -> Result<(), CkptError> {
+        let backup = capture_state(&mut self.model);
+        match restore_state(&mut self.model, state) {
+            Ok(()) => {
+                // A mid-training artifact carries per-layer sensitivity
+                // caches (`saved_input`/`last_grad` — every optional-tensor
+                // entry is training-only state). Serving never reads them;
+                // drop them so each replica does not pin a batch worth of
+                // activations for the lifetime of the swap.
+                Layer::visit_state(&mut self.model, &mut ClearTransients);
+                Ok(())
+            }
+            Err(e) => {
+                restore_state(&mut self.model, &backup)
+                    .expect("backup state restores into the model it was captured from");
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A state walk that discards the optional per-layer caches (training-only
+/// state) and leaves everything else untouched.
+struct ClearTransients;
+
+impl fast_ckpt::StateVisitor for ClearTransients {
+    fn enter(&mut self, _scope: &str) {}
+    fn exit(&mut self) {}
+    fn tensor(&mut self, _name: &str, _value: &mut fast_tensor::Tensor) {}
+    fn opt_tensor(&mut self, _name: &str, value: &mut Option<fast_tensor::Tensor>) {
+        *value = None;
+    }
+    fn tensor_seq(&mut self, _name: &str, _value: &mut Vec<fast_tensor::Tensor>) {}
+    fn scalar_u64(&mut self, _name: &str, _value: &mut u64) {}
+    fn scalar_f32(&mut self, _name: &str, _value: &mut f32) {}
+    fn u32s(&mut self, _name: &str, _value: &mut Vec<u32>) {}
+    fn f32s(&mut self, _name: &str, _value: &mut Vec<f32>) {}
+    fn bytes(&mut self, _name: &str, _value: &mut Vec<u8>) {}
+    fn invalid(&mut self, name: &str, why: String) {
+        debug_assert!(false, "clearing transients rejected `{name}`: {why}");
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +167,36 @@ mod tests {
         let mut a = CompiledModel::compile(model(5), 0);
         let mut b = CompiledModel::compile(model(5), 0);
         assert_eq!(a.infer(&x), b.infer(&x));
+    }
+
+    #[test]
+    fn apply_state_drops_training_caches() {
+        // A mid-training artifact carries sensitivity caches; the serving
+        // replica must not keep them resident after the swap.
+        let mut trained = model(9);
+        let mut s = Session::new(0);
+        s.record_sensitivity = true;
+        let x = sample();
+        let y = trained.forward(&x, &mut s);
+        let _ = trained.backward(&y, &mut s);
+        let dict = capture_state(&mut trained);
+        assert!(
+            dict.iter().any(|(n, _)| n.ends_with("saved_input")),
+            "precondition: the artifact carries training caches"
+        );
+
+        let mut compiled = CompiledModel::compile(model(9), 0);
+        compiled.apply_state(&dict).unwrap();
+        let after = capture_state(compiled.model_mut());
+        assert!(
+            !after
+                .iter()
+                .any(|(n, _)| n.ends_with("saved_input") || n.ends_with("last_grad")),
+            "serving replicas must not pin training caches"
+        );
+        // And the swapped weights still serve the trained model's outputs.
+        let mut reference = CompiledModel::compile(trained, 0);
+        assert_eq!(compiled.infer(&x), reference.infer(&x));
     }
 
     #[test]

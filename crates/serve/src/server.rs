@@ -8,9 +8,10 @@
 
 use crate::batcher::{sample_count, split_output, stack_inputs, BatchConfig, Request};
 use crate::compiled::CompiledModel;
+use fast_ckpt::{Artifact, CkptError, StateDict, SECTION_MODEL};
 use fast_tensor::Tensor;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -24,6 +25,12 @@ pub struct ServeStats {
     pub samples: u64,
     /// `batch size → count` over all executed batches.
     pub batch_histogram: BTreeMap<usize, u64>,
+    /// Hot weight swaps applied ([`Server::reload`]); counts one per worker
+    /// per accepted reload, so a fully propagated reload adds `workers()`.
+    pub reloads: u64,
+    /// Reloads a worker rejected (artifact/architecture mismatch); the
+    /// worker keeps serving its previous weights.
+    pub reload_failures: u64,
 }
 
 impl ServeStats {
@@ -39,6 +46,8 @@ impl ServeStats {
         for (size, n) in other.batch_histogram {
             *self.batch_histogram.entry(size).or_insert(0) += n;
         }
+        self.reloads += other.reloads;
+        self.reload_failures += other.reload_failures;
     }
 
     /// Mean samples per executed batch (0 if nothing ran).
@@ -69,6 +78,9 @@ impl Pending {
 
 struct QueueState {
     requests: VecDeque<Request>,
+    /// A pending hot weight swap: the decoded `model` section, shared across
+    /// all workers. Latest wins — a newer reload replaces an unapplied one.
+    reload: Option<Arc<StateDict>>,
     shutdown: bool,
 }
 
@@ -82,6 +94,7 @@ impl WorkerQueue {
         WorkerQueue {
             state: Mutex::new(QueueState {
                 requests: VecDeque::new(),
+                reload: None,
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -117,14 +130,15 @@ fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, samples: &mut us
 fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConfig) -> ServeStats {
     let mut stats = ServeStats::default();
     loop {
-        let batch = {
+        let (batch, reload) = {
             let mut state = queue.state.lock().expect("serve queue poisoned");
-            while state.requests.is_empty() {
+            while state.requests.is_empty() && state.reload.is_none() {
                 if state.shutdown {
                     return stats;
                 }
                 state = queue.ready.wait(state).expect("serve queue poisoned");
             }
+            let reload = state.reload.take();
             let mut batch = Vec::new();
             let mut samples = 0usize;
             drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
@@ -132,7 +146,9 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConf
             // if the queue front already cannot join (full batch, or a
             // different shape head-of-line): waiting could never grow the
             // batch, and shipping now unblocks the requests behind it.
-            if samples < cfg.max_batch && !cfg.max_wait.is_zero() {
+            // (A reload-only wake skips the hold entirely — there is no
+            // batch to grow, and the swap should land now.)
+            if !batch.is_empty() && samples < cfg.max_batch && !cfg.max_wait.is_zero() {
                 let deadline = Instant::now() + cfg.max_wait;
                 while samples < cfg.max_batch && !state.shutdown {
                     if !state.requests.is_empty()
@@ -149,14 +165,37 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConf
                         .wait_timeout(state, deadline - now)
                         .expect("serve queue poisoned");
                     state = guard;
+                    if state.reload.is_some() {
+                        // A hot swap landed mid-hold: ship the batch as-is
+                        // (its members all predate the swap) and leave the
+                        // queue untouched — anything still queued must be
+                        // served after the new weights are applied.
+                        break;
+                    }
                     drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
                     if timeout.timed_out() {
                         break;
                     }
                 }
             }
-            batch
-        }; // lock released before the forward pass runs
+            (batch, reload)
+        }; // lock released before the forward pass (and the swap) run
+        if let Some(state) = reload {
+            // Swap weights *before* serving the drained batch: any request
+            // submitted after `Server::reload` returned can only sit behind
+            // the reload in this queue, so it is guaranteed the new
+            // weights. (Requests already queued when the reload landed may
+            // be answered by either version — the usual hot-swap contract.)
+            // A rejected artifact rolls the model back; the worker keeps
+            // serving the old weights and the failure is counted.
+            match model.apply_state(&state) {
+                Ok(()) => stats.reloads += 1,
+                Err(_) => stats.reload_failures += 1,
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
         if let [lone] = &batch[..] {
             // Batch of one: skip the stack/split copies entirely.
             if serve_one(&mut model, lone) {
@@ -243,6 +282,7 @@ pub struct Server {
     queues: Vec<Arc<WorkerQueue>>,
     workers: Vec<JoinHandle<ServeStats>>,
     next: AtomicUsize,
+    generation: AtomicU64,
 }
 
 impl Server {
@@ -272,12 +312,55 @@ impl Server {
             queues,
             workers,
             next: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Number of worker replicas.
     pub fn workers(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The weight generation currently being rolled out: 0 for the compiled
+    /// weights, bumped by every accepted [`Server::reload`].
+    pub fn weight_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Hot-swaps every replica's weights from a checkpoint artifact's
+    /// `model` section without restarting the server or dropping a single
+    /// request.
+    ///
+    /// The section is decoded and validated once, then shared (`Arc`) to
+    /// every worker queue; each worker applies it at its next batch
+    /// boundary — any request submitted after this method returns is served
+    /// with the new weights, while requests already in flight may see
+    /// either version. Inside the replica the swap rides the existing
+    /// weight-version mechanism (the restore walk bumps layer versions, so
+    /// frozen caches re-quantize deterministically), which makes the swap
+    /// bit-transparent for deterministic-rounding formats: post-swap
+    /// responses equal an eval forward of the restored model.
+    ///
+    /// Returns the new weight generation. [`ServeStats::reloads`] counts
+    /// the per-worker applications (a fully propagated reload adds
+    /// [`Server::workers`]); an artifact that decodes but does not match
+    /// the replica architecture is rejected worker-side, rolled back, and
+    /// counted in [`ServeStats::reload_failures`].
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::MissingSection`] / decode errors if the artifact has no
+    /// well-formed `model` section.
+    pub fn reload(&self, artifact: &Artifact) -> Result<u64, CkptError> {
+        let state = Arc::new(StateDict::from_bytes(artifact.require(SECTION_MODEL)?)?);
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        for queue in &self.queues {
+            let mut qs = queue.state.lock().expect("serve queue poisoned");
+            qs.reload = Some(Arc::clone(&state));
+            drop(qs);
+            queue.ready.notify_all();
+        }
+        Ok(generation)
     }
 
     /// Enqueues a request (leading dimension = samples, usually 1) on the
@@ -481,6 +564,102 @@ mod tests {
         assert_eq!(good2.wait(), want, "neighbour must survive the poison");
         let stats = server.shutdown();
         assert_eq!(stats.samples, 2, "only valid requests count as served");
+    }
+
+    /// Same architecture as [`replica`], different weights (different seed).
+    fn trained_variant(seed: u64) -> fast_nn::Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new()
+            .push(Dense::new(6, 12, true, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(12, 3, true, &mut rng));
+        set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+        m
+    }
+
+    fn model_artifact(model: &mut fast_nn::Sequential) -> fast_ckpt::Artifact {
+        let mut artifact = fast_ckpt::Artifact::new();
+        artifact.insert(
+            fast_ckpt::SECTION_MODEL,
+            fast_ckpt::capture_state(model).to_bytes(),
+        );
+        artifact
+    }
+
+    #[test]
+    fn reload_swaps_weights_with_zero_dropped_requests() {
+        // Ground truth for the new weights: a lone compiled copy.
+        let mut new_model = trained_variant(77);
+        let artifact = model_artifact(&mut new_model);
+        let mut reference = CompiledModel::compile(new_model, 0);
+        let want_new: Vec<Tensor> = (0..6).map(|i| reference.infer(&sample(i))).collect();
+        let mut old_reference = replica(1);
+        let want_old: Vec<Tensor> = (0..6).map(|i| old_reference.infer(&sample(i))).collect();
+        assert_ne!(want_old[0], want_new[0], "seeds must give distinct models");
+
+        let server = Server::start(vec![replica(1), replica(1)], BatchConfig::no_wait(4));
+        // Pre-reload requests: answered (by either version is acceptable —
+        // here they complete before the swap because we wait on them).
+        let pre: Vec<Pending> = (0..6).map(|i| server.submit(sample(i))).collect();
+        for (p, w) in pre.into_iter().zip(&want_old) {
+            assert_eq!(&p.wait(), w, "pre-reload request answered with old weights");
+        }
+        let generation = server.reload(&artifact).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(server.weight_generation(), 1);
+        // Post-reload requests must all be answered — zero drops — and with
+        // the new weights (the swap is bit-transparent: responses equal an
+        // eval forward of the restored model).
+        let post: Vec<Pending> = (0..6).map(|i| server.submit(sample(i))).collect();
+        for (p, w) in post.into_iter().zip(&want_new) {
+            assert_eq!(&p.wait(), w, "post-reload request must see new weights");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 12, "every request served, none dropped");
+        assert_eq!(stats.reloads, 2, "both workers applied the swap");
+        assert_eq!(stats.reload_failures, 0);
+    }
+
+    #[test]
+    fn reload_reaches_idle_workers_by_shutdown() {
+        // No traffic at all: the swap must still land on every worker.
+        let server = Server::start(
+            vec![replica(2), replica(2), replica(2)],
+            BatchConfig::no_wait(4),
+        );
+        let mut new_model = trained_variant(78);
+        server.reload(&model_artifact(&mut new_model)).unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.reloads, 3);
+    }
+
+    #[test]
+    fn mismatched_artifact_is_rejected_and_old_weights_keep_serving() {
+        let mut reference = replica(9);
+        let want = reference.infer(&sample(3));
+        let server = Server::start(vec![replica(9)], BatchConfig::no_wait(4));
+        // Wrong architecture: a 4->2 dense has differently shaped state.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut wrong = Sequential::new().push(Dense::new(4, 2, true, &mut rng));
+        server.reload(&model_artifact(&mut wrong)).unwrap();
+        assert_eq!(
+            server.infer(sample(3)),
+            want,
+            "rejected reload must leave the old weights serving"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.reloads, 0);
+        assert_eq!(stats.reload_failures, 1);
+
+        // An artifact without a model section fails synchronously.
+        let empty = fast_ckpt::Artifact::new();
+        let server = Server::start(vec![replica(9)], BatchConfig::no_wait(4));
+        assert!(matches!(
+            server.reload(&empty),
+            Err(fast_ckpt::CkptError::MissingSection { .. })
+        ));
+        assert_eq!(server.weight_generation(), 0);
+        server.shutdown();
     }
 
     #[test]

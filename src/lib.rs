@@ -6,6 +6,8 @@
 //!
 //! * [`bfp`] — Block Floating Point formats, stochastic rounding, chunked
 //!   mantissa storage and BFP dot products.
+//! * [`ckpt`] — versioned checkpoint artifacts: bit-exact training resume
+//!   and hot-reloadable serving weights.
 //! * [`tensor`] — dense f32 tensor substrate (GEMM, conv, pooling).
 //! * [`nn`] — quantization-aware layers, models, losses, optimizers and the
 //!   training loop.
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub use fast_bfp as bfp;
+pub use fast_ckpt as ckpt;
 pub use fast_core as fast;
 pub use fast_data as data;
 pub use fast_hw as hw;

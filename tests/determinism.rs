@@ -1,13 +1,18 @@
-//! End-to-end seed determinism (DESIGN.md §5, §9).
+//! End-to-end seed determinism (DESIGN.md §5, §9, §10).
 //!
 //! A full multi-step training run — stochastic-rounded BFP quantization,
 //! packed-operand GEMMs, SGD with momentum and weight decay — must be
-//! bit-identical (a) across two runs from the same seed and (b) across GEMM
-//! worker counts, including `Parallelism::sequential()` versus the default.
+//! bit-identical (a) across two runs from the same seed, (b) across GEMM
+//! worker counts, including `Parallelism::sequential()` versus the default,
+//! and (c) across a checkpoint/resume boundary: a run checkpointed at step
+//! k through `fast_ckpt` artifact *bytes* and resumed into freshly
+//! constructed objects must finish with the same loss curve and the same
+//! parameter bits as the uninterrupted run.
 //!
 //! Everything lives in one `#[test]` because the worker count is process
 //! global; splitting it across tests would race.
 
+use fast_dnn::ckpt::Artifact;
 use fast_dnn::nn::models::mlp;
 use fast_dnn::nn::{
     set_uniform_precision, BatchNorm2d, Conv2d, Dense, Flatten, Layer, LayerPrecision, MaxPool2d,
@@ -29,47 +34,113 @@ fn batch(shape: Vec<usize>, salt: u64) -> Tensor {
     )
 }
 
+/// One cross-entropy step on the deterministic pseudo-batch for `step`;
+/// returns the loss bits. Shared by the uninterrupted and resumed runs so
+/// both execute literally the same iteration code.
+fn step_once(trainer: &mut Trainer, input_shape: &[usize], step: usize) -> u64 {
+    let classes = 3usize;
+    let x = batch(input_shape.to_vec(), step as u64 + 1);
+    let labels: Vec<usize> = (0..input_shape[0]).map(|i| (i + step) % classes).collect();
+    trainer
+        .step_classification(&x, &labels, &mut NoopHook)
+        .loss
+        .to_bits()
+}
+
+fn collect_params(trainer: &mut Trainer) -> Vec<u32> {
+    let mut params = Vec::new();
+    trainer
+        .model
+        .visit_params(&mut |p| params.extend(p.value.data().iter().map(|v| v.to_bits())));
+    params
+}
+
+fn sgd() -> Sgd {
+    Sgd::new(0.05, 0.9, 1e-4)
+}
+
 /// Trains `model` for `steps` cross-entropy steps; returns per-step losses
 /// and the flattened final parameters.
 fn train(mut model: Sequential, input_shape: Vec<usize>, steps: usize) -> (Vec<u64>, Vec<u32>) {
     // The paper's training setting: nearest-rounded W/A, stochastic-rounded
     // gradients — the stochastic bit stream is the interesting part.
     set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
-    let mut trainer = Trainer::new(model, Sgd::new(0.05, 0.9, 1e-4), 42);
-    let classes = 3usize;
+    let mut trainer = Trainer::new(model, sgd(), 42);
     let mut losses = Vec::new();
     for step in 0..steps {
-        let x = batch(input_shape.clone(), step as u64 + 1);
-        let labels: Vec<usize> = (0..input_shape[0]).map(|i| (i + step) % classes).collect();
-        let stats = trainer.step_classification(&x, &labels, &mut NoopHook);
-        losses.push(stats.loss.to_bits());
+        losses.push(step_once(&mut trainer, &input_shape, step));
     }
-    let mut params = Vec::new();
-    trainer
-        .model
-        .visit_params(&mut |p| params.extend(p.value.data().iter().map(|v| v.to_bits())));
+    let params = collect_params(&mut trainer);
     (losses, params)
 }
 
-fn mlp_run() -> (Vec<u64>, Vec<u32>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let model = mlp(&[8, 24, 3], &mut rng);
-    train(model, vec![6, 8], 6)
+/// Like [`train`], but the run is interrupted at `split`: checkpointed to
+/// artifact *bytes*, the trainer dropped, and a resumed trainer — built
+/// from a freshly constructed architecture with untouched default formats —
+/// finishes the remaining steps. Everything (weights, SGD momenta, session
+/// RNG mid-stream, per-layer precision, iteration count) must come from the
+/// artifact for the result to match [`train`] bit for bit.
+fn train_resumed(
+    build: &dyn Fn() -> Sequential,
+    input_shape: Vec<usize>,
+    steps: usize,
+    split: usize,
+) -> (Vec<u64>, Vec<u32>) {
+    let mut model = build();
+    set_uniform_precision(&mut model, LayerPrecision::bfp_fixed(4));
+    let mut trainer = Trainer::new(model, sgd(), 42);
+    let mut losses = Vec::new();
+    for step in 0..split {
+        losses.push(step_once(&mut trainer, &input_shape, step));
+    }
+    let bytes = trainer.checkpoint(None).to_bytes();
+    drop(trainer);
+
+    // Note: no `set_uniform_precision` here — the artifact restores the
+    // per-layer formats along with the weights.
+    let artifact = Artifact::from_bytes(&bytes).expect("checkpoint bytes decode");
+    let mut trainer = Trainer::resume(build(), sgd(), &artifact, None).expect("checkpoint resumes");
+    assert_eq!(trainer.iterations(), split, "iteration count restored");
+    for step in split..steps {
+        losses.push(step_once(&mut trainer, &input_shape, step));
+    }
+    let params = collect_params(&mut trainer);
+    (losses, params)
 }
 
-fn convnet_run() -> (Vec<u64>, Vec<u32>) {
-    // A ResNet-lite-style stem: conv → BN → ReLU → pool → conv → flatten →
-    // dense, exercising Conv2d's forward/backward GEMMs and BatchNorm.
+fn mlp_model() -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    mlp(&[8, 24, 3], &mut rng)
+}
+
+fn mlp_run() -> (Vec<u64>, Vec<u32>) {
+    train(mlp_model(), vec![6, 8], 6)
+}
+
+fn mlp_resumed_run() -> (Vec<u64>, Vec<u32>) {
+    train_resumed(&mlp_model, vec![6, 8], 6, 3)
+}
+
+/// A ResNet-lite-style stem: conv → BN → ReLU → pool → conv → flatten →
+/// dense, exercising Conv2d's forward/backward GEMMs and BatchNorm.
+fn conv_model() -> Sequential {
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-    let model = Sequential::new()
+    Sequential::new()
         .push(Conv2d::new(2, 6, 3, 1, 1, false, &mut rng))
         .push(BatchNorm2d::new(6))
         .push(Relu::new())
         .push(MaxPool2d::new(2))
         .push(Conv2d::new(6, 4, 3, 1, 1, true, &mut rng))
         .push(Flatten::new())
-        .push(Dense::new(4 * 4 * 4, 3, true, &mut rng));
-    train(model, vec![4, 2, 8, 8], 4)
+        .push(Dense::new(4 * 4 * 4, 3, true, &mut rng))
+}
+
+fn convnet_run() -> (Vec<u64>, Vec<u32>) {
+    train(conv_model(), vec![4, 2, 8, 8], 4)
+}
+
+fn convnet_resumed_run() -> (Vec<u64>, Vec<u32>) {
+    train_resumed(&conv_model, vec![4, 2, 8, 8], 4, 2)
 }
 
 /// A run that also exercises non-uniform random data paths.
@@ -118,8 +189,24 @@ fn training_is_bit_identical_across_runs_and_worker_counts() {
     let noisy_seq = noisy_mlp_run();
     assert_eq!(noisy_seq, noisy_mlp_run());
 
+    // (c) Checkpoint at step k + resume must be indistinguishable from the
+    // uninterrupted run — same losses, same final parameter bits
+    // (DESIGN.md §10; the SR bit stream continues mid-LFSR-period).
+    assert_eq!(
+        mlp_seq,
+        mlp_resumed_run(),
+        "MLP checkpoint/resume must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        conv_seq,
+        convnet_resumed_run(),
+        "convnet checkpoint/resume must be bit-identical to the uninterrupted run"
+    );
+
     // (b) Worker count must not change a single result bit: sequential vs
-    // small pools vs the machine default.
+    // small pools vs the machine default — including across the
+    // checkpoint/resume boundary (a checkpoint written under one worker
+    // count resumes identically under another via the CI sequential leg).
     for workers in [2usize, 3, 8] {
         set_parallelism(Parallelism::new(workers));
         assert_eq!(mlp_seq, mlp_run(), "MLP differs under {workers} workers");
@@ -127,6 +214,11 @@ fn training_is_bit_identical_across_runs_and_worker_counts() {
             conv_seq,
             convnet_run(),
             "convnet differs under {workers} workers"
+        );
+        assert_eq!(
+            mlp_seq,
+            mlp_resumed_run(),
+            "resumed MLP differs under {workers} workers"
         );
     }
     set_parallelism(Parallelism::default());
@@ -137,6 +229,11 @@ fn training_is_bit_identical_across_runs_and_worker_counts() {
         "convnet differs under default workers"
     );
     assert_eq!(noisy_seq, noisy_mlp_run());
+    assert_eq!(
+        conv_seq,
+        convnet_resumed_run(),
+        "resumed convnet differs under default workers"
+    );
 
     set_parallelism(saved);
 }

@@ -76,6 +76,15 @@ fn serve_reexport_serves_a_request() {
 }
 
 #[test]
+fn ckpt_reexport_roundtrips_an_artifact() {
+    use fast_dnn::ckpt::{Artifact, SECTION_META};
+    let mut a = Artifact::new();
+    a.insert(SECTION_META, vec![1, 2, 3]);
+    let b = Artifact::from_bytes(&a.to_bytes()).expect("artifact round-trips");
+    assert_eq!(b.section(SECTION_META), Some(&[1u8, 2, 3][..]));
+}
+
+#[test]
 fn rounding_modes_are_distinct() {
     assert_ne!(
         format!("{:?}", Rounding::Nearest),

@@ -160,6 +160,31 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw 256-bit generator state, for exact checkpoint/resume.
+        ///
+        /// Shim extension (crates.io `rand` has no equivalent): `fast_ckpt`
+        /// snapshots generators so resumed runs replay the same stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot, resuming
+        /// the stream at exactly the point the snapshot was taken.
+        ///
+        /// Shim extension, paired with [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256** never reaches
+        /// from seeding and cannot leave (a corrupt snapshot, not a state).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro256** state is invalid"
+            );
+            StdRng { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
@@ -227,6 +252,25 @@ mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn state_snapshot_resumes_the_exact_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snap = rng.state();
+        let tail: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(snap);
+        let replay: Vec<u64> = (0..32).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, replay);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
+    }
 
     #[test]
     fn seeding_is_deterministic() {

@@ -49,6 +49,25 @@ pub const MAX_PACKED_MANTISSA_BITS: u32 = 7;
 /// (`scale_of(i, j) = scales[i * gpr + j / g]`); for
 /// [`GroupAxis::AlongCol`] they form a `ceil(rows/g) × cols` matrix
 /// (`scale_of(i, j) = scales[(i / g) * cols + j]`).
+///
+/// # Guarantees consumed by integer-domain kernels
+///
+/// Downstream consumers that multiply mantissas as integers (the
+/// `fast_tensor` integer-domain qGEMM, DESIGN.md §11) rely on two
+/// invariants that every packing path upholds:
+///
+/// * **Mantissa range**: `|mantissas[idx]| ≤ 2^m − 1 ≤ 127` — the value
+///   `-128` never occurs, because magnitudes are clamped to the format's
+///   `max_magnitude()` *before* the sign is applied. A product of two
+///   mantissas therefore fits `i16` (`≤ 127² = 16 129`) and i32
+///   accumulation over up to `⌊i32::MAX / 127²⌋ = 133 152` products is
+///   exact.
+/// * **Scale values**: every scale is either an *exact power of two*
+///   (`2^(E−m+1)` with `E` a representable normal exponent, so the f32 has
+///   an all-zero significand field) or exactly `0.0` for an all-zero
+///   group. A product of two scales is thus itself exact in f32 (no
+///   rounding), which is what lets the integer kernels factor the scales
+///   out of the inner product without changing the result.
 #[derive(Debug, Clone)]
 pub struct PackedData {
     /// Signed mantissas, row-major, one per value.
@@ -552,6 +571,37 @@ mod tests {
                 got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 "{axis:?}"
             );
+        }
+    }
+
+    #[test]
+    fn packed_invariants_hold_for_integer_kernels() {
+        // The integer-domain qGEMM (fast_tensor, DESIGN.md §11) multiplies
+        // mantissas as i8×i8 and multiplies scale pairs in f32. That is only
+        // exact if |man| ≤ 127 (never -128) and every scale is an exact
+        // power of two or 0.0 — pin both invariants across formats,
+        // roundings and axes.
+        let data = rand_data(24 * 24, 17);
+        for axis in [GroupAxis::AlongRow, GroupAxis::AlongCol] {
+            for (fmt, rounding) in [
+                (BfpFormat::high(), Rounding::Nearest),
+                (BfpFormat::mid(), Rounding::STOCHASTIC8),
+                (BfpFormat::low(), Rounding::Truncate),
+                (BfpFormat::new(7, 7, 5).unwrap(), Rounding::Nearest),
+            ] {
+                let mut bits = Lfsr16::default();
+                let packed =
+                    pack_matrix_with(&data, 24, 24, axis, fmt, rounding, &mut bits, true).unwrap();
+                let cap = fmt.max_magnitude() as i16;
+                assert!(cap <= 127);
+                for &m in &packed.mantissas {
+                    assert!((m as i16).abs() <= cap, "{axis:?} {fmt}: mantissa {m}");
+                }
+                for &s in &packed.scales {
+                    let pow2 = s > 0.0 && s.to_bits() & 0x7F_FFFF == 0;
+                    assert!(s == 0.0 || pow2, "{axis:?} {fmt}: scale {s} not 2^k or 0");
+                }
+            }
         }
     }
 

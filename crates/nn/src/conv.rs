@@ -13,7 +13,7 @@ use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
 use fast_tensor::{
     col2im, gemm_out_to_nchw, im2col, im2row, kaiming_normal, nchw_to_gemm_out, row_sums,
-    Conv2dDims, Tensor,
+    Conv2dDims, ExecMode, Tensor,
 };
 use rand::Rng;
 
@@ -31,6 +31,7 @@ pub struct Conv2d {
     pad: usize,
     use_bias: bool,
     precision: LayerPrecision,
+    exec_mode: Option<ExecMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -63,6 +64,7 @@ impl Conv2d {
             pad,
             use_bias,
             precision: LayerPrecision::default(),
+            exec_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -97,6 +99,7 @@ const IM2ROW_MAX_P: usize = 32;
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
         let d = self.dims_for(input);
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
         let mut out_mat = if session.freeze_weights {
             // The im2col weight matrix is the (out_c, C·k²) reshape of the
             // master tensor — same row-major buffer, so the cache can build
@@ -124,7 +127,7 @@ impl Layer for Conv2d {
                     self.precision.activations,
                     GroupAxis::AlongRow,
                 );
-                qgemm::execute(session, Orient::Bt, &GemmOperand::Cached(wq), &rows)
+                qgemm::execute_with(session, mode, Orient::Bt, &GemmOperand::Cached(wq), &rows)
             } else {
                 let cols = qgemm::prepare_owned_dense(
                     session,
@@ -132,7 +135,7 @@ impl Layer for Conv2d {
                     self.precision.activations,
                     GroupAxis::AlongCol,
                 );
-                qgemm::execute(session, Orient::Nn, &GemmOperand::Cached(wq), &cols)
+                qgemm::execute_with(session, mode, Orient::Nn, &GemmOperand::Cached(wq), &cols)
             }
         } else {
             // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups
@@ -152,7 +155,7 @@ impl Layer for Conv2d {
                 self.precision.weights,
                 GroupAxis::AlongRow,
             );
-            qgemm::execute(session, Orient::Nn, &wq, &cols)
+            qgemm::execute_with(session, mode, Orient::Nn, &wq, &cols)
         };
         if self.use_bias {
             let p = d.p_dim();
@@ -186,6 +189,7 @@ impl Layer for Conv2d {
             .as_ref()
             .expect("Conv2d::backward requires a training-mode forward pass");
         let g_mat = nchw_to_gemm_out(grad_output, d); // (out_c, P)
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
 
         // ∇W = ∇O · colsᵀ, reduction over P.
         let gq = qgemm::prepare(
@@ -200,7 +204,7 @@ impl Layer for Conv2d {
             self.precision.activations,
             GroupAxis::AlongRow,
         );
-        let gw = qgemm::execute(session, Orient::Nt, &gq, &cols).reshape(vec![
+        let gw = qgemm::execute_with(session, mode, Orient::Nt, &gq, &cols).reshape(vec![
             self.out_c,
             self.in_c,
             self.kernel,
@@ -230,7 +234,7 @@ impl Layer for Conv2d {
             self.precision.weights,
             GroupAxis::AlongCol,
         );
-        let grad_cols = qgemm::execute(session, Orient::Tn, &wq, &gq2);
+        let grad_cols = qgemm::execute_with(session, mode, Orient::Tn, &wq, &gq2);
         let grad_input = col2im(&grad_cols, d);
 
         if session.record_sensitivity {
@@ -280,6 +284,10 @@ impl QuantControlled for Conv2d {
         &mut self.precision
     }
 
+    fn exec_mode_mut(&mut self) -> &mut Option<ExecMode> {
+        &mut self.exec_mode
+    }
+
     fn precision(&self) -> LayerPrecision {
         self.precision
     }
@@ -321,6 +329,7 @@ pub struct DepthwiseConv2d {
     stride: usize,
     pad: usize,
     precision: LayerPrecision,
+    exec_mode: Option<ExecMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -345,6 +354,7 @@ impl DepthwiseConv2d {
             stride,
             pad,
             precision: LayerPrecision::default(),
+            exec_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -386,6 +396,7 @@ impl Layer for DepthwiseConv2d {
         assert_eq!(input.rank(), 4, "DepthwiseConv2d expects NCHW input");
         assert_eq!(input.shape()[1], self.channels, "channel mismatch");
         let d = self.channel_dims(input);
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
         let (b, oh, ow) = (d.batch, d.out_h(), d.out_w());
         let mut out = Tensor::zeros(vec![b, self.channels, oh, ow]);
         let k2 = self.kernel * self.kernel;
@@ -424,7 +435,7 @@ impl Layer for DepthwiseConv2d {
                     GroupAxis::AlongRow,
                 ),
             };
-            let out_mat = qgemm::execute(session, Orient::Nn, &w_row, &cols); // (1, B·OH·OW)
+            let out_mat = qgemm::execute_with(session, mode, Orient::Nn, &w_row, &cols); // (1, B·OH·OW)
             let od = out.data_mut();
             for bi in 0..b {
                 for p in 0..oh * ow {
@@ -449,6 +460,7 @@ impl Layer for DepthwiseConv2d {
             .as_ref()
             .expect("DepthwiseConv2d::backward requires a training-mode forward pass");
         let d = self.channel_dims(x);
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
         let (b, h, w) = (d.batch, d.in_h, d.in_w);
         let k2 = self.kernel * self.kernel;
         let mut grad_input = Tensor::zeros(vec![b, self.channels, h, w]);
@@ -470,7 +482,7 @@ impl Layer for DepthwiseConv2d {
                 self.precision.activations,
                 GroupAxis::AlongRow,
             );
-            let gw_row = qgemm::execute(session, Orient::Nt, &gq, &cols); // (1, k²)
+            let gw_row = qgemm::execute_with(session, mode, Orient::Nt, &gq, &cols); // (1, k²)
             drop(gq);
             for (i, &v) in gw_row.data().iter().enumerate() {
                 self.gw.data_mut()[c * k2 + i] += v;
@@ -491,7 +503,7 @@ impl Layer for DepthwiseConv2d {
                 self.precision.weights,
                 GroupAxis::AlongCol,
             );
-            let grad_cols = qgemm::execute(session, Orient::Tn, &wq, &gq2); // (k², B·OH·OW)
+            let grad_cols = qgemm::execute_with(session, mode, Orient::Tn, &wq, &gq2); // (k², B·OH·OW)
             let gic = col2im(&grad_cols, d); // (B,1,H,W)
             for bi in 0..b {
                 for p in 0..h * w {
@@ -535,6 +547,10 @@ impl Layer for DepthwiseConv2d {
 impl QuantControlled for DepthwiseConv2d {
     fn precision_mut(&mut self) -> &mut LayerPrecision {
         &mut self.precision
+    }
+
+    fn exec_mode_mut(&mut self) -> &mut Option<ExecMode> {
+        &mut self.exec_mode
     }
 
     fn precision(&self) -> LayerPrecision {

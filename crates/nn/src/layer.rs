@@ -6,7 +6,7 @@ use crate::qgemm::PlanStats;
 use crate::quant::LayerPrecision;
 use fast_bfp::{BitSource, QuantStats, RngBits};
 use fast_ckpt::{StateVisitor, VisitState};
-use fast_tensor::Tensor;
+use fast_tensor::{ExecMode, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,6 +40,14 @@ pub struct Session {
     /// MAC counts plus fused [`QuantStats`] from operand preparation — the
     /// single software-side instrumentation point (DESIGN.md §9).
     pub plan_stats: PlanStats,
+    /// How packed×packed GEMMs routed through [`crate::qgemm::execute`]
+    /// run: the bit-exact replay path (the default) or the integer-domain
+    /// kernels of DESIGN.md §11. Layers may override it per layer via
+    /// [`QuantControlled::exec_mode_mut`]. Like the mode flags above this is
+    /// *not* checkpoint state — a training loop (or serving compile)
+    /// reasserts it; see [`Session::default_exec_mode`] for the
+    /// `FAST_QGEMM_MODE` environment override.
+    pub exec_mode: ExecMode,
     bits: RngBits<StdRng>,
 }
 
@@ -51,8 +59,21 @@ impl Session {
             freeze_weights: false,
             record_sensitivity: false,
             plan_stats: PlanStats::default(),
+            exec_mode: Session::default_exec_mode(),
             bits: RngBits(StdRng::seed_from_u64(seed)),
         }
+    }
+
+    /// The process-wide default [`ExecMode`] for new sessions:
+    /// [`ExecMode::Integer`] when the `FAST_QGEMM_MODE` environment variable
+    /// is set to `integer` (the CI lever that forces the whole gate suite
+    /// through the integer-domain kernels), [`ExecMode::Replay`] otherwise.
+    pub fn default_exec_mode() -> ExecMode {
+        static ENV: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| match std::env::var("FAST_QGEMM_MODE").as_deref() {
+            Ok("integer") => ExecMode::Integer,
+            _ => ExecMode::Replay,
+        })
     }
 
     /// Creates an evaluation session: no training-mode caching, but weights
@@ -179,6 +200,12 @@ impl GemmShape {
 pub trait QuantControlled {
     /// Mutable access to the layer's (W, A, G) format assignment.
     fn precision_mut(&mut self) -> &mut LayerPrecision;
+    /// Per-layer [`ExecMode`] override: `Some(mode)` pins this layer's
+    /// GEMMs to `mode`, `None` (the default) inherits
+    /// [`Session::exec_mode`]. Like the session flag this is asserted by
+    /// the run, not carried in checkpoints — an artifact restored on a
+    /// machine without AVX2 must not smuggle in an execution-mode choice.
+    fn exec_mode_mut(&mut self) -> &mut Option<ExecMode>;
     /// The current format assignment.
     fn precision(&self) -> LayerPrecision;
     /// The FP32 master weights.
@@ -264,6 +291,16 @@ pub fn quant_layer_count(layer: &mut dyn Layer) -> usize {
 /// Sets every quantized layer in the tree to the same precision.
 pub fn set_uniform_precision(layer: &mut dyn Layer, precision: LayerPrecision) {
     layer.visit_quant(&mut |q| *q.precision_mut() = precision);
+}
+
+/// Sets every quantized layer's [`ExecMode`] override: `Some(mode)` pins
+/// the layers regardless of [`Session::exec_mode`], `None` restores
+/// session-controlled execution. The per-layer knob exists because the
+/// integer-domain mode is an *accuracy* decision per layer (DESIGN.md §11),
+/// not just a speed switch — e.g. keep a sensitive head on
+/// [`ExecMode::Replay`] while the backbone runs integer.
+pub fn set_exec_mode(layer: &mut dyn Layer, mode: Option<ExecMode>) {
+    layer.visit_quant(&mut |q| *q.exec_mode_mut() = mode);
 }
 
 /// Collects `(label, precision)` for every quantized layer.

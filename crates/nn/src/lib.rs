@@ -69,8 +69,8 @@ pub use attention::MultiHeadSelfAttention;
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use embed::{Embedding, PositionalEmbedding};
 pub use layer::{
-    collect_precisions, parameter_count, quant_layer_count, set_uniform_precision, GemmShape,
-    Layer, Param, QuantControlled, Session,
+    collect_precisions, parameter_count, quant_layer_count, set_exec_mode, set_uniform_precision,
+    GemmShape, Layer, Param, QuantControlled, Session,
 };
 pub use linear::Dense;
 pub use loss::{bce_with_logit, mse_loss, softmax_cross_entropy};
@@ -82,6 +82,10 @@ pub use pool::{Flatten, GlobalAvgPool, MaxPool2d};
 pub use qgemm::PlanStats;
 pub use quant::{LayerPrecision, NumericFormat};
 pub use trainer::{NoopHook, StepStats, TrainHook, Trainer};
+
+// Execution-mode vocabulary, re-exported so trainer/controller/serving code
+// can select the integer-domain qGEMM path without naming `fast_tensor`.
+pub use fast_tensor::ExecMode;
 
 // Checkpoint vocabulary, re-exported so layer/optimizer/controller authors
 // (and `fast_core`/`fast_serve`) share one `StateVisitor` without naming

@@ -19,7 +19,7 @@ use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
 use crate::qgemm::{self, GemmOperand, Orient};
 use crate::quant::LayerPrecision;
 use fast_bfp::GroupAxis;
-use fast_tensor::{col_sums, kaiming_normal, Tensor};
+use fast_tensor::{col_sums, kaiming_normal, ExecMode, Tensor};
 use rand::Rng;
 
 /// A dense layer `y = x·W + b` with independently quantized W/A/G tensors.
@@ -31,6 +31,7 @@ pub struct Dense {
     gb: Tensor,
     use_bias: bool,
     precision: LayerPrecision,
+    exec_mode: Option<ExecMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -49,6 +50,7 @@ impl Dense {
             gb: Tensor::zeros(vec![out_dim]),
             use_bias,
             precision: LayerPrecision::default(),
+            exec_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -95,6 +97,7 @@ impl Layer for Dense {
         });
 
         let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
         let xq = qgemm::prepare(
             session,
             input,
@@ -109,7 +112,7 @@ impl Layer for Dense {
                 self.precision.weights,
                 GroupAxis::AlongCol,
             );
-            qgemm::execute(session, Orient::Nn, &xq, &GemmOperand::Cached(wq))
+            qgemm::execute_with(session, mode, Orient::Nn, &xq, &GemmOperand::Cached(wq))
         } else {
             let wq = qgemm::prepare(
                 session,
@@ -117,7 +120,7 @@ impl Layer for Dense {
                 self.precision.weights,
                 GroupAxis::AlongCol,
             );
-            qgemm::execute(session, Orient::Nn, &xq, &wq)
+            qgemm::execute_with(session, mode, Orient::Nn, &xq, &wq)
         };
         if self.use_bias {
             let n = self.out_dim();
@@ -142,6 +145,7 @@ impl Layer for Dense {
         assert_eq!(grad_output.shape(), &[x.shape()[0], self.out_dim()]);
 
         // ∇W = Aᵀ·∇O, reduction over the batch dimension.
+        let mode = self.exec_mode.unwrap_or(session.exec_mode);
         let xq = qgemm::prepare(session, x, self.precision.activations, GroupAxis::AlongCol);
         let gq = qgemm::prepare(
             session,
@@ -149,7 +153,7 @@ impl Layer for Dense {
             self.precision.gradients,
             GroupAxis::AlongCol,
         );
-        let gw = qgemm::execute(session, Orient::Tn, &xq, &gq);
+        let gw = qgemm::execute_with(session, mode, Orient::Tn, &xq, &gq);
         self.gw.add_assign(&gw);
         if self.use_bias {
             let sums = col_sums(grad_output);
@@ -173,7 +177,7 @@ impl Layer for Dense {
         );
         // The NT kernel over g (B,N) and W (K,N) reduces over N and yields
         // (B,K) = g·Wᵀ.
-        let grad_input = qgemm::execute(session, Orient::Nt, &gq2, &wq);
+        let grad_input = qgemm::execute_with(session, mode, Orient::Nt, &gq2, &wq);
         if session.record_sensitivity {
             self.last_grad = Some(grad_output.clone());
         }
@@ -223,6 +227,10 @@ impl Layer for Dense {
 impl QuantControlled for Dense {
     fn precision_mut(&mut self) -> &mut LayerPrecision {
         &mut self.precision
+    }
+
+    fn exec_mode_mut(&mut self) -> &mut Option<ExecMode> {
+        &mut self.exec_mode
     }
 
     fn precision(&self) -> LayerPrecision {

@@ -11,14 +11,18 @@
 //!    mantissas + per-group scales, no dequantized f32 copy), and
 //!    everything else falls back to a quantized dense copy.
 //! 2. [`execute`] multiplies the prepared operands with the packed-operand
-//!    kernels of `fast_tensor::qgemm`, which replay the dense kernels'
-//!    exact per-element summation trees.
+//!    kernels of `fast_tensor::qgemm`, under the session's [`ExecMode`]
+//!    ([`execute_with`] takes an explicit one).
 //!
-//! The composition is **bit-identical** to the historical
-//! `quantize_copy` + `matmul{,_nt,_tn,_bt}` pipeline for every format,
-//! rounding mode and input (pinned by `crates/nn/tests/proptests.rs`;
-//! argument in DESIGN.md §9), while skipping up to two full f32 tensor
-//! materializations per GEMM.
+//! Under the default [`ExecMode::Replay`] the composition is
+//! **bit-identical** to the historical `quantize_copy` +
+//! `matmul{,_nt,_tn,_bt}` pipeline for every format, rounding mode and
+//! input (pinned by `crates/nn/tests/proptests.rs`; argument in DESIGN.md
+//! §9), while skipping up to two full f32 tensor materializations per GEMM.
+//! [`ExecMode::Integer`] trades that bit identity for integer-domain
+//! execution of eligible packed×packed pairs — `i8×i8→i32` mantissa dot
+//! products, the paper's actual cost model — gated by its own accuracy
+//! proptests (`crates/nn/tests/integer_mode.rs`, DESIGN.md §11).
 //!
 //! [`execute`] is also the system's single software instrumentation point:
 //! it accumulates GEMM/MAC counts and fused [`QuantStats`] into
@@ -33,7 +37,8 @@ use crate::quant::NumericFormat;
 use fast_bfp::packed::pack_matrix_with;
 use fast_bfp::{BitSource, GroupAxis, QuantStats};
 use fast_tensor::qgemm::{
-    qmatmul, qmatmul_bt, qmatmul_nt, qmatmul_tn, Operand, PackLayout, PackedMat,
+    qmatmul_bt_ex, qmatmul_ex, qmatmul_nt_ex, qmatmul_tn_ex, ExecMode, Operand, PackLayout,
+    PackedMat,
 };
 use fast_tensor::Tensor;
 
@@ -295,15 +300,60 @@ pub fn prepare_slice(
     GemmOperand::Own(prepare_slice_with(bits, stats, data, rows, cols, fmt, axis))
 }
 
-/// Executes one GEMM over prepared operands, accumulating
-/// [`Session::plan_stats`]. Bit-identical to running the corresponding
+/// Executes one GEMM over prepared operands under [`Session::exec_mode`],
+/// accumulating [`Session::plan_stats`]. Under the default
+/// [`ExecMode::Replay`] this is bit-identical to running the corresponding
 /// dense kernel on dequantized copies of both operands.
+///
+/// ```
+/// use fast_bfp::{BfpFormat, GroupAxis};
+/// use fast_nn::qgemm::{execute, prepare, Orient};
+/// use fast_nn::{NumericFormat, Session};
+/// use fast_tensor::Tensor;
+///
+/// let mut session = Session::eval(0);
+/// let a = Tensor::from_vec(vec![2, 32], vec![0.25; 64]);
+/// let w = Tensor::from_vec(vec![32, 3], vec![0.5; 96]);
+/// let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
+/// // Quantization groups along the reduction dim: A along its rows, W down
+/// // its columns — the layouts both execution modes accept for `Nn`.
+/// let ap = prepare(&mut session, &a, fmt, GroupAxis::AlongRow);
+/// let wp = prepare(&mut session, &w, fmt, GroupAxis::AlongCol);
+/// let o = execute(&mut session, Orient::Nn, &ap, &wp);
+/// assert_eq!(o.shape(), &[2, 3]);
+/// assert_eq!(session.plan_stats.gemms, 1);
+/// ```
 ///
 /// # Panics
 ///
 /// Panics if the operand shapes disagree for the orientation.
 pub fn execute(
     session: &mut Session,
+    orient: Orient,
+    a: &GemmOperand<'_>,
+    b: &GemmOperand<'_>,
+) -> Tensor {
+    let mode = session.exec_mode;
+    execute_with(session, mode, orient, a, b)
+}
+
+/// [`execute`] under an explicit [`ExecMode`], overriding
+/// [`Session::exec_mode`] for this one GEMM — the entry point layers use to
+/// honor their per-layer override
+/// ([`QuantControlled::exec_mode_mut`](crate::QuantControlled::exec_mode_mut)).
+///
+/// [`ExecMode::Integer`] applies only to packed×packed operand pairs whose
+/// quantization groups run along the reduction dimension; every other pair
+/// silently executes on the replay path, so requesting integer execution
+/// never changes *whether* a GEMM is faithful, only which deterministic f32
+/// association an eligible pair is summed in (DESIGN.md §11).
+///
+/// # Panics
+///
+/// Panics if the operand shapes disagree for the orientation.
+pub fn execute_with(
+    session: &mut Session,
+    mode: ExecMode,
     orient: Orient,
     a: &GemmOperand<'_>,
     b: &GemmOperand<'_>,
@@ -319,10 +369,10 @@ pub fn execute(
     session.plan_stats.gemms += 1;
     session.plan_stats.macs += (m * k * n) as u64;
     match orient {
-        Orient::Nn => qmatmul(av, bv),
-        Orient::Nt => qmatmul_nt(av, bv),
-        Orient::Tn => qmatmul_tn(av, bv),
-        Orient::Bt => qmatmul_bt(av, bv),
+        Orient::Nn => qmatmul_ex(mode, av, bv),
+        Orient::Nt => qmatmul_nt_ex(mode, av, bv),
+        Orient::Tn => qmatmul_tn_ex(mode, av, bv),
+        Orient::Bt => qmatmul_bt_ex(mode, av, bv),
     }
 }
 
@@ -373,6 +423,9 @@ mod tests {
     #[test]
     fn execute_matches_reference_composition_and_meters() {
         let mut s = Session::new(0);
+        // This test pins the *replay* composition by definition; keep it
+        // meaningful when CI forces FAST_QGEMM_MODE=integer.
+        s.exec_mode = ExecMode::Replay;
         let a = tensor(5, 32, 4);
         let b = tensor(32, 9, 5);
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());

@@ -1,7 +1,7 @@
 //! Frozen, forward-only models for serving.
 
 use fast_ckpt::{capture_state, restore_state, CkptError, StateDict};
-use fast_nn::{Layer, Sequential, Session};
+use fast_nn::{ExecMode, Layer, Sequential, Session};
 use fast_tensor::Tensor;
 
 /// A trained model compiled for inference serving.
@@ -70,6 +70,50 @@ impl CompiledModel {
     /// Unfreezes the model, returning it for further training.
     pub fn into_model(self) -> Sequential {
         self.model
+    }
+
+    /// Selects the quantized-GEMM execution mode for this replica's
+    /// requests (DESIGN.md §11).
+    ///
+    /// The default, [`ExecMode::Replay`], replays the training kernels'
+    /// f32 arithmetic bit-for-bit; [`ExecMode::Integer`] computes packed×
+    /// packed GEMMs with i8×i8→i32 inner products and is faster but not
+    /// bit-identical to the training forward (it is still within the §11
+    /// accuracy gates). The mode is per-replica serving configuration, not
+    /// model state: it is never written to checkpoints, and [`Self::apply_state`]
+    /// hot reloads leave it untouched.
+    ///
+    /// ```
+    /// use fast_nn::{ExecMode, Sequential};
+    /// use fast_serve::CompiledModel;
+    ///
+    /// let mut replica = CompiledModel::compile(Sequential::new(), 0);
+    /// // Opt this replica into the integer-domain fast path.
+    /// replica.set_exec_mode(ExecMode::Integer);
+    /// ```
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.session.exec_mode = mode;
+    }
+
+    /// Builder-style variant of [`Self::set_exec_mode`] for use at
+    /// compile time:
+    ///
+    /// ```
+    /// use fast_nn::{ExecMode, Sequential};
+    /// use fast_serve::CompiledModel;
+    ///
+    /// let replica =
+    ///     CompiledModel::compile(Sequential::new(), 0).with_exec_mode(ExecMode::Integer);
+    /// # let _ = replica;
+    /// ```
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.set_exec_mode(mode);
+        self
+    }
+
+    /// The execution mode this replica serves under.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.session.exec_mode
     }
 
     /// Replaces the model's weights (and buffers/formats) with a decoded
@@ -197,6 +241,28 @@ mod tests {
         // And the swapped weights still serve the trained model's outputs.
         let mut reference = CompiledModel::compile(trained, 0);
         assert_eq!(compiled.infer(&x), reference.infer(&x));
+    }
+
+    #[test]
+    fn integer_mode_is_per_replica_and_stays_close_to_replay() {
+        let x = sample();
+        let mut replay = CompiledModel::compile(model(11), 0);
+        replay.set_exec_mode(ExecMode::Replay); // independent of FAST_QGEMM_MODE
+        let mut integer = CompiledModel::compile(model(11), 0).with_exec_mode(ExecMode::Integer);
+        assert_eq!(integer.exec_mode(), ExecMode::Integer);
+
+        let want = replay.infer(&x);
+        let got = integer.infer(&x);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            let tol = 1e-5 * w.abs().max(1.0);
+            assert!((g - w).abs() <= tol, "integer {g} vs replay {w}");
+        }
+
+        // A checkpoint hot reload must not reset the serving configuration.
+        let dict = capture_state(replay.model_mut());
+        integer.apply_state(&dict).unwrap();
+        assert_eq!(integer.exec_mode(), ExecMode::Integer);
     }
 
     #[test]

@@ -18,10 +18,60 @@
 //! result bits as quantize-copy + dense GEMM, for every worker count.
 //!
 //! Dense×dense operand pairs delegate to the dense kernels directly.
+//!
+//! **Execution modes.** The replay path above is the default. When both
+//! operands are packed with their quantization groups along the reduction
+//! dimension, the [`ExecMode::Integer`] entry points ([`qmatmul_ex`] and
+//! friends) instead run the integer-domain kernels of DESIGN.md §11:
+//! `i8×i8→i32` mantissa dot products with one f32 scale multiply per group
+//! pair, never touching an f32 panel — the software realization of the
+//! fMAC pipeline modeled by `fast_hw`'s `fmac` module. Integer-domain
+//! results are a few ULPs away from replay (different cross-group f32
+//! association), but remain deterministic: bit-identical across worker
+//! counts, across the SIMD/scalar dispatch, and across replicas.
 
 use crate::matmul::{matmul, matmul_bt, matmul_nt, matmul_tn, tree_dot, JB, MR, NR};
 use crate::parallel::shard_rows;
+use crate::qgemm_int;
 use crate::tensor::Tensor;
+
+/// How a packed×packed GEMM executes.
+///
+/// Both modes are deterministic (bit-identical across worker counts and
+/// replicas); they differ in *which* f32 result they deterministically
+/// produce. [`ExecMode::Replay`] is the default everywhere.
+///
+/// ```
+/// use fast_tensor::qgemm::ExecMode;
+/// assert_eq!(ExecMode::default(), ExecMode::Replay);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Dequantize on the fly into register-tile scratch and replay the
+    /// dense kernels' exact summation trees: results are bit-identical to
+    /// quantize-copy + dense GEMM (DESIGN.md §9).
+    #[default]
+    Replay,
+    /// Integer-domain execution (DESIGN.md §11): exact `i8×i8→i32` mantissa
+    /// dot products per reduction group, one f32 scale multiply-accumulate
+    /// per group pair. Faster than the f32 pipeline, but the cross-group
+    /// f32 accumulation runs in a different association than the replay
+    /// trees, so results diverge from [`ExecMode::Replay`] by a few ULPs.
+    ///
+    /// Only reduction-grouped packed×packed pairs are eligible; anything
+    /// else (a dense operand, groups along the wrong axis, or a group so
+    /// long the i32 bound [`MAX_INT_SEGMENT`] could overflow) silently
+    /// falls back to the replay path — callers never get garbage, they get
+    /// the replay bits.
+    Integer,
+}
+
+/// Longest reduction segment whose worst-case `i8×i8` products
+/// (`127 · 127` each) are guaranteed to fit an `i32` accumulator:
+/// `⌊(2³¹ − 1) / 127²⌋ = 133 152` values. Packed groups are far shorter in
+/// practice (the BFP format zoo tops out at 16); pairs whose groups exceed
+/// this fall back to [`ExecMode::Replay`].
+pub const MAX_INT_SEGMENT: usize = (i32::MAX as usize) / (127 * 127);
 
 /// How quantization groups (one scale each) run through a [`PackedMat`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +152,21 @@ impl PackedMat {
     /// Which way groups run through the matrix.
     pub fn layout(&self) -> PackLayout {
         self.layout
+    }
+
+    /// The raw row-major `i8` mantissas (`rows × cols`). Quantizers bound
+    /// these by the mantissa width (`|m| ≤ 127` at the 8-bit cap) — the
+    /// invariant the integer-domain kernels' overflow analysis rests on.
+    pub fn mantissas(&self) -> &[i8] {
+        &self.mans
+    }
+
+    /// The raw per-group scales in the [`PackLayout`] order documented on
+    /// [`PackedMat::new`]. Quantizers emit exact powers of two (or `0.0`
+    /// for all-zero groups), so a product of two scales is itself exact —
+    /// see `fast_bfp::packed`.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
     }
 
     /// Heap bytes held by the packed representation (mantissas + scales) —
@@ -485,6 +550,104 @@ pub fn qmatmul_bt(a: Operand<'_>, b: Operand<'_>) -> Tensor {
             bt_impl(&PackedRows { p: x }, &PackedRows { p: y }, m, ka, n)
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Mode-dispatching entry points. `ExecMode::Replay` is exactly the plain
+// functions above; `ExecMode::Integer` routes eligible packed×packed pairs
+// to the integer-domain kernels and silently replays everything else.
+// Eligibility means the quantization groups of *both* operands run along
+// the reduction dimension (so the group-scale product factors out of each
+// integer segment) and the segment length respects `MAX_INT_SEGMENT`.
+// ---------------------------------------------------------------------------
+
+/// [`qmatmul`] under an explicit [`ExecMode`]. For `A (m×k) · B (k×n)` the
+/// integer path needs `A` in [`PackLayout::RowGroups`] and `B` in
+/// [`PackLayout::ColGroups`].
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn qmatmul_ex(mode: ExecMode, a: Operand<'_>, b: Operand<'_>) -> Tensor {
+    if mode == ExecMode::Integer {
+        if let (Operand::Packed(x), Operand::Packed(y)) = (a, b) {
+            if x.layout == PackLayout::RowGroups
+                && y.layout == PackLayout::ColGroups
+                && x.cols == y.rows
+                && qgemm_int::segment_bound_ok(x.cols, x.group, y.group)
+            {
+                return qgemm_int::int_nn(x, y);
+            }
+        }
+    }
+    qmatmul(a, b)
+}
+
+/// [`qmatmul_nt`] under an explicit [`ExecMode`]. For `A (m×k) · Bᵀ` with
+/// `B` stored `n×k`, the integer path needs both operands in
+/// [`PackLayout::RowGroups`] (both store the reduction along their rows).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn qmatmul_nt_ex(mode: ExecMode, a: Operand<'_>, b: Operand<'_>) -> Tensor {
+    if mode == ExecMode::Integer {
+        if let (Operand::Packed(x), Operand::Packed(y)) = (a, b) {
+            if x.layout == PackLayout::RowGroups
+                && y.layout == PackLayout::RowGroups
+                && x.cols == y.cols
+                && qgemm_int::segment_bound_ok(x.cols, x.group, y.group)
+            {
+                return qgemm_int::int_nt(x, y);
+            }
+        }
+    }
+    qmatmul_nt(a, b)
+}
+
+/// [`qmatmul_tn`] under an explicit [`ExecMode`]. For `Aᵀ · B` with `A`
+/// stored `k×m` and `B` stored `k×n`, the integer path needs both operands
+/// in [`PackLayout::ColGroups`] (the reduction runs down their columns).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn qmatmul_tn_ex(mode: ExecMode, a: Operand<'_>, b: Operand<'_>) -> Tensor {
+    if mode == ExecMode::Integer {
+        if let (Operand::Packed(x), Operand::Packed(y)) = (a, b) {
+            if x.layout == PackLayout::ColGroups
+                && y.layout == PackLayout::ColGroups
+                && x.rows == y.rows
+                && qgemm_int::segment_bound_ok(x.rows, x.group, y.group)
+            {
+                return qgemm_int::int_tn(x, y);
+            }
+        }
+    }
+    qmatmul_tn(a, b)
+}
+
+/// [`qmatmul_bt`] under an explicit [`ExecMode`]. Storage-wise identical to
+/// [`qmatmul_nt_ex`] — in the integer domain the NT/BT distinction (which
+/// dense summation tree gets replayed) vanishes, because both compute the
+/// same exact integer segments.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or the inner dimensions disagree.
+pub fn qmatmul_bt_ex(mode: ExecMode, a: Operand<'_>, b: Operand<'_>) -> Tensor {
+    if mode == ExecMode::Integer {
+        if let (Operand::Packed(x), Operand::Packed(y)) = (a, b) {
+            if x.layout == PackLayout::RowGroups
+                && y.layout == PackLayout::RowGroups
+                && x.cols == y.cols
+                && qgemm_int::segment_bound_ok(x.cols, x.group, y.group)
+            {
+                return qgemm_int::int_nt(x, y);
+            }
+        }
+    }
+    qmatmul_bt(a, b)
 }
 
 fn scratch(needed: bool, len: usize) -> Vec<f32> {
@@ -1066,6 +1229,75 @@ mod tests {
         // i8 mantissas + one f32 scale per 16 values: well under the dense
         // f32 footprint.
         assert!(p.heap_bytes() < 4 * 6 * 20);
+    }
+
+    #[test]
+    fn replay_mode_entry_points_are_the_plain_kernels() {
+        let (pa, _) = random_pack(5, 40, 16, PackLayout::RowGroups, 4, 101);
+        let (pb, _) = random_pack(40, 9, 16, PackLayout::ColGroups, 4, 102);
+        let (pbt, _) = random_pack(9, 40, 16, PackLayout::RowGroups, 4, 103);
+        let a = Operand::Packed(&pa);
+        assert_bits_eq(
+            &qmatmul_ex(ExecMode::Replay, a, Operand::Packed(&pb)),
+            &qmatmul(a, Operand::Packed(&pb)),
+            "nn replay",
+        );
+        assert_bits_eq(
+            &qmatmul_nt_ex(ExecMode::Replay, a, Operand::Packed(&pbt)),
+            &qmatmul_nt(a, Operand::Packed(&pbt)),
+            "nt replay",
+        );
+        assert_bits_eq(
+            &qmatmul_bt_ex(ExecMode::Replay, a, Operand::Packed(&pbt)),
+            &qmatmul_bt(a, Operand::Packed(&pbt)),
+            "bt replay",
+        );
+    }
+
+    #[test]
+    fn ineligible_integer_requests_fall_back_to_replay_bits() {
+        // Dense operand: integer domain inapplicable.
+        let (pa, da) = random_pack(5, 40, 16, PackLayout::RowGroups, 4, 111);
+        let (pb, db) = random_pack(40, 9, 16, PackLayout::ColGroups, 4, 112);
+        assert_bits_eq(
+            &qmatmul_ex(ExecMode::Integer, Operand::Dense(&da), Operand::Packed(&pb)),
+            &qmatmul(Operand::Dense(&da), Operand::Packed(&pb)),
+            "dense a",
+        );
+        // Groups along the wrong axis: the scale product does not factor
+        // per reduction segment, so the pair must replay.
+        let (pb_wrong, db_wrong) = random_pack(40, 9, 16, PackLayout::RowGroups, 4, 113);
+        assert_bits_eq(
+            &qmatmul_ex(
+                ExecMode::Integer,
+                Operand::Packed(&pa),
+                Operand::Packed(&pb_wrong),
+            ),
+            &matmul(&da, &db_wrong),
+            "wrong layout",
+        );
+        let _ = db;
+    }
+
+    #[test]
+    fn integer_nn_stays_close_to_replay() {
+        // The two modes sum identical group terms in different f32
+        // associations; on well-scaled data they agree to fine precision.
+        let (pa, da) = random_pack(16, 64, 16, PackLayout::RowGroups, 4, 121);
+        let (pb, db) = random_pack(64, 24, 16, PackLayout::ColGroups, 4, 122);
+        let replay = matmul(&da, &db);
+        let int = qmatmul_ex(
+            ExecMode::Integer,
+            Operand::Packed(&pa),
+            Operand::Packed(&pb),
+        );
+        let scale = replay.data().iter().fold(1e-30f32, |s, v| s.max(v.abs()));
+        for (g, w) in int.data().iter().zip(replay.data()) {
+            assert!(
+                (g - w).abs() / scale < 1e-5,
+                "integer vs replay drifted: {g} vs {w}"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! Kernel benchmark: LFSR noise generation vs a general-purpose RNG as the
-//! stochastic-rounding bit source.
+//! Kernel benchmark: LFSR noise generation vs a general-purpose RNG vs the
+//! counter-based hash as the stochastic-rounding bit source.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fast_bfp::{BitSource, Lfsr16, RngBits};
+use fast_bfp::{BitSource, CounterRng, Lfsr16, RngBits};
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Duration;
@@ -25,6 +25,19 @@ fn bench(c: &mut Criterion) {
             let mut acc = 0u32;
             for _ in 0..1024 {
                 acc = acc.wrapping_add(rng.next_bits(8));
+            }
+            black_box(acc)
+        })
+    });
+    // Counter mode's cost model: `bits_at` hashes the offset on every call,
+    // but consecutive 8-bit draws land in lanes of one 64-bit hash — the
+    // kernels amortize to one SplitMix64 per eight elements.
+    group.bench_function("counter_8bit_draws", |b| {
+        let rng = CounterRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_add(rng.bits_at(i, 8));
             }
             black_box(acc)
         })

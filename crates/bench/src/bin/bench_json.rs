@@ -15,9 +15,9 @@
 //! embeds a previously written measurement object under `"baseline"` and
 //! reports speedup ratios against it.
 
-use fast_bfp::kernel::fake_quantize_slice_with;
+use fast_bfp::kernel::{fake_quantize_slice_counter, fake_quantize_slice_with};
 use fast_bfp::GroupAxis;
-use fast_bfp::{BfpFormat, Lfsr16, Rounding};
+use fast_bfp::{BfpFormat, CounterRng, Lfsr16, Rounding};
 use fast_nn::models::{resnet_lite, ResNetConfig};
 use fast_nn::qgemm::{execute, execute_with, prepare, Orient};
 use fast_nn::{
@@ -103,6 +103,46 @@ fn main() {
                 Rounding::STOCHASTIC8,
                 &mut lfsr,
                 None,
+            ));
+        }),
+    ));
+
+    // --- The same SR quantize under the counter noise source (DESIGN.md
+    // §12): one SplitMix64 hash yields eight 8-bit lanes, and draws are
+    // indexed by element offset instead of threaded through a serial
+    // generator. The `_par` row shards the identical draws across the
+    // worker pool — bit-identical output to the single-thread row; on a
+    // one-core runner the two rows coincide. Compare either against
+    // `quant_slice_m4_stochastic_ns` (the `counter_sr_over_lfsr_sr_x`
+    // ratio below).
+    let crng = CounterRng::new(0xACE1);
+    results.push((
+        "quant_slice_m4_counter_sr_ns",
+        time_ns(warmup, iters, || {
+            buf.copy_from_slice(&base);
+            black_box(fake_quantize_slice_counter(
+                &mut buf,
+                fmt,
+                Rounding::STOCHASTIC8,
+                crng,
+                0,
+                None,
+                1,
+            ));
+        }),
+    ));
+    results.push((
+        "quant_slice_m4_counter_sr_par_ns",
+        time_ns(warmup, iters, || {
+            buf.copy_from_slice(&base);
+            black_box(fake_quantize_slice_counter(
+                &mut buf,
+                fmt,
+                Rounding::STOCHASTIC8,
+                crng,
+                0,
+                None,
+                fast_tensor::parallelism().workers(),
             ));
         }),
     ));
@@ -241,6 +281,23 @@ fn main() {
         ) {
             if int > 0.0 {
                 ratios.push((format!("fp32_over_qgemm_int_{fmt_key}_x"), fp32 / int));
+            }
+        }
+    }
+
+    // Counter SR vs LFSR SR on the 64k-value slice quantize, same run
+    // (> 1.0 means the counter source is faster).
+    {
+        let find = |k: &str| results.iter().find(|(key, _)| *key == k).map(|&(_, ns)| ns);
+        if let (Some(lfsr_ns), Some(counter_ns)) = (
+            find("quant_slice_m4_stochastic_ns"),
+            find("quant_slice_m4_counter_sr_ns"),
+        ) {
+            if counter_ns > 0.0 {
+                ratios.push((
+                    "counter_sr_over_lfsr_sr_x".to_string(),
+                    lfsr_ns / counter_ns,
+                ));
             }
         }
     }

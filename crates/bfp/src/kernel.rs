@@ -26,6 +26,7 @@
 use crate::format::BfpFormat;
 use crate::group::ExponentWindow;
 use crate::lfsr::BitSource;
+use crate::rng::{CounterBits, CounterRng};
 use crate::rounding::Rounding;
 use crate::tensor_quant::{GroupAxis, QuantStats};
 
@@ -34,6 +35,73 @@ use crate::tensor_quant::{GroupAxis, QuantStats};
 /// 32 columns × f32 keeps a panel row inside two cache lines while the
 /// gather/scatter walks the matrix row-major.
 const COL_PANEL: usize = 32;
+
+/// Minimum elements each extra worker must be handed before counter-mode
+/// quantization shards — below this the thread-spawn cost dominates the
+/// ~2-3 ns/element quantization work.
+const MIN_ELEMS_PER_WORKER: usize = 1 << 14;
+
+/// The noise stream the quantization kernels draw from, generalizing
+/// [`BitSource`] with *positioning*: order-free sources key every draw on an
+/// element offset, sequential sources ignore the position calls entirely.
+///
+/// The kernels announce each group's position via [`NoiseSource::seek`]
+/// (linear offset of its first element plus the stride between consecutive
+/// elements) and account skipped elements via [`NoiseSource::skip`], so an
+/// order-free source hands every element the noise at its own offset no
+/// matter which path, order, or worker visits it.
+pub(crate) trait NoiseSource {
+    /// Whether draws are keyed purely by element position. Order-free
+    /// sources unlock the column-vertical stochastic paths and worker
+    /// sharding; sequential sources must see elements in the reference
+    /// order (and skip zeros, for stream parity with the seed
+    /// implementation).
+    const ORDER_FREE: bool;
+
+    /// The next `n`-bit draw (low bits), advancing the position by one
+    /// stride step.
+    fn draw(&mut self, n: u32) -> u32;
+
+    /// Positions the source at linear element offset `base`, with
+    /// consecutive draws `stride` elements apart. No-op for sequential
+    /// sources.
+    fn seek(&mut self, base: u64, stride: u64);
+
+    /// Advances the position by `k` stride steps without drawing (an
+    /// element that consumes no noise). No-op for sequential sources.
+    fn skip(&mut self, k: u64);
+
+    /// Fills `out` with consecutive 8-bit draws (requires stride 1),
+    /// advancing the position by `out.len()`. Equivalent to `out.len()`
+    /// calls of `draw(8)`; order-free sources override this with bulk word
+    /// extraction so the caller's consuming loop can go branch-free.
+    #[inline]
+    fn fill8(&mut self, out: &mut [u8]) {
+        for b in out {
+            *b = self.draw(8) as u8;
+        }
+    }
+}
+
+/// A [`BitSource`] consumed in element-visitation order — the paper's
+/// serialized LFSR semantics. Positioning calls are no-ops; draw order *is*
+/// the stream order.
+pub(crate) struct SeqSource<'a, B: BitSource + ?Sized>(pub(crate) &'a mut B);
+
+impl<B: BitSource + ?Sized> NoiseSource for SeqSource<'_, B> {
+    const ORDER_FREE: bool = false;
+
+    #[inline(always)]
+    fn draw(&mut self, n: u32) -> u32 {
+        self.0.next_bits(n)
+    }
+
+    #[inline(always)]
+    fn seek(&mut self, _base: u64, _stride: u64) {}
+
+    #[inline(always)]
+    fn skip(&mut self, _k: u64) {}
+}
 
 /// Splits a finite non-zero f32 magnitude bit pattern into `(sig, p)` with
 /// `|x| = sig · 2^p` and `sig < 2^24` (subnormals keep their raw fraction).
@@ -130,17 +198,25 @@ pub(crate) fn pow2_f32(e: i32) -> f32 {
 pub(crate) trait RoundOp {
     /// Whether this rule consumes random bits. Deterministic rules may be
     /// evaluated in any element order (enabling column-parallel kernels);
-    /// stochastic rules must see elements in the reference order.
+    /// stochastic rules need a sequential source to see elements in the
+    /// reference order — or an order-free source, which restores free
+    /// ordering (DESIGN.md §12).
     const DRAWS_BITS: bool;
 
-    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64;
+    /// Whether this rule is exactly 8-bit stochastic rounding — the paper's
+    /// gradient configuration. Combined with an order-free source it
+    /// unlocks the branch-free bulk-noise loops (`fill8` + u32 shift math),
+    /// which is where counter mode's single-thread speedup comes from.
+    const NOISE8: bool = false;
+
+    fn round<N: NoiseSource>(&self, sig: u32, t: i64, bits: &mut N) -> u64;
 
     /// Fast-path variant with the precondition `t >= 1` (guaranteed when
     /// the shared exponent is at least the group's natural exponent, since
     /// then `t >= 24 - m >= 8`): branch-free for the deterministic modes
     /// via shift clamping — for `sig < 2^24` every clamped shift yields the
     /// same result as the exact one. The result fits u32 (`<= 2^16`).
-    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32;
+    fn round_aligned<N: NoiseSource>(&self, sig: u32, t: i32, bits: &mut N) -> u32;
 }
 
 /// Shifts the already-integer scaled mantissa into place (`t <= 0` case
@@ -159,7 +235,7 @@ impl RoundOp for NearestOp {
     const DRAWS_BITS: bool = false;
 
     #[inline(always)]
-    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, _bits: &mut B) -> u64 {
+    fn round<N: NoiseSource>(&self, sig: u32, t: i64, _bits: &mut N) -> u64 {
         if t <= 0 {
             shift_up(sig, t)
         } else if t >= 25 {
@@ -170,7 +246,7 @@ impl RoundOp for NearestOp {
     }
 
     #[inline(always)]
-    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, _bits: &mut B) -> u32 {
+    fn round_aligned<N: NoiseSource>(&self, sig: u32, t: i32, _bits: &mut N) -> u32 {
         let t = t.min(25) as u32; // t = 25: sig + 2^24 < 2^25, result 0
         (sig + (1u32 << (t - 1))) >> t
     }
@@ -181,7 +257,7 @@ impl RoundOp for TruncateOp {
     const DRAWS_BITS: bool = false;
 
     #[inline(always)]
-    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, _bits: &mut B) -> u64 {
+    fn round<N: NoiseSource>(&self, sig: u32, t: i64, _bits: &mut N) -> u64 {
         if t <= 0 {
             shift_up(sig, t)
         } else if t >= 24 {
@@ -192,7 +268,7 @@ impl RoundOp for TruncateOp {
     }
 
     #[inline(always)]
-    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, _bits: &mut B) -> u32 {
+    fn round_aligned<N: NoiseSource>(&self, sig: u32, t: i32, _bits: &mut N) -> u32 {
         sig >> t.min(24) as u32
     }
 }
@@ -206,10 +282,10 @@ impl RoundOp for StochasticOp {
     const DRAWS_BITS: bool = true;
 
     #[inline(always)]
-    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64 {
+    fn round<N: NoiseSource>(&self, sig: u32, t: i64, bits: &mut N) -> u64 {
         // The reference draws noise for every non-zero element, including
         // ones the shift decides outright, so the stream stays aligned.
-        let r = bits.next_bits(self.noise_bits) as u64;
+        let r = bits.draw(self.noise_bits) as u64;
         let nb = self.noise_bits as i64;
         if t <= 0 {
             shift_up(sig, t) // floor(integer + noise) = integer
@@ -225,11 +301,14 @@ impl RoundOp for StochasticOp {
     }
 
     #[inline(always)]
-    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32 {
-        if sig == 0 {
+    fn round_aligned<N: NoiseSource>(&self, sig: u32, t: i32, bits: &mut N) -> u32 {
+        if !N::ORDER_FREE && sig == 0 {
             return 0; // zeros never draw noise (stream parity with seed)
         }
-        let r = bits.next_bits(self.noise_bits) as u64;
+        // Order-free sources draw for zeros too — the draw is positional,
+        // costs nothing downstream (the result is still 0: r < 2^nb), and
+        // keeps every element pinned to its own offset.
+        let r = bits.draw(self.noise_bits) as u64;
         let nb = self.noise_bits as i64;
         // Clamping t at 63 is exact: for t >= 63 both terms shift to zero
         // (sig < 2^24 and r·2^(63-nb) + sig < 2^63 for nb <= 31).
@@ -246,13 +325,13 @@ impl RoundOp for StochasticOp {
 /// Quantizes one group of `values` against shared exponent `e`, pushing the
 /// signed integer mantissas onto `out`.
 #[inline]
-fn group_mantissas<R: RoundOp, B: BitSource + ?Sized>(
+fn group_mantissas<R: RoundOp, N: NoiseSource>(
     values: &[f32],
     e: i32,
     m: u32,
     max_mag: u64,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     out: &mut Vec<i32>,
 ) {
     let t_base = e as i64 + 1 - m as i64;
@@ -260,7 +339,8 @@ fn group_mantissas<R: RoundOp, B: BitSource + ?Sized>(
         let raw = v.to_bits();
         let abs = raw & 0x7FFF_FFFF;
         if abs == 0 || abs > 0x7F80_0000 {
-            out.push(0); // zero or NaN
+            bits.skip(1); // zero or NaN: consumes its position, never a draw
+            out.push(0);
             continue;
         }
         let abs = if abs == 0x7F80_0000 { 0x7F7F_FFFF } else { abs };
@@ -274,13 +354,13 @@ fn group_mantissas<R: RoundOp, B: BitSource + ?Sized>(
 /// the same pass. Write-back matches `BfpGroup::dequantize_into` bit for
 /// bit: `mantissa · 2^(E-m+1)` with a single rounding to f32.
 #[inline]
-fn fake_quantize_group<R: RoundOp, B: BitSource + ?Sized>(
+fn fake_quantize_group<R: RoundOp, N: NoiseSource>(
     chunk: &mut [f32],
     m: u32,
     max_mag: u64,
     window: Option<ExponentWindow>,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     stats: &mut QuantStats,
 ) {
     stats.groups += 1;
@@ -316,15 +396,18 @@ fn fake_quantize_group<R: RoundOp, B: BitSource + ?Sized>(
 /// `2^(E-m+1) ∈ [2^-141, 2^127]` is itself exact), which is precisely what
 /// the f64 multiply followed by an f32 narrowing computes.
 #[inline]
-fn fake_quantize_group_plain<R: RoundOp, B: BitSource + ?Sized>(
+fn fake_quantize_group_plain<R: RoundOp, N: NoiseSource>(
     chunk: &mut [f32],
     e: i32,
     m: u32,
     max_mag: u64,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     stats: &mut QuantStats,
 ) {
+    if R::NOISE8 && N::ORDER_FREE {
+        return fake_quantize_group_plain_noise8(chunk, e, m, max_mag, bits, stats);
+    }
     let t_base = e + 1 - m as i32;
     let max_mag = max_mag as u32;
     let scale = pow2_f32(e - m as i32 + 1);
@@ -349,15 +432,73 @@ fn fake_quantize_group_plain<R: RoundOp, B: BitSource + ?Sized>(
     stats.saturated += saturated as u64;
 }
 
+/// Stack buffer for bulk 8-bit noise prefetch; group sizes are far smaller,
+/// larger groups just loop.
+const NOISE_CHUNK: usize = 256;
+
+/// 8-bit-stochastic twin of [`fake_quantize_group_plain`] for order-free
+/// noise: the group's draws are prefetched with [`NoiseSource::fill8`] (one
+/// SplitMix64 word per eight lanes), and the consuming loop is branch-free
+/// u32 arithmetic — the same auto-vectorizable shape as the deterministic
+/// plain loop, which is where counter mode's single-thread speedup over the
+/// serialized LFSR comes from (DESIGN.md §12).
+///
+/// Bit-equivalence with `Stochastic8Op::round_aligned` against the same
+/// positional draws: with `t ≥ 8` (the plain-path precondition) and noise
+/// `r < 2^8`, for `t ≤ 31` the u32 form `(sig + (r << (t-8))) >> t` is the
+/// u64 form exactly (`sig + r·2^(t-8) < 2^24 + 2^31`, no overflow), and for
+/// `t ≥ 32` the true magnitude is `⌊sig/2^t + r/2^8⌋ = 0`, which the `live`
+/// mask forces. Zeros draw too (`sig = 0` → `mag = r >> 8 = 0`), keeping
+/// every element pinned to its own offset.
+#[inline]
+fn fake_quantize_group_plain_noise8<N: NoiseSource>(
+    chunk: &mut [f32],
+    e: i32,
+    m: u32,
+    max_mag: u64,
+    bits: &mut N,
+    stats: &mut QuantStats,
+) {
+    let t_base = e + 1 - m as i32;
+    let max_mag = max_mag as u32;
+    let scale = pow2_f32(e - m as i32 + 1);
+    let mut zeros = 0u32;
+    let mut saturated = 0u32;
+    let mut noise = [0u8; NOISE_CHUNK];
+    for sub in chunk.chunks_mut(NOISE_CHUNK) {
+        let nb = &mut noise[..sub.len()];
+        bits.fill8(nb);
+        for (v, &r) in sub.iter_mut().zip(nb.iter()) {
+            let raw = v.to_bits();
+            let abs = raw & 0x7FFF_FFFF;
+            let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+            let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+            let p = (abs >> 23) as i32 - 150;
+            let t = (t_base - p) as u32;
+            debug_assert!(t >= 8);
+            let tc = t.min(31);
+            let live = ((t < 32) as u32).wrapping_neg();
+            let mag = (((sig + ((r as u32) << (tc - 8))) >> tc) & live).min(max_mag);
+            zeros += (mag == 0) as u32;
+            saturated += (mag == max_mag) as u32;
+            let s = (raw as i32) >> 31;
+            let man = (mag as i32 ^ s) - s;
+            *v = man as f32 * scale;
+        }
+    }
+    stats.zeros += zeros as u64;
+    stats.saturated += saturated as u64;
+}
+
 /// General per-element loop: NaN/infinity sanitization, subnormal inputs,
 /// and shared exponents pushed anywhere by a hand-built window.
-fn fake_quantize_group_general<R: RoundOp, B: BitSource + ?Sized>(
+fn fake_quantize_group_general<R: RoundOp, N: NoiseSource>(
     chunk: &mut [f32],
     e: i32,
     m: u32,
     max_mag: u64,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     stats: &mut QuantStats,
 ) {
     let t_base = e as i64 + 1 - m as i64;
@@ -369,6 +510,7 @@ fn fake_quantize_group_general<R: RoundOp, B: BitSource + ?Sized>(
         let raw = v.to_bits();
         let abs = raw & 0x7FFF_FFFF;
         if abs == 0 || abs > 0x7F80_0000 {
+            bits.skip(1); // zero/NaN consumes its position, never a draw
             zeros += 1;
             *v = 0.0;
             continue;
@@ -395,18 +537,21 @@ fn fake_quantize_group_general<R: RoundOp, B: BitSource + ?Sized>(
 pub(crate) struct Stochastic8Op;
 impl RoundOp for Stochastic8Op {
     const DRAWS_BITS: bool = true;
+    const NOISE8: bool = true;
 
     #[inline(always)]
-    fn round<B: BitSource + ?Sized>(&self, sig: u32, t: i64, bits: &mut B) -> u64 {
+    fn round<N: NoiseSource>(&self, sig: u32, t: i64, bits: &mut N) -> u64 {
         StochasticOp { noise_bits: 8 }.round(sig, t, bits)
     }
 
     #[inline(always)]
-    fn round_aligned<B: BitSource + ?Sized>(&self, sig: u32, t: i32, bits: &mut B) -> u32 {
-        if sig == 0 {
+    fn round_aligned<N: NoiseSource>(&self, sig: u32, t: i32, bits: &mut N) -> u32 {
+        if !N::ORDER_FREE && sig == 0 {
             return 0; // zeros never draw noise (stream parity with seed)
         }
-        let r = bits.next_bits(8) as u64;
+        // Order-free: positional draw even for zeros (result still 0; for
+        // sig = 0 the fast-path t is t_base + 150 >= 9, so the assert holds).
+        let r = bits.draw(8) as u64;
         // Fast-path precondition t >= 24 - m >= 8 = noise_bits, so only the
         // single-shift form is needed; clamping at 63 is exact (see
         // `StochasticOp::round_aligned`).
@@ -428,17 +573,19 @@ pub(crate) fn check_noise_bits(rounding: Rounding) {
 }
 
 #[inline]
-fn slice_kernel<R: RoundOp, B: BitSource + ?Sized>(
+fn slice_kernel<R: RoundOp, N: NoiseSource>(
     values: &mut [f32],
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> QuantStats {
     let mut stats = QuantStats::default();
     let m = fmt.mantissa_bits();
     let max_mag = fmt.max_magnitude() as u64;
-    for chunk in values.chunks_mut(fmt.group_size()) {
+    let g = fmt.group_size();
+    for (gi, chunk) in values.chunks_mut(g).enumerate() {
+        bits.seek((gi * g) as u64, 1);
         fake_quantize_group(chunk, m, max_mag, window, round, bits, &mut stats);
     }
     stats
@@ -446,28 +593,49 @@ fn slice_kernel<R: RoundOp, B: BitSource + ?Sized>(
 
 #[allow(clippy::too_many_arguments)] // mirrors the converter signature
 #[inline]
-fn matrix_kernel<R: RoundOp, B: BitSource + ?Sized>(
+fn matrix_kernel<R: RoundOp, N: NoiseSource>(
     data: &mut [f32],
     rows: usize,
     cols: usize,
     axis: GroupAxis,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     use_window: bool,
 ) -> QuantStats {
-    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
     let window = use_window.then(|| ExponentWindow {
         reference_exponent: max_exponent(data).unwrap_or(0),
         exponent_bits: fmt.exponent_bits(),
     });
+    matrix_kernel_windowed(data, rows, cols, axis, fmt, round, bits, window)
+}
+
+/// [`matrix_kernel`] after window resolution — the sharding entry point:
+/// counter-mode stripes quantize sub-matrices against the window computed
+/// once over the whole matrix, with their noise offsets biased to the
+/// stripe's first element.
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+#[inline]
+fn matrix_kernel_windowed<R: RoundOp, N: NoiseSource>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut N,
+    window: Option<ExponentWindow>,
+) -> QuantStats {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
     match axis {
         GroupAxis::AlongRow => {
             let mut stats = QuantStats::default();
             let m = fmt.mantissa_bits();
             let max_mag = fmt.max_magnitude() as u64;
-            for row in data.chunks_mut(cols) {
-                for chunk in row.chunks_mut(fmt.group_size()) {
+            let g = fmt.group_size();
+            for (r, row) in data.chunks_mut(cols).enumerate() {
+                for (gi, chunk) in row.chunks_mut(g).enumerate() {
+                    bits.seek((r * cols + gi * g) as u64, 1);
                     fake_quantize_group(chunk, m, max_mag, window, round, bits, &mut stats);
                 }
             }
@@ -477,37 +645,40 @@ fn matrix_kernel<R: RoundOp, B: BitSource + ?Sized>(
     }
 }
 
-/// `AlongCol` quantization: column-parallel for deterministic rounding,
-/// panel-staged sequential for stochastic rounding.
-fn along_col_kernel<R: RoundOp, B: BitSource + ?Sized>(
+/// `AlongCol` quantization: column-parallel whenever element order is free
+/// (deterministic rounding, or stochastic rounding with an order-free noise
+/// source), panel-staged sequential only for stochastic rounding against a
+/// sequential stream — counter mode deletes the SR panel-staging entirely.
+fn along_col_kernel<R: RoundOp, N: NoiseSource>(
     data: &mut [f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> QuantStats {
-    if !R::DRAWS_BITS {
+    if !R::DRAWS_BITS || N::ORDER_FREE {
         along_col_vertical(data, rows, cols, fmt, round, bits, window)
     } else {
         along_col_panels(data, rows, cols, fmt, round, bits, window)
     }
 }
 
-/// Deterministic `AlongCol` path: every column group in a row block is
+/// Order-free `AlongCol` path: every column group in a row block is
 /// quantized simultaneously, lane-wise across the columns — the natural
 /// SIMD layout for a row-major matrix, with no transpose staging at all.
-/// Valid because nearest/truncate rounding consumes no bit stream, so
+/// Valid because nearest/truncate rounding consumes no bit stream and
+/// counter-mode stochastic rounding keys noise on element offsets, so
 /// element order is free; each element still gets exactly the arithmetic of
 /// [`fake_quantize_group`].
-fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
+fn along_col_vertical<R: RoundOp, N: NoiseSource>(
     data: &mut [f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> QuantStats {
     let mut stats = QuantStats::default();
@@ -521,6 +692,7 @@ fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
     let mut zeros = vec![0u32; cols];
     let mut saturated = vec![0u32; cols];
     let mut scratch = Vec::new(); // only used by the rare fallback
+    let mut noise_row: Vec<u8> = Vec::new(); // bulk draws for the noise8 path
     let mut row0 = 0;
     while row0 < rows {
         let rb = g.min(rows - row0);
@@ -539,13 +711,16 @@ fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
             }
         }
         if odd != 0 {
-            // Subnormal/inf/NaN present: gather each column group and run the
-            // general scalar pipeline (order is irrelevant — no draws).
+            // Subnormal/inf/NaN present: gather each column group and run
+            // the general scalar pipeline (deterministic rounding draws
+            // nothing; an order-free source is seeked to the column's
+            // strided offsets so every element keeps its own noise).
             scratch.resize(rb, 0.0);
             for c in 0..cols {
                 for (k, s) in scratch.iter_mut().enumerate() {
                     *s = data[(row0 + k) * cols + c];
                 }
+                bits.seek((row0 * cols + c) as u64, cols as u64);
                 fake_quantize_group(
                     &mut scratch,
                     m,
@@ -578,9 +753,35 @@ fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
             }
         }
         // Lane-wise quantization of the block, same arithmetic as
-        // `fake_quantize_group_plain`.
+        // `fake_quantize_group_plain`. The row-major walk advances an
+        // order-free source one offset per element; for 8-bit stochastic
+        // rounding the row's draws are prefetched in bulk and the loop goes
+        // branch-free, mirroring `fake_quantize_group_plain_noise8`.
         for r in row0..row0 + rb {
+            bits.seek((r * cols) as u64, 1);
             let row = &mut data[r * cols..(r + 1) * cols];
+            if R::NOISE8 && N::ORDER_FREE {
+                noise_row.resize(cols, 0);
+                bits.fill8(&mut noise_row[..cols]);
+                for (c, (v, &rn)) in row.iter_mut().zip(noise_row.iter()).enumerate() {
+                    let raw = v.to_bits();
+                    let abs = raw & 0x7FFF_FFFF;
+                    let nonzero_mask = ((abs != 0) as u32).wrapping_neg();
+                    let sig = ((raw & 0x7F_FFFF) | 0x80_0000) & nonzero_mask;
+                    let p = (abs >> 23) as i32 - 150;
+                    let t = (t_base[c] - p) as u32;
+                    debug_assert!(t >= 8);
+                    let tc = t.min(31);
+                    let live = ((t < 32) as u32).wrapping_neg();
+                    let mag = (((sig + ((rn as u32) << (tc - 8))) >> tc) & live).min(max_mag);
+                    zeros[c] += (mag == 0) as u32;
+                    saturated[c] += (mag == max_mag) as u32;
+                    let s = (raw as i32) >> 31;
+                    let man = (mag as i32 ^ s) - s;
+                    *v = man as f32 * scale[c];
+                }
+                continue;
+            }
             for (c, v) in row.iter_mut().enumerate() {
                 let raw = v.to_bits();
                 let abs = raw & 0x7FFF_FFFF;
@@ -602,20 +803,22 @@ fn along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
     stats
 }
 
-/// Stochastic `AlongCol` path via cache-friendly column panels.
+/// Sequential-stochastic `AlongCol` path via cache-friendly column panels.
 ///
 /// Columns are staged [`COL_PANEL`] at a time into a contiguous transposed
 /// scratch buffer (streaming the matrix row-major for both gather and
 /// scatter), quantized as contiguous slices, and written back. Columns are
-/// still consumed left to right, rows top to bottom, so a stochastic bit
-/// stream sees exactly the element order of the strided reference.
-fn along_col_panels<R: RoundOp, B: BitSource + ?Sized>(
+/// still consumed left to right, rows top to bottom, so a sequential
+/// stochastic bit stream sees exactly the element order of the strided
+/// reference. Only reached when `N::ORDER_FREE` is false — counter mode
+/// takes [`along_col_vertical`] instead.
+fn along_col_panels<R: RoundOp, N: NoiseSource>(
     data: &mut [f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> QuantStats {
     let mut stats = QuantStats::default();
@@ -666,6 +869,7 @@ pub fn quantize_group_mantissas<B: BitSource + ?Sized>(
         fmt.mantissa_bits(),
         fmt.max_magnitude() as u64,
     );
+    let bits = &mut SeqSource(bits);
     match rounding {
         Rounding::Nearest => group_mantissas(values, e, m, max_mag, &NearestOp, bits, out),
         Rounding::Truncate => group_mantissas(values, e, m, max_mag, &TruncateOp, bits, out),
@@ -718,6 +922,7 @@ pub fn fake_quantize_slice_with<B: BitSource + ?Sized>(
     window: Option<ExponentWindow>,
 ) -> QuantStats {
     check_noise_bits(rounding);
+    let bits = &mut SeqSource(bits);
     match rounding {
         Rounding::Nearest => slice_kernel(values, fmt, &NearestOp, bits, window),
         Rounding::Truncate => slice_kernel(values, fmt, &TruncateOp, bits, window),
@@ -750,6 +955,7 @@ pub fn fake_quantize_matrix_with<B: BitSource + ?Sized>(
     use_window: bool,
 ) -> QuantStats {
     check_noise_bits(rounding);
+    let bits = &mut SeqSource(bits);
     match rounding {
         Rounding::Nearest => {
             matrix_kernel(data, rows, cols, axis, fmt, &NearestOp, bits, use_window)
@@ -776,6 +982,227 @@ pub fn fake_quantize_matrix_with<B: BitSource + ?Sized>(
             &StochasticOp { noise_bits },
             bits,
             use_window,
+        ),
+    }
+}
+
+/// Effective worker count for counter-mode sharding: capped so every worker
+/// gets at least [`MIN_ELEMS_PER_WORKER`] elements, never below one.
+#[inline]
+pub(crate) fn effective_workers(workers: usize, numel: usize) -> usize {
+    workers.min(numel / MIN_ELEMS_PER_WORKER).max(1)
+}
+
+/// Counter-mode slice quantization, monomorphized over the rounding rule and
+/// sharded across `workers` threads at group granularity.
+///
+/// Element `i` of `values` draws its noise at offset `base + i`, no matter
+/// which stripe or thread quantizes it — the output is bitwise identical for
+/// every worker count and visitation order.
+#[allow(clippy::too_many_arguments)]
+fn slice_counter<R: RoundOp + Sync>(
+    values: &mut [f32],
+    fmt: BfpFormat,
+    round: &R,
+    rng: CounterRng,
+    base: u64,
+    window: Option<ExponentWindow>,
+    workers: usize,
+) -> QuantStats {
+    let numel = values.len();
+    let workers = effective_workers(workers, numel);
+    if workers == 1 {
+        let mut bits = CounterBits::new(rng, base);
+        return slice_kernel(values, fmt, round, &mut bits, window);
+    }
+    let g = fmt.group_size();
+    // Stripe at group granularity so every stripe starts on a group
+    // boundary — stripe-local group decomposition then matches the
+    // unsharded kernel exactly.
+    let groups = numel.div_ceil(g);
+    let stripe_elems = groups.div_ceil(workers) * g;
+    let mut stats = QuantStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = values
+            .chunks_mut(stripe_elems)
+            .enumerate()
+            .map(|(i, stripe)| {
+                let origin = base + (i * stripe_elems) as u64;
+                scope.spawn(move || {
+                    let mut bits = CounterBits::new(rng, origin);
+                    slice_kernel(stripe, fmt, round, &mut bits, window)
+                })
+            })
+            .collect();
+        for h in handles {
+            stats.merge(h.join().expect("counter-SR worker panicked"));
+        }
+    });
+    stats
+}
+
+/// Fake-quantizes a contiguous slice with counter-based noise: element `i`
+/// draws at offset `base + i` from `rng`, independent of visitation order
+/// and of `workers` (the quantization shards across threads at group
+/// granularity; deterministic rounding modes simply ignore the noise).
+///
+/// This is the order-free twin of [`fake_quantize_slice_with`] — same
+/// arithmetic, same [`QuantStats`], but the stochastic noise is keyed by
+/// `(seed, offset)` instead of a serialized stream (DESIGN.md §12).
+///
+/// # Panics
+///
+/// Panics if `rounding` is `Stochastic` with `noise_bits` outside `1..=31`.
+pub fn fake_quantize_slice_counter(
+    values: &mut [f32],
+    fmt: BfpFormat,
+    rounding: Rounding,
+    rng: CounterRng,
+    base: u64,
+    window: Option<ExponentWindow>,
+    workers: usize,
+) -> QuantStats {
+    check_noise_bits(rounding);
+    match rounding {
+        Rounding::Nearest => slice_counter(values, fmt, &NearestOp, rng, base, window, workers),
+        Rounding::Truncate => slice_counter(values, fmt, &TruncateOp, rng, base, window, workers),
+        Rounding::Stochastic { noise_bits: 8 } => {
+            slice_counter(values, fmt, &Stochastic8Op, rng, base, window, workers)
+        }
+        Rounding::Stochastic { noise_bits } => slice_counter(
+            values,
+            fmt,
+            &StochasticOp { noise_bits },
+            rng,
+            base,
+            window,
+            workers,
+        ),
+    }
+}
+
+/// Counter-mode matrix quantization, monomorphized over the rounding rule
+/// and sharded across `workers` threads in row stripes.
+///
+/// Stripes align to single rows for `AlongRow` and to `group_size()` rows
+/// for `AlongCol`, so stripe-local group decomposition matches the
+/// unsharded kernel; the exponent window is resolved once over the whole
+/// matrix before sharding.
+#[allow(clippy::too_many_arguments)]
+fn matrix_counter<R: RoundOp + Sync>(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    round: &R,
+    rng: CounterRng,
+    base: u64,
+    use_window: bool,
+    workers: usize,
+) -> QuantStats {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let window = use_window.then(|| ExponentWindow {
+        reference_exponent: max_exponent(data).unwrap_or(0),
+        exponent_bits: fmt.exponent_bits(),
+    });
+    let workers = effective_workers(workers, data.len());
+    if workers == 1 {
+        let mut bits = CounterBits::new(rng, base);
+        return matrix_kernel_windowed(data, rows, cols, axis, fmt, round, &mut bits, window);
+    }
+    let granule = match axis {
+        GroupAxis::AlongRow => 1,
+        GroupAxis::AlongCol => fmt.group_size(),
+    };
+    let blocks = rows.div_ceil(granule);
+    let stripe_rows = blocks.div_ceil(workers) * granule;
+    let mut stats = QuantStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks_mut(stripe_rows * cols)
+            .enumerate()
+            .map(|(i, stripe)| {
+                let origin = base + (i * stripe_rows * cols) as u64;
+                scope.spawn(move || {
+                    let mut bits = CounterBits::new(rng, origin);
+                    let srows = stripe.len() / cols;
+                    matrix_kernel_windowed(stripe, srows, cols, axis, fmt, round, &mut bits, window)
+                })
+            })
+            .collect();
+        for h in handles {
+            stats.merge(h.join().expect("counter-SR worker panicked"));
+        }
+    });
+    stats
+}
+
+/// Fake-quantizes a row-major `rows × cols` matrix with counter-based
+/// noise: the element at `(r, c)` draws at offset `base + r·cols + c` from
+/// `rng`, independent of axis path, visitation order, and `workers`.
+///
+/// Order-free twin of [`fake_quantize_matrix_with`]; in stochastic modes the
+/// `AlongCol` path runs column-vertical (no panel staging) and shards across
+/// threads like deterministic rounding (DESIGN.md §12).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`, or if `rounding` is `Stochastic`
+/// with `noise_bits` outside `1..=31`.
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+pub fn fake_quantize_matrix_counter(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    rounding: Rounding,
+    rng: CounterRng,
+    base: u64,
+    use_window: bool,
+    workers: usize,
+) -> QuantStats {
+    check_noise_bits(rounding);
+    match rounding {
+        Rounding::Nearest => matrix_counter(
+            data, rows, cols, axis, fmt, &NearestOp, rng, base, use_window, workers,
+        ),
+        Rounding::Truncate => matrix_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &TruncateOp,
+            rng,
+            base,
+            use_window,
+            workers,
+        ),
+        Rounding::Stochastic { noise_bits: 8 } => matrix_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &Stochastic8Op,
+            rng,
+            base,
+            use_window,
+            workers,
+        ),
+        Rounding::Stochastic { noise_bits } => matrix_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &StochasticOp { noise_bits },
+            rng,
+            base,
+            use_window,
+            workers,
         ),
     }
 }

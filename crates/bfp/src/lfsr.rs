@@ -135,6 +135,20 @@ impl BitSource for Lfsr16 {
 ///
 /// Useful in tests and property checks where statistical quality matters
 /// more than hardware fidelity.
+///
+/// # Draw-width semantics
+///
+/// Every [`BitSource::next_bits`] call consumes exactly **one** `next_u32`
+/// from the wrapped RNG and returns its **low** `n` bits, regardless of `n`
+/// — narrower draws discard the remaining high bits rather than banking
+/// them. This differs from [`Lfsr16`], whose stream is bit-serial: there an
+/// `n`-bit draw advances the register exactly `n` steps and the first-drawn
+/// bit lands in the MSB. Consequence: two `RngBits` draws of 8 bits and one
+/// draw of 16 bits see *different* noise from the same RNG state, so code
+/// that must replay a stream has to use identical draw widths — which the
+/// quantization kernels do (one `noise_bits`-wide draw per element).
+///
+/// `n` is validated to `1..=32` exactly like [`Lfsr16`].
 #[derive(Debug)]
 pub struct RngBits<R>(pub R);
 
@@ -238,5 +252,39 @@ mod tests {
         for _ in 0..1000 {
             assert!(src.next_bits(3) < 8);
         }
+    }
+
+    #[test]
+    fn rng_bits_consumes_one_word_per_draw_and_keeps_low_bits() {
+        use rand::{RngCore, SeedableRng};
+        // Reference stream: the raw u32 sequence of the same seeded RNG.
+        let mut reference = rand::rngs::StdRng::seed_from_u64(99);
+        let words: Vec<u32> = (0..12).map(|_| reference.next_u32()).collect();
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(99));
+        // Mixed widths: each draw consumes exactly one word and masks its
+        // low bits; widths never bank leftover bits across draws.
+        let widths = [8u32, 1, 32, 16, 8, 31, 3, 24, 12, 32, 5, 8];
+        for (&w, &word) in widths.iter().zip(&words) {
+            let expect = if w == 32 { word } else { word & ((1 << w) - 1) };
+            assert_eq!(src.next_bits(w), expect, "width {w}");
+        }
+    }
+
+    #[test]
+    fn rng_bits_full_width_is_passthrough() {
+        use rand::{RngCore, SeedableRng};
+        let mut reference = rand::rngs::StdRng::seed_from_u64(5);
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(5));
+        for _ in 0..100 {
+            assert_eq!(src.next_bits(32), reference.next_u32());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_bits supports 1..=32 bits")]
+    fn rng_bits_rejects_zero_width() {
+        use rand::SeedableRng;
+        let mut src = RngBits(rand::rngs::StdRng::seed_from_u64(1));
+        src.next_bits(0);
     }
 }

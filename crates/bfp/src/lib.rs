@@ -11,7 +11,10 @@
 //!   mantissas → add stochastic noise (gradients) → truncate.
 //! * [`Rounding`] — nearest / truncate / stochastic rounding, the latter
 //!   driven by an [`Lfsr16`] linear-feedback shift register exactly as in the
-//!   paper's BFP converter (Fig 14).
+//!   paper's BFP converter (Fig 14), or — under [`SrMode::Counter`] — by
+//!   [`CounterRng`], an order-independent counter-based noise source keyed
+//!   on `(seed, element offset)` that makes stochastic rounding
+//!   embarrassingly parallel (DESIGN.md §12).
 //! * [`ChunkedGroup`] — the 2-bit-chunk mantissa memory layout of Fig 15
 //!   that enables variable-precision arithmetic (Fig 13).
 //! * [`kernel`] — the zero-allocation integer batch kernels behind all of
@@ -57,6 +60,7 @@ mod format;
 mod fp;
 mod group;
 mod lfsr;
+mod rng;
 mod rounding;
 
 pub mod dot;
@@ -71,6 +75,7 @@ pub use format::BfpFormat;
 pub use fp::{exponent_of, quantize_minifloat, Minifloat};
 pub use group::{BfpGroup, ExponentWindow};
 pub use lfsr::{BitSource, Lfsr16, RngBits};
+pub use rng::{CounterRng, SrMode};
 pub use rounding::Rounding;
 pub use tensor_quant::{
     fake_quantize_matrix, fake_quantize_slice, relative_improvement, GroupAxis, QuantStats,

@@ -32,10 +32,11 @@
 use crate::format::BfpFormat;
 use crate::group::ExponentWindow;
 use crate::kernel::{
-    check_noise_bits, exponent_of_parts, pow2_f32, scan_group, NearestOp, RoundOp, Stochastic8Op,
-    StochasticOp, TruncateOp,
+    check_noise_bits, effective_workers, exponent_of_parts, pow2_f32, scan_group, NearestOp,
+    NoiseSource, RoundOp, SeqSource, Stochastic8Op, StochasticOp, TruncateOp,
 };
 use crate::lfsr::BitSource;
+use crate::rng::{CounterBits, CounterRng};
 use crate::rounding::Rounding;
 use crate::tensor_quant::{GroupAxis, QuantStats};
 
@@ -126,6 +127,7 @@ pub fn pack_matrix_with<B: BitSource + ?Sized>(
         },
         exponent_bits: fmt.exponent_bits(),
     });
+    let bits = &mut SeqSource(bits);
     Some(match rounding {
         Rounding::Nearest => pack_kernel(data, rows, cols, axis, fmt, &NearestOp, bits, window),
         Rounding::Truncate => pack_kernel(data, rows, cols, axis, fmt, &TruncateOp, bits, window),
@@ -145,20 +147,166 @@ pub fn pack_matrix_with<B: BitSource + ?Sized>(
     })
 }
 
-#[allow(clippy::too_many_arguments)] // monomorphization split of the above
-fn pack_kernel<R: RoundOp, B: BitSource + ?Sized>(
+/// Counter-mode packing: the element at `(r, c)` draws its stochastic noise
+/// at offset `base + r·cols + c` from `rng`, independent of axis path,
+/// visitation order, and `workers` — and bit-identical to what
+/// [`crate::kernel::fake_quantize_matrix_counter`] writes for the same
+/// `(rng, base)`, so the packed fast path and the dense fallback remain
+/// interchangeable per operand.
+///
+/// Returns `None` under exactly the same conditions as
+/// [`pack_matrix_with`]; counter noise is positional, so a refusal "costs"
+/// nothing and the caller's fallback quantizes with the same offsets.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`, or if `rounding` is `Stochastic`
+/// with `noise_bits` outside `1..=31`.
+#[allow(clippy::too_many_arguments)] // mirrors the converter signature
+pub fn pack_matrix_counter(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    rounding: Rounding,
+    rng: CounterRng,
+    base: u64,
+    use_window: bool,
+    workers: usize,
+) -> Option<PackedData> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    check_noise_bits(rounding);
+    if fmt.mantissa_bits() > MAX_PACKED_MANTISSA_BITS {
+        return None;
+    }
+    let (max_bits, plain) = scan_group(data);
+    if !plain {
+        return None;
+    }
+    let window = use_window.then(|| ExponentWindow {
+        reference_exponent: if max_bits == 0 {
+            0
+        } else {
+            let (sig, p) = crate::kernel::decompose(max_bits);
+            exponent_of_parts(sig, p)
+        },
+        exponent_bits: fmt.exponent_bits(),
+    });
+    Some(match rounding {
+        Rounding::Nearest => pack_counter(
+            data, rows, cols, axis, fmt, &NearestOp, rng, base, window, workers,
+        ),
+        Rounding::Truncate => pack_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &TruncateOp,
+            rng,
+            base,
+            window,
+            workers,
+        ),
+        Rounding::Stochastic { noise_bits: 8 } => pack_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &Stochastic8Op,
+            rng,
+            base,
+            window,
+            workers,
+        ),
+        Rounding::Stochastic { noise_bits } => pack_counter(
+            data,
+            rows,
+            cols,
+            axis,
+            fmt,
+            &StochasticOp { noise_bits },
+            rng,
+            base,
+            window,
+            workers,
+        ),
+    })
+}
+
+/// Counter-mode packing sharded across `workers` threads in row stripes
+/// (single rows for `AlongRow`, `group_size()` rows for `AlongCol`, so
+/// stripe-local group decomposition matches the unsharded packer). Stripe
+/// outputs concatenate exactly because both mantissa and scale layouts are
+/// row-major in the striped dimension.
+#[allow(clippy::too_many_arguments)]
+fn pack_counter<R: RoundOp + Sync>(
     data: &[f32],
     rows: usize,
     cols: usize,
     axis: GroupAxis,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    rng: CounterRng,
+    base: u64,
+    window: Option<ExponentWindow>,
+    workers: usize,
+) -> PackedData {
+    let workers = effective_workers(workers, data.len());
+    if workers == 1 {
+        let mut bits = CounterBits::new(rng, base);
+        return pack_kernel(data, rows, cols, axis, fmt, round, &mut bits, window);
+    }
+    let granule = match axis {
+        GroupAxis::AlongRow => 1,
+        GroupAxis::AlongCol => fmt.group_size(),
+    };
+    let blocks = rows.div_ceil(granule);
+    let stripe_rows = blocks.div_ceil(workers) * granule;
+    let parts: Vec<PackedData> = std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks(stripe_rows * cols)
+            .enumerate()
+            .map(|(i, stripe)| {
+                let origin = base + (i * stripe_rows * cols) as u64;
+                scope.spawn(move || {
+                    let mut bits = CounterBits::new(rng, origin);
+                    let srows = stripe.len() / cols;
+                    pack_kernel(stripe, srows, cols, axis, fmt, round, &mut bits, window)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("counter-SR pack worker panicked"))
+            .collect()
+    });
+    let mut parts = parts.into_iter();
+    let mut out = parts.next().expect("at least one stripe");
+    for p in parts {
+        out.mantissas.extend_from_slice(&p.mantissas);
+        out.scales.extend_from_slice(&p.scales);
+        out.stats.merge(p.stats);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)] // monomorphization split of the above
+fn pack_kernel<R: RoundOp, N: NoiseSource>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    axis: GroupAxis,
+    fmt: BfpFormat,
+    round: &R,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> PackedData {
     match axis {
         GroupAxis::AlongRow => pack_along_row(data, rows, cols, fmt, round, bits, window),
-        GroupAxis::AlongCol if !R::DRAWS_BITS => {
+        GroupAxis::AlongCol if !R::DRAWS_BITS || N::ORDER_FREE => {
             pack_along_col_vertical(data, rows, cols, fmt, round, bits, window)
         }
         GroupAxis::AlongCol => {
@@ -173,13 +321,13 @@ fn pack_kernel<R: RoundOp, B: BitSource + ?Sized>(
 /// `man as f32 * scale` therefore reproduces its written f32s bit for bit.
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors the fake-quantize group kernel
-fn pack_group_plain<R: RoundOp, B: BitSource + ?Sized>(
+fn pack_group_plain<R: RoundOp, N: NoiseSource>(
     values: &[f32],
     m: u32,
     max_mag: u32,
     window: Option<ExponentWindow>,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     stats: &mut QuantStats,
     out: &mut [i8],
 ) -> f32 {
@@ -222,13 +370,13 @@ fn pack_group_plain<R: RoundOp, B: BitSource + ?Sized>(
 /// `AlongRow` packing: groups are contiguous within each row, visited in
 /// the strided reference's element order (row-major), so stochastic draws
 /// line up stream-for-stream.
-fn pack_along_row<R: RoundOp, B: BitSource + ?Sized>(
+fn pack_along_row<R: RoundOp, N: NoiseSource>(
     data: &[f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> PackedData {
     let g = fmt.group_size();
@@ -240,6 +388,7 @@ fn pack_along_row<R: RoundOp, B: BitSource + ?Sized>(
     let mut stats = QuantStats::default();
     for (r, row) in data.chunks(cols).enumerate() {
         for (gi, chunk) in row.chunks(g).enumerate() {
+            bits.seek((r * cols + gi * g) as u64, 1);
             let scale = pack_group_plain(
                 chunk,
                 m,
@@ -260,16 +409,17 @@ fn pack_along_row<R: RoundOp, B: BitSource + ?Sized>(
     }
 }
 
-/// Deterministic `AlongCol` packing: lane-wise over row blocks (the same
+/// Order-free `AlongCol` packing: lane-wise over row blocks (the same
 /// traversal as the fake-quantize kernel's vertical path — element order is
-/// free because nearest/truncate rounding draws no bits).
-fn pack_along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
+/// free because nearest/truncate rounding draws no bits, and counter-mode
+/// stochastic rounding keys its noise on element offsets).
+fn pack_along_col_vertical<R: RoundOp, N: NoiseSource>(
     data: &[f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> PackedData {
     let g = fmt.group_size();
@@ -308,6 +458,7 @@ fn pack_along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
             }
         }
         for r in row0..row0 + rb {
+            bits.seek((r * cols) as u64, 1);
             let row = &data[r * cols..(r + 1) * cols];
             let man_row = &mut mans[r * cols..(r + 1) * cols];
             for (c, (&v, o)) in row.iter().zip(man_row.iter_mut()).enumerate() {
@@ -338,19 +489,21 @@ fn pack_along_col_vertical<R: RoundOp, B: BitSource + ?Sized>(
 /// (matches the fake-quantize kernel's panel width).
 const COL_PANEL: usize = 32;
 
-/// Stochastic `AlongCol` packing via cache-friendly column panels, exactly
-/// like the fake-quantize kernel's stochastic path: [`COL_PANEL`] columns
-/// are gathered into a contiguous transposed scratch (streaming the matrix
-/// row-major), packed column by column, and the mantissas scattered back
-/// row-major. Columns are consumed left to right, rows top to bottom, so
-/// the noise stream sees the exact element order of the strided reference.
-fn pack_along_col_stochastic<R: RoundOp, B: BitSource + ?Sized>(
+/// Sequential-stochastic `AlongCol` packing via cache-friendly column
+/// panels, exactly like the fake-quantize kernel's sequential stochastic
+/// path: [`COL_PANEL`] columns are gathered into a contiguous transposed
+/// scratch (streaming the matrix row-major), packed column by column, and
+/// the mantissas scattered back row-major. Columns are consumed left to
+/// right, rows top to bottom, so the noise stream sees the exact element
+/// order of the strided reference. Only reached when `N::ORDER_FREE` is
+/// false — counter mode takes [`pack_along_col_vertical`] instead.
+fn pack_along_col_stochastic<R: RoundOp, N: NoiseSource>(
     data: &[f32],
     rows: usize,
     cols: usize,
     fmt: BfpFormat,
     round: &R,
-    bits: &mut B,
+    bits: &mut N,
     window: Option<ExponentWindow>,
 ) -> PackedData {
     let g = fmt.group_size();

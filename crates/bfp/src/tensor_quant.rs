@@ -8,6 +8,12 @@
 //! two ≤16-bit mantissas are exact in f32 and hardware accumulates in FP32,
 //! a fake-quantized f32 GEMM is bit-faithful to the fMAC pipeline (see
 //! `dot::tests::chunked_dot_is_bit_identical_to_direct_dot`).
+//!
+//! The `dyn`-sourced entry points here draw stochastic noise in element
+//! order (the paper's serialized LFSR semantics). For order-independent,
+//! worker-shardable stochastic rounding keyed by `(seed, element offset)`,
+//! see [`crate::kernel::fake_quantize_slice_counter`] and
+//! [`crate::kernel::fake_quantize_matrix_counter`] (DESIGN.md §12).
 
 use crate::format::BfpFormat;
 use crate::group::{BfpGroup, ExponentWindow};

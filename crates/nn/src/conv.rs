@@ -10,7 +10,7 @@ use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
 use crate::qgemm::{self, GemmOperand, Orient};
 use crate::quant::LayerPrecision;
-use fast_bfp::GroupAxis;
+use fast_bfp::{GroupAxis, SrMode};
 use fast_tensor::{
     col2im, gemm_out_to_nchw, im2col, im2row, kaiming_normal, nchw_to_gemm_out, row_sums,
     Conv2dDims, ExecMode, Tensor,
@@ -32,6 +32,7 @@ pub struct Conv2d {
     use_bias: bool,
     precision: LayerPrecision,
     exec_mode: Option<ExecMode>,
+    sr_mode: Option<SrMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -65,6 +66,7 @@ impl Conv2d {
             use_bias,
             precision: LayerPrecision::default(),
             exec_mode: None,
+            sr_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -100,6 +102,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, session: &mut Session) -> Tensor {
         let d = self.dims_for(input);
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
         let mut out_mat = if session.freeze_weights {
             // The im2col weight matrix is the (out_c, C·k²) reshape of the
             // master tensor — same row-major buffer, so the cache can build
@@ -110,6 +113,7 @@ impl Layer for Conv2d {
                 d.k_dim(),
                 self.precision.weights,
                 GroupAxis::AlongRow,
+                sr,
             );
             if d.p_dim() < IM2ROW_MAX_P {
                 // Transposed patches: the quantization groups that run down
@@ -121,16 +125,18 @@ impl Layer for Conv2d {
                 // bit-identical. See DESIGN.md §8.) Patches stay dense:
                 // they are request scratch for one narrow GEMM, so packing
                 // would cost more staging than it saves.
-                let rows = qgemm::prepare_owned_dense(
+                let rows = qgemm::prepare_owned_dense_sr(
                     session,
+                    sr,
                     im2row(input, d),
                     self.precision.activations,
                     GroupAxis::AlongRow,
                 );
                 qgemm::execute_with(session, mode, Orient::Bt, &GemmOperand::Cached(wq), &rows)
             } else {
-                let cols = qgemm::prepare_owned_dense(
+                let cols = qgemm::prepare_owned_dense_sr(
                     session,
+                    sr,
                     im2col(input, d),
                     self.precision.activations,
                     GroupAxis::AlongCol,
@@ -141,14 +147,16 @@ impl Layer for Conv2d {
             // Forward GEMM `O = W_mat · cols` reduces over K = C·k²: groups
             // run down the rows of `cols` (AlongCol) and along the rows of
             // `W_mat`.
-            let cols = qgemm::prepare_owned(
+            let cols = qgemm::prepare_owned_sr(
                 session,
+                sr,
                 im2col(input, d),
                 self.precision.activations,
                 GroupAxis::AlongCol,
             );
-            let wq = qgemm::prepare_slice(
+            let wq = qgemm::prepare_slice_sr(
                 session,
+                sr,
                 self.w.data(),
                 self.out_c,
                 d.k_dim(),
@@ -190,16 +198,19 @@ impl Layer for Conv2d {
             .expect("Conv2d::backward requires a training-mode forward pass");
         let g_mat = nchw_to_gemm_out(grad_output, d); // (out_c, P)
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
 
         // ∇W = ∇O · colsᵀ, reduction over P.
-        let gq = qgemm::prepare(
+        let gq = qgemm::prepare_sr(
             session,
+            sr,
             &g_mat,
             self.precision.gradients,
             GroupAxis::AlongRow,
         );
-        let cols = qgemm::prepare_owned(
+        let cols = qgemm::prepare_owned_sr(
             session,
+            sr,
             im2col(x, d),
             self.precision.activations,
             GroupAxis::AlongRow,
@@ -220,14 +231,16 @@ impl Layer for Conv2d {
         }
 
         // ∇cols = Wᵀ · ∇O, reduction over out_c.
-        let gq2 = qgemm::prepare_owned(
+        let gq2 = qgemm::prepare_owned_sr(
             session,
+            sr,
             g_mat,
             self.precision.gradients,
             GroupAxis::AlongCol,
         );
-        let wq = qgemm::prepare_slice(
+        let wq = qgemm::prepare_slice_sr(
             session,
+            sr,
             self.w.data(),
             self.out_c,
             d.k_dim(),
@@ -288,6 +301,10 @@ impl QuantControlled for Conv2d {
         &mut self.exec_mode
     }
 
+    fn sr_mode_mut(&mut self) -> &mut Option<SrMode> {
+        &mut self.sr_mode
+    }
+
     fn precision(&self) -> LayerPrecision {
         self.precision
     }
@@ -330,6 +347,7 @@ pub struct DepthwiseConv2d {
     pad: usize,
     precision: LayerPrecision,
     exec_mode: Option<ExecMode>,
+    sr_mode: Option<SrMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -355,6 +373,7 @@ impl DepthwiseConv2d {
             pad,
             precision: LayerPrecision::default(),
             exec_mode: None,
+            sr_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -397,6 +416,7 @@ impl Layer for DepthwiseConv2d {
         assert_eq!(input.shape()[1], self.channels, "channel mismatch");
         let d = self.channel_dims(input);
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
         let (b, oh, ow) = (d.batch, d.out_h(), d.out_w());
         let mut out = Tensor::zeros(vec![b, self.channels, oh, ow]);
         let k2 = self.kernel * self.kernel;
@@ -408,15 +428,16 @@ impl Layer for DepthwiseConv2d {
         // (tiny) row copy.
         let frozen_rows: Option<&Tensor> = if session.freeze_weights {
             self.frozen_w
-                .get_per_row(&self.w, self.channels, k2, self.precision.weights)
+                .get_per_row(&self.w, self.channels, k2, self.precision.weights, sr)
                 .dense()
         } else {
             None
         };
         for c in 0..self.channels {
             let xc = Self::slice_channel(input, c);
-            let cols = qgemm::prepare_owned(
+            let cols = qgemm::prepare_owned_sr(
                 session,
+                sr,
                 im2col(&xc, d), // (k², B·OH·OW)
                 self.precision.activations,
                 GroupAxis::AlongCol,
@@ -426,8 +447,9 @@ impl Layer for DepthwiseConv2d {
                     vec![1, k2],
                     rows.data()[c * k2..(c + 1) * k2].to_vec(),
                 ))),
-                None => qgemm::prepare_slice(
+                None => qgemm::prepare_slice_sr(
                     session,
+                    sr,
                     &self.w.data()[c * k2..(c + 1) * k2],
                     1,
                     k2,
@@ -461,6 +483,7 @@ impl Layer for DepthwiseConv2d {
             .expect("DepthwiseConv2d::backward requires a training-mode forward pass");
         let d = self.channel_dims(x);
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
         let (b, h, w) = (d.batch, d.in_h, d.in_w);
         let k2 = self.kernel * self.kernel;
         let mut grad_input = Tensor::zeros(vec![b, self.channels, h, w]);
@@ -470,14 +493,16 @@ impl Layer for DepthwiseConv2d {
             let g_mat = nchw_to_gemm_out(&gc, d); // (1, B·OH·OW)
 
             // ∇W row = ∇O · colsᵀ.
-            let gq = qgemm::prepare(
+            let gq = qgemm::prepare_sr(
                 session,
+                sr,
                 &g_mat,
                 self.precision.gradients,
                 GroupAxis::AlongRow,
             );
-            let cols = qgemm::prepare_owned(
+            let cols = qgemm::prepare_owned_sr(
                 session,
+                sr,
                 im2col(&xc, d),
                 self.precision.activations,
                 GroupAxis::AlongRow,
@@ -489,14 +514,16 @@ impl Layer for DepthwiseConv2d {
             }
 
             // ∇cols = wᵀ · ∇O.
-            let gq2 = qgemm::prepare_owned(
+            let gq2 = qgemm::prepare_owned_sr(
                 session,
+                sr,
                 g_mat,
                 self.precision.gradients,
                 GroupAxis::AlongCol,
             );
-            let wq = qgemm::prepare_slice(
+            let wq = qgemm::prepare_slice_sr(
                 session,
+                sr,
                 &self.w.data()[c * k2..(c + 1) * k2],
                 1,
                 k2,
@@ -551,6 +578,10 @@ impl QuantControlled for DepthwiseConv2d {
 
     fn exec_mode_mut(&mut self) -> &mut Option<ExecMode> {
         &mut self.exec_mode
+    }
+
+    fn sr_mode_mut(&mut self) -> &mut Option<SrMode> {
+        &mut self.sr_mode
     }
 
     fn precision(&self) -> LayerPrecision {

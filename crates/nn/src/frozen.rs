@@ -24,10 +24,30 @@
 //!
 //! [`Session::freeze_weights`]: crate::Session
 
-use crate::qgemm::{prepare_slice_with, Prepared};
+use crate::qgemm::{prepare_slice_counter, prepare_slice_with, CounterCtx, Prepared};
 use crate::quant::NumericFormat;
-use fast_bfp::{GroupAxis, Lfsr16, QuantStats};
+use fast_bfp::kernel::fake_quantize_matrix_counter;
+use fast_bfp::{CounterRng, GroupAxis, Lfsr16, QuantStats, Rounding, SrMode};
 use fast_tensor::Tensor;
+
+/// Seed of the deterministic counter source frozen builds draw from — the
+/// same constant the hardware LFSR powers up with, so counter-mode replicas
+/// are deterministic for the same reason sequential ones are: the noise
+/// depends only on the build, never on request order.
+const FROZEN_COUNTER_SEED: u64 = 0xACE1;
+
+/// Whether a counter-mode frozen build applies to `fmt` (only SR-rounded
+/// BFP draws noise; everything else builds identically in both modes).
+fn counter_applies(sr: SrMode, fmt: &NumericFormat) -> bool {
+    sr == SrMode::Counter
+        && matches!(
+            fmt,
+            NumericFormat::Bfp {
+                rounding: Rounding::Stochastic { .. },
+                ..
+            }
+        )
+}
 
 /// A cached quantized copy of one weight operand.
 ///
@@ -40,8 +60,9 @@ pub(crate) struct FrozenWeight {
     /// Weight version: bumped by the owning layer on every mutable weight
     /// access (parameter visitation / direct accessor).
     version: u64,
-    /// `(format, axis, per_row, version)` of the current build, if any.
-    built: Option<(NumericFormat, GroupAxis, bool, u64)>,
+    /// `(format, axis, per_row, sr_mode, version)` of the current build, if
+    /// any.
+    built: Option<(NumericFormat, GroupAxis, bool, SrMode, u64)>,
     /// The cached GEMM operand.
     prepared: Option<Prepared>,
 }
@@ -57,8 +78,10 @@ impl FrozenWeight {
     /// changed since the last build.
     ///
     /// Builds draw stochastic-rounding bits (only relevant for SR weight
-    /// formats) from a freshly seeded hardware LFSR, so rebuilds and
-    /// replicas are deterministic — see DESIGN.md §8.
+    /// formats) from a freshly seeded deterministic source — the hardware
+    /// LFSR under [`SrMode::Lfsr`], a fixed-seed counter source at base
+    /// offset 0 under [`SrMode::Counter`] — so rebuilds and replicas are
+    /// deterministic — see DESIGN.md §8 and §12.
     pub fn get(
         &mut self,
         master: &Tensor,
@@ -66,19 +89,36 @@ impl FrozenWeight {
         cols: usize,
         fmt: NumericFormat,
         axis: GroupAxis,
+        sr: SrMode,
     ) -> &Prepared {
-        let key = (fmt, axis, false, self.version);
+        let key = (fmt, axis, false, sr, self.version);
         if self.built != Some(key) || self.prepared.is_none() {
             let mut stats = QuantStats::default(); // build-once cost, unmetered
-            self.prepared = Some(prepare_slice_with(
-                &mut Lfsr16::default(),
-                &mut stats,
-                master.data(),
-                rows,
-                cols,
-                fmt,
-                axis,
-            ));
+            self.prepared = Some(if counter_applies(sr, &fmt) {
+                prepare_slice_counter(
+                    &mut stats,
+                    master.data(),
+                    rows,
+                    cols,
+                    fmt,
+                    axis,
+                    CounterCtx {
+                        rng: CounterRng::new(FROZEN_COUNTER_SEED),
+                        base: 0,
+                        workers: 1,
+                    },
+                )
+            } else {
+                prepare_slice_with(
+                    &mut Lfsr16::default(),
+                    &mut stats,
+                    master.data(),
+                    rows,
+                    cols,
+                    fmt,
+                    axis,
+                )
+            });
             self.built = Some(key);
         }
         self.prepared.as_ref().expect("frozen operand just built")
@@ -99,13 +139,44 @@ impl FrozenWeight {
         rows: usize,
         cols: usize,
         fmt: NumericFormat,
+        sr: SrMode,
     ) -> &Prepared {
-        let key = (fmt, GroupAxis::AlongRow, true, self.version);
+        let key = (fmt, GroupAxis::AlongRow, true, sr, self.version);
         if self.built != Some(key) || self.prepared.is_none() {
             let mut buf = master.data().to_vec();
-            let mut bits = Lfsr16::default();
-            for row in buf.chunks_mut(cols) {
-                fmt.quantize_slice(row, 1, cols, GroupAxis::AlongRow, &mut bits);
+            if let (
+                true,
+                NumericFormat::Bfp {
+                    format,
+                    rounding,
+                    windowed,
+                },
+            ) = (counter_applies(sr, &fmt), fmt)
+            {
+                // Row `r` draws at counter positions `r·cols ..`, matching
+                // the element offsets of the whole-matrix builds — each row
+                // still takes its own exponent window because it is
+                // quantized as an independent `1 × cols` matrix.
+                let rng = CounterRng::new(FROZEN_COUNTER_SEED);
+                for (r, row) in buf.chunks_mut(cols).enumerate() {
+                    fake_quantize_matrix_counter(
+                        row,
+                        1,
+                        cols,
+                        GroupAxis::AlongRow,
+                        format,
+                        rounding,
+                        rng,
+                        (r * cols) as u64,
+                        windowed,
+                        1,
+                    );
+                }
+            } else {
+                let mut bits = Lfsr16::default();
+                for row in buf.chunks_mut(cols) {
+                    fmt.quantize_slice(row, 1, cols, GroupAxis::AlongRow, &mut bits);
+                }
             }
             self.prepared = Some(Prepared::Dense(Tensor::from_vec(vec![rows, cols], buf)));
             self.built = Some(key);
@@ -131,8 +202,12 @@ mod tests {
         let w = master();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let first = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
-        let second = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
+        let first = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
+        let second = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
         assert_eq!(first, second);
         // And it matches a direct quantization of the master copy.
         let mut direct = w.clone();
@@ -145,7 +220,7 @@ mod tests {
         let w = master();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let prepared = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow);
+        let prepared = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr);
         assert!(
             matches!(prepared, Prepared::Packed(_)),
             "m=4 BFP must freeze packed"
@@ -155,7 +230,14 @@ mod tests {
         // FP32 weights freeze dense.
         let mut fz2 = FrozenWeight::default();
         assert!(matches!(
-            fz2.get(&w, 2, 16, NumericFormat::Fp32, GroupAxis::AlongRow),
+            fz2.get(
+                &w,
+                2,
+                16,
+                NumericFormat::Fp32,
+                GroupAxis::AlongRow,
+                SrMode::Lfsr
+            ),
             Prepared::Dense(_)
         ));
     }
@@ -165,11 +247,15 @@ mod tests {
         let mut w = master();
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let before = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
+        let before = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
         w.data_mut()[0] += 1.0;
         // Without the mark the stale copy would be served.
         fz.mark_dirty();
-        let after = fz.get(&w, 2, 16, fmt, GroupAxis::AlongRow).to_tensor();
+        let after = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
         assert_ne!(before, after);
     }
 
@@ -184,6 +270,7 @@ mod tests {
                 16,
                 NumericFormat::bfp_nearest(BfpFormat::high()),
                 GroupAxis::AlongRow,
+                SrMode::Lfsr,
             )
             .to_tensor();
         let low = fz
@@ -193,6 +280,7 @@ mod tests {
                 16,
                 NumericFormat::bfp_nearest(BfpFormat::low()),
                 GroupAxis::AlongRow,
+                SrMode::Lfsr,
             )
             .to_tensor();
         assert_ne!(high, low, "m=4 vs m=2 must differ on this data");
@@ -206,8 +294,49 @@ mod tests {
         );
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());
         let mut fz = FrozenWeight::default();
-        let by_row = fz.get(&w, 16, 16, fmt, GroupAxis::AlongRow).to_tensor();
-        let by_col = fz.get(&w, 16, 16, fmt, GroupAxis::AlongCol).to_tensor();
+        let by_row = fz
+            .get(&w, 16, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
+        let by_col = fz
+            .get(&w, 16, 16, fmt, GroupAxis::AlongCol, SrMode::Lfsr)
+            .to_tensor();
         assert_ne!(by_row, by_col);
+    }
+
+    #[test]
+    fn counter_mode_builds_are_deterministic_and_keyed() {
+        let w = master();
+        let fmt = NumericFormat::bfp_stochastic(BfpFormat::high());
+        let mut fz = FrozenWeight::default();
+        let lfsr = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Lfsr)
+            .to_tensor();
+        // Switching the mode rebuilds (the key includes it) …
+        let counter = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Counter)
+            .to_tensor();
+        // … and a repeat counter build replays bit-identically.
+        let again = fz
+            .get(&w, 2, 16, fmt, GroupAxis::AlongRow, SrMode::Counter)
+            .to_tensor();
+        assert_eq!(counter, again);
+        assert_ne!(lfsr, counter, "independent noise sources must decorrelate");
+        // Counter builds of deterministic formats match the sequential path
+        // bit for bit (no noise drawn on either).
+        let det = NumericFormat::bfp_nearest(BfpFormat::high());
+        let mut a = FrozenWeight::default();
+        let mut b = FrozenWeight::default();
+        assert_eq!(
+            a.get(&w, 2, 16, det, GroupAxis::AlongRow, SrMode::Lfsr)
+                .to_tensor(),
+            b.get(&w, 2, 16, det, GroupAxis::AlongRow, SrMode::Counter)
+                .to_tensor()
+        );
+        // Per-row counter builds replay too.
+        let mut c = FrozenWeight::default();
+        let p1 = c.get_per_row(&w, 2, 16, fmt, SrMode::Counter).to_tensor();
+        let mut d = FrozenWeight::default();
+        let p2 = d.get_per_row(&w, 2, 16, fmt, SrMode::Counter).to_tensor();
+        assert_eq!(p1, p2);
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::qgemm::PlanStats;
 use crate::quant::LayerPrecision;
-use fast_bfp::{BitSource, QuantStats, RngBits};
+use fast_bfp::{BitSource, CounterRng, QuantStats, RngBits, SrMode};
 use fast_ckpt::{StateVisitor, VisitState};
 use fast_tensor::{ExecMode, Tensor};
 use rand::rngs::StdRng;
@@ -48,7 +48,23 @@ pub struct Session {
     /// reasserts it; see [`Session::default_exec_mode`] for the
     /// `FAST_QGEMM_MODE` environment override.
     pub exec_mode: ExecMode,
+    /// Which stochastic-rounding noise source the quantized-GEMM plan draws
+    /// from: the sequential LFSR-seeded stream (the default, bit-exact with
+    /// every artifact recorded so far) or the counter-based source of
+    /// DESIGN.md §12, whose draws are a pure function of `(seed, element
+    /// offset)` and therefore order-independent and shardable. Layers may
+    /// override it per layer via [`QuantControlled::sr_mode_mut`]. Unlike
+    /// [`Session::exec_mode`] the choice *is* reflected in checkpoints —
+    /// the artifact's RNG section self-describes which mode produced it —
+    /// but new sessions start from [`Session::default_sr_mode`].
+    pub sr_mode: SrMode,
     bits: RngBits<StdRng>,
+    /// Seed of the counter-mode noise source (the session seed verbatim).
+    sr_seed: u64,
+    /// Next unclaimed counter-noise position; each SR-BFP operand the plan
+    /// prepares reserves `rows × cols` positions. Together with `sr_seed`
+    /// this is the *entire* counter-mode RNG state a checkpoint carries.
+    sr_cursor: u64,
 }
 
 impl Session {
@@ -60,8 +76,25 @@ impl Session {
             record_sensitivity: false,
             plan_stats: PlanStats::default(),
             exec_mode: Session::default_exec_mode(),
+            sr_mode: Session::default_sr_mode(),
             bits: RngBits(StdRng::seed_from_u64(seed)),
+            sr_seed: seed,
+            sr_cursor: 0,
         }
+    }
+
+    /// The process-wide default [`SrMode`] for new sessions:
+    /// [`SrMode::Counter`] when the `FAST_SR_MODE` environment variable is
+    /// set to `counter` (the CI lever that forces the whole gate suite
+    /// through the counter-based noise source), [`SrMode::Lfsr`] otherwise —
+    /// the sequential stream stays the default for fidelity with the paper's
+    /// LFSR converter and with previously recorded artifacts.
+    pub fn default_sr_mode() -> SrMode {
+        static ENV: std::sync::OnceLock<SrMode> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| match std::env::var("FAST_SR_MODE").as_deref() {
+            Ok("counter") => SrMode::Counter,
+            _ => SrMode::Lfsr,
+        })
     }
 
     /// The process-wide default [`ExecMode`] for new sessions:
@@ -115,6 +148,36 @@ impl Session {
         (&mut self.bits, &mut self.plan_stats.quant)
     }
 
+    /// The counter-mode noise source of this session. Draws are a pure
+    /// function of `(seed, position)`, so the returned value is `Copy` and
+    /// never needs to be handed back.
+    pub fn counter_rng(&self) -> CounterRng {
+        CounterRng::new(self.sr_seed)
+    }
+
+    /// Claims the next `n` counter-noise positions, returning the base
+    /// offset of the claimed range. The quantized-GEMM plan reserves one
+    /// position per element of every stochastically rounded BFP operand, so
+    /// distinct operands never share noise and a resumed run continues the
+    /// reservation sequence exactly where the checkpoint left it.
+    pub(crate) fn reserve_sr(&mut self, n: u64) -> u64 {
+        let base = self.sr_cursor;
+        self.sr_cursor = self.sr_cursor.wrapping_add(n);
+        base
+    }
+
+    /// The counter-mode RNG state `(seed, cursor)` — everything a bit-exact
+    /// resume needs under [`SrMode::Counter`] (DESIGN.md §12).
+    pub fn sr_state(&self) -> (u64, u64) {
+        (self.sr_seed, self.sr_cursor)
+    }
+
+    /// Restores the counter-mode RNG to a [`Session::sr_state`] snapshot.
+    pub fn set_sr_state(&mut self, seed: u64, cursor: u64) {
+        self.sr_seed = seed;
+        self.sr_cursor = cursor;
+    }
+
     /// The raw state of the stochastic-rounding generator, for exact
     /// checkpoint/resume (the xoshiro256** words of the session RNG).
     pub fn rng_state(&self) -> [u64; 4] {
@@ -133,25 +196,41 @@ impl Session {
 }
 
 /// The session state that determines a training trajectory: the
-/// stochastic-rounding RNG words plus the cumulative plan counters (so a
+/// stochastic-rounding RNG state plus the cumulative plan counters (so a
 /// resumed run reports the same totals as an uninterrupted one). The
 /// `train`/`freeze_weights`/`record_sensitivity` flags are *not* state —
 /// the training loop reasserts them every step.
+///
+/// The RNG entries depend on [`Session::sr_mode`]: the sequential mode
+/// writes the four xoshiro256** words (`rng0..rng3`), the counter mode just
+/// `sr_seed`/`sr_step` — the whole generator is a pure function of those
+/// two. The key names therefore make artifacts self-describing:
+/// [`crate::Trainer::resume`] restores whichever mode the artifact was
+/// recorded under, so old sequential-mode artifacts keep restoring
+/// unchanged.
 impl VisitState for Session {
     fn visit_state(&mut self, v: &mut dyn StateVisitor) {
-        let mut rng = self.rng_state();
-        v.scalar_u64("rng0", &mut rng[0]);
-        v.scalar_u64("rng1", &mut rng[1]);
-        v.scalar_u64("rng2", &mut rng[2]);
-        v.scalar_u64("rng3", &mut rng[3]);
-        // A live xoshiro256** generator is never all-zero, so an artifact
-        // carrying four zero words is corrupt — report it through the
-        // visitor (a typed error on restore) instead of letting
-        // `set_rng_state` assert.
-        if rng.iter().any(|&w| w != 0) {
-            self.set_rng_state(rng);
-        } else {
-            v.invalid("rng0", "all-zero RNG state".to_string());
+        match self.sr_mode {
+            SrMode::Lfsr => {
+                let mut rng = self.rng_state();
+                v.scalar_u64("rng0", &mut rng[0]);
+                v.scalar_u64("rng1", &mut rng[1]);
+                v.scalar_u64("rng2", &mut rng[2]);
+                v.scalar_u64("rng3", &mut rng[3]);
+                // A live xoshiro256** generator is never all-zero, so an
+                // artifact carrying four zero words is corrupt — report it
+                // through the visitor (a typed error on restore) instead of
+                // letting `set_rng_state` assert.
+                if rng.iter().any(|&w| w != 0) {
+                    self.set_rng_state(rng);
+                } else {
+                    v.invalid("rng0", "all-zero RNG state".to_string());
+                }
+            }
+            SrMode::Counter => {
+                v.scalar_u64("sr_seed", &mut self.sr_seed);
+                v.scalar_u64("sr_step", &mut self.sr_cursor);
+            }
         }
         v.scalar_u64("plan_gemms", &mut self.plan_stats.gemms);
         v.scalar_u64("plan_macs", &mut self.plan_stats.macs);
@@ -206,6 +285,11 @@ pub trait QuantControlled {
     /// the run, not carried in checkpoints — an artifact restored on a
     /// machine without AVX2 must not smuggle in an execution-mode choice.
     fn exec_mode_mut(&mut self) -> &mut Option<ExecMode>;
+    /// Per-layer [`SrMode`] override: `Some(mode)` pins this layer's
+    /// stochastic-rounding noise source, `None` (the default) inherits
+    /// [`Session::sr_mode`]. A run-configuration knob like the exec-mode
+    /// override above, not checkpoint state.
+    fn sr_mode_mut(&mut self) -> &mut Option<SrMode>;
     /// The current format assignment.
     fn precision(&self) -> LayerPrecision;
     /// The FP32 master weights.
@@ -301,6 +385,16 @@ pub fn set_uniform_precision(layer: &mut dyn Layer, precision: LayerPrecision) {
 /// [`ExecMode::Replay`] while the backbone runs integer.
 pub fn set_exec_mode(layer: &mut dyn Layer, mode: Option<ExecMode>) {
     layer.visit_quant(&mut |q| *q.exec_mode_mut() = mode);
+}
+
+/// Sets every quantized layer's [`SrMode`] override: `Some(mode)` pins the
+/// layers' stochastic-rounding noise source regardless of
+/// [`Session::sr_mode`], `None` restores session-controlled selection. The
+/// per-layer knob mirrors [`set_exec_mode`]: e.g. keep one layer on the
+/// sequential LFSR stream for an apples-to-apples ablation while the rest
+/// of the model draws counter noise.
+pub fn set_sr_mode(layer: &mut dyn Layer, mode: Option<SrMode>) {
+    layer.visit_quant(&mut |q| *q.sr_mode_mut() = mode);
 }
 
 /// Collects `(label, precision)` for every quantized layer.

@@ -69,8 +69,8 @@ pub use attention::MultiHeadSelfAttention;
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use embed::{Embedding, PositionalEmbedding};
 pub use layer::{
-    collect_precisions, parameter_count, quant_layer_count, set_exec_mode, set_uniform_precision,
-    GemmShape, Layer, Param, QuantControlled, Session,
+    collect_precisions, parameter_count, quant_layer_count, set_exec_mode, set_sr_mode,
+    set_uniform_precision, GemmShape, Layer, Param, QuantControlled, Session,
 };
 pub use linear::Dense;
 pub use loss::{bce_with_logit, mse_loss, softmax_cross_entropy};
@@ -86,6 +86,11 @@ pub use trainer::{NoopHook, StepStats, TrainHook, Trainer};
 // Execution-mode vocabulary, re-exported so trainer/controller/serving code
 // can select the integer-domain qGEMM path without naming `fast_tensor`.
 pub use fast_tensor::ExecMode;
+
+// Stochastic-rounding-mode vocabulary (DESIGN.md §12), re-exported so the
+// same audiences can select the counter-based noise source without naming
+// `fast_bfp`.
+pub use fast_bfp::SrMode;
 
 // Checkpoint vocabulary, re-exported so layer/optimizer/controller authors
 // (and `fast_core`/`fast_serve`) share one `StateVisitor` without naming

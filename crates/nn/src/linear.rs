@@ -18,7 +18,7 @@ use crate::frozen::FrozenWeight;
 use crate::layer::{GemmShape, Layer, Param, QuantControlled, Session};
 use crate::qgemm::{self, GemmOperand, Orient};
 use crate::quant::LayerPrecision;
-use fast_bfp::GroupAxis;
+use fast_bfp::{GroupAxis, SrMode};
 use fast_tensor::{col_sums, kaiming_normal, ExecMode, Tensor};
 use rand::Rng;
 
@@ -32,6 +32,7 @@ pub struct Dense {
     use_bias: bool,
     precision: LayerPrecision,
     exec_mode: Option<ExecMode>,
+    sr_mode: Option<SrMode>,
     frozen_w: FrozenWeight,
     saved_input: Option<Tensor>,
     last_grad: Option<Tensor>,
@@ -51,6 +52,7 @@ impl Dense {
             use_bias,
             precision: LayerPrecision::default(),
             exec_mode: None,
+            sr_mode: None,
             frozen_w: FrozenWeight::default(),
             saved_input: None,
             last_grad: None,
@@ -98,8 +100,10 @@ impl Layer for Dense {
 
         let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
-        let xq = qgemm::prepare(
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
+        let xq = qgemm::prepare_sr(
             session,
+            sr,
             input,
             self.precision.activations,
             GroupAxis::AlongRow,
@@ -111,11 +115,13 @@ impl Layer for Dense {
                 out_dim,
                 self.precision.weights,
                 GroupAxis::AlongCol,
+                sr,
             );
             qgemm::execute_with(session, mode, Orient::Nn, &xq, &GemmOperand::Cached(wq))
         } else {
-            let wq = qgemm::prepare(
+            let wq = qgemm::prepare_sr(
                 session,
+                sr,
                 &self.w,
                 self.precision.weights,
                 GroupAxis::AlongCol,
@@ -146,9 +152,17 @@ impl Layer for Dense {
 
         // ∇W = Aᵀ·∇O, reduction over the batch dimension.
         let mode = self.exec_mode.unwrap_or(session.exec_mode);
-        let xq = qgemm::prepare(session, x, self.precision.activations, GroupAxis::AlongCol);
-        let gq = qgemm::prepare(
+        let sr = self.sr_mode.unwrap_or(session.sr_mode);
+        let xq = qgemm::prepare_sr(
             session,
+            sr,
+            x,
+            self.precision.activations,
+            GroupAxis::AlongCol,
+        );
+        let gq = qgemm::prepare_sr(
+            session,
+            sr,
             grad_output,
             self.precision.gradients,
             GroupAxis::AlongCol,
@@ -163,14 +177,16 @@ impl Layer for Dense {
         }
 
         // ∇A = ∇O·Wᵀ, reduction over the output dimension.
-        let gq2 = qgemm::prepare(
+        let gq2 = qgemm::prepare_sr(
             session,
+            sr,
             grad_output,
             self.precision.gradients,
             GroupAxis::AlongRow,
         );
-        let wq = qgemm::prepare(
+        let wq = qgemm::prepare_sr(
             session,
+            sr,
             &self.w,
             self.precision.weights,
             GroupAxis::AlongRow,
@@ -231,6 +247,10 @@ impl QuantControlled for Dense {
 
     fn exec_mode_mut(&mut self) -> &mut Option<ExecMode> {
         &mut self.exec_mode
+    }
+
+    fn sr_mode_mut(&mut self) -> &mut Option<SrMode> {
+        &mut self.sr_mode
     }
 
     fn precision(&self) -> LayerPrecision {

@@ -24,6 +24,13 @@
 //! products, the paper's actual cost model — gated by its own accuracy
 //! proptests (`crates/nn/tests/integer_mode.rs`, DESIGN.md §11).
 //!
+//! Operand preparation likewise honors the resolved [`SrMode`]: under
+//! [`SrMode::Counter`] every stochastically rounded BFP operand reserves
+//! `rows × cols` positions of the session's counter noise stream and
+//! quantizes order-independently — shardable across worker threads with
+//! bit-identical results (DESIGN.md §12) — while the default sequential
+//! mode replays the historical LFSR-stream draws bit for bit.
+//!
 //! [`execute`] is also the system's single software instrumentation point:
 //! it accumulates GEMM/MAC counts and fused [`QuantStats`] into
 //! [`Session::plan_stats`], next to the [`QuantControlled`] state the FAST
@@ -34,8 +41,9 @@
 
 use crate::layer::Session;
 use crate::quant::NumericFormat;
-use fast_bfp::packed::pack_matrix_with;
-use fast_bfp::{BitSource, GroupAxis, QuantStats};
+use fast_bfp::kernel::fake_quantize_matrix_counter;
+use fast_bfp::packed::{pack_matrix_counter, pack_matrix_with};
+use fast_bfp::{BitSource, CounterRng, GroupAxis, QuantStats, Rounding, SrMode};
 use fast_tensor::qgemm::{
     qmatmul_bt_ex, qmatmul_ex, qmatmul_nt_ex, qmatmul_tn_ex, ExecMode, Operand, PackLayout,
     PackedMat,
@@ -145,6 +153,145 @@ fn layout_of(axis: GroupAxis) -> PackLayout {
     }
 }
 
+/// One operand's claim on the counter noise stream (DESIGN.md §12): the
+/// session's pure noise function, the base position reserved for this
+/// operand, and how many worker threads to shard the quantization over.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CounterCtx {
+    pub(crate) rng: CounterRng,
+    pub(crate) base: u64,
+    pub(crate) workers: usize,
+}
+
+/// Returns the counter-noise context for an operand prepared under `sr`:
+/// `Some` only when the operand actually draws stochastic noise (an
+/// SR-rounded BFP format) *and* the resolved mode is [`SrMode::Counter`],
+/// reserving one noise position per element from the session cursor.
+/// Deterministic and scalar formats draw nothing, so they stay on the
+/// shared sequential path in both modes (the counter and sequential entry
+/// families are pinned bit-identical for them).
+fn counter_ctx(
+    session: &mut Session,
+    sr: SrMode,
+    fmt: NumericFormat,
+    numel: usize,
+) -> Option<CounterCtx> {
+    match (sr, fmt) {
+        (
+            SrMode::Counter,
+            NumericFormat::Bfp {
+                rounding: Rounding::Stochastic { .. },
+                ..
+            },
+        ) => Some(CounterCtx {
+            rng: session.counter_rng(),
+            base: session.reserve_sr(numel as u64),
+            workers: fast_tensor::parallelism().workers(),
+        }),
+        _ => None,
+    }
+}
+
+/// Tries to pack a counter-mode operand; `None` on pack refusal (wide
+/// mantissas, non-plain inputs). Refusal consumes no noise — the dense
+/// fallback re-draws the same reserved positions, so both representations
+/// quantize bit-identically.
+fn counter_pack(
+    stats: &mut QuantStats,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+    ctx: CounterCtx,
+) -> Option<Prepared> {
+    let NumericFormat::Bfp {
+        format,
+        rounding,
+        windowed,
+    } = fmt
+    else {
+        return None;
+    };
+    pack_matrix_counter(
+        data,
+        rows,
+        cols,
+        axis,
+        format,
+        rounding,
+        ctx.rng,
+        ctx.base,
+        windowed,
+        ctx.workers,
+    )
+    .map(|p| {
+        stats.merge(p.stats);
+        Prepared::Packed(PackedMat::new(
+            rows,
+            cols,
+            format.group_size(),
+            layout_of(axis),
+            p.mantissas,
+            p.scales,
+        ))
+    })
+}
+
+/// In-place dense counter-mode quantization — the fallback half of
+/// [`counter_pack`], drawing the same reserved noise positions.
+fn counter_dense(
+    stats: &mut QuantStats,
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+    ctx: CounterCtx,
+) {
+    let NumericFormat::Bfp {
+        format,
+        rounding,
+        windowed,
+    } = fmt
+    else {
+        unreachable!("only SR-BFP operands route through the counter path")
+    };
+    stats.merge(fake_quantize_matrix_counter(
+        data,
+        rows,
+        cols,
+        axis,
+        format,
+        rounding,
+        ctx.rng,
+        ctx.base,
+        windowed,
+        ctx.workers,
+    ));
+}
+
+/// Counter-mode core behind the `prepare*` entry points and the
+/// frozen-weight cache builds: quantizes a raw `rows × cols` slice into an
+/// owned operand, drawing noise at positions `ctx.base + r·cols + c` —
+/// independent of visitation order, representation, and worker count.
+pub(crate) fn prepare_slice_counter(
+    stats: &mut QuantStats,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+    ctx: CounterCtx,
+) -> Prepared {
+    if let Some(p) = counter_pack(stats, data, rows, cols, fmt, axis, ctx) {
+        return p;
+    }
+    let mut buf = data.to_vec();
+    counter_dense(stats, &mut buf, rows, cols, fmt, axis, ctx);
+    Prepared::Dense(Tensor::from_vec(vec![rows, cols], buf))
+}
+
 /// Quantizes a raw `rows × cols` slice into an owned operand with an
 /// explicit bit source — the shared core behind the session-level `prepare*`
 /// entry points and the frozen-weight cache builds (which draw from a
@@ -199,11 +346,37 @@ pub fn prepare<'a>(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'a> {
+    let sr = session.sr_mode;
+    prepare_sr(session, sr, t, fmt, axis)
+}
+
+/// [`prepare`] under an explicit [`SrMode`], overriding
+/// [`Session::sr_mode`] for this one operand — the entry point layers use
+/// to honor their per-layer override
+/// ([`QuantControlled::sr_mode_mut`](crate::QuantControlled::sr_mode_mut)).
+pub fn prepare_sr<'a>(
+    session: &mut Session,
+    sr: SrMode,
+    t: &'a Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'a> {
     if matches!(fmt, NumericFormat::Fp32) {
         return GemmOperand::Borrowed(t);
     }
     assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+        return GemmOperand::Own(prepare_slice_counter(
+            &mut session.plan_stats.quant,
+            t.data(),
+            rows,
+            cols,
+            fmt,
+            axis,
+            ctx,
+        ));
+    }
     let (bits, stats) = session.quant_parts();
     GemmOperand::Own(prepare_slice_with(
         bits,
@@ -225,6 +398,18 @@ pub fn prepare<'a>(
 /// Panics if `t` is not rank-2.
 pub fn prepare_owned(
     session: &mut Session,
+    t: Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    let sr = session.sr_mode;
+    prepare_owned_sr(session, sr, t, fmt, axis)
+}
+
+/// [`prepare_owned`] under an explicit [`SrMode`] (see [`prepare_sr`]).
+pub fn prepare_owned_sr(
+    session: &mut Session,
+    sr: SrMode,
     mut t: Tensor,
     fmt: NumericFormat,
     axis: GroupAxis,
@@ -234,6 +419,14 @@ pub fn prepare_owned(
     }
     assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+        let stats = &mut session.plan_stats.quant;
+        if let Some(p) = counter_pack(stats, t.data(), rows, cols, fmt, axis, ctx) {
+            return GemmOperand::Own(p);
+        }
+        counter_dense(stats, t.data_mut(), rows, cols, fmt, axis, ctx);
+        return GemmOperand::Own(Prepared::Dense(t));
+    }
     let (bits, stats) = session.quant_parts();
     if let NumericFormat::Bfp {
         format,
@@ -272,6 +465,19 @@ pub fn prepare_owned(
 /// Panics if `t` is not rank-2.
 pub fn prepare_owned_dense(
     session: &mut Session,
+    t: Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    let sr = session.sr_mode;
+    prepare_owned_dense_sr(session, sr, t, fmt, axis)
+}
+
+/// [`prepare_owned_dense`] under an explicit [`SrMode`] (see
+/// [`prepare_sr`]).
+pub fn prepare_owned_dense_sr(
+    session: &mut Session,
+    sr: SrMode,
     mut t: Tensor,
     fmt: NumericFormat,
     axis: GroupAxis,
@@ -279,8 +485,13 @@ pub fn prepare_owned_dense(
     if !matches!(fmt, NumericFormat::Fp32) {
         assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
         let (rows, cols) = (t.shape()[0], t.shape()[1]);
-        let (bits, stats) = session.quant_parts();
-        stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
+        if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+            let stats = &mut session.plan_stats.quant;
+            counter_dense(stats, t.data_mut(), rows, cols, fmt, axis, ctx);
+        } else {
+            let (bits, stats) = session.quant_parts();
+            stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
+        }
     }
     GemmOperand::Own(Prepared::Dense(t))
 }
@@ -296,6 +507,31 @@ pub fn prepare_slice(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'static> {
+    let sr = session.sr_mode;
+    prepare_slice_sr(session, sr, data, rows, cols, fmt, axis)
+}
+
+/// [`prepare_slice`] under an explicit [`SrMode`] (see [`prepare_sr`]).
+pub fn prepare_slice_sr(
+    session: &mut Session,
+    sr: SrMode,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> GemmOperand<'static> {
+    if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+        return GemmOperand::Own(prepare_slice_counter(
+            &mut session.plan_stats.quant,
+            data,
+            rows,
+            cols,
+            fmt,
+            axis,
+            ctx,
+        ));
+    }
     let (bits, stats) = session.quant_parts();
     GemmOperand::Own(prepare_slice_with(bits, stats, data, rows, cols, fmt, axis))
 }
@@ -424,8 +660,10 @@ mod tests {
     fn execute_matches_reference_composition_and_meters() {
         let mut s = Session::new(0);
         // This test pins the *replay* composition by definition; keep it
-        // meaningful when CI forces FAST_QGEMM_MODE=integer.
+        // meaningful when CI forces FAST_QGEMM_MODE=integer or
+        // FAST_SR_MODE=counter (the reference draws from `s.rng()`).
         s.exec_mode = ExecMode::Replay;
+        s.sr_mode = SrMode::Lfsr;
         let a = tensor(5, 32, 4);
         let b = tensor(32, 9, 5);
         let fmt = NumericFormat::bfp_nearest(BfpFormat::high());

@@ -229,10 +229,18 @@ impl Trainer {
             &mut trainer.opt,
             &StateDict::from_bytes(artifact.require(SECTION_OPTIMIZER)?)?,
         )?;
-        restore_state(
-            &mut trainer.session,
-            &StateDict::from_bytes(artifact.require(SECTION_SESSION)?)?,
-        )?;
+        let session_dict = StateDict::from_bytes(artifact.require(SECTION_SESSION)?)?;
+        // The session's RNG entries are mode-dependent (DESIGN.md §12):
+        // counter-mode artifacts carry `sr_seed`/`sr_step`, sequential ones
+        // the four xoshiro words. Peek the key set so the restore below
+        // visits the entries the artifact actually holds — artifacts are
+        // self-describing, and pre-counter artifacts restore unchanged.
+        trainer.session.sr_mode = if session_dict.get("sr_seed").is_some() {
+            crate::SrMode::Counter
+        } else {
+            crate::SrMode::Lfsr
+        };
+        restore_state(&mut trainer.session, &session_dict)?;
         if let Some(hook) = hook_state {
             restore_state(
                 hook,

@@ -248,8 +248,13 @@ proptest! {
         // replay-mode guarantee, so pin the mode — the CI leg that exports
         // FAST_QGEMM_MODE=integer must not flip this invariant's subject
         // (integer-mode closeness has its own gate in tests/integer_mode.rs).
+        // Likewise pin the LFSR noise source: the reference composition
+        // consumes a sequential bit stream, which is exactly what the
+        // FAST_SR_MODE=counter leg replaces (counter-mode equivalence has
+        // its own gates in crates/bfp/tests/counter_sr.rs).
         let mut session = Session::new(seed);
         session.exec_mode = fast_tensor::ExecMode::Replay;
+        session.sr_mode = fast_bfp::SrMode::Lfsr;
         let ap = prepare(&mut session, &a, fa, a_axis);
         let bp = prepare(&mut session, &b, fb, b_axis);
         let got = execute(&mut session, orient, &ap, &bp);

@@ -1,7 +1,7 @@
 //! Frozen, forward-only models for serving.
 
 use fast_ckpt::{capture_state, restore_state, CkptError, StateDict};
-use fast_nn::{ExecMode, Layer, Sequential, Session};
+use fast_nn::{ExecMode, Layer, Sequential, Session, SrMode};
 use fast_tensor::Tensor;
 
 /// A trained model compiled for inference serving.
@@ -114,6 +114,32 @@ impl CompiledModel {
     /// The execution mode this replica serves under.
     pub fn exec_mode(&self) -> ExecMode {
         self.session.exec_mode
+    }
+
+    /// Selects the stochastic-rounding noise source for this replica's
+    /// requests (DESIGN.md §12).
+    ///
+    /// Only matters when a layer's *activation* format uses stochastic
+    /// rounding (frozen weight caches always build from their own
+    /// deterministic source): under [`SrMode::Counter`] each SR operand
+    /// draws order-independent counter noise, so the quantization itself can
+    /// shard across worker threads. Like [`Self::set_exec_mode`] this is
+    /// per-replica serving configuration — [`Self::apply_state`] hot
+    /// reloads leave it untouched.
+    pub fn set_sr_mode(&mut self, mode: SrMode) {
+        self.session.sr_mode = mode;
+    }
+
+    /// Builder-style variant of [`Self::set_sr_mode`] for use at compile
+    /// time.
+    pub fn with_sr_mode(mut self, mode: SrMode) -> Self {
+        self.set_sr_mode(mode);
+        self
+    }
+
+    /// The stochastic-rounding mode this replica serves under.
+    pub fn sr_mode(&self) -> SrMode {
+        self.session.sr_mode
     }
 
     /// Replaces the model's weights (and buffers/formats) with a decoded
@@ -263,6 +289,39 @@ mod tests {
         let dict = capture_state(replay.model_mut());
         integer.apply_state(&dict).unwrap();
         assert_eq!(integer.exec_mode(), ExecMode::Integer);
+    }
+
+    #[test]
+    fn counter_sr_mode_is_per_replica_and_replicas_match() {
+        use fast_bfp::BfpFormat;
+        use fast_nn::NumericFormat;
+        // An SR *activation* format is the case the serving SR mode exists
+        // for: activations re-quantize per request.
+        let sr_precision = LayerPrecision {
+            weights: NumericFormat::bfp_nearest(BfpFormat::high()),
+            activations: NumericFormat::bfp_stochastic(BfpFormat::high()),
+            gradients: NumericFormat::bfp_stochastic(BfpFormat::high()),
+        };
+        let with_sr = |seed: u64| {
+            let mut m = model(13);
+            set_uniform_precision(&mut m, sr_precision);
+            CompiledModel::compile(m, seed).with_sr_mode(SrMode::Counter)
+        };
+        let x = sample();
+        let mut a = with_sr(0);
+        let mut b = with_sr(0);
+        assert_eq!(a.sr_mode(), SrMode::Counter);
+        // Same seed → same counter noise → bit-identical replicas.
+        assert_eq!(a.infer(&x), b.infer(&x));
+        // A different seed decorrelates the SR activation noise.
+        let mut c = with_sr(1);
+        assert_ne!(a.infer(&x), c.infer(&x));
+        // A checkpoint hot reload must not reset the serving configuration.
+        let mut trained = model(13);
+        set_uniform_precision(&mut trained, sr_precision);
+        let dict = capture_state(&mut trained);
+        a.apply_state(&dict).unwrap();
+        assert_eq!(a.sr_mode(), SrMode::Counter);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * A trained artifact saved to disk hot-reloads into a running server.
 //! * Malformed artifacts surface typed errors end to end, never panics.
 
-use fast_dnn::bfp::{BfpFormat, Rounding};
+use fast_dnn::bfp::{BfpFormat, Rounding, SrMode};
 use fast_dnn::ckpt::{Artifact, CkptError};
 use fast_dnn::fast::{EpsilonSchedule, FastController};
 use fast_dnn::nn::models::mlp;
@@ -260,9 +260,139 @@ fn trained_artifact_hot_reloads_into_a_running_server() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Counter-mode checkpoints shrink the session RNG section to exactly
+/// `(sr_seed, sr_step)` — no `rng0..rng3` words — and the artifact
+/// self-describes its SR mode: resume restores `SrMode::Counter` into a
+/// fresh trainer (whatever its environment default) and the run continues
+/// bit-identically to the uninterrupted counter-mode run.
+#[test]
+fn counter_sr_checkpoint_carries_seed_step_and_resumes_bit_exactly() {
+    use fast_dnn::ckpt::{StateDict, SECTION_SESSION};
+    let precision = LayerPrecision {
+        weights: zoo_format(5),     // SR HighBFP
+        activations: zoo_format(6), // SR windowed, 5 noise bits
+        gradients: zoo_format(5),
+    };
+    let (steps, split) = (5usize, 2usize);
+    let seed = 77u64;
+
+    let make = || {
+        let mut m = model(seed);
+        set_uniform_precision(&mut m, precision);
+        let mut t = Trainer::new(m, Sgd::new(0.05, 0.9, 1e-4), seed);
+        t.session.sr_mode = SrMode::Counter;
+        t
+    };
+
+    // Uninterrupted counter-mode reference.
+    let mut straight = make();
+    let mut want_losses = Vec::new();
+    for s in 0..steps {
+        want_losses.push(step(&mut straight, s, seed));
+    }
+    let want_params = final_bits(&mut straight);
+
+    // Interrupted twin.
+    let mut first = make();
+    let mut got_losses = Vec::new();
+    for s in 0..split {
+        got_losses.push(step(&mut first, s, seed));
+    }
+    let bytes = first.checkpoint(None).to_bytes();
+    drop(first);
+    let artifact = Artifact::from_bytes(&bytes).expect("bytes decode");
+
+    // The wire shape: counter mode serializes (seed, step) and nothing of
+    // the four-word LFSR state.
+    let session = StateDict::from_bytes(artifact.require(SECTION_SESSION).unwrap()).unwrap();
+    assert!(session.get("sr_seed").is_some(), "sr_seed on the wire");
+    assert!(session.get("sr_step").is_some(), "sr_step on the wire");
+    for key in ["rng0", "rng1", "rng2", "rng3"] {
+        assert!(
+            session.get(key).is_none(),
+            "counter-mode artifact must not carry LFSR word {key}"
+        );
+    }
+
+    // Resume into a fresh trainer built with the *default* mode: the
+    // artifact's key names select counter mode, not the environment.
+    let mut m = model(seed);
+    set_uniform_precision(&mut m, precision);
+    let mut resumed = Trainer::resume(m, Sgd::new(0.05, 0.9, 1e-4), &artifact, None)
+        .expect("counter artifact resumes");
+    assert_eq!(resumed.session.sr_mode, SrMode::Counter);
+    for s in split..steps {
+        got_losses.push(step(&mut resumed, s, seed));
+    }
+    assert_eq!(got_losses, want_losses);
+    assert_eq!(final_bits(&mut resumed), want_params);
+}
+
+/// Pre-counter artifacts — the four `rng0..rng3` LFSR words — keep
+/// restoring exactly as before: resume lands on `SrMode::Lfsr` even when
+/// the process default (e.g. the `FAST_SR_MODE=counter` CI leg) is counter.
+#[test]
+fn lfsr_artifact_restores_lfsr_mode_regardless_of_default() {
+    use fast_dnn::ckpt::{StateDict, SECTION_SESSION};
+    let precision = LayerPrecision {
+        weights: zoo_format(5),
+        activations: zoo_format(6),
+        gradients: zoo_format(5),
+    };
+    let (steps, split) = (4usize, 2usize);
+
+    let make = || {
+        let mut m = model(9);
+        set_uniform_precision(&mut m, precision);
+        let mut t = Trainer::new(m, Sgd::new(0.05, 0.9, 1e-4), 9);
+        t.session.sr_mode = SrMode::Lfsr;
+        t
+    };
+
+    let mut straight = make();
+    let mut want_losses = Vec::new();
+    for s in 0..steps {
+        want_losses.push(step(&mut straight, s, 9));
+    }
+    let want_params = final_bits(&mut straight);
+
+    let mut first = make();
+    let mut got_losses = Vec::new();
+    for s in 0..split {
+        got_losses.push(step(&mut first, s, 9));
+    }
+    let artifact = Artifact::from_bytes(&first.checkpoint(None).to_bytes()).unwrap();
+    drop(first);
+
+    let session = StateDict::from_bytes(artifact.require(SECTION_SESSION).unwrap()).unwrap();
+    assert!(session.get("rng0").is_some(), "LFSR words on the wire");
+    assert!(
+        session.get("sr_seed").is_none(),
+        "no counter keys in LFSR mode"
+    );
+
+    let mut m = model(9);
+    set_uniform_precision(&mut m, precision);
+    let mut resumed =
+        Trainer::resume(m, Sgd::new(0.05, 0.9, 1e-4), &artifact, None).expect("resumes");
+    assert_eq!(
+        resumed.session.sr_mode,
+        SrMode::Lfsr,
+        "artifact key names, not the process default, select the SR mode"
+    );
+    for s in split..steps {
+        got_losses.push(step(&mut resumed, s, 9));
+    }
+    assert_eq!(got_losses, want_losses);
+    assert_eq!(final_bits(&mut resumed), want_params);
+}
+
 #[test]
 fn malformed_artifacts_fail_resume_with_typed_errors() {
     let mut trainer = Trainer::new(model(1), Sgd::new(0.1, 0.0, 0.0), 0);
+    // The all-zero-RNG corruption below targets the LFSR wire layout, so
+    // pin the mode against the FAST_SR_MODE=counter CI leg.
+    trainer.session.sr_mode = SrMode::Lfsr;
     let _ = step(&mut trainer, 0, 1);
     let good = trainer.checkpoint(None).to_bytes();
 

@@ -1,0 +1,278 @@
+//! The six zoo workloads at CI scale: model builders, deterministic data
+//! streams, and loss drivers behind one enum.
+//!
+//! Each [`Workload`] pairs a `crates/nn/src/models/` constructor (downsized
+//! so every lifecycle stage runs in seconds) with its `fast_data` dataset
+//! and the loss that trains it — cross-entropy for the classifiers, the
+//! YOLO composite loss (via [`fast_nn::Trainer::step_custom`]) for the
+//! detector. Everything is seeded, so the batch a given step sees is a pure
+//! function of `(workload, step)` and every harness run is reproducible.
+
+use fast_data::{GaussianClusters, SequenceTask, SyntheticDetection, SyntheticImages};
+use fast_nn::models::{
+    mlp, mobilenet_lite, resnet_lite, tiny_transformer, tiny_yolo, vgg_lite, yolo_loss, GtBox,
+    MobileNetConfig, ResNetConfig, TransformerConfig, VggConfig, YoloConfig,
+};
+use fast_nn::{Sequential, StepStats, TrainHook, Trainer};
+use fast_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Per-workload training batch size.
+const BATCH: usize = 4;
+
+/// The tiny YOLO configuration shared by the builder, the loss and the
+/// decoder (they must agree on the grid layout).
+const YOLO_CFG: YoloConfig = YoloConfig {
+    in_channels: 3,
+    image_size: 8,
+    grid: 2,
+    num_classes: 2,
+    base_channels: 4,
+};
+
+/// One training batch: the input tensor plus the supervision the workload's
+/// loss consumes.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// `(inputs, class labels)` for the cross-entropy workloads. For the
+    /// transformer the labels are flat per-token targets (`batch·seq`).
+    Classification(Tensor, Vec<usize>),
+    /// `(images, per-image ground-truth boxes)` for the detector.
+    Detection(Tensor, Vec<Vec<GtBox>>),
+}
+
+impl Batch {
+    /// The input tensor of the batch.
+    pub fn input(&self) -> &Tensor {
+        match self {
+            Batch::Classification(x, _) => x,
+            Batch::Detection(x, _) => x,
+        }
+    }
+}
+
+/// A model-zoo workload the harness can drive end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 3-cluster Gaussian point classification through `models::mlp`.
+    Mlp,
+    /// Synthetic 8×8 images through `models::resnet_lite`.
+    ResNetLite,
+    /// Synthetic 8×8 images through `models::mobilenet_lite`.
+    MobileNetLite,
+    /// Synthetic 8×8 images through `models::vgg_lite`.
+    VggLite,
+    /// Token-sequence reversal through `models::tiny_transformer`.
+    TransformerLite,
+    /// Rectangle detection through `models::tiny_yolo` + `yolo_loss`.
+    YoloLite,
+}
+
+impl Workload {
+    /// Every zoo workload, in a fixed order.
+    pub const ALL: [Workload; 6] = [
+        Workload::Mlp,
+        Workload::ResNetLite,
+        Workload::MobileNetLite,
+        Workload::VggLite,
+        Workload::TransformerLite,
+        Workload::YoloLite,
+    ];
+
+    /// Stable snake_case name (used in reports and JSON records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Mlp => "mlp",
+            Workload::ResNetLite => "resnet_lite",
+            Workload::MobileNetLite => "mobilenet_lite",
+            Workload::VggLite => "vgg_lite",
+            Workload::TransformerLite => "transformer_lite",
+            Workload::YoloLite => "yolo_lite",
+        }
+    }
+
+    /// Builds the (untrained) model architecture from `seed`.
+    pub fn build(&self, seed: u64) -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match self {
+            Workload::Mlp => mlp(&[6, 16, 3], &mut rng),
+            Workload::ResNetLite => resnet_lite(
+                ResNetConfig {
+                    in_channels: 3,
+                    stem_channels: 4,
+                    blocks_per_stage: [1, 1, 1],
+                    num_classes: 3,
+                    symmetric: false,
+                },
+                &mut rng,
+            ),
+            Workload::MobileNetLite => mobilenet_lite(
+                MobileNetConfig {
+                    in_channels: 3,
+                    stem_channels: 4,
+                    blocks: 2,
+                    num_classes: 3,
+                },
+                &mut rng,
+            ),
+            Workload::VggLite => vgg_lite(
+                VggConfig {
+                    in_channels: 3,
+                    image_size: 8,
+                    base_channels: 4,
+                    fc_dim: 16,
+                    num_classes: 3,
+                },
+                &mut rng,
+            ),
+            Workload::TransformerLite => tiny_transformer(
+                TransformerConfig {
+                    vocab: 8,
+                    d_model: 16,
+                    heads: 2,
+                    ff_dim: 32,
+                    layers: 1,
+                    seq_len: 4,
+                },
+                &mut rng,
+            ),
+            Workload::YoloLite => tiny_yolo(YOLO_CFG, &mut rng),
+        }
+    }
+
+    /// The first `steps` training batches, cycling epochs as needed. The
+    /// stream is a pure function of the workload, so two runs that step
+    /// through the same indices see identical bytes.
+    pub fn training_stream(&self, steps: usize) -> Vec<Batch> {
+        let mut out = Vec::with_capacity(steps);
+        let mut epoch = 0u64;
+        while out.len() < steps {
+            match self {
+                Workload::Mlp => {
+                    for (x, y) in self.clusters().train_batches(BATCH, epoch) {
+                        out.push(Batch::Classification(x, y));
+                    }
+                }
+                Workload::ResNetLite | Workload::MobileNetLite | Workload::VggLite => {
+                    for (x, y) in self.images().train_batches(BATCH, epoch) {
+                        out.push(Batch::Classification(x, y));
+                    }
+                }
+                Workload::TransformerLite => {
+                    for (x, y) in self.sequences().train_batches(BATCH, epoch) {
+                        out.push(Batch::Classification(x, y));
+                    }
+                }
+                Workload::YoloLite => {
+                    for (x, gt) in self.detection().train_batches(BATCH, epoch) {
+                        out.push(Batch::Detection(x, gt));
+                    }
+                }
+            }
+            epoch += 1;
+        }
+        out.truncate(steps);
+        out
+    }
+
+    /// Held-out classification batches for accuracy evaluation. Empty for
+    /// the detector (mAP, not accuracy, is its metric).
+    pub fn eval_batches(&self) -> Vec<(Tensor, Vec<usize>)> {
+        match self {
+            Workload::Mlp => self.clusters().test_batches(8),
+            Workload::ResNetLite | Workload::MobileNetLite | Workload::VggLite => {
+                self.images().test_batches(8)
+            }
+            Workload::TransformerLite => self.sequences().test_batches(8),
+            Workload::YoloLite => Vec::new(),
+        }
+    }
+
+    /// A deterministic single-sample serving input (leading dimension 1),
+    /// drawn from the held-out split.
+    pub fn sample_input(&self, i: usize) -> Tensor {
+        let one = match self {
+            Workload::Mlp => self.clusters().test_batches(1),
+            Workload::ResNetLite | Workload::MobileNetLite | Workload::VggLite => {
+                self.images().test_batches(1)
+            }
+            Workload::TransformerLite => self.sequences().test_batches(1),
+            Workload::YoloLite => {
+                return self.detection().test_batches(1)[i % 8].0.clone();
+            }
+        };
+        one[i % one.len()].0.clone()
+    }
+
+    /// Runs one optimizer step on `batch` with the workload's loss.
+    pub fn step(
+        &self,
+        trainer: &mut Trainer,
+        batch: &Batch,
+        hook: &mut dyn TrainHook,
+    ) -> StepStats {
+        match batch {
+            Batch::Classification(x, labels) => trainer.step_classification(x, labels, hook),
+            Batch::Detection(x, targets) => {
+                trainer.step_custom(x, &mut |pred| yolo_loss(pred, targets, YOLO_CFG), hook)
+            }
+        }
+    }
+
+    fn clusters(&self) -> GaussianClusters {
+        GaussianClusters::generate(3, 6, 32, 16, 1.0, 0xC1)
+    }
+
+    fn images(&self) -> SyntheticImages {
+        // One dataset per CNN workload so their curves are not trivially
+        // correlated; the seed is derived from the workload name's first
+        // byte to stay a pure function of `self`.
+        let seed = 0x1_000 + self.name().as_bytes()[0] as u64;
+        SyntheticImages::generate(3, 8, 32, 16, seed)
+    }
+
+    fn sequences(&self) -> SequenceTask {
+        SequenceTask::generate(8, 4, 32, 16, 0x5E9)
+    }
+
+    fn detection(&self) -> SyntheticDetection {
+        SyntheticDetection::generate(2, 8, 16, 8, 0xD37)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_nn::{Layer, Session};
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        for w in Workload::ALL {
+            let a = w.training_stream(5);
+            let b = w.training_stream(5);
+            assert_eq!(a.len(), 5);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.input(), y.input(), "{w} stream must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_forwards_its_own_samples() {
+        for w in Workload::ALL {
+            let mut model = w.build(3);
+            let mut s = Session::eval(0);
+            let y = model.forward(&w.sample_input(0), &mut s);
+            assert!(
+                y.data().iter().all(|v| v.is_finite()),
+                "{w} forward must be finite"
+            );
+        }
+    }
+}

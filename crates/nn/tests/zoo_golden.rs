@@ -1,0 +1,227 @@
+//! Golden pins for the model zoo: parameter counts, quantized-layer counts
+//! and output shapes for every constructor in `crates/nn/src/models/`.
+//!
+//! The numbers are structural fingerprints — a silent change to a stem
+//! width, a lost projection shortcut, or an extra bias shows up here as a
+//! pin mismatch long before it would surface as an accuracy anomaly. Each
+//! model is pinned at two scales: the CI-scale config the lifecycle
+//! harness trains (see `fast_harness::Workload`), and a larger
+//! paper-shaped config.
+
+use fast_nn::models::{
+    mlp, mobilenet_lite, resnet_lite, tiny_transformer, tiny_yolo, vgg_lite, MobileNetConfig,
+    ResNetConfig, TransformerConfig, VggConfig, YoloConfig,
+};
+use fast_nn::{parameter_count, quant_layer_count, Layer, Sequential, Session};
+use fast_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Asserts the three structural pins for one constructed model.
+fn pin(
+    name: &str,
+    model: &mut Sequential,
+    input_shape: Vec<usize>,
+    want_params: usize,
+    want_quant: usize,
+    want_out: &[usize],
+) {
+    assert_eq!(
+        parameter_count(model),
+        want_params,
+        "{name}: parameter count drifted"
+    );
+    assert_eq!(
+        quant_layer_count(model),
+        want_quant,
+        "{name}: quantized-layer count drifted"
+    );
+    let y = model.forward(&Tensor::zeros(input_shape), &mut Session::eval(0));
+    assert_eq!(y.shape(), want_out, "{name}: output shape drifted");
+    assert!(
+        y.data().iter().all(|v| v.is_finite()),
+        "{name}: fresh-init forward must be finite"
+    );
+}
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+#[test]
+fn mlp_pins() {
+    // (6·16 + 16) + (16·3 + 3) = 163 across 2 dense layers.
+    pin(
+        "mlp",
+        &mut mlp(&[6, 16, 3], &mut rng()),
+        vec![2, 6],
+        163,
+        2,
+        &[2, 3],
+    );
+}
+
+#[test]
+fn resnet_lite_pins() {
+    let mut tiny = resnet_lite(
+        ResNetConfig {
+            in_channels: 3,
+            stem_channels: 4,
+            blocks_per_stage: [1, 1, 1],
+            num_classes: 3,
+            symmetric: false,
+        },
+        &mut rng(),
+    );
+    pin(
+        "resnet_tiny",
+        &mut tiny,
+        vec![2, 3, 8, 8],
+        5_095,
+        10,
+        &[2, 3],
+    );
+    let mut paper = resnet_lite(ResNetConfig::resnet20(8, 10), &mut rng());
+    // 1 stem + 9 blocks × 2 convs + 2 projection shortcuts + 1 dense = 22.
+    pin(
+        "resnet20",
+        &mut paper,
+        vec![2, 3, 16, 16],
+        68_786,
+        22,
+        &[2, 10],
+    );
+}
+
+#[test]
+fn mobilenet_lite_pins() {
+    let mut tiny = mobilenet_lite(
+        MobileNetConfig {
+            in_channels: 3,
+            stem_channels: 4,
+            blocks: 2,
+            num_classes: 3,
+        },
+        &mut rng(),
+    );
+    pin(
+        "mobilenet_tiny",
+        &mut tiny,
+        vec![2, 3, 8, 8],
+        303,
+        6,
+        &[2, 3],
+    );
+    let mut paper = mobilenet_lite(
+        MobileNetConfig {
+            in_channels: 3,
+            stem_channels: 8,
+            blocks: 4,
+            num_classes: 10,
+        },
+        &mut rng(),
+    );
+    pin(
+        "mobilenet",
+        &mut paper,
+        vec![2, 3, 16, 16],
+        2_194,
+        10,
+        &[2, 10],
+    );
+}
+
+#[test]
+fn vgg_lite_pins() {
+    let mut tiny = vgg_lite(
+        VggConfig {
+            in_channels: 3,
+            image_size: 8,
+            base_channels: 4,
+            fc_dim: 16,
+            num_classes: 3,
+        },
+        &mut rng(),
+    );
+    pin("vgg_tiny", &mut tiny, vec![2, 3, 8, 8], 5_007, 8, &[2, 3]);
+    let mut paper = vgg_lite(
+        VggConfig {
+            in_channels: 3,
+            image_size: 16,
+            base_channels: 8,
+            fc_dim: 32,
+            num_classes: 10,
+        },
+        &mut rng(),
+    );
+    pin("vgg", &mut paper, vec![2, 3, 16, 16], 22_754, 8, &[2, 10]);
+}
+
+#[test]
+fn tiny_transformer_pins() {
+    let mut tiny = tiny_transformer(
+        TransformerConfig {
+            vocab: 8,
+            d_model: 16,
+            heads: 2,
+            ff_dim: 32,
+            layers: 1,
+            seq_len: 4,
+        },
+        &mut rng(),
+    );
+    // Tokens go in as (batch, seq); logits come out per token row.
+    pin("transformer_tiny", &mut tiny, vec![2, 4], 2_584, 7, &[8, 8]);
+    let mut paper = tiny_transformer(
+        TransformerConfig {
+            vocab: 16,
+            d_model: 32,
+            heads: 4,
+            ff_dim: 64,
+            layers: 2,
+            seq_len: 6,
+        },
+        &mut rng(),
+    );
+    pin("transformer", &mut paper, vec![2, 6], 18_384, 13, &[12, 16]);
+}
+
+#[test]
+fn tiny_yolo_pins() {
+    let mut tiny = tiny_yolo(
+        YoloConfig {
+            in_channels: 3,
+            image_size: 8,
+            grid: 2,
+            num_classes: 2,
+            base_channels: 4,
+        },
+        &mut rng(),
+    );
+    // Head emits (batch, 5 + classes, S, S).
+    pin(
+        "yolo_tiny",
+        &mut tiny,
+        vec![2, 3, 8, 8],
+        1_075,
+        4,
+        &[2, 7, 2, 2],
+    );
+    let mut paper = tiny_yolo(
+        YoloConfig {
+            in_channels: 3,
+            image_size: 16,
+            grid: 4,
+            num_classes: 3,
+            base_channels: 8,
+        },
+        &mut rng(),
+    );
+    pin(
+        "yolo",
+        &mut paper,
+        vec![2, 3, 16, 16],
+        3_888,
+        4,
+        &[2, 8, 4, 4],
+    );
+}

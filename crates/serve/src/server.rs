@@ -668,4 +668,82 @@ mod tests {
         let _ = server.infer(sample(0));
         drop(server); // must not hang
     }
+
+    fn conv_model(seed: u64) -> Sequential {
+        use fast_nn::{BatchNorm2d, Conv2d, GlobalAvgPool};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new()
+            .push(Conv2d::new(2, 4, 3, 1, 1, false, &mut rng))
+            .push(BatchNorm2d::new(4))
+            .push(Relu::new())
+            .push(Conv2d::new(4, 4, 3, 1, 1, true, &mut rng))
+            .push(GlobalAvgPool::new())
+            .push(Dense::new(4, 3, true, &mut rng));
+        set_uniform_precision(&mut m, LayerPrecision::bfp_fixed(4));
+        m
+    }
+
+    fn conv_sample(i: usize) -> Tensor {
+        Tensor::from_vec(
+            vec![1, 2, 4, 4],
+            (0..32)
+                .map(|j| ((i * 13 + j * 5) % 17) as f32 * 0.1 - 0.8)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conv_reload_under_concurrent_submits_drops_nothing() {
+        // The MLP-shaped reload test above swaps weights between quiesced
+        // request waves; this one reloads a *conv* workload while
+        // submitter threads keep traffic in flight — im2col activation
+        // grouping and rank-4 inputs ride through the same swap path.
+        let mut new_model = conv_model(31);
+        let artifact = model_artifact(&mut new_model);
+        let mut reference = CompiledModel::compile(new_model, 0);
+        let want_new: Vec<Tensor> = (0..4).map(|i| reference.infer(&conv_sample(i))).collect();
+
+        let server = Server::start(
+            vec![
+                CompiledModel::compile(conv_model(30), 0),
+                CompiledModel::compile(conv_model(30), 0),
+            ],
+            BatchConfig::default(),
+        );
+        let per_thread = 8usize;
+        let threads = 3usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let server = &server;
+                scope.spawn(move || {
+                    let pending: Vec<Pending> = (0..per_thread)
+                        .map(|k| server.submit(conv_sample(t + k)))
+                        .collect();
+                    for p in pending {
+                        // Answered by either weight version, but answered:
+                        // zero drops while the swap races the traffic.
+                        assert_eq!(p.wait().shape(), &[1, 3]);
+                    }
+                });
+            }
+            server.reload(&artifact).unwrap();
+        });
+        // The reload returned before the scope closed, so fresh requests
+        // must see the new weights, bit-for-bit.
+        for (i, w) in want_new.iter().enumerate() {
+            assert_eq!(
+                &server.infer(conv_sample(i)),
+                w,
+                "post-reload conv response {i} must match the reloaded model"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.samples,
+            (threads * per_thread + want_new.len()) as u64,
+            "every in-flight request answered"
+        );
+        assert_eq!(stats.reloads, 2, "both workers applied the conv swap");
+        assert_eq!(stats.reload_failures, 0);
+    }
 }

@@ -18,6 +18,8 @@
 //!   area/power/energy accounting.
 //! * [`serve`] — batched BFP inference serving: frozen compiled models,
 //!   dynamic micro-batching, replicated workers.
+//! * [`harness`] — lifecycle conformance and numerical-variability drivers
+//!   over the whole stack (`tests/lifecycle.rs`, `BENCH_variability.json`).
 //!
 //! See the repository README for a guided tour and `examples/` for runnable
 //! entry points.
@@ -40,6 +42,7 @@ pub use fast_bfp as bfp;
 pub use fast_ckpt as ckpt;
 pub use fast_core as fast;
 pub use fast_data as data;
+pub use fast_harness as harness;
 pub use fast_hw as hw;
 pub use fast_nn as nn;
 pub use fast_serve as serve;

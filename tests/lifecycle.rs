@@ -1,0 +1,80 @@
+//! The train→freeze→serve lifecycle conformance suite (DESIGN.md §13).
+//!
+//! Every model-zoo workload runs the full pipeline — FAST-Adaptive
+//! training → checkpoint → bit-exact resume → frozen compile → batched
+//! serving under concurrent submitters → mid-traffic hot reload
+//! (continual-learning loop) — across the execution-mode × rounding-mode
+//! matrix `{Replay, Integer} × {Lfsr, Counter}`. The invariants (bit-exact
+//! resume, compiled≡eval parity, zero dropped requests, bit-transparent
+//! reloads) are asserted inside `fast_harness::run_lifecycle`; each test
+//! here is one workload's sweep over the four cells.
+//!
+//! The configs are the harness's CI-scale `quick` settings, so this file
+//! doubles as the `lifecycle-smoke` CI job (run there under both the
+//! default worker pool and `FAST_TENSOR_WORKERS=1`; the cells pin their
+//! exec/SR modes explicitly, so the suite is also immune to the
+//! `FAST_QGEMM_MODE` / `FAST_SR_MODE` env legs).
+
+use fast_dnn::bfp::SrMode;
+use fast_dnn::harness::{run_lifecycle, LifecycleConfig, Workload};
+use fast_dnn::nn::ExecMode;
+
+/// The `{Replay, Integer} × {Lfsr, Counter}` matrix.
+const CELLS: [(ExecMode, SrMode); 4] = [
+    (ExecMode::Replay, SrMode::Lfsr),
+    (ExecMode::Replay, SrMode::Counter),
+    (ExecMode::Integer, SrMode::Lfsr),
+    (ExecMode::Integer, SrMode::Counter),
+];
+
+fn sweep(workload: Workload) {
+    for (exec_mode, sr_mode) in CELLS {
+        let report = run_lifecycle(workload, &LifecycleConfig::quick(exec_mode, sr_mode));
+        // The invariants are asserted inside the driver; re-check the
+        // report's shape so a silently-degenerate run cannot pass.
+        assert!(
+            report.losses.len() >= 8,
+            "{}: training must actually run: {:?}",
+            report.cell,
+            report.losses
+        );
+        assert_eq!(report.generation, 2, "{}: two reload rounds", report.cell);
+        assert!(
+            report.served >= 36,
+            "{}: served {}",
+            report.cell,
+            report.served
+        );
+        assert_eq!(report.reloads, 4, "{}: 2 replicas × 2 rounds", report.cell);
+    }
+}
+
+#[test]
+fn mlp_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::Mlp);
+}
+
+#[test]
+fn resnet_lite_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::ResNetLite);
+}
+
+#[test]
+fn mobilenet_lite_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::MobileNetLite);
+}
+
+#[test]
+fn vgg_lite_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::VggLite);
+}
+
+#[test]
+fn transformer_lite_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::TransformerLite);
+}
+
+#[test]
+fn yolo_lite_survives_the_full_lifecycle_matrix() {
+    sweep(Workload::YoloLite);
+}

@@ -1,30 +1,39 @@
 //! Serving benchmark for the `fast_serve` inference engine.
 //!
-//! Two measurements, written to `BENCH_serve.json` (the serving companion
+//! Three measurements, written to `BENCH_serve.json` (the serving companion
 //! of `BENCH_quant_gemm.json`; experiment index in DESIGN.md §4):
 //!
 //! 1. **Single-stream**: batch-1 forward latency of the re-quantize-every-
 //!    forward evaluation path vs the frozen [`CompiledModel`] path on the
 //!    ResNet-lite, MLP and Transformer-lite workloads. The ratio is the
 //!    payoff of caching frozen weights (DESIGN.md §8).
-//! 2. **Served load**: a closed-loop load generator (C client threads in a
-//!    submit→wait loop) against a [`Server`] with replicated workers and
-//!    dynamic micro-batching; reports QPS, p50/p99 latency and the
-//!    batch-size histogram.
+//! 2. **Capacity probe**: a closed-loop load generator (C client threads in
+//!    a submit→wait loop) against a [`Server`] with continuous batching;
+//!    reports the saturated QPS, end-to-end/queue/service percentiles and
+//!    the batch-size histogram. The saturated QPS anchors the sweep below.
+//! 3. **Open-loop load sweep** (DESIGN.md §14): Poisson arrivals at fixed
+//!    offered rates — fractions and multiples of the probed capacity —
+//!    submitted from a generator thread that never waits for responses, so
+//!    a slow server cannot slow the arrival process down (no coordinated
+//!    omission; latency is measured from the *scheduled* arrival to the
+//!    worker-stamped completion instant). Every request carries a deadline,
+//!    so the overload points also measure goodput under load shedding.
 //!
 //! Usage:
 //!
 //! ```text
-//! serve_bench [--quick] [--out PATH]
+//! serve_bench [--quick] [--out PATH] [--baseline-file PATH]
 //! ```
 //!
-//! `--quick` lowers iteration counts for CI smoke runs.
+//! `--quick` lowers request counts for CI smoke runs. `--baseline-file`
+//! embeds a previously written measurement object under `"baseline"` and
+//! reports a `serve_qps_x` throughput ratio against it.
 
 use fast_nn::models::{mlp, resnet_lite, tiny_transformer, ResNetConfig, TransformerConfig};
 use fast_nn::{set_uniform_precision, Layer, LayerPrecision, Sequential, Session};
-use fast_serve::{BatchConfig, CompiledModel, Server};
+use fast_serve::{BatchConfig, CompiledModel, Pending, Server};
 use fast_tensor::Tensor;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -123,15 +132,142 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
+/// Pulls `"key": <number>` out of a flat JSON object without a JSON parser
+/// (the workspace is offline; good enough for our own output format).
+fn extract_num(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    sorted_ns[((sorted_ns.len() - 1) as f64 * p) as usize]
+}
+
+/// Builds the serving fleet for the load sections: replicated compiled
+/// models, warmed before the clock starts.
+fn fleet(w: &Workload, replicas: usize) -> Vec<CompiledModel> {
+    (0..replicas)
+        .map(|_| {
+            let mut c = CompiledModel::compile((w.build)(), 0);
+            c.warm(&w.sample);
+            c
+        })
+        .collect()
+}
+
+/// The per-sweep result of one offered-rate point.
+struct SweepPoint {
+    offered_qps: f64,
+    duration_s: f64,
+    submitted: usize,
+    served: usize,
+    shed: usize,
+    missed: usize,
+    goodput_qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    mean_batch: f64,
+}
+
+/// One open-loop run: `n` Poisson arrivals at `rate` QPS against a fresh
+/// server, every request carrying `deadline`.
+///
+/// The generator submits on an absolute exponential schedule — when it
+/// falls behind (sleep granularity, a borrowed core) it catches up in a
+/// burst rather than silently stretching the arrival process, and latency
+/// is measured from the *scheduled* arrival to the worker-stamped
+/// completion instant, so queueing delay the generator did not observe
+/// still counts (no coordinated omission).
+fn open_loop_run(
+    w: &Workload,
+    workers: usize,
+    max_batch: usize,
+    rate: f64,
+    n: usize,
+    deadline: Duration,
+    seed: u64,
+) -> SweepPoint {
+    use fast_serve::{ServeError, ServeRequest};
+    let server = Server::start(fleet(w, workers), BatchConfig::no_wait(max_batch));
+    // Warm the admission estimator so the first overload arrivals are shed
+    // rather than queued blind.
+    for _ in 0..4 {
+        black_box(server.infer(w.sample.clone()));
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut pending: Vec<(Instant, Pending)> = Vec::with_capacity(n);
+    let mut next = start;
+    for _ in 0..n {
+        // Exponential inter-arrival times make the offered load Poisson.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        next += Duration::from_secs_f64(-u.ln() / rate);
+        let now = Instant::now();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        let p = server.submit_request(ServeRequest::new(w.sample.clone()).with_deadline(deadline));
+        pending.push((next, p));
+    }
+    let submitted = pending.len();
+    let mut served_ns: Vec<f64> = Vec::with_capacity(submitted);
+    let (mut shed, mut missed, mut ok_within) = (0usize, 0usize, 0usize);
+    for (scheduled, p) in pending {
+        let outcome = p.outcome();
+        match outcome.result {
+            Ok(_) => {
+                let lat = outcome.finished_at.saturating_duration_since(scheduled);
+                if lat <= deadline {
+                    ok_within += 1;
+                }
+                served_ns.push(lat.as_nanos() as f64);
+            }
+            Err(ServeError::Rejected { .. }) => shed += 1,
+            Err(ServeError::DeadlineMissed { .. }) => missed += 1,
+            Err(e) => panic!("unexpected serve failure under load: {e}"),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    served_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    SweepPoint {
+        offered_qps: rate,
+        duration_s: wall_s,
+        submitted,
+        served: served_ns.len(),
+        shed,
+        missed,
+        goodput_qps: ok_within as f64 / wall_s,
+        p50_us: percentile(&served_ns, 0.50) / 1000.0,
+        p99_us: percentile(&served_ns, 0.99) / 1000.0,
+        p999_us: percentile(&served_ns, 0.999) / 1000.0,
+        mean_batch: stats.mean_batch(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline = arg_value("--baseline-file").map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
 
     let (rounds, block) = if quick { (3, 5) } else { (7, 11) };
     let mut fields: Vec<(String, String)> = vec![
@@ -181,23 +317,14 @@ fn main() {
         ));
     }
 
-    // --- 2. Served load: closed-loop clients against a worker pool. ---
+    // --- 2. Capacity probe: closed-loop clients saturate the dispatcher
+    // on the MLP workload (the ISSUE/ROADMAP throughput target). ---
     let workers = 2usize;
-    let clients = 4usize;
-    let per_client = if quick { 40usize } else { 250 };
-    let cfg = BatchConfig {
-        max_batch: 8,
-        max_wait: Duration::from_micros(200),
-    };
-    let resnet = workloads().swap_remove(0);
-    let replicas: Vec<CompiledModel> = (0..workers)
-        .map(|_| {
-            let mut c = CompiledModel::compile((resnet.build)(), 0);
-            c.warm(&resnet.sample); // freeze before the clock starts
-            c
-        })
-        .collect();
-    let server = Server::start(replicas, cfg);
+    let clients = 8usize;
+    let max_batch = 32usize;
+    let per_client = if quick { 100usize } else { 1500 };
+    let wl = workloads().swap_remove(1); // mlp
+    let server = Server::start(fleet(&wl, workers), BatchConfig::no_wait(max_batch));
 
     let wall = Instant::now();
     let mut latencies_ns: Vec<f64> = Vec::with_capacity(clients * per_client);
@@ -205,7 +332,7 @@ fn main() {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 let server = &server;
-                let sample = &resnet.sample;
+                let sample = &wl.sample;
                 scope.spawn(move || {
                     let mut lat = Vec::with_capacity(per_client);
                     for _ in 0..per_client {
@@ -225,30 +352,52 @@ fn main() {
     let stats = server.shutdown();
 
     latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize] / 1000.0;
     let total = latencies_ns.len();
     let qps = total as f64 / wall_s;
     println!(
-        "served {total} requests: {qps:.0} QPS, p50 {:.0} µs, p99 {:.0} µs, mean batch {:.2}",
-        pct(0.50),
-        pct(0.99),
-        stats.mean_batch()
+        "capacity ({}): {total} requests, {qps:.0} QPS, p50 {:.0} µs, p99 {:.0} µs, \
+         mean batch {:.2}, queue p99 {:.0} µs, service p99 {:.0} µs",
+        wl.name,
+        percentile(&latencies_ns, 0.50) / 1000.0,
+        percentile(&latencies_ns, 0.99) / 1000.0,
+        stats.mean_batch(),
+        stats.queue_ns.percentile_us(0.99),
+        stats.service_ns.percentile_us(0.99),
     );
 
+    fields.push(("serve_workload".into(), format!("\"{}\"", wl.name)));
     fields.push(("serve_workers".into(), workers.to_string()));
     fields.push(("serve_clients".into(), clients.to_string()));
-    fields.push(("serve_max_batch".into(), cfg.max_batch.to_string()));
-    fields.push((
-        "serve_max_wait_us".into(),
-        cfg.max_wait.as_micros().to_string(),
-    ));
+    fields.push(("serve_max_batch".into(), max_batch.to_string()));
     fields.push(("serve_requests".into(), total.to_string()));
     fields.push(("serve_qps".into(), format!("{qps:.0}")));
-    fields.push(("serve_p50_us".into(), format!("{:.0}", pct(0.50))));
-    fields.push(("serve_p99_us".into(), format!("{:.0}", pct(0.99))));
+    for (key, p) in [
+        ("serve_p50_us", 0.50),
+        ("serve_p99_us", 0.99),
+        ("serve_p999_us", 0.999),
+    ] {
+        fields.push((
+            key.into(),
+            format!("{:.0}", percentile(&latencies_ns, p) / 1000.0),
+        ));
+    }
     fields.push((
         "serve_mean_batch".into(),
         format!("{:.2}", stats.mean_batch()),
+    ));
+    for (key, p) in [("p50", 0.50), ("p99", 0.99)] {
+        fields.push((
+            format!("serve_queue_{key}_us"),
+            format!("{:.0}", stats.queue_ns.percentile_us(p)),
+        ));
+        fields.push((
+            format!("serve_service_{key}_us"),
+            format!("{:.0}", stats.service_ns.percentile_us(p)),
+        ));
+    }
+    fields.push((
+        "serve_peak_queue_depth".into(),
+        stats.peak_queue_depth.to_string(),
     ));
     let hist = stats
         .batch_histogram
@@ -258,13 +407,139 @@ fn main() {
         .join(", ");
     fields.push(("serve_batch_histogram".into(), format!("{{ {hist} }}")));
 
-    // --- Emit JSON. ---
+    // --- 3. Open-loop Poisson sweep anchored at the probed capacity:
+    // under-load points show latency at honest arrival rates, the ≥2×
+    // point shows goodput under overload with deadline shedding. ---
+    let deadline = Duration::from_millis(20);
+    let multipliers: &[f64] = if quick {
+        &[0.5, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 1.5, 2.0]
+    };
+    let duration_s = if quick { 0.4 } else { 2.0 };
+    let mut sweep: Vec<(f64, SweepPoint)> = Vec::new();
+    for (i, &mult) in multipliers.iter().enumerate() {
+        let rate = (qps * mult).max(1.0);
+        let n = (rate * duration_s).ceil() as usize;
+        let point = open_loop_run(
+            &wl,
+            workers,
+            max_batch,
+            rate,
+            n,
+            deadline,
+            0xFA57 + i as u64,
+        );
+        println!(
+            "open-loop {:>4.2}x capacity: offered {:>7.0} QPS, goodput {:>7.0} QPS, \
+             p50 {:>7.0} µs, p99 {:>8.0} µs, p99.9 {:>8.0} µs, shed {}, missed {}, mean batch {:.2}",
+            mult,
+            point.offered_qps,
+            point.goodput_qps,
+            point.p50_us,
+            point.p99_us,
+            point.p999_us,
+            point.shed,
+            point.missed,
+            point.mean_batch,
+        );
+        sweep.push((mult, point));
+    }
+    fields.push(("sweep_deadline_us".into(), deadline.as_micros().to_string()));
+    let sweep_json = sweep
+        .iter()
+        .map(|(mult, p)| {
+            format!(
+                "{{ \"load_x\": {mult}, \"offered_qps\": {:.0}, \"duration_s\": {:.2}, \
+                 \"submitted\": {}, \"served\": {}, \"shed\": {}, \"missed\": {}, \
+                 \"goodput_qps\": {:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0}, \
+                 \"p999_us\": {:.0}, \"mean_batch\": {:.2} }}",
+                p.offered_qps,
+                p.duration_s,
+                p.submitted,
+                p.served,
+                p.shed,
+                p.missed,
+                p.goodput_qps,
+                p.p50_us,
+                p.p99_us,
+                p.p999_us,
+                p.mean_batch,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    fields.push(("load_sweep".into(), format!("[\n      {sweep_json}\n    ]")));
+
+    // --- Emit JSON (with an optional baseline comparison). ---
     let body = fields
         .iter()
         .map(|(k, v)| format!("    \"{k}\": {v}"))
         .collect::<Vec<_>>()
         .join(",\n");
-    let json = format!("{{\n  \"current\": {{\n{body}\n  }}\n}}\n");
+    let current = format!("{{\n{body}\n  }}");
+    let json = match &baseline {
+        None => format!("{{\n  \"current\": {current}\n}}\n"),
+        Some(base_json) => {
+            let trimmed = base_json.trim();
+            assert!(
+                trimmed.starts_with('{') && trimmed.ends_with('}'),
+                "baseline file is not a JSON object"
+            );
+            // Chaining on a previous serve_bench output: compare against
+            // (and embed) its "current" section, not the whole nested file.
+            let base_obj = match trimmed.find("\"current\":") {
+                Some(pos) => {
+                    let rest = &trimmed[pos + "\"current\":".len()..];
+                    let open = rest.find('{').expect("\"current\" must be an object");
+                    let mut depth = 0usize;
+                    let mut close = open;
+                    for (off, c) in rest[open..].char_indices() {
+                        match c {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    close = open + off;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    rest[open..=close].to_string()
+                }
+                None => trimmed.to_string(),
+            };
+            let mut speedups: Vec<String> = Vec::new();
+            // Throughput ratio: > 1.0 means this build serves more QPS than
+            // the committed record (the bench-smoke regression signal).
+            if let Some(base_qps) = extract_num(&base_obj, "serve_qps") {
+                if base_qps > 0.0 {
+                    speedups.push(format!("    \"serve_qps_x\": {:.2}", qps / base_qps));
+                }
+            }
+            for w in ["resnet", "mlp", "transformer"] {
+                let key = format!("{w}_compiled_ns");
+                if let (Some(before), Some(now)) = (
+                    extract_num(&base_obj, &key),
+                    fields
+                        .iter()
+                        .find(|(k, _)| *k == key)
+                        .and_then(|(_, v)| v.parse::<f64>().ok()),
+                ) {
+                    if now > 0.0 {
+                        speedups.push(format!("    \"{w}_compiled_x\": {:.2}", before / now));
+                    }
+                }
+            }
+            format!(
+                "{{\n  \"baseline\": {},\n  \"current\": {current},\n  \"speedup\": {{\n{}\n  }}\n}}\n",
+                base_obj.replace('\n', "\n  "),
+                speedups.join(",\n")
+            )
+        }
+    };
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
 }

@@ -264,9 +264,9 @@ pub fn run_lifecycle(workload: Workload, cfg: &LifecycleConfig) -> LifecycleRepo
         }
     }
     // --- 5. Coalesced burst: results must match per-sample eval. ---------
-    // All requests are in flight before any wait, so the workers coalesce
-    // them (default BatchConfig holds batches open); the responses must
-    // still be bit-identical to single-sample eval forwards — this is what
+    // All requests are in flight before any wait, so the continuous
+    // batcher coalesces the backlog; the responses must still be
+    // bit-identical to single-sample eval forwards — this is what
     // exercises the proportional output split for workloads whose models
     // emit several rows per sample (transformer) or rank-4 maps (YOLO).
     let want: Vec<Tensor> = probes
@@ -285,6 +285,28 @@ pub fn run_lifecycle(workload: Workload, cfg: &LifecycleConfig) -> LifecycleRepo
         );
     }
     submitted += burst as u64;
+    // --- 6. Deadline-armed wave: admission control must pass requests
+    // whose budget is generous, and deadline-armed responses stay
+    // bit-identical to unarmed ones (the deadline is admission metadata,
+    // not numerics).
+    let armed: Vec<_> = (0..probes.len())
+        .map(|i| {
+            server.submit_request(
+                fast_serve::ServeRequest::new(probes[i].clone())
+                    .with_deadline(std::time::Duration::from_secs(60)),
+            )
+        })
+        .collect();
+    for (i, p) in armed.into_iter().enumerate() {
+        assert_eq!(
+            p.result().unwrap_or_else(|e| panic!(
+                "{cell}: generous-deadline request {i} must be admitted and served: {e}"
+            )),
+            want[i],
+            "{cell}: deadline-armed response {i} must equal the unarmed response"
+        );
+    }
+    submitted += probes.len() as u64;
     assert_eq!(
         server.weight_generation(),
         cfg.rounds as u64,
@@ -303,6 +325,24 @@ pub fn run_lifecycle(workload: Workload, cfg: &LifecycleConfig) -> LifecycleRepo
         stats.reloads,
         (cfg.replicas * cfg.rounds) as u64,
         "{cell}: every reload must reach every worker"
+    );
+    assert_eq!(
+        stats.rejected, 0,
+        "{cell}: no request carried a deadline tight enough to shed"
+    );
+    assert_eq!(
+        stats.deadline_missed, 0,
+        "{cell}: no admitted request may expire in queue at this load"
+    );
+    assert_eq!(
+        stats.queue_ns.count(),
+        submitted,
+        "{cell}: every served request must record queue residency"
+    );
+    assert_eq!(
+        stats.service_ns.count(),
+        submitted,
+        "{cell}: every served request must record service time"
     );
     LifecycleReport {
         cell,

@@ -1,5 +1,5 @@
 //! Dynamic micro-batching: coalescing single-sample requests into batched
-//! forwards and splitting the results back out (DESIGN.md §8).
+//! forwards and splitting the results back out (DESIGN.md §8, §14).
 //!
 //! Batching is transparent because every per-sample computation in the
 //! forward path is independent along the batch dimension: activations are
@@ -10,33 +10,39 @@
 //! therefore returns bit-identical results to per-request forwards — the
 //! `batching` tests and `crates/serve/tests/proptests.rs` pin this.
 
+use crate::request::Response;
 use fast_tensor::Tensor;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Batching policy for a worker.
+/// Batching policy for the dispatcher.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
     /// Maximum samples coalesced into one forward pass.
     pub max_batch: usize,
-    /// How long a worker holds an under-full batch open waiting for more
-    /// requests. `Duration::ZERO` disables waiting (latency-optimal,
-    /// batch-1 unless requests are already queued).
+    /// Compatibility knob from the round-robin dispatcher, which held an
+    /// under-full batch open for up to this long. Continuous batching
+    /// (DESIGN.md §14) never holds a batch: an idle worker ships whatever
+    /// is queued and stragglers join the next batch at its boundary, so
+    /// this field is ignored.
     pub max_wait: Duration,
 }
 
 impl Default for BatchConfig {
-    /// 8-sample batches, held open for at most 200 µs.
+    /// 8-sample batches.
     fn default() -> Self {
         BatchConfig {
             max_batch: 8,
-            max_wait: Duration::from_micros(200),
+            max_wait: Duration::ZERO,
         }
     }
 }
 
 impl BatchConfig {
-    /// Latency-optimal config: never hold a batch open.
+    /// A config with the given batch cap. (Historical name: under the old
+    /// round-robin dispatcher this disabled the batch-hold window; the
+    /// continuous-batching dispatcher never holds a batch open, so this is
+    /// now just a `max_batch` constructor.)
     pub fn no_wait(max_batch: usize) -> Self {
         BatchConfig {
             max_batch,
@@ -46,11 +52,15 @@ impl BatchConfig {
 }
 
 /// One queued inference request: an input tensor (leading dimension =
-/// samples, usually 1) and the channel its result is sent back on.
+/// samples, usually 1), the channel its typed response is sent back on,
+/// and the admission metadata the dispatcher needs (queue-residency
+/// accounting and the optional absolute deadline).
 #[derive(Debug)]
 pub(crate) struct Request {
     pub input: Tensor,
-    pub resp: mpsc::Sender<Tensor>,
+    pub resp: mpsc::Sender<Response>,
+    pub enqueued_at: Instant,
+    pub deadline: Option<Instant>,
 }
 
 /// Number of samples a request input carries (its leading dimension).

@@ -1,4 +1,5 @@
-//! Batched BFP inference serving for FAST-trained models (DESIGN.md §8).
+//! Batched BFP inference serving for FAST-trained models (DESIGN.md §8,
+//! §14).
 //!
 //! Training re-quantizes FP32 master weights on every forward pass because
 //! the FAST controller may reassign per-layer formats between iterations
@@ -12,11 +13,20 @@
 //!   replayed from a cache on every request; activations are still
 //!   quantized per request, preserving the fake-quant fidelity of
 //!   DESIGN.md §3.
-//! * [`BatchConfig`] — dynamic micro-batching policy: coalesce queued
-//!   single-sample requests into batches of up to `max_batch`, holding a
-//!   batch open at most `max_wait`.
-//! * [`Server`] — N worker threads, each owning a replica, behind a
-//!   round-robin dispatcher; [`ServeStats`] reports batch-size histograms.
+//! * [`Server`] — one shared MPMC work queue per resident model, pulled
+//!   from by that model's replica workers, with shape-bucketed continuous
+//!   batching: an idle worker ships whatever is queued (up to
+//!   [`BatchConfig::max_batch`]) instead of holding batches open, so
+//!   backlog fills batches and light load pays one forward of latency.
+//!   Several models can be resident at once ([`Server::builder`]), each
+//!   with its own precision profile, exec/SR mode, and hot-reload
+//!   generation.
+//! * [`ServeRequest`] / [`ServeError`] — the typed request surface: model
+//!   routing, per-request deadlines, deadline-aware admission control
+//!   (reject-fast load shedding), and every failure mode as a typed value.
+//! * [`ServeStats`] — batch-size histograms plus queue-residency and
+//!   service-time [`LatencyHistogram`]s, shed/missed counters, and a
+//!   queue-depth gauge.
 //!
 //! ```
 //! use fast_nn::{models::mlp, set_uniform_precision, LayerPrecision};
@@ -42,8 +52,12 @@
 
 mod batcher;
 mod compiled;
+mod request;
 mod server;
+mod stats;
 
 pub use batcher::BatchConfig;
 pub use compiled::CompiledModel;
-pub use server::{Pending, ServeStats, Server};
+pub use request::{Outcome, Pending, ServeError, ServeRequest};
+pub use server::{Server, ServerBuilder};
+pub use stats::{LatencyHistogram, ServeStats};

@@ -1,0 +1,175 @@
+//! Typed request and response surface of the serving engine.
+//!
+//! A [`ServeRequest`] names the resident model it targets and may carry a
+//! latency deadline; every failure mode — shed at admission, expired in
+//! queue, unknown model, rejected by the model — comes back as a typed
+//! [`ServeError`] through the [`Pending`] handle instead of a hang or an
+//! opaque panic (DESIGN.md §14).
+
+use fast_tensor::Tensor;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// An inference request: input tensor (leading dimension = samples,
+/// usually 1) plus routing and admission options.
+///
+/// ```
+/// use fast_serve::ServeRequest;
+/// use fast_tensor::Tensor;
+/// use std::time::Duration;
+///
+/// let req = ServeRequest::new(Tensor::zeros(vec![1, 8]))
+///     .for_model("ranker")
+///     .with_deadline(Duration::from_millis(5));
+/// # let _ = req;
+/// ```
+#[derive(Debug)]
+pub struct ServeRequest {
+    pub(crate) input: Tensor,
+    pub(crate) model: Option<String>,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request for the server's default model with no deadline.
+    pub fn new(input: Tensor) -> Self {
+        ServeRequest {
+            input,
+            model: None,
+            deadline: None,
+        }
+    }
+
+    /// Routes the request to the named resident model. An unknown name
+    /// resolves to a typed [`ServeError::UnknownModel`] response.
+    pub fn for_model(mut self, name: impl Into<String>) -> Self {
+        self.model = Some(name.into());
+        self
+    }
+
+    /// Arms a latency deadline, measured from submission. Admission control
+    /// sheds the request immediately ([`ServeError::Rejected`]) when the
+    /// estimated queue residency already exceeds the budget, and the
+    /// dispatcher drops it unserved ([`ServeError::DeadlineMissed`]) if it
+    /// expires while queued.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a request was not answered with a tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: with the current backlog the request was
+    /// estimated to spend `estimated_us` in the system, beyond its
+    /// `deadline_us` budget, so it was rejected fast instead of queued
+    /// (reject-fast beats letting every queued request's p99.9 collapse).
+    Rejected {
+        /// Estimated queue residency at submit time, microseconds.
+        estimated_us: u64,
+        /// The request's deadline budget, microseconds.
+        deadline_us: u64,
+    },
+    /// The deadline expired while the request sat in the queue; it was
+    /// dropped at dispatch without running the model.
+    DeadlineMissed {
+        /// How long the request actually waited, microseconds.
+        waited_us: u64,
+        /// The request's deadline budget, microseconds.
+        deadline_us: u64,
+    },
+    /// The request named a model that is not resident in the server.
+    UnknownModel(String),
+    /// The model rejected the request (its forward panicked — bad shape,
+    /// out-of-vocab token, …) or the worker died.
+    Failed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected {
+                estimated_us,
+                deadline_us,
+            } => write!(
+                f,
+                "shed at admission: estimated {estimated_us} µs residency \
+                 exceeds the {deadline_us} µs deadline"
+            ),
+            ServeError::DeadlineMissed {
+                waited_us,
+                deadline_us,
+            } => write!(
+                f,
+                "deadline missed in queue: waited {waited_us} µs \
+                 against a {deadline_us} µs deadline"
+            ),
+            ServeError::UnknownModel(name) => write!(f, "no resident model named `{name}`"),
+            ServeError::Failed => write!(f, "the model rejected the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a worker sends back: the typed result plus the instant the request
+/// finished (stamped at the worker, so open-loop load generators can
+/// measure latency without coordinated omission — DESIGN.md §14).
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub result: Result<Tensor, ServeError>,
+    pub finished_at: Instant,
+}
+
+/// A resolved request: the typed result and the worker-stamped instant it
+/// finished. Returned by [`Pending::outcome`].
+#[derive(Debug)]
+pub struct Outcome {
+    /// The response tensor, or the typed reason there is none.
+    pub result: Result<Tensor, ServeError>,
+    /// When the worker resolved the request. For requests shed at
+    /// admission this is the submission-side rejection instant.
+    pub finished_at: Instant,
+}
+
+/// A response handle returned by the `submit` family of methods on
+/// [`Server`](crate::Server).
+#[derive(Debug)]
+pub struct Pending(pub(crate) mpsc::Receiver<Response>);
+
+impl Pending {
+    /// Blocks until the result arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request resolved to any [`ServeError`] — shed,
+    /// deadline missed, unknown model, or rejected by the model. Use
+    /// [`Pending::result`] to handle those as values.
+    pub fn wait(self) -> Tensor {
+        self.result()
+            .unwrap_or_else(|e| panic!("serve request failed: {e}"))
+    }
+
+    /// Blocks until the request resolves, returning the typed result.
+    pub fn result(self) -> Result<Tensor, ServeError> {
+        self.outcome().result
+    }
+
+    /// Blocks until the request resolves, returning the typed result plus
+    /// the worker-stamped completion instant.
+    pub fn outcome(self) -> Outcome {
+        match self.0.recv() {
+            Ok(resp) => Outcome {
+                result: resp.result,
+                finished_at: resp.finished_at,
+            },
+            // The worker died without answering (it should instead have
+            // sent `Failed`); report the same typed error rather than hang.
+            Err(_) => Outcome {
+                result: Err(ServeError::Failed),
+                finished_at: Instant::now(),
+            },
+        }
+    }
+}

@@ -1,228 +1,273 @@
-//! The serving engine: replicated workers behind a round-robin dispatcher.
+//! The serving engine: shared-queue dispatch with shape-bucketed
+//! continuous batching, deadline-aware load shedding, and multi-model
+//! tenancy (DESIGN.md §14).
 //!
-//! Each worker thread owns one [`CompiledModel`] replica and one request
-//! queue; [`Server::submit`] round-robins requests across the queues. A
-//! worker drains its queue into a batch (up to `max_batch` samples, holding
-//! the batch open for at most `max_wait`), runs one coalesced forward, and
-//! sends each requester its slice of the output (DESIGN.md §8).
+//! Every resident model owns one shared MPMC work queue feeding all of its
+//! replica workers: any idle worker pulls the deepest shape bucket and
+//! ships it immediately — requests join the next batch at whatever boundary
+//! comes first instead of waiting out a coalescing window, so under backlog
+//! batches fill to `max_batch` and under light load latency is one forward
+//! pass. Requests carrying deadlines are shed at admission when the
+//! estimated queue residency already exceeds the budget, and dropped at
+//! dispatch if they expired while queued — both as first-class typed
+//! [`ServeError`] responses.
 
 use crate::batcher::{sample_count, split_output, stack_inputs, BatchConfig, Request};
 use crate::compiled::CompiledModel;
+use crate::request::{Pending, Response, ServeError, ServeRequest};
+use crate::stats::ServeStats;
 use fast_ckpt::{Artifact, CkptError, StateDict, SECTION_MODEL};
 use fast_tensor::Tensor;
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Aggregate serving statistics, merged across workers at shutdown.
-#[derive(Debug, Default, Clone)]
-pub struct ServeStats {
-    /// Coalesced forward passes executed.
-    pub batches: u64,
-    /// Total samples served.
-    pub samples: u64,
-    /// `batch size → count` over all executed batches.
-    pub batch_histogram: BTreeMap<usize, u64>,
-    /// Hot weight swaps applied ([`Server::reload`]); counts one per worker
-    /// per accepted reload, so a fully propagated reload adds `workers()`.
-    pub reloads: u64,
-    /// Reloads a worker rejected (artifact/architecture mismatch); the
-    /// worker keeps serving its previous weights.
-    pub reload_failures: u64,
+const POISONED: &str = "serve queue poisoned";
+
+/// A pending hot weight swap: the decoded `model` section, shared across
+/// all of a model's workers, tagged with the weight generation it carries.
+/// Latest wins — a newer reload replaces an unapplied one, and a worker
+/// that slept through intermediate generations applies only the newest.
+#[derive(Clone)]
+struct ReloadTicket {
+    gen: u64,
+    state: Arc<StateDict>,
 }
 
-impl ServeStats {
-    fn record(&mut self, batch_samples: usize) {
-        self.batches += 1;
-        self.samples += batch_samples as u64;
-        *self.batch_histogram.entry(batch_samples).or_insert(0) += 1;
-    }
-
-    fn merge(&mut self, other: ServeStats) {
-        self.batches += other.batches;
-        self.samples += other.samples;
-        for (size, n) in other.batch_histogram {
-            *self.batch_histogram.entry(size).or_insert(0) += n;
-        }
-        self.reloads += other.reloads;
-        self.reload_failures += other.reload_failures;
-    }
-
-    /// Mean samples per executed batch (0 if nothing ran).
-    pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            self.samples as f64 / self.batches as f64
-        }
-    }
-}
-
-/// A response handle returned by [`Server::submit`].
-#[derive(Debug)]
-pub struct Pending(mpsc::Receiver<Tensor>);
-
-impl Pending {
-    /// Blocks until the result arrives.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the request was dropped instead of answered — the model
-    /// rejected it (e.g. a shape the model cannot take) or the worker died.
-    pub fn wait(self) -> Tensor {
-        self.0.recv().expect("serve worker dropped the request")
-    }
-}
-
-struct QueueState {
+/// FIFO queue of requests sharing one per-sample (trailing) shape. Only
+/// same-bucket requests ever coalesce, so one oddly shaped request can
+/// never poison its neighbours.
+struct Bucket {
+    tail: Vec<usize>,
+    samples: usize,
     requests: VecDeque<Request>,
-    /// A pending hot weight swap: the decoded `model` section, shared across
-    /// all workers. Latest wins — a newer reload replaces an unapplied one.
-    reload: Option<Arc<StateDict>>,
+}
+
+struct ModelState {
+    buckets: Vec<Bucket>,
+    /// Total queued samples across buckets (the queue-depth gauge).
+    queued_samples: usize,
+    reload: Option<ReloadTicket>,
     shutdown: bool,
 }
 
-struct WorkerQueue {
-    state: Mutex<QueueState>,
+/// The shared work queue of one resident model, pulled from by all of its
+/// replica workers.
+struct ModelQueue {
+    name: String,
+    /// Replica workers serving this model (static; sizes the residency
+    /// estimate).
+    workers: usize,
+    state: Mutex<ModelState>,
     ready: Condvar,
+    /// Target weight generation: 0 for the compiled weights, bumped by
+    /// every accepted reload.
+    generation: AtomicU64,
+    /// EWMA of per-sample service time in ns (0 = no estimate yet).
+    est_sample_ns: AtomicU64,
+    /// Requests shed at admission (submit-side; merged into stats).
+    rejected: AtomicU64,
+    /// Highest queued-sample depth observed (submit-side gauge).
+    peak_depth: AtomicU64,
 }
 
-impl WorkerQueue {
-    fn new() -> Self {
-        WorkerQueue {
-            state: Mutex::new(QueueState {
-                requests: VecDeque::new(),
+impl ModelQueue {
+    fn new(name: String, workers: usize) -> Self {
+        ModelQueue {
+            name,
+            workers,
+            state: Mutex::new(ModelState {
+                buckets: Vec::new(),
+                queued_samples: 0,
                 reload: None,
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            generation: AtomicU64::new(0),
+            est_sample_ns: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            peak_depth: AtomicU64::new(0),
         }
     }
 }
 
-/// Whether the request at the queue front can join the staged batch:
-/// it must fit under `max` samples and share the batch head's per-sample
-/// shape (so one oddly shaped request can never poison its neighbours).
-fn front_can_join(state: &QueueState, batch: &[Request], samples: usize, max: usize) -> bool {
-    match state.requests.front() {
-        // An empty batch always takes the front request, even if it alone
-        // exceeds max_batch (a pre-batched client request).
-        Some(r) => {
-            batch.is_empty()
-                || (samples + sample_count(&r.input) <= max
-                    && r.input.shape()[1..] == batch[0].input.shape()[1..])
-        }
-        None => false,
-    }
-}
-
-/// Moves queued requests into `batch` while the front request can join.
-fn drain_into(state: &mut QueueState, batch: &mut Vec<Request>, samples: &mut usize, max: usize) {
-    while *samples < max && front_can_join(state, batch, *samples, max) {
-        let r = state.requests.pop_front().expect("front exists");
-        *samples += sample_count(&r.input);
-        batch.push(r);
-    }
-}
-
-fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConfig) -> ServeStats {
-    let mut stats = ServeStats::default();
+/// Pops the next batch: up to `max` samples from the front of the deepest
+/// bucket (FIFO within the bucket). Requests whose deadline has already
+/// passed are moved to `expired` instead of the batch and consume no batch
+/// slots. Returns an empty batch only when nothing live is queued.
+fn pop_batch(
+    state: &mut ModelState,
+    max: usize,
+    now: Instant,
+    expired: &mut Vec<Request>,
+) -> Vec<Request> {
+    let mut batch = Vec::new();
+    let mut samples = 0usize;
     loop {
-        let (batch, reload) = {
-            let mut state = queue.state.lock().expect("serve queue poisoned");
-            while state.requests.is_empty() && state.reload.is_none() {
+        let Some(bi) = state
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.samples)
+            .map(|(i, _)| i)
+        else {
+            return batch;
+        };
+        let bucket = &mut state.buckets[bi];
+        while let Some(front) = bucket.requests.front() {
+            let n = sample_count(&front.input);
+            if front.deadline.is_some_and(|d| now >= d) {
+                let r = bucket.requests.pop_front().expect("front exists");
+                bucket.samples -= n;
+                state.queued_samples -= n;
+                expired.push(r);
+                continue;
+            }
+            // An empty batch always takes the front request, even if it
+            // alone exceeds `max` (a pre-batched client request).
+            if !batch.is_empty() && samples + n > max {
+                break;
+            }
+            let r = bucket.requests.pop_front().expect("front exists");
+            bucket.samples -= n;
+            state.queued_samples -= n;
+            samples += n;
+            batch.push(r);
+            if samples >= max {
+                break;
+            }
+        }
+        if bucket.requests.is_empty() {
+            state.buckets.swap_remove(bi);
+        }
+        // The deepest bucket may have held only expired requests; try the
+        // next one rather than returning an empty batch with work queued.
+        if !batch.is_empty() || state.queued_samples == 0 {
+            return batch;
+        }
+    }
+}
+
+fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfig) -> ServeStats {
+    let mut stats = ServeStats::default();
+    // The weight generation this worker's replica has applied.
+    let mut applied_gen = 0u64;
+    loop {
+        let mut expired: Vec<Request> = Vec::new();
+        let (batch, reload, popped_at) = {
+            let mut state = queue.state.lock().expect(POISONED);
+            loop {
+                let reload_pending = state.reload.as_ref().is_some_and(|t| t.gen > applied_gen);
+                if state.queued_samples > 0 || reload_pending {
+                    break;
+                }
                 if state.shutdown {
                     return stats;
                 }
-                state = queue.ready.wait(state).expect("serve queue poisoned");
+                state = queue.ready.wait(state).expect(POISONED);
             }
-            let reload = state.reload.take();
-            let mut batch = Vec::new();
-            let mut samples = 0usize;
-            drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
-            // Hold the batch open briefly to coalesce stragglers — but not
-            // if the queue front already cannot join (full batch, or a
-            // different shape head-of-line): waiting could never grow the
-            // batch, and shipping now unblocks the requests behind it.
-            // (A reload-only wake skips the hold entirely — there is no
-            // batch to grow, and the swap should land now.)
-            if !batch.is_empty() && samples < cfg.max_batch && !cfg.max_wait.is_zero() {
-                let deadline = Instant::now() + cfg.max_wait;
-                while samples < cfg.max_batch && !state.shutdown {
-                    if !state.requests.is_empty()
-                        && !front_can_join(&state, &batch, samples, cfg.max_batch)
-                    {
-                        break;
-                    }
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    let (guard, timeout) = queue
-                        .ready
-                        .wait_timeout(state, deadline - now)
-                        .expect("serve queue poisoned");
-                    state = guard;
-                    if state.reload.is_some() {
-                        // A hot swap landed mid-hold: ship the batch as-is
-                        // (its members all predate the swap) and leave the
-                        // queue untouched — anything still queued must be
-                        // served after the new weights are applied.
-                        break;
-                    }
-                    drain_into(&mut state, &mut batch, &mut samples, cfg.max_batch);
-                    if timeout.timed_out() {
-                        break;
-                    }
-                }
-            }
-            (batch, reload)
-        }; // lock released before the forward pass (and the swap) run
-        if let Some(state) = reload {
-            // Swap weights *before* serving the drained batch: any request
-            // submitted after `Server::reload` returned can only sit behind
-            // the reload in this queue, so it is guaranteed the new
-            // weights. (Requests already queued when the reload landed may
-            // be answered by either version — the usual hot-swap contract.)
-            // A rejected artifact rolls the model back; the worker keeps
-            // serving the old weights and the failure is counted.
-            match model.apply_state(&state) {
-                Ok(()) => stats.reloads += 1,
+            let reload = state.reload.clone().filter(|t| t.gen > applied_gen);
+            let now = Instant::now();
+            let batch = pop_batch(&mut state, cfg.max_batch, now, &mut expired);
+            (batch, reload, now)
+        }; // lock released before the swap and the forward pass run
+        if let Some(ticket) = reload {
+            // Swap weights *before* serving the popped batch: the batch may
+            // contain requests submitted after `Server::reload` returned
+            // (submit and reload serialize on the queue mutex), and those
+            // are guaranteed the new weights. Requests already queued when
+            // the reload landed may be answered by either version — the
+            // usual hot-swap contract. A rejected artifact rolls the model
+            // back; the worker keeps serving the old weights.
+            match model.apply_state(&ticket.state) {
+                // A worker that slept through intermediate generations
+                // covers them all by applying the newest, so a fully
+                // propagated reload always adds `workers` per generation.
+                Ok(()) => stats.reloads += ticket.gen - applied_gen,
                 Err(_) => stats.reload_failures += 1,
             }
+            applied_gen = ticket.gen;
+        }
+        for req in expired.drain(..) {
+            stats.deadline_missed += 1;
+            let waited_us = popped_at.duration_since(req.enqueued_at).as_micros() as u64;
+            let deadline_us = req
+                .deadline
+                .map(|d| d.duration_since(req.enqueued_at).as_micros() as u64)
+                .unwrap_or(0);
+            let _ = req.resp.send(Response {
+                result: Err(ServeError::DeadlineMissed {
+                    waited_us,
+                    deadline_us,
+                }),
+                finished_at: Instant::now(),
+            });
         }
         if batch.is_empty() {
             continue;
         }
+        for req in &batch {
+            stats
+                .queue_ns
+                .record(popped_at.duration_since(req.enqueued_at).as_nanos() as u64);
+        }
+        let started = Instant::now();
+        let mut served_samples = 0usize;
         if let [lone] = &batch[..] {
             // Batch of one: skip the stack/split copies entirely.
             if serve_one(&mut model, lone) {
-                stats.record(sample_count(&lone.input));
+                let n = sample_count(&lone.input);
+                stats.record(n);
+                served_samples += n;
             }
+            stats.service_ns.record(started.elapsed().as_nanos() as u64);
         } else if serve_coalesced(&mut model, &batch) {
-            stats.record(batch.iter().map(|r| sample_count(&r.input)).sum());
+            let n = batch.iter().map(|r| sample_count(&r.input)).sum();
+            stats.record(n);
+            served_samples += n;
+            let elapsed = started.elapsed().as_nanos() as u64;
+            for _ in &batch {
+                stats.service_ns.record(elapsed);
+            }
         } else {
             // The coalesced forward panicked — some request in the batch is
             // one the model rejects at the value level (e.g. an out-of-vocab
             // token), which shape-gated coalescing cannot screen out. Retry
-            // each request alone so only the poisonous one fails: its
-            // response sender is dropped and the client's
-            // [`Pending::wait`] fails loudly instead of hanging, while the
-            // neighbours still get their answers.
+            // each request alone so only the poisonous one fails with a
+            // typed [`ServeError::Failed`] while the neighbours still get
+            // their answers.
             for req in &batch {
+                let t = Instant::now();
                 if serve_one(&mut model, req) {
-                    stats.record(sample_count(&req.input));
+                    let n = sample_count(&req.input);
+                    stats.record(n);
+                    served_samples += n;
                 }
+                stats.service_ns.record(t.elapsed().as_nanos() as u64);
             }
+        }
+        // Feed the admission-control estimate: amortized per-sample service
+        // time of this batch, smoothed so one outlier cannot flip the shed
+        // decision for long.
+        if served_samples > 0 {
+            let per_sample = (started.elapsed().as_nanos() as u64 / served_samples as u64).max(1);
+            let old = queue.est_sample_ns.load(Ordering::Relaxed);
+            let new = if old == 0 {
+                per_sample
+            } else {
+                (3 * old + per_sample) / 4
+            };
+            queue.est_sample_ns.store(new, Ordering::Relaxed);
         }
     }
 }
 
 /// Runs one request through the model, catching a model panic (bad shape,
 /// malformed tokens, …) so a rejected request cannot kill the worker and
-/// strand every later request on its queue. Returns whether it was served.
+/// strand the shared queue. The client receives a typed
+/// [`ServeError::Failed`]. Returns whether the request was served.
 ///
 /// The model carries no cross-request state that a mid-forward unwind could
 /// corrupt (weight caches are rebuilt from versioned masters), so resuming
@@ -232,12 +277,22 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<WorkerQueue>, cfg: BatchConf
 /// global hook; embedders who consider rejects routine can install a
 /// quieter hook themselves.
 fn serve_one(model: &mut CompiledModel, req: &Request) -> bool {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let out = model.infer(&req.input);
         // A dropped receiver means the client gave up waiting.
-        let _ = req.resp.send(out);
+        let _ = req.resp.send(Response {
+            result: Ok(out),
+            finished_at: Instant::now(),
+        });
     }))
-    .is_ok()
+    .is_ok();
+    if !ok {
+        let _ = req.resp.send(Response {
+            result: Err(ServeError::Failed),
+            finished_at: Instant::now(),
+        });
+    }
+    ok
 }
 
 /// Runs a coalesced batch through the model; on a panic no response has
@@ -248,16 +303,105 @@ fn serve_coalesced(model: &mut CompiledModel, batch: &[Request]) -> bool {
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
         let samples: Vec<usize> = inputs.iter().map(|t| sample_count(t)).collect();
         let out = model.infer(&stack_inputs(&inputs));
+        let finished_at = Instant::now();
         for (req, piece) in batch.iter().zip(split_output(&out, &samples)) {
-            let _ = req.resp.send(piece);
+            let _ = req.resp.send(Response {
+                result: Ok(piece),
+                finished_at,
+            });
         }
     }))
     .is_ok()
 }
 
-/// A running inference service: N worker threads, each owning a
-/// [`CompiledModel`] replica and a request queue, behind a round-robin
-/// dispatcher.
+/// Configures a [`Server`] hosting one or more resident models.
+///
+/// Each model brings its own replica set — and with it its own precision
+/// profile, [`fast_nn::ExecMode`] and [`fast_nn::SrMode`] (those are
+/// per-replica serving configuration on [`CompiledModel`]) — plus an
+/// independent shared work queue and hot-reload generation.
+///
+/// ```
+/// use fast_nn::{Dense, ExecMode, Sequential};
+/// use fast_serve::{BatchConfig, CompiledModel, Server, ServeRequest};
+/// use fast_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let build = |seed, fast| {
+///     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+///     let model = Sequential::new().push(Dense::new(4, 2, true, &mut rng));
+///     let mut c = CompiledModel::compile(model, 0);
+///     if fast {
+///         c.set_exec_mode(ExecMode::Integer); // per-model precision profile
+///     }
+///     c
+/// };
+/// let server = Server::builder(BatchConfig::default())
+///     .model("exact", vec![build(1, false)])
+///     .model("fast", vec![build(1, true), build(1, true)])
+///     .start();
+/// let y = server
+///     .submit_request(ServeRequest::new(Tensor::zeros(vec![1, 4])).for_model("fast"))
+///     .wait();
+/// assert_eq!(y.shape(), &[1, 2]);
+/// server.shutdown();
+/// ```
+pub struct ServerBuilder {
+    cfg: BatchConfig,
+    models: Vec<(String, Vec<CompiledModel>)>,
+}
+
+impl ServerBuilder {
+    /// Registers a resident model under `name` with its replica set. The
+    /// first registered model is the default target of
+    /// [`Server::submit`] / [`Server::infer`] / [`Server::reload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or `name` is already registered.
+    pub fn model(mut self, name: impl Into<String>, replicas: Vec<CompiledModel>) -> Self {
+        let name = name.into();
+        assert!(
+            !replicas.is_empty(),
+            "model `{name}` needs at least one replica"
+        );
+        assert!(
+            self.models.iter().all(|(n, _)| n != &name),
+            "model `{name}` registered twice"
+        );
+        self.models.push((name, replicas));
+        self
+    }
+
+    /// Starts one worker thread per replica of every registered model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model was registered or `max_batch` is zero.
+    pub fn start(self) -> Server {
+        assert!(!self.models.is_empty(), "need at least one resident model");
+        assert!(self.cfg.max_batch > 0, "max_batch must be positive");
+        let mut queues = Vec::with_capacity(self.models.len());
+        let mut workers = Vec::new();
+        for (name, replicas) in self.models {
+            let queue = Arc::new(ModelQueue::new(name, replicas.len()));
+            for replica in replicas {
+                let worker_queue = Arc::clone(&queue);
+                let cfg = self.cfg;
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(replica, worker_queue, cfg)
+                }));
+            }
+            queues.push(queue);
+        }
+        Server { queues, workers }
+    }
+}
+
+/// A running inference service: one shared MPMC work queue per resident
+/// model, pulled from by that model's replica worker threads, with
+/// shape-bucketed continuous batching and deadline-aware load shedding
+/// (DESIGN.md §14).
 ///
 /// ```
 /// use fast_nn::{Dense, Sequential};
@@ -265,7 +409,7 @@ fn serve_coalesced(model: &mut CompiledModel, batch: &[Request]) -> bool {
 /// use fast_tensor::Tensor;
 /// use rand::SeedableRng;
 ///
-/// // Two bit-identical replicas (same build seed).
+/// // Two bit-identical replicas (same build seed) pulling one queue.
 /// let replicas: Vec<CompiledModel> = (0..2)
 ///     .map(|_| {
 ///         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -279,14 +423,12 @@ fn serve_coalesced(model: &mut CompiledModel, batch: &[Request]) -> bool {
 /// server.shutdown();
 /// ```
 pub struct Server {
-    queues: Vec<Arc<WorkerQueue>>,
+    queues: Vec<Arc<ModelQueue>>,
     workers: Vec<JoinHandle<ServeStats>>,
-    next: AtomicUsize,
-    generation: AtomicU64,
 }
 
 impl Server {
-    /// Starts one worker thread per replica.
+    /// Single-model convenience: hosts `replicas` as the model `"default"`.
     ///
     /// Replicas are typically built from the same seed so every worker
     /// serves bit-identical results; [`CompiledModel::compile`] quantizes
@@ -296,43 +438,72 @@ impl Server {
     ///
     /// Panics if `replicas` is empty.
     pub fn start(replicas: Vec<CompiledModel>, cfg: BatchConfig) -> Server {
-        assert!(!replicas.is_empty(), "need at least one model replica");
-        assert!(cfg.max_batch > 0, "max_batch must be positive");
-        let mut queues = Vec::with_capacity(replicas.len());
-        let mut workers = Vec::with_capacity(replicas.len());
-        for replica in replicas {
-            let queue = Arc::new(WorkerQueue::new());
-            let worker_queue = Arc::clone(&queue);
-            workers.push(std::thread::spawn(move || {
-                worker_loop(replica, worker_queue, cfg)
-            }));
-            queues.push(queue);
-        }
-        Server {
-            queues,
-            workers,
-            next: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
+        Server::builder(cfg).model("default", replicas).start()
+    }
+
+    /// Starts configuring a multi-model server.
+    pub fn builder(cfg: BatchConfig) -> ServerBuilder {
+        ServerBuilder {
+            cfg,
+            models: Vec::new(),
         }
     }
 
-    /// Number of worker replicas.
+    /// Total worker threads across all resident models.
     pub fn workers(&self) -> usize {
-        self.queues.len()
+        self.workers.len()
     }
 
-    /// The weight generation currently being rolled out: 0 for the compiled
-    /// weights, bumped by every accepted [`Server::reload`].
+    /// Names of the resident models, default model first.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.queues.iter().map(|q| q.name.as_str()).collect()
+    }
+
+    fn queue(&self, model: Option<&str>) -> Option<&Arc<ModelQueue>> {
+        match model {
+            None => self.queues.first(),
+            Some(name) => self.queues.iter().find(|q| q.name == name),
+        }
+    }
+
+    /// The default model's weight generation currently being rolled out: 0
+    /// for the compiled weights, bumped by every accepted reload.
     pub fn weight_generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.queues[0].generation.load(Ordering::Relaxed)
     }
 
-    /// Hot-swaps every replica's weights from a checkpoint artifact's
+    /// The named model's weight generation, or `None` if not resident.
+    pub fn weight_generation_of(&self, model: &str) -> Option<u64> {
+        self.queue(Some(model))
+            .map(|q| q.generation.load(Ordering::Relaxed))
+    }
+
+    /// Queued samples currently waiting for the default model — the live
+    /// queue-depth gauge ([`ServeStats::peak_queue_depth`] records the
+    /// high-water mark).
+    pub fn queue_depth(&self) -> usize {
+        self.queues[0].state.lock().expect(POISONED).queued_samples
+    }
+
+    /// Queued samples waiting for the named model, or `None` if not
+    /// resident.
+    pub fn queue_depth_of(&self, model: &str) -> Option<usize> {
+        self.queue(Some(model))
+            .map(|q| q.state.lock().expect(POISONED).queued_samples)
+    }
+
+    /// Hot-swaps the default model's weights from a checkpoint artifact's
     /// `model` section without restarting the server or dropping a single
-    /// request.
+    /// non-shed request. See [`Server::reload_model`].
+    pub fn reload(&self, artifact: &Artifact) -> Result<u64, CkptError> {
+        self.reload_queue(&self.queues[0], artifact)
+    }
+
+    /// Hot-swaps the named model's weights from a checkpoint artifact's
+    /// `model` section; other resident models are untouched.
     ///
-    /// The section is decoded and validated once, then shared (`Arc`) to
-    /// every worker queue; each worker applies it at its next batch
+    /// The section is decoded and validated once, then shared (`Arc`) with
+    /// every worker of the model; each worker applies it at its next batch
     /// boundary — any request submitted after this method returns is served
     /// with the new weights, while requests already in flight may see
     /// either version. Inside the replica the swap rides the existing
@@ -341,46 +512,125 @@ impl Server {
     /// bit-transparent for deterministic-rounding formats: post-swap
     /// responses equal an eval forward of the restored model.
     ///
-    /// Returns the new weight generation. [`ServeStats::reloads`] counts
-    /// the per-worker applications (a fully propagated reload adds
-    /// [`Server::workers`]); an artifact that decodes but does not match
-    /// the replica architecture is rejected worker-side, rolled back, and
-    /// counted in [`ServeStats::reload_failures`].
+    /// Returns the model's new weight generation. [`ServeStats::reloads`]
+    /// counts per-worker applications (a fully propagated reload adds the
+    /// model's replica count per generation); an artifact that decodes but
+    /// does not match the replica architecture is rejected worker-side,
+    /// rolled back, and counted in [`ServeStats::reload_failures`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not resident (reload targets are server
+    /// configuration, not request routing — a typo here is a deployment
+    /// bug).
     ///
     /// # Errors
     ///
     /// [`CkptError::MissingSection`] / decode errors if the artifact has no
     /// well-formed `model` section.
-    pub fn reload(&self, artifact: &Artifact) -> Result<u64, CkptError> {
+    pub fn reload_model(&self, model: &str, artifact: &Artifact) -> Result<u64, CkptError> {
+        let queue = self
+            .queue(Some(model))
+            .unwrap_or_else(|| panic!("no resident model named `{model}`"));
+        self.reload_queue(queue, artifact)
+    }
+
+    fn reload_queue(&self, queue: &Arc<ModelQueue>, artifact: &Artifact) -> Result<u64, CkptError> {
         let state = Arc::new(StateDict::from_bytes(artifact.require(SECTION_MODEL)?)?);
-        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
-        for queue in &self.queues {
-            let mut qs = queue.state.lock().expect("serve queue poisoned");
-            qs.reload = Some(Arc::clone(&state));
-            drop(qs);
-            queue.ready.notify_all();
-        }
+        let mut qs = queue.state.lock().expect(POISONED);
+        // Bump under the queue lock so ticket generations are monotone.
+        let generation = queue.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        qs.reload = Some(ReloadTicket {
+            gen: generation,
+            state,
+        });
+        drop(qs);
+        queue.ready.notify_all();
         Ok(generation)
     }
 
-    /// Enqueues a request (leading dimension = samples, usually 1) on the
-    /// next worker in round-robin order and returns a handle to await the
+    /// Enqueues a request (leading dimension = samples, usually 1) for the
+    /// default model with no deadline and returns a handle to await the
     /// result.
     pub fn submit(&self, input: Tensor) -> Pending {
+        self.submit_request(ServeRequest::new(input))
+    }
+
+    /// Enqueues a typed request — model routing and deadline included —
+    /// into the target model's shared queue.
+    ///
+    /// Admission control: when the request carries a deadline and the
+    /// dispatcher has a service-time estimate, the estimated queue
+    /// residency `(queued + own) × est_per_sample / workers` is checked
+    /// against the budget and the request is shed immediately with
+    /// [`ServeError::Rejected`] if it cannot make it — reject-fast keeps an
+    /// overloaded queue from dragging every later request past its
+    /// deadline. All failures arrive as typed [`ServeError`] values through
+    /// the returned [`Pending`].
+    pub fn submit_request(&self, req: ServeRequest) -> Pending {
         let (tx, rx) = mpsc::channel();
-        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        let queue = &self.queues[idx];
-        {
-            let mut state = queue.state.lock().expect("serve queue poisoned");
-            state.requests.push_back(Request { input, resp: tx });
+        let Some(queue) = self.queue(req.model.as_deref()) else {
+            let name = req.model.unwrap_or_default();
+            let _ = tx.send(Response {
+                result: Err(ServeError::UnknownModel(name)),
+                finished_at: Instant::now(),
+            });
+            return Pending(rx);
+        };
+        let samples = sample_count(&req.input);
+        let now = Instant::now();
+        let mut state = queue.state.lock().expect(POISONED);
+        if let Some(budget) = req.deadline {
+            let est = queue.est_sample_ns.load(Ordering::Relaxed);
+            let est_wait_ns = ((state.queued_samples + samples) as u64).saturating_mul(est)
+                / queue.workers as u64;
+            if est > 0 && est_wait_ns > budget.as_nanos() as u64 {
+                drop(state);
+                queue.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Response {
+                    result: Err(ServeError::Rejected {
+                        estimated_us: est_wait_ns / 1000,
+                        deadline_us: budget.as_micros() as u64,
+                    }),
+                    finished_at: Instant::now(),
+                });
+                return Pending(rx);
+            }
         }
+        let request = Request {
+            resp: tx,
+            enqueued_at: now,
+            deadline: req.deadline.map(|d| now + d),
+            input: req.input,
+        };
+        let tail = &request.input.shape()[1..];
+        match state.buckets.iter_mut().find(|b| b.tail == tail) {
+            Some(bucket) => {
+                bucket.samples += samples;
+                bucket.requests.push_back(request);
+            }
+            None => state.buckets.push(Bucket {
+                tail: tail.to_vec(),
+                samples,
+                requests: VecDeque::from([request]),
+            }),
+        }
+        state.queued_samples += samples;
+        let depth = state.queued_samples as u64;
+        drop(state);
+        queue.peak_depth.fetch_max(depth, Ordering::Relaxed);
         queue.ready.notify_one();
         Pending(rx)
     }
 
-    /// Convenience: submit and block for the result.
+    /// Convenience: submit to the default model and block for the result.
     pub fn infer(&self, input: Tensor) -> Tensor {
         self.submit(input).wait()
+    }
+
+    /// Convenience: submit to the default model with a deadline.
+    pub fn submit_with_deadline(&self, input: Tensor, deadline: Duration) -> Pending {
+        self.submit_request(ServeRequest::new(input).with_deadline(deadline))
     }
 
     /// Signals every worker, drains remaining requests, joins the threads,
@@ -391,7 +641,7 @@ impl Server {
 
     fn stop(&mut self) -> ServeStats {
         for queue in &self.queues {
-            let mut state = queue.state.lock().expect("serve queue poisoned");
+            let mut state = queue.state.lock().expect(POISONED);
             state.shutdown = true;
             drop(state);
             queue.ready.notify_all();
@@ -399,6 +649,12 @@ impl Server {
         let mut stats = ServeStats::default();
         for handle in self.workers.drain(..) {
             stats.merge(handle.join().expect("serve worker panicked"));
+        }
+        for queue in &self.queues {
+            stats.rejected += queue.rejected.load(Ordering::Relaxed);
+            stats.peak_queue_depth = stats
+                .peak_queue_depth
+                .max(queue.peak_depth.load(Ordering::Relaxed));
         }
         stats
     }
@@ -419,7 +675,6 @@ mod tests {
     use super::*;
     use fast_nn::{set_uniform_precision, Dense, LayerPrecision, Relu, Sequential};
     use rand::SeedableRng;
-    use std::time::Duration;
 
     fn replica(seed: u64) -> CompiledModel {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -441,17 +696,18 @@ mod tests {
     }
 
     #[test]
-    fn coalesced_batches_match_per_request_results() {
+    fn queued_requests_match_per_request_results() {
         // Ground truth: each sample through a lone compiled model.
         let mut reference = replica(1);
         let want: Vec<Tensor> = (0..12).map(|i| reference.infer(&sample(i))).collect();
 
-        // Large max_wait + pre-loaded queue force real coalescing.
+        // Whatever way the dispatcher coalesces the backlog, every response
+        // must be bit-identical to the single-sample forward.
         let server = Server::start(
             vec![replica(1)],
             BatchConfig {
                 max_batch: 5,
-                max_wait: Duration::from_millis(20),
+                max_wait: Duration::ZERO,
             },
         );
         let pending: Vec<Pending> = (0..12).map(|i| server.submit(sample(i))).collect();
@@ -460,26 +716,29 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.samples, 12);
-        assert!(
-            stats.batches < 12,
-            "12 queued requests should coalesce, got {:?}",
-            stats.batch_histogram
-        );
         assert!(stats.batch_histogram.keys().all(|&s| s <= 5));
+        // Queue residency and service time were recorded per request.
+        assert_eq!(stats.queue_ns.count(), 12);
+        assert_eq!(stats.service_ns.count(), 12);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.deadline_missed, 0);
+        assert!(stats.peak_queue_depth >= 1);
     }
 
     #[test]
-    fn round_robin_spreads_requests_across_workers() {
+    fn shared_queue_feeds_all_workers() {
         let server = Server::start(
             vec![replica(2), replica(2), replica(2)],
             BatchConfig::no_wait(4),
         );
         assert_eq!(server.workers(), 3);
+        assert_eq!(server.model_names(), vec!["default"]);
         let pending: Vec<Pending> = (0..9).map(|i| server.submit(sample(i))).collect();
         let outs: Vec<Tensor> = pending.into_iter().map(Pending::wait).collect();
         // All workers hold bit-identical replicas, so identical inputs give
-        // identical outputs no matter which worker served them.
+        // identical outputs no matter which worker pulled them.
         assert_eq!(outs[0], server.infer(sample(0)));
+        assert_eq!(server.queue_depth(), 0, "drained queue gauges empty");
         let stats = server.shutdown();
         assert_eq!(stats.samples, 10);
     }
@@ -498,10 +757,10 @@ mod tests {
     fn rejected_request_fails_loudly_and_worker_keeps_serving() {
         let server = Server::start(vec![replica(5)], BatchConfig::no_wait(4));
         // Wrong width: the model panics on it inside the worker; the
-        // request must fail loudly (not hang) and the worker must survive.
+        // request must resolve to a typed failure (not hang) and the worker
+        // must survive.
         let bad = server.submit(Tensor::zeros(vec![1, 5]));
-        let bad_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
-        assert!(bad_result.is_err(), "rejected request must not hang");
+        assert_eq!(bad.result(), Err(ServeError::Failed));
         let y = server.infer(sample(0));
         assert_eq!(y.shape(), &[1, 3], "worker must survive a bad request");
         let stats = server.shutdown();
@@ -509,23 +768,30 @@ mod tests {
     }
 
     #[test]
-    fn mixed_shapes_never_coalesce() {
-        // Queue a [1,6] and a [2,6] (fine together) and a [1,5] (different
-        // per-sample shape) while the worker is busy; the odd one must not
-        // poison the shape-matched batch.
-        let server = Server::start(
-            vec![replica(6)],
-            BatchConfig {
-                max_batch: 8,
-                max_wait: Duration::from_millis(10),
-            },
+    fn wait_panics_on_typed_failure() {
+        let server = Server::start(vec![replica(5)], BatchConfig::no_wait(4));
+        let bad = server.submit(Tensor::zeros(vec![1, 5]));
+        let bad_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait()));
+        assert!(
+            bad_result.is_err(),
+            "wait() keeps the loud-failure contract"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn mixed_shapes_land_in_separate_buckets() {
+        // A [1,6], a [1,5] (different per-sample shape) and another [1,6]:
+        // the odd one must never coalesce with (and so never poison) the
+        // shape-matched pair, whatever order the dispatcher pulls.
+        let server = Server::start(vec![replica(6)], BatchConfig::no_wait(8));
         let good1 = server.submit(sample(1));
         let bad = server.submit(Tensor::zeros(vec![1, 5]));
         let good2 = server.submit(sample(2));
         assert_eq!(good1.wait().shape(), &[1, 3]);
-        assert!(
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.wait())).is_err(),
+        assert_eq!(
+            bad.result(),
+            Err(ServeError::Failed),
             "mis-shaped request must fail alone"
         );
         assert_eq!(good2.wait().shape(), &[1, 3]);
@@ -546,24 +812,28 @@ mod tests {
         let mut reference = build();
         let want = reference.infer(&tokens(0.0));
 
-        let server = Server::start(
-            vec![build()],
-            BatchConfig {
-                max_batch: 8,
-                max_wait: Duration::from_millis(20),
-            },
-        );
+        let server = Server::start(vec![build()], BatchConfig::no_wait(8));
         let good1 = server.submit(tokens(0.0));
         let poison = server.submit(tokens(99.0)); // out of vocab
         let good2 = server.submit(tokens(0.0));
         assert_eq!(good1.wait(), want, "neighbour must survive the poison");
-        assert!(
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| poison.wait())).is_err(),
-            "poison request must fail loudly"
+        assert_eq!(
+            poison.result(),
+            Err(ServeError::Failed),
+            "poison request must fail with a typed error"
         );
         assert_eq!(good2.wait(), want, "neighbour must survive the poison");
         let stats = server.shutdown();
         assert_eq!(stats.samples, 2, "only valid requests count as served");
+    }
+
+    #[test]
+    fn unknown_model_resolves_typed() {
+        let server = Server::start(vec![replica(5)], BatchConfig::no_wait(4));
+        let p = server.submit_request(ServeRequest::new(sample(0)).for_model("nope"));
+        assert_eq!(p.result(), Err(ServeError::UnknownModel("nope".into())));
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 0);
     }
 
     /// Same architecture as [`replica`], different weights (different seed).
@@ -634,6 +904,25 @@ mod tests {
     }
 
     #[test]
+    fn skipped_generations_still_count_as_applied() {
+        // Two reloads land before any worker wakes: the worker applies only
+        // the newest ticket but covers both generations in the count, so
+        // `reloads == workers × generations` stays the invariant.
+        let server = Server::start(vec![replica(2)], BatchConfig::no_wait(4));
+        let mut a = trained_variant(79);
+        let mut b = trained_variant(80);
+        server.reload(&model_artifact(&mut a)).unwrap();
+        server.reload(&model_artifact(&mut b)).unwrap();
+        assert_eq!(server.weight_generation(), 2);
+        // The newest weights serve.
+        let mut reference = CompiledModel::compile(trained_variant(80), 0);
+        assert_eq!(server.infer(sample(0)), reference.infer(&sample(0)));
+        let stats = server.shutdown();
+        assert_eq!(stats.reloads, 2);
+        assert_eq!(stats.reload_failures, 0);
+    }
+
+    #[test]
     fn mismatched_artifact_is_rejected_and_old_weights_keep_serving() {
         let mut reference = replica(9);
         let want = reference.infer(&sample(3));
@@ -696,8 +985,9 @@ mod tests {
     fn conv_reload_under_concurrent_submits_drops_nothing() {
         // The MLP-shaped reload test above swaps weights between quiesced
         // request waves; this one reloads a *conv* workload while
-        // submitter threads keep traffic in flight — im2col activation
-        // grouping and rank-4 inputs ride through the same swap path.
+        // submitter threads keep traffic in flight on the shared queue —
+        // im2col activation grouping and rank-4 inputs ride through the
+        // same swap path.
         let mut new_model = conv_model(31);
         let artifact = model_artifact(&mut new_model);
         let mut reference = CompiledModel::compile(new_model, 0);

@@ -1,0 +1,230 @@
+//! Serving observability: latency histograms and aggregate statistics.
+//!
+//! The dispatcher splits every request's wall time into **queue residency**
+//! (submit → pulled into a batch) and **service time** (batch pulled →
+//! response sent): a slow p99 caused by queueing means the fleet is
+//! under-provisioned or the batcher is under-filling, while a slow p99
+//! caused by service means the model itself is the bottleneck — the split
+//! makes shed decisions and batcher fill auditable from stats alone
+//! (DESIGN.md §14).
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: 16 exact small values plus 8 logarithmic
+/// sub-buckets per power of two up to `u64::MAX` nanoseconds.
+const HIST_BUCKETS: usize = 496;
+
+/// A mergeable log-bucketed latency histogram (nanosecond samples).
+///
+/// Values below 16 ns are exact; above that each power of two is split into
+/// 8 sub-buckets, so any reported percentile is within ~6% of the true
+/// sample. Memory is a fixed 4 KiB per histogram regardless of sample
+/// count, which is what lets every worker keep one per latency component
+/// without unbounded growth under sustained load.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let b = 63 - v.leading_zeros() as usize; // ≥ 4
+        let sub = ((v >> (b - 3)) & 7) as usize;
+        16 + (b - 4) * 8 + sub
+    }
+}
+
+/// Midpoint of the value range a bucket covers.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let b = 4 + (idx - 16) / 8;
+        let sub = ((idx - 16) % 8) as u64;
+        let width = 1u64 << (b - 3);
+        (1u64 << b) + sub * width + width / 2
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile in nanoseconds (`p` in `[0, 1]`; e.g. `0.99`),
+    /// or 0 if the histogram is empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx);
+            }
+        }
+        bucket_value(HIST_BUCKETS - 1)
+    }
+
+    /// Convenience: the `p`-th percentile in microseconds.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        self.percentile_ns(p) as f64 / 1000.0
+    }
+}
+
+/// Aggregate serving statistics, merged across workers at shutdown.
+#[derive(Debug, Default, Clone)]
+pub struct ServeStats {
+    /// Coalesced forward passes executed.
+    pub batches: u64,
+    /// Total samples served (answered with a tensor; shed and failed
+    /// requests are not counted).
+    pub samples: u64,
+    /// `batch size → count` over all executed batches.
+    pub batch_histogram: BTreeMap<usize, u64>,
+    /// Requests shed at admission: the estimated queue residency already
+    /// exceeded the request's deadline, so it was rejected fast instead of
+    /// queued ([`crate::ServeError::Rejected`]).
+    pub rejected: u64,
+    /// Requests whose deadline expired while they sat in the queue; they
+    /// are dropped at dispatch without running the model
+    /// ([`crate::ServeError::DeadlineMissed`]).
+    pub deadline_missed: u64,
+    /// Queue residency per served request: submit → pulled into a batch.
+    pub queue_ns: LatencyHistogram,
+    /// Service time per served request: batch pulled → response sent (the
+    /// whole batch's forward is attributed to each member).
+    pub service_ns: LatencyHistogram,
+    /// Highest queued-sample depth any model's queue reached (a submit-side
+    /// gauge; the live value is [`crate::Server::queue_depth`]).
+    pub peak_queue_depth: u64,
+    /// Hot weight swaps applied ([`crate::Server::reload`]); counts one per
+    /// worker per weight generation, so a fully propagated reload of one
+    /// model adds that model's replica count.
+    pub reloads: u64,
+    /// Reloads a worker rejected (artifact/architecture mismatch); the
+    /// worker keeps serving its previous weights.
+    pub reload_failures: u64,
+}
+
+impl ServeStats {
+    pub(crate) fn record(&mut self, batch_samples: usize) {
+        self.batches += 1;
+        self.samples += batch_samples as u64;
+        *self.batch_histogram.entry(batch_samples).or_insert(0) += 1;
+    }
+
+    pub(crate) fn merge(&mut self, other: ServeStats) {
+        self.batches += other.batches;
+        self.samples += other.samples;
+        for (size, n) in other.batch_histogram {
+            *self.batch_histogram.entry(size).or_insert(0) += n;
+        }
+        self.rejected += other.rejected;
+        self.deadline_missed += other.deadline_missed;
+        self.queue_ns.merge(&other.queue_ns);
+        self.service_ns.merge(&other.service_ns);
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.reloads += other.reloads;
+        self.reload_failures += other.reload_failures;
+    }
+
+    /// Mean samples per executed batch (0 if nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_track_samples() {
+        let mut h = LatencyHistogram::default();
+        for ns in 1..=1000u64 {
+            h.record(ns * 1000); // 1 µs .. 1 ms, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile_ns(0.50);
+        let p99 = h.percentile_ns(0.99);
+        // Log buckets guarantee ~6% resolution.
+        assert!((400_000..=600_000).contains(&p50), "p50 {p50}");
+        assert!((930_000..=1_100_000).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::default();
+        for v in [0u64, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_ns(0.0), 0);
+        assert_eq!(h.percentile_ns(1.0), 15);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile_ns(1.0) > 900_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_value_is_within_bucket() {
+        for v in [1u64, 17, 1000, 123_456, u64::from(u32::MAX) * 7] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            // The representative is within a factor of ~1.13 of any member.
+            assert!(
+                (rep as f64) / (v as f64) < 1.15 && (v as f64) / (rep as f64) < 1.15,
+                "v {v} rep {rep}"
+            );
+        }
+    }
+}

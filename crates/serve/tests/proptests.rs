@@ -3,11 +3,11 @@
 //! under deterministic rounding, and dynamic micro-batching never changes
 //! results sample-for-sample.
 
-use fast_bfp::BfpFormat;
+use fast_bfp::{BfpFormat, Rounding};
 use fast_nn::models::{mlp, resnet_lite, ResNetConfig};
 use fast_nn::{
-    set_uniform_precision, Conv2d, Dense, Layer, LayerPrecision, NumericFormat, Relu, Sequential,
-    Session,
+    set_uniform_precision, Conv2d, Dense, ExecMode, GlobalAvgPool, Layer, LayerPrecision,
+    NumericFormat, Relu, Sequential, Session,
 };
 use fast_serve::{BatchConfig, CompiledModel, Pending, Server};
 use fast_tensor::Tensor;
@@ -41,6 +41,50 @@ fn precision_for(w: u8, a: u8) -> LayerPrecision {
         // Gradients are never quantized in a forward-only path.
         gradients: NumericFormat::Fp32,
     }
+}
+
+/// The full 10-format zoo of `crates/nn/tests/proptests.rs` (paper Fig 2
+/// plus exotics), usable for *weights*: frozen-weight quantization draws
+/// its stochastic bits from the compile-time source, so even SR weight
+/// formats compile deterministically and replicas stay bit-identical.
+fn zoo_format(idx: usize) -> NumericFormat {
+    match idx % 10 {
+        0 => NumericFormat::Fp32,
+        1 => NumericFormat::bf16(),
+        2 => NumericFormat::int8(),
+        3 => NumericFormat::bfp_nearest(BfpFormat::low()),
+        4 => NumericFormat::bfp_nearest(BfpFormat::high()),
+        5 => NumericFormat::bfp_stochastic(BfpFormat::high()),
+        6 => NumericFormat::Bfp {
+            format: BfpFormat::new(16, 3, 3).unwrap(),
+            rounding: Rounding::Stochastic { noise_bits: 5 },
+            windowed: true,
+        },
+        7 => NumericFormat::Bfp {
+            format: BfpFormat::new(8, 7, 8).unwrap(),
+            rounding: Rounding::Truncate,
+            windowed: false,
+        },
+        8 => NumericFormat::bfp_nearest(BfpFormat::new(16, 12, 8).unwrap()),
+        _ => NumericFormat::Bfp {
+            format: BfpFormat::msfp12(),
+            rounding: Rounding::Nearest,
+            windowed: true,
+        },
+    }
+}
+
+/// The batch-transparent subset of the zoo, usable for *activations*.
+/// Excluded, because their quantization depends on batch composition
+/// (DESIGN.md §8): SR formats (noise is positional, so a request's bits
+/// shift with its offset inside a coalesced batch), `Int` (symmetric
+/// scale from the whole tensor's max-abs), and windowed BFP (reference
+/// exponent from the whole tensor's max exponent). What remains draws
+/// every quantization statistic per group, and groups never cross
+/// samples.
+fn batch_transparent_zoo_format(idx: usize) -> NumericFormat {
+    const BATCH_TRANSPARENT: [usize; 6] = [0, 1, 3, 4, 7, 8];
+    zoo_format(BATCH_TRANSPARENT[idx % 6])
 }
 
 proptest! {
@@ -140,6 +184,96 @@ proptest! {
         let stats = server.shutdown();
         prop_assert_eq!(stats.samples, requests as u64);
         prop_assert!(stats.batch_histogram.keys().all(|&s| s <= max_batch));
+    }
+}
+
+/// The continuous-batching dispatcher coalesces only within a shape
+/// bucket, so a model that accepts *several* input shapes is needed to
+/// exercise bucketing for real: stride-1 padded convs + global average
+/// pooling accept any H×W and produce a fixed-width head input.
+fn bucketed_conv_model(seed: u64, w_fmt: usize, a_fmt: usize) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = Sequential::new()
+        .push(Conv2d::new(2, 4, 3, 1, 1, false, &mut rng))
+        .push(Relu::new())
+        .push(GlobalAvgPool::new())
+        .push(Dense::new(4, 3, true, &mut rng));
+    set_uniform_precision(
+        &mut m,
+        LayerPrecision {
+            weights: zoo_format(w_fmt),
+            activations: batch_transparent_zoo_format(a_fmt),
+            gradients: NumericFormat::Fp32,
+        },
+    );
+    m
+}
+
+/// The per-sample shapes of the three buckets a request stream may hit.
+const BUCKET_SHAPES: [(usize, usize); 3] = [(4, 4), (4, 6), (6, 6)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Continuous-batching bit-transparency across shape buckets, the full
+    /// 10-format weight zoo, batch-transparent activation formats, and both
+    /// qGEMM exec modes: every response from a mixed-shape request stream
+    /// is bit-identical to a lone single-request forward. Mismatched
+    /// trailing shapes must never coalesce — the batcher's `stack_inputs`
+    /// panics on a mixed batch, so all-requests-succeeding is itself proof
+    /// that no cross-bucket batch was ever formed.
+    #[test]
+    fn mixed_shape_streams_are_bit_transparent(
+        seed in 0u64..500,
+        w_fmt in 0usize..10,
+        a_fmt in 0usize..6,
+        integer_mode in 0usize..2,
+        // Each pick encodes (bucket, samples): `p % 3` selects the shape
+        // bucket, `1 + p / 3` the sample count (1 or 2).
+        raw_picks in prop::collection::vec(0usize..6, 1..12),
+        max_batch in 2usize..7,
+    ) {
+        let picks: Vec<(usize, usize)> =
+            raw_picks.iter().map(|&p| (p % 3, 1 + p / 3)).collect();
+        let exec = if integer_mode == 1 { ExecMode::Integer } else { ExecMode::Replay };
+        let build = || {
+            CompiledModel::compile(bucketed_conv_model(seed, w_fmt, a_fmt), 0)
+                .with_exec_mode(exec)
+        };
+        let input = |i: usize, bucket: usize, samples: usize| {
+            let (h, w) = BUCKET_SHAPES[bucket];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ ((i as u64) << 10));
+            Tensor::from_vec(
+                vec![samples, 2, h, w],
+                (0..samples * 2 * h * w)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect(),
+            )
+        };
+        let mut reference = build();
+        let want: Vec<Tensor> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, s))| reference.infer(&input(i, b, s)))
+            .collect();
+
+        let server = Server::start(
+            vec![build(), build()],
+            BatchConfig::no_wait(max_batch),
+        );
+        let pending: Vec<Pending> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, s))| server.submit(input(i, b, s)))
+            .collect();
+        for (p, w) in pending.into_iter().zip(&want) {
+            prop_assert_eq!(&p.wait(), w, "coalesced response differs from lone forward");
+        }
+        let stats = server.shutdown();
+        let samples: usize = picks.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(stats.samples, samples as u64);
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.deadline_missed, 0);
     }
 }
 

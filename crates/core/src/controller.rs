@@ -12,6 +12,7 @@ use crate::threshold::EpsilonSchedule;
 use crate::trace::{PrecisionTrace, Setting};
 use fast_bfp::relative_improvement;
 use fast_nn::{LayerPrecision, Sequential, StateVisitor, TrainHook, VisitState};
+use fast_telemetry::{Gauge, Registry};
 
 /// Paper Algorithm 1, packaged as a [`TrainHook`].
 ///
@@ -44,6 +45,12 @@ pub struct FastController {
     /// The recorded precision history (Fig 17).
     pub trace: PrecisionTrace,
     current: Vec<Setting>,
+    /// Cached `(W, A, G)` gauge handles per layer, registered lazily on the
+    /// first evaluation (labels come from the layers themselves). Publishing
+    /// makes the Fig 17 schedule observable live via
+    /// `fast_precision_bits{layer, tensor}` instead of only post-hoc from
+    /// the trace.
+    gauges: Vec<[Gauge; 3]>,
 }
 
 impl FastController {
@@ -57,6 +64,7 @@ impl FastController {
             stride: 1,
             trace: PrecisionTrace::new(),
             current: Vec::new(),
+            gauges: Vec::new(),
         }
     }
 
@@ -77,6 +85,38 @@ impl FastController {
             2
         } else {
             4
+        }
+    }
+
+    /// Publishes the live per-layer `(W, A, G)` mantissa widths as labeled
+    /// gauges on the global registry. Layer labels alone are not unique
+    /// (two `dense(256->256)` layers collide), so the series key is
+    /// `"<index>:<label>"`.
+    fn publish_precision_gauges(&mut self) {
+        if self.gauges.len() != self.current.len() {
+            self.gauges = (0..self.current.len())
+                .map(|i| {
+                    let label = self
+                        .trace
+                        .layer_labels
+                        .get(i)
+                        .map(String::as_str)
+                        .unwrap_or("");
+                    let layer = format!("{i}:{label}");
+                    ["w", "a", "g"].map(|tensor| {
+                        Registry::global().gauge(
+                            "fast_precision_bits",
+                            "live FAST-Adaptive mantissa width for a layer tensor (W/A/G)",
+                            &[("layer", layer.as_str()), ("tensor", tensor)],
+                        )
+                    })
+                })
+                .collect();
+        }
+        for (gauges, s) in self.gauges.iter().zip(&self.current) {
+            gauges[0].set(s.w as f64);
+            gauges[1].set(s.a as f64);
+            gauges[2].set(s.g as f64);
         }
     }
 }
@@ -164,6 +204,7 @@ impl TrainHook for FastController {
         }
         self.trace.record(iter, settings.clone());
         self.current = settings;
+        self.publish_precision_gauges();
     }
 }
 

@@ -2,7 +2,7 @@
 //! (DESIGN.md §13) and compares runs against the committed record.
 //!
 //! ```text
-//! variability_bench [--quick] [--out FILE] [--baseline-file FILE]
+//! variability_bench [--quick] [--out FILE] [--baseline-file FILE] [--metrics-out FILE]
 //! ```
 //!
 //! * Default: the full sweep (3 seeds × format zoo × both SR modes on
@@ -13,6 +13,12 @@
 //! * `--baseline-file`: after the run, compare each record against the
 //!   committed file; any metric drift is listed and exits non-zero (the
 //!   sweep is deterministic, so drift means the numerics changed).
+//!
+//! * `--metrics-out`: enable span collection for the sweep and dump the
+//!   process-global telemetry snapshot (train/qgemm counters, span
+//!   timings; DESIGN.md §15) as JSON after the run. Collection is
+//!   bit-invisible (the determinism suite pins this), so the records are
+//!   identical either way.
 //!
 //! Regenerate the committed record with:
 //! `cargo run --release -p fast_harness --bin variability_bench -- --out BENCH_variability.json`
@@ -25,6 +31,7 @@ fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,12 +40,21 @@ fn main() {
             "--baseline-file" => {
                 baseline = Some(args.next().expect("--baseline-file needs a path"));
             }
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: variability_bench [--quick] [--out FILE] [--baseline-file FILE]");
+                eprintln!(
+                    "usage: variability_bench [--quick] [--out FILE] [--baseline-file FILE] \
+                     [--metrics-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if metrics_out.is_some() {
+        fast_telemetry::set_collection(true);
     }
 
     let sweep = if quick {
@@ -65,6 +81,13 @@ fn main() {
             eprintln!("wrote {} records to {path}", records.len());
         }
         None => print!("{report}"),
+    }
+
+    if let Some(path) = &metrics_out {
+        let snapshot = fast_telemetry::Registry::global().snapshot().to_json();
+        std::fs::write(path, &snapshot)
+            .unwrap_or_else(|e| panic!("cannot write metrics snapshot {path}: {e}"));
+        eprintln!("wrote telemetry snapshot to {path}");
     }
 
     if let Some(path) = baseline {

@@ -59,6 +59,7 @@ mod norm;
 mod optim;
 mod pool;
 mod quant;
+mod telemetry;
 mod trainer;
 
 pub mod models;

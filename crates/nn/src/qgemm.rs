@@ -361,13 +361,16 @@ pub fn prepare_sr<'a>(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'a> {
+    let _span = fast_telemetry::span!("qgemm.prepare");
     if matches!(fmt, NumericFormat::Fp32) {
-        return GemmOperand::Borrowed(t);
+        let op = GemmOperand::Borrowed(t);
+        crate::telemetry::note_operand(&op);
+        return op;
     }
     assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
-    if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
-        return GemmOperand::Own(prepare_slice_counter(
+    let op = if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+        GemmOperand::Own(prepare_slice_counter(
             &mut session.plan_stats.quant,
             t.data(),
             rows,
@@ -375,18 +378,21 @@ pub fn prepare_sr<'a>(
             fmt,
             axis,
             ctx,
-        ));
-    }
-    let (bits, stats) = session.quant_parts();
-    GemmOperand::Own(prepare_slice_with(
-        bits,
-        stats,
-        t.data(),
-        rows,
-        cols,
-        fmt,
-        axis,
-    ))
+        ))
+    } else {
+        let (bits, stats) = session.quant_parts();
+        GemmOperand::Own(prepare_slice_with(
+            bits,
+            stats,
+            t.data(),
+            rows,
+            cols,
+            fmt,
+            axis,
+        ))
+    };
+    crate::telemetry::note_operand(&op);
+    op
 }
 
 /// Prepares an owned rank-2 tensor operand, quantizing **in place** on the
@@ -414,18 +420,38 @@ pub fn prepare_owned_sr(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'static> {
+    let _span = fast_telemetry::span!("qgemm.prepare");
+    let op = prepare_owned_sr_inner(session, sr, &mut t, fmt, axis);
+    let op = match op {
+        Some(p) => GemmOperand::Own(p),
+        None => GemmOperand::Own(Prepared::Dense(t)),
+    };
+    crate::telemetry::note_operand(&op);
+    op
+}
+
+/// The body of [`prepare_owned_sr`]: `Some(packed)` when the operand packed,
+/// `None` when `t` was quantized in place (or borrowed through as FP32) and
+/// should be wrapped dense by the caller.
+fn prepare_owned_sr_inner(
+    session: &mut Session,
+    sr: SrMode,
+    t: &mut Tensor,
+    fmt: NumericFormat,
+    axis: GroupAxis,
+) -> Option<Prepared> {
     if matches!(fmt, NumericFormat::Fp32) {
-        return GemmOperand::Own(Prepared::Dense(t));
+        return None;
     }
     assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
     if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
         let stats = &mut session.plan_stats.quant;
         if let Some(p) = counter_pack(stats, t.data(), rows, cols, fmt, axis, ctx) {
-            return GemmOperand::Own(p);
+            return Some(p);
         }
         counter_dense(stats, t.data_mut(), rows, cols, fmt, axis, ctx);
-        return GemmOperand::Own(Prepared::Dense(t));
+        return None;
     }
     let (bits, stats) = session.quant_parts();
     if let NumericFormat::Bfp {
@@ -438,7 +464,7 @@ pub fn prepare_owned_sr(
             pack_matrix_with(t.data(), rows, cols, axis, format, rounding, bits, windowed)
         {
             stats.merge(p.stats);
-            return GemmOperand::Own(Prepared::Packed(PackedMat::new(
+            return Some(Prepared::Packed(PackedMat::new(
                 rows,
                 cols,
                 format.group_size(),
@@ -449,7 +475,7 @@ pub fn prepare_owned_sr(
         }
     }
     stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
-    GemmOperand::Own(Prepared::Dense(t))
+    None
 }
 
 /// Like [`prepare_owned`], but always yields a *dense* operand (in-place
@@ -482,6 +508,7 @@ pub fn prepare_owned_dense_sr(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'static> {
+    let _span = fast_telemetry::span!("qgemm.prepare");
     if !matches!(fmt, NumericFormat::Fp32) {
         assert_eq!(t.rank(), 2, "GEMM operands must be rank-2");
         let (rows, cols) = (t.shape()[0], t.shape()[1]);
@@ -493,7 +520,9 @@ pub fn prepare_owned_dense_sr(
             stats.merge(fmt.quantize_slice_stats(t.data_mut(), rows, cols, axis, bits));
         }
     }
-    GemmOperand::Own(Prepared::Dense(t))
+    let op = GemmOperand::Own(Prepared::Dense(t));
+    crate::telemetry::note_operand(&op);
+    op
 }
 
 /// Prepares an operand straight from a raw `rows × cols` slice (e.g. a
@@ -521,8 +550,9 @@ pub fn prepare_slice_sr(
     fmt: NumericFormat,
     axis: GroupAxis,
 ) -> GemmOperand<'static> {
-    if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
-        return GemmOperand::Own(prepare_slice_counter(
+    let _span = fast_telemetry::span!("qgemm.prepare");
+    let op = if let Some(ctx) = counter_ctx(session, sr, fmt, rows * cols) {
+        GemmOperand::Own(prepare_slice_counter(
             &mut session.plan_stats.quant,
             data,
             rows,
@@ -530,10 +560,13 @@ pub fn prepare_slice_sr(
             fmt,
             axis,
             ctx,
-        ));
-    }
-    let (bits, stats) = session.quant_parts();
-    GemmOperand::Own(prepare_slice_with(bits, stats, data, rows, cols, fmt, axis))
+        ))
+    } else {
+        let (bits, stats) = session.quant_parts();
+        GemmOperand::Own(prepare_slice_with(bits, stats, data, rows, cols, fmt, axis))
+    };
+    crate::telemetry::note_operand(&op);
+    op
 }
 
 /// Executes one GEMM over prepared operands under [`Session::exec_mode`],
@@ -604,6 +637,13 @@ pub fn execute_with(
     };
     session.plan_stats.gemms += 1;
     session.plan_stats.macs += (m * k * n) as u64;
+    crate::telemetry::note_gemm(mode, (m * k * n) as u64);
+    // One static span site per mode, so the per-mode dispatch split shows up
+    // in fast_span_ns{span="qgemm.execute.<mode>"} without a dynamic label.
+    let _span = match mode {
+        ExecMode::Replay => fast_telemetry::span!("qgemm.execute.replay"),
+        ExecMode::Integer => fast_telemetry::span!("qgemm.execute.integer"),
+    };
     match orient {
         Orient::Nn => qmatmul_ex(mode, av, bv),
         Orient::Nt => qmatmul_nt_ex(mode, av, bv),

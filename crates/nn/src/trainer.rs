@@ -114,6 +114,7 @@ impl Trainer {
         labels: &[usize],
         hook: &mut dyn TrainHook,
     ) -> StepStats {
+        let _span = fast_telemetry::span!("train.step");
         hook.before_iteration(self.iter, &mut self.model);
         self.session.train = true;
         self.session.record_sensitivity = hook.wants_sensitivity();
@@ -127,6 +128,7 @@ impl Trainer {
             loss,
         };
         self.iter += 1;
+        crate::telemetry::note_train_step(loss, self.iter as u64, self.session.sr_state().1);
         stats
     }
 
@@ -138,6 +140,7 @@ impl Trainer {
         loss_fn: &mut dyn FnMut(&Tensor) -> (f64, Tensor),
         hook: &mut dyn TrainHook,
     ) -> StepStats {
+        let _span = fast_telemetry::span!("train.step");
         hook.before_iteration(self.iter, &mut self.model);
         self.session.train = true;
         self.session.record_sensitivity = hook.wants_sensitivity();
@@ -151,6 +154,7 @@ impl Trainer {
             loss,
         };
         self.iter += 1;
+        crate::telemetry::note_train_step(loss, self.iter as u64, self.session.sr_state().1);
         stats
     }
 

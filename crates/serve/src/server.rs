@@ -15,10 +15,11 @@
 use crate::batcher::{sample_count, split_output, stack_inputs, BatchConfig, Request};
 use crate::compiled::CompiledModel;
 use crate::request::{Pending, Response, ServeError, ServeRequest};
-use crate::stats::ServeStats;
+use crate::stats::{ModelMetrics, ServeStats};
 use fast_ckpt::{Artifact, CkptError, StateDict, SECTION_MODEL};
+use fast_telemetry::{Registry, Snapshot};
 use fast_tensor::Tensor;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -67,14 +68,15 @@ struct ModelQueue {
     generation: AtomicU64,
     /// EWMA of per-sample service time in ns (0 = no estimate yet).
     est_sample_ns: AtomicU64,
-    /// Requests shed at admission (submit-side; merged into stats).
-    rejected: AtomicU64,
-    /// Highest queued-sample depth observed (submit-side gauge).
-    peak_depth: AtomicU64,
+    /// This model's labeled series on the server's registry (DESIGN.md
+    /// §15): counts and latency histograms are recorded here as they
+    /// happen, so a live [`Server::metrics_text`] scrape sees them without
+    /// waiting for shutdown.
+    metrics: ModelMetrics,
 }
 
 impl ModelQueue {
-    fn new(name: String, workers: usize) -> Self {
+    fn new(name: String, workers: usize, metrics: ModelMetrics) -> Self {
         ModelQueue {
             name,
             workers,
@@ -87,8 +89,7 @@ impl ModelQueue {
             ready: Condvar::new(),
             generation: AtomicU64::new(0),
             est_sample_ns: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            peak_depth: AtomicU64::new(0),
+            metrics,
         }
     }
 }
@@ -150,8 +151,26 @@ fn pop_batch(
     }
 }
 
-fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfig) -> ServeStats {
-    let mut stats = ServeStats::default();
+/// Records one executed batch of `n` samples: the per-model registry
+/// series plus the worker-local exact batch-size map ([`ModelMetrics`]'s
+/// log-bucketed histogram would blur sizes above 16, and tests pin exact
+/// counts).
+fn record_batch(metrics: &ModelMetrics, local: &mut BTreeMap<usize, u64>, n: usize) {
+    metrics.batches.inc();
+    metrics.samples.add(n as u64);
+    metrics.batch_samples.record(n as u64);
+    *local.entry(n).or_insert(0) += 1;
+}
+
+fn worker_loop(
+    mut model: CompiledModel,
+    queue: Arc<ModelQueue>,
+    cfg: BatchConfig,
+) -> BTreeMap<usize, u64> {
+    // Everything except the exact batch-size map is recorded straight into
+    // the per-model registry series (`queue.metrics`), so live scrapes see
+    // it; the map alone rides back through the join handle.
+    let mut batch_sizes: BTreeMap<usize, u64> = BTreeMap::new();
     // The weight generation this worker's replica has applied.
     let mut applied_gen = 0u64;
     loop {
@@ -164,13 +183,14 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfi
                     break;
                 }
                 if state.shutdown {
-                    return stats;
+                    return batch_sizes;
                 }
                 state = queue.ready.wait(state).expect(POISONED);
             }
             let reload = state.reload.clone().filter(|t| t.gen > applied_gen);
             let now = Instant::now();
             let batch = pop_batch(&mut state, cfg.max_batch, now, &mut expired);
+            queue.metrics.queue_depth.set(state.queued_samples as f64);
             (batch, reload, now)
         }; // lock released before the swap and the forward pass run
         if let Some(ticket) = reload {
@@ -185,13 +205,13 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfi
                 // A worker that slept through intermediate generations
                 // covers them all by applying the newest, so a fully
                 // propagated reload always adds `workers` per generation.
-                Ok(()) => stats.reloads += ticket.gen - applied_gen,
-                Err(_) => stats.reload_failures += 1,
+                Ok(()) => queue.metrics.reloads.add(ticket.gen - applied_gen),
+                Err(_) => queue.metrics.reload_failures.inc(),
             }
             applied_gen = ticket.gen;
         }
         for req in expired.drain(..) {
-            stats.deadline_missed += 1;
+            queue.metrics.deadline_missed.inc();
             let waited_us = popped_at.duration_since(req.enqueued_at).as_micros() as u64;
             let deadline_us = req
                 .deadline
@@ -209,7 +229,8 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfi
             continue;
         }
         for req in &batch {
-            stats
+            queue
+                .metrics
                 .queue_ns
                 .record(popped_at.duration_since(req.enqueued_at).as_nanos() as u64);
         }
@@ -219,17 +240,22 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfi
             // Batch of one: skip the stack/split copies entirely.
             if serve_one(&mut model, lone) {
                 let n = sample_count(&lone.input);
-                stats.record(n);
+                record_batch(&queue.metrics, &mut batch_sizes, n);
                 served_samples += n;
+            } else {
+                queue.metrics.failed.inc();
             }
-            stats.service_ns.record(started.elapsed().as_nanos() as u64);
+            queue
+                .metrics
+                .service_ns
+                .record(started.elapsed().as_nanos() as u64);
         } else if serve_coalesced(&mut model, &batch) {
             let n = batch.iter().map(|r| sample_count(&r.input)).sum();
-            stats.record(n);
+            record_batch(&queue.metrics, &mut batch_sizes, n);
             served_samples += n;
             let elapsed = started.elapsed().as_nanos() as u64;
             for _ in &batch {
-                stats.service_ns.record(elapsed);
+                queue.metrics.service_ns.record(elapsed);
             }
         } else {
             // The coalesced forward panicked — some request in the batch is
@@ -242,10 +268,15 @@ fn worker_loop(mut model: CompiledModel, queue: Arc<ModelQueue>, cfg: BatchConfi
                 let t = Instant::now();
                 if serve_one(&mut model, req) {
                     let n = sample_count(&req.input);
-                    stats.record(n);
+                    record_batch(&queue.metrics, &mut batch_sizes, n);
                     served_samples += n;
+                } else {
+                    queue.metrics.failed.inc();
                 }
-                stats.service_ns.record(t.elapsed().as_nanos() as u64);
+                queue
+                    .metrics
+                    .service_ns
+                    .record(t.elapsed().as_nanos() as u64);
             }
         }
         // Feed the admission-control estimate: amortized per-sample service
@@ -381,10 +412,28 @@ impl ServerBuilder {
     pub fn start(self) -> Server {
         assert!(!self.models.is_empty(), "need at least one resident model");
         assert!(self.cfg.max_batch > 0, "max_batch must be positive");
+        // Each server owns its registry so two servers in one process (or
+        // one test binary) never alias each other's series; the global
+        // registry (spans, train/qgemm counters) is appended at scrape
+        // time by [`Server::metrics_text`] / [`Server::metrics_snapshot`].
+        let registry = Arc::new(Registry::new());
+        if self.cfg.sets_ignored_max_wait() {
+            // Satellite of the telemetry rebase: the deprecated `max_wait`
+            // knob is a documented no-op — make setting it visible instead
+            // of silent.
+            registry
+                .counter(
+                    "fast_serve_config_warnings_total",
+                    "server configurations carrying deprecated or ignored knobs",
+                    &[("warning", "max_wait_ignored")],
+                )
+                .inc();
+        }
         let mut queues = Vec::with_capacity(self.models.len());
         let mut workers = Vec::new();
         for (name, replicas) in self.models {
-            let queue = Arc::new(ModelQueue::new(name, replicas.len()));
+            let metrics = ModelMetrics::register(&registry, &name);
+            let queue = Arc::new(ModelQueue::new(name, replicas.len(), metrics));
             for replica in replicas {
                 let worker_queue = Arc::clone(&queue);
                 let cfg = self.cfg;
@@ -394,7 +443,11 @@ impl ServerBuilder {
             }
             queues.push(queue);
         }
-        Server { queues, workers }
+        Server {
+            registry,
+            queues,
+            workers,
+        }
     }
 }
 
@@ -423,8 +476,9 @@ impl ServerBuilder {
 /// server.shutdown();
 /// ```
 pub struct Server {
+    registry: Arc<Registry>,
     queues: Vec<Arc<ModelQueue>>,
-    workers: Vec<JoinHandle<ServeStats>>,
+    workers: Vec<JoinHandle<BTreeMap<usize, u64>>>,
 }
 
 impl Server {
@@ -452,6 +506,33 @@ impl Server {
     /// Total worker threads across all resident models.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The server's own metric registry, carrying the per-model
+    /// `fast_serve_*{model="..."}` series (DESIGN.md §15). Process-wide
+    /// series (spans, train/qgemm counters) live on
+    /// [`Registry::global`] instead; the scrape methods below merge both.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Renders a live Prometheus text-exposition scrape: this server's
+    /// per-model serving series followed by the process-global registry
+    /// (span timings, train/qgemm counters). Valid exposition format 0.0.4;
+    /// scrapeable mid-traffic without stopping the server.
+    pub fn metrics_text(&self) -> String {
+        let mut text = self.registry.metrics_text();
+        text.push_str(&Registry::global().metrics_text());
+        text
+    }
+
+    /// Captures a live [`Snapshot`] of this server's per-model series plus
+    /// the process-global registry, for JSON export
+    /// ([`Snapshot::to_json`]).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        snap.entries.extend(Registry::global().snapshot().entries);
+        snap
     }
 
     /// Names of the resident models, default model first.
@@ -545,6 +626,7 @@ impl Server {
             state,
         });
         drop(qs);
+        queue.metrics.reload_generation.set(generation as f64);
         queue.ready.notify_all();
         Ok(generation)
     }
@@ -586,7 +668,7 @@ impl Server {
                 / queue.workers as u64;
             if est > 0 && est_wait_ns > budget.as_nanos() as u64 {
                 drop(state);
-                queue.rejected.fetch_add(1, Ordering::Relaxed);
+                queue.metrics.shed.inc();
                 let _ = tx.send(Response {
                     result: Err(ServeError::Rejected {
                         estimated_us: est_wait_ns / 1000,
@@ -616,9 +698,10 @@ impl Server {
             }),
         }
         state.queued_samples += samples;
-        let depth = state.queued_samples as u64;
+        let depth = state.queued_samples as f64;
         drop(state);
-        queue.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        queue.metrics.queue_depth.set(depth);
+        queue.metrics.peak_queue_depth.set_max(depth);
         queue.ready.notify_one();
         Pending(rx)
     }
@@ -647,14 +730,13 @@ impl Server {
             queue.ready.notify_all();
         }
         let mut stats = ServeStats::default();
+        // Exact batch-size maps ride back through the join handles; every
+        // other statistic is already on the per-model registry series.
         for handle in self.workers.drain(..) {
-            stats.merge(handle.join().expect("serve worker panicked"));
+            stats.merge_batch_map(handle.join().expect("serve worker panicked"));
         }
         for queue in &self.queues {
-            stats.rejected += queue.rejected.load(Ordering::Relaxed);
-            stats.peak_queue_depth = stats
-                .peak_queue_depth
-                .max(queue.peak_depth.load(Ordering::Relaxed));
+            stats.merge(queue.metrics.to_stats());
         }
         stats
     }
@@ -703,13 +785,7 @@ mod tests {
 
         // Whatever way the dispatcher coalesces the backlog, every response
         // must be bit-identical to the single-sample forward.
-        let server = Server::start(
-            vec![replica(1)],
-            BatchConfig {
-                max_batch: 5,
-                max_wait: Duration::ZERO,
-            },
-        );
+        let server = Server::start(vec![replica(1)], BatchConfig::no_wait(5));
         let pending: Vec<Pending> = (0..12).map(|i| server.submit(sample(i))).collect();
         for (p, w) in pending.into_iter().zip(&want) {
             assert_eq!(&p.wait(), w, "batched result differs from single-sample");
@@ -949,6 +1025,77 @@ mod tests {
         ));
         assert_eq!(server.weight_generation(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_scrapes_live_per_model_series() {
+        let server = Server::builder(BatchConfig::no_wait(4))
+            .model("alpha", vec![replica(1)])
+            .model("beta", vec![replica(2)])
+            .start();
+        assert_eq!(server.infer(sample(0)).shape(), &[1, 3]);
+        let _ = server
+            .submit_request(ServeRequest::new(sample(1)).for_model("beta"))
+            .wait();
+        // Live scrape, server still running: both models' series present,
+        // with the traffic recorded so far. Workers record a batch just
+        // after answering it, so give the counters a beat to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut text = server.metrics_text();
+        while !(text.contains("fast_serve_samples_total{model=\"alpha\"} 1")
+            && text.contains("fast_serve_samples_total{model=\"beta\"} 1"))
+            && Instant::now() < deadline
+        {
+            std::thread::yield_now();
+            text = server.metrics_text();
+        }
+        assert!(text.contains("fast_serve_samples_total{model=\"alpha\"} 1"));
+        assert!(text.contains("fast_serve_samples_total{model=\"beta\"} 1"));
+        assert!(text.contains("fast_serve_queue_depth{model=\"alpha\"} 0"));
+        assert!(text.contains("fast_serve_reload_generation{model=\"alpha\"} 0"));
+        assert!(text.contains("fast_serve_queue_ns_count{model=\"alpha\"} 1"));
+        // The snapshot carries the same series and survives a JSON round
+        // trip.
+        let snap = server.metrics_snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).expect("snapshot JSON round-trips");
+        assert_eq!(
+            back.get("fast_serve_samples_total", &[("model", "beta")]),
+            snap.get("fast_serve_samples_total", &[("model", "beta")])
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.samples, 2, "stats view sums both models");
+    }
+
+    #[test]
+    fn nonzero_max_wait_bumps_config_warning_counter() {
+        #[allow(deprecated)]
+        let cfg = BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+        };
+        let server = Server::start(vec![replica(1)], cfg);
+        assert!(server
+            .metrics_text()
+            .contains("fast_serve_config_warnings_total{warning=\"max_wait_ignored\"} 1"));
+        server.shutdown();
+
+        // The default (zero) config stays warning-free.
+        let clean = Server::start(vec![replica(1)], BatchConfig::default());
+        assert!(!clean
+            .metrics_text()
+            .contains("fast_serve_config_warnings_total"));
+        clean.shutdown();
+    }
+
+    #[test]
+    fn failed_requests_are_counted() {
+        let server = Server::start(vec![replica(5)], BatchConfig::no_wait(4));
+        let bad = server.submit(Tensor::zeros(vec![1, 5]));
+        assert_eq!(bad.result(), Err(ServeError::Failed));
+        let _ = server.infer(sample(0));
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.samples, 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Serving observability: latency histograms and aggregate statistics.
+//! Serving observability: per-model registry metrics and aggregate
+//! statistics.
 //!
 //! The dispatcher splits every request's wall time into **queue residency**
 //! (submit → pulled into a batch) and **service time** (batch pulled →
@@ -7,101 +8,150 @@
 //! caused by service means the model itself is the bottleneck — the split
 //! makes shed decisions and batcher fill auditable from stats alone
 //! (DESIGN.md §14).
+//!
+//! Since the telemetry rebase (DESIGN.md §15) the counters and histograms
+//! live on the server's own [`Registry`] as per-model labeled series
+//! (`fast_serve_*{model="..."}`), recorded lock-free by workers and the
+//! submit path as they happen — [`crate::Server::metrics_text`] scrapes
+//! them live. [`ServeStats`] is now a *view*: the per-model series summed
+//! at shutdown, plus the exact batch-size map each worker keeps locally
+//! (the log-bucketed registry histogram would blur sizes above 16).
 
 use std::collections::BTreeMap;
 
-/// Number of histogram buckets: 16 exact small values plus 8 logarithmic
-/// sub-buckets per power of two up to `u64::MAX` nanoseconds.
-const HIST_BUCKETS: usize = 496;
+use fast_telemetry::{Counter, Gauge, Histogram, Registry};
 
-/// A mergeable log-bucketed latency histogram (nanosecond samples).
-///
-/// Values below 16 ns are exact; above that each power of two is split into
-/// 8 sub-buckets, so any reported percentile is within ~6% of the true
-/// sample. Memory is a fixed 4 KiB per histogram regardless of sample
-/// count, which is what lets every worker keep one per latency component
-/// without unbounded growth under sustained load.
+pub use fast_telemetry::LatencyHistogram;
+
+/// Per-model labeled metric handles on a server's registry, shared by the
+/// model's replica workers and the submit path. Cloning clones handles (the
+/// underlying series are shared).
 #[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: [u64; HIST_BUCKETS],
-    total: u64,
+pub(crate) struct ModelMetrics {
+    /// `fast_serve_batches_total{model}`: coalesced forward passes.
+    pub batches: Counter,
+    /// `fast_serve_samples_total{model}`: samples answered with a tensor.
+    pub samples: Counter,
+    /// `fast_serve_shed_total{model}`: requests rejected at admission.
+    pub shed: Counter,
+    /// `fast_serve_deadline_missed_total{model}`: expired while queued.
+    pub deadline_missed: Counter,
+    /// `fast_serve_failed_total{model}`: requests the model panicked on.
+    pub failed: Counter,
+    /// `fast_serve_queue_ns{model}`: queue residency per served request.
+    pub queue_ns: Histogram,
+    /// `fast_serve_service_ns{model}`: service time per served request.
+    pub service_ns: Histogram,
+    /// `fast_serve_batch_samples{model}`: samples per executed batch (the
+    /// batch-fill distribution; mean fill = `_sum / _count`).
+    pub batch_samples: Histogram,
+    /// `fast_serve_queue_depth{model}`: live queued samples.
+    pub queue_depth: Gauge,
+    /// `fast_serve_peak_queue_depth{model}`: high-water mark of the above.
+    pub peak_queue_depth: Gauge,
+    /// `fast_serve_reloads_total{model}`: per-worker weight swaps applied.
+    pub reloads: Counter,
+    /// `fast_serve_reload_failures_total{model}`: rejected swaps.
+    pub reload_failures: Counter,
+    /// `fast_serve_reload_generation{model}`: target weight generation.
+    pub reload_generation: Gauge,
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            counts: [0; HIST_BUCKETS],
-            total: 0,
+impl ModelMetrics {
+    /// Registers the per-model series for `model` on `registry`.
+    pub fn register(registry: &Registry, model: &str) -> ModelMetrics {
+        let l = &[("model", model)][..];
+        ModelMetrics {
+            batches: registry.counter(
+                "fast_serve_batches_total",
+                "coalesced forward passes executed",
+                l,
+            ),
+            samples: registry.counter(
+                "fast_serve_samples_total",
+                "samples served (answered with a tensor)",
+                l,
+            ),
+            shed: registry.counter(
+                "fast_serve_shed_total",
+                "requests shed at admission (estimated residency exceeded the deadline)",
+                l,
+            ),
+            deadline_missed: registry.counter(
+                "fast_serve_deadline_missed_total",
+                "requests whose deadline expired while queued",
+                l,
+            ),
+            failed: registry.counter(
+                "fast_serve_failed_total",
+                "requests the model rejected (worker-side panic, typed Failed response)",
+                l,
+            ),
+            queue_ns: registry.histogram(
+                "fast_serve_queue_ns",
+                "queue residency per served request (submit to batch pull)",
+                l,
+            ),
+            service_ns: registry.histogram(
+                "fast_serve_service_ns",
+                "service time per served request (batch pull to response)",
+                l,
+            ),
+            batch_samples: registry.histogram(
+                "fast_serve_batch_samples",
+                "samples per executed batch (batch fill)",
+                l,
+            ),
+            queue_depth: registry.gauge(
+                "fast_serve_queue_depth",
+                "samples currently queued for the model",
+                l,
+            ),
+            peak_queue_depth: registry.gauge(
+                "fast_serve_peak_queue_depth",
+                "highest queued-sample depth observed",
+                l,
+            ),
+            reloads: registry.counter(
+                "fast_serve_reloads_total",
+                "hot weight swaps applied (one per worker per generation)",
+                l,
+            ),
+            reload_failures: registry.counter(
+                "fast_serve_reload_failures_total",
+                "hot weight swaps rejected by a worker (artifact mismatch)",
+                l,
+            ),
+            reload_generation: registry.gauge(
+                "fast_serve_reload_generation",
+                "target weight generation being rolled out (0 = compiled weights)",
+                l,
+            ),
+        }
+    }
+
+    /// Sums this model's series into an aggregate [`ServeStats`] view
+    /// (everything except the exact batch-size map, which workers keep
+    /// locally).
+    pub fn to_stats(&self) -> ServeStats {
+        ServeStats {
+            batches: self.batches.get(),
+            samples: self.samples.get(),
+            batch_histogram: BTreeMap::new(),
+            rejected: self.shed.get(),
+            deadline_missed: self.deadline_missed.get(),
+            failed: self.failed.get(),
+            queue_ns: self.queue_ns.snapshot(),
+            service_ns: self.service_ns.snapshot(),
+            peak_queue_depth: self.peak_queue_depth.get() as u64,
+            reloads: self.reloads.get(),
+            reload_failures: self.reload_failures.get(),
         }
     }
 }
 
-fn bucket_index(v: u64) -> usize {
-    if v < 16 {
-        v as usize
-    } else {
-        let b = 63 - v.leading_zeros() as usize; // ≥ 4
-        let sub = ((v >> (b - 3)) & 7) as usize;
-        16 + (b - 4) * 8 + sub
-    }
-}
-
-/// Midpoint of the value range a bucket covers.
-fn bucket_value(idx: usize) -> u64 {
-    if idx < 16 {
-        idx as u64
-    } else {
-        let b = 4 + (idx - 16) / 8;
-        let sub = ((idx - 16) % 8) as u64;
-        let width = 1u64 << (b - 3);
-        (1u64 << b) + sub * width + width / 2
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one sample (nanoseconds).
-    pub fn record(&mut self, ns: u64) {
-        self.counts[bucket_index(ns)] += 1;
-        self.total += 1;
-    }
-
-    /// Adds every sample of `other` into `self`.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *c += o;
-        }
-        self.total += other.total;
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// The `p`-th percentile in nanoseconds (`p` in `[0, 1]`; e.g. `0.99`),
-    /// or 0 if the histogram is empty.
-    pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_value(idx);
-            }
-        }
-        bucket_value(HIST_BUCKETS - 1)
-    }
-
-    /// Convenience: the `p`-th percentile in microseconds.
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        self.percentile_ns(p) as f64 / 1000.0
-    }
-}
-
-/// Aggregate serving statistics, merged across workers at shutdown.
+/// Aggregate serving statistics, summed from the per-model registry series
+/// (and the workers' exact batch-size maps) at shutdown.
 #[derive(Debug, Default, Clone)]
 pub struct ServeStats {
     /// Coalesced forward passes executed.
@@ -119,6 +169,9 @@ pub struct ServeStats {
     /// are dropped at dispatch without running the model
     /// ([`crate::ServeError::DeadlineMissed`]).
     pub deadline_missed: u64,
+    /// Requests the model panicked on (bad shape, out-of-vocab tokens);
+    /// answered with a typed [`crate::ServeError::Failed`].
+    pub failed: u64,
     /// Queue residency per served request: submit → pulled into a batch.
     pub queue_ns: LatencyHistogram,
     /// Service time per served request: batch pulled → response sent (the
@@ -137,12 +190,6 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    pub(crate) fn record(&mut self, batch_samples: usize) {
-        self.batches += 1;
-        self.samples += batch_samples as u64;
-        *self.batch_histogram.entry(batch_samples).or_insert(0) += 1;
-    }
-
     pub(crate) fn merge(&mut self, other: ServeStats) {
         self.batches += other.batches;
         self.samples += other.samples;
@@ -151,11 +198,18 @@ impl ServeStats {
         }
         self.rejected += other.rejected;
         self.deadline_missed += other.deadline_missed;
+        self.failed += other.failed;
         self.queue_ns.merge(&other.queue_ns);
         self.service_ns.merge(&other.service_ns);
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.reloads += other.reloads;
         self.reload_failures += other.reload_failures;
+    }
+
+    pub(crate) fn merge_batch_map(&mut self, map: BTreeMap<usize, u64>) {
+        for (size, n) in map {
+            *self.batch_histogram.entry(size).or_insert(0) += n;
+        }
     }
 
     /// Mean samples per executed batch (0 if nothing ran).
@@ -173,58 +227,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_percentiles_track_samples() {
-        let mut h = LatencyHistogram::default();
-        for ns in 1..=1000u64 {
-            h.record(ns * 1000); // 1 µs .. 1 ms, uniform
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.percentile_ns(0.50);
-        let p99 = h.percentile_ns(0.99);
-        // Log buckets guarantee ~6% resolution.
-        assert!((400_000..=600_000).contains(&p50), "p50 {p50}");
-        assert!((930_000..=1_100_000).contains(&p99), "p99 {p99}");
-        assert!(p50 < p99);
+    fn model_metrics_sum_into_stats() {
+        let registry = Registry::new();
+        let m = ModelMetrics::register(&registry, "test");
+        m.batches.inc();
+        m.samples.add(3);
+        m.batch_samples.record(3);
+        m.queue_ns.record(1_000);
+        m.queue_ns.record(2_000);
+        m.service_ns.record(5_000);
+        m.shed.inc();
+        m.deadline_missed.inc();
+        m.failed.inc();
+        m.peak_queue_depth.set_max(7.0);
+        m.reloads.add(2);
+        m.reload_generation.set(1.0);
+        let stats = m.to_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.deadline_missed, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.queue_ns.count(), 2);
+        assert_eq!(stats.service_ns.count(), 1);
+        assert_eq!(stats.peak_queue_depth, 7);
+        assert_eq!(stats.reloads, 2);
+        assert_eq!(stats.mean_batch(), 3.0);
+        // Re-registering returns handles to the same series.
+        let again = ModelMetrics::register(&registry, "test");
+        assert_eq!(again.samples.get(), 3);
+        // The per-model series render in the Prometheus exposition.
+        let text = registry.metrics_text();
+        assert!(text.contains("fast_serve_samples_total{model=\"test\"} 3"));
+        assert!(text.contains("fast_serve_queue_ns_count{model=\"test\"} 2"));
     }
 
     #[test]
-    fn histogram_small_values_are_exact() {
-        let mut h = LatencyHistogram::default();
-        for v in [0u64, 3, 7, 15] {
-            h.record(v);
-        }
-        assert_eq!(h.percentile_ns(0.0), 0);
-        assert_eq!(h.percentile_ns(1.0), 15);
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        a.record(100);
-        b.record(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.percentile_ns(1.0) > 900_000);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile_ns(0.99), 0);
-    }
-
-    #[test]
-    fn bucket_value_is_within_bucket() {
-        for v in [1u64, 17, 1000, 123_456, u64::from(u32::MAX) * 7] {
-            let idx = bucket_index(v);
-            let rep = bucket_value(idx);
-            // The representative is within a factor of ~1.13 of any member.
-            assert!(
-                (rep as f64) / (v as f64) < 1.15 && (v as f64) / (rep as f64) < 1.15,
-                "v {v} rep {rep}"
-            );
-        }
+    fn merge_accumulates_views() {
+        let registry = Registry::new();
+        let a = ModelMetrics::register(&registry, "a");
+        let b = ModelMetrics::register(&registry, "b");
+        a.samples.add(2);
+        a.batches.inc();
+        b.samples.add(5);
+        b.batches.inc();
+        b.peak_queue_depth.set_max(4.0);
+        let mut total = a.to_stats();
+        total.merge(b.to_stats());
+        total.merge_batch_map(BTreeMap::from([(2, 1)]));
+        total.merge_batch_map(BTreeMap::from([(5, 1), (2, 1)]));
+        assert_eq!(total.samples, 7);
+        assert_eq!(total.peak_queue_depth, 4);
+        assert_eq!(total.batch_histogram.get(&2), Some(&2));
+        assert_eq!(total.batch_histogram.get(&5), Some(&1));
     }
 }

@@ -84,7 +84,9 @@ fn deep_backlog_fills_batches_to_max() {
     // The latency split is observable: a backlogged request's queue
     // residency dominates while service time stays flat.
     assert_eq!(stats.queue_ns.count(), 33);
-    assert!(stats.queue_ns.percentile_ns(0.99) > stats.queue_ns.percentile_ns(0.10));
+    assert!(
+        stats.queue_ns.percentile_ns(0.99).unwrap() > stats.queue_ns.percentile_ns(0.10).unwrap()
+    );
 }
 
 /// Admission control: once the dispatcher has a service-time estimate, a

@@ -173,10 +173,11 @@ proptest! {
         let mut reference = build();
         let want: Vec<Tensor> = (0..requests).map(|i| reference.infer(&sample(i))).collect();
 
-        let server = Server::start(
-            (0..workers).map(|_| build()).collect(),
-            BatchConfig { max_batch, max_wait: Duration::from_millis(5) },
-        );
+        // Deliberately sets the deprecated, ignored `max_wait` knob: the
+        // dispatcher must serve identically with it present.
+        #[allow(deprecated)]
+        let cfg = BatchConfig { max_batch, max_wait: Duration::from_millis(5) };
+        let server = Server::start((0..workers).map(|_| build()).collect(), cfg);
         let pending: Vec<Pending> = (0..requests).map(|i| server.submit(sample(i))).collect();
         for (p, w) in pending.into_iter().zip(&want) {
             prop_assert_eq!(&p.wait(), w);

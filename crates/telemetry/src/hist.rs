@@ -1,0 +1,353 @@
+//! The mergeable log-bucketed latency histogram and its lock-free twin.
+//!
+//! [`LatencyHistogram`] is the plain, single-owner variant (one per worker,
+//! merged at shutdown — the shape `fast_serve` has used since DESIGN.md §14);
+//! [`AtomicHistogram`] is the shared variant behind a registry
+//! [`Histogram`](crate::Histogram) handle, recording with relaxed atomics so
+//! hot paths never take a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: 16 exact small values plus 8 logarithmic
+/// sub-buckets per power of two up to `u64::MAX` nanoseconds.
+pub(crate) const HIST_BUCKETS: usize = 496;
+
+/// A mergeable log-bucketed latency histogram (nanosecond samples).
+///
+/// Values below 16 ns are exact; above that each power of two is split into
+/// 8 sub-buckets, so any reported percentile is within ~6% of the true
+/// sample. Memory is a fixed 4 KiB per histogram regardless of sample
+/// count, which is what lets every worker keep one per latency component
+/// without unbounded growth under sustained load.
+///
+/// Counts saturate instead of wrapping: merging histograms that together
+/// exceed `u64::MAX` samples pins at the maximum rather than silently
+/// restarting from zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; HIST_BUCKETS],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; HIST_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+}
+
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let b = 63 - v.leading_zeros() as usize; // ≥ 4
+        let sub = ((v >> (b - 3)) & 7) as usize;
+        16 + (b - 4) * 8 + sub
+    }
+}
+
+/// Midpoint of the value range a bucket covers.
+pub(crate) fn bucket_value(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let b = 4 + (idx - 16) / 8;
+        let sub = ((idx - 16) % 8) as u64;
+        let width = 1u64 << (b - 3);
+        (1u64 << b) + sub * width + width / 2
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` samples of the same value (nanoseconds). Counts and the
+    /// running sum saturate at `u64::MAX`.
+    pub fn record_n(&mut self, ns: u64, n: u64) {
+        let idx = bucket_index(ns);
+        self.counts[idx] = self.counts[idx].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+        self.sum = self.sum.saturating_add(ns.saturating_mul(n));
+    }
+
+    /// Adds every sample of `other` into `self` (saturating).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded sample values in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value in nanoseconds, or `None` if the histogram is
+    /// empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// The `p`-th percentile in nanoseconds (`p` in `[0, 1]`; e.g. `0.99`),
+    /// or `None` if the histogram is empty.
+    pub fn percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(bucket_value(idx));
+            }
+        }
+        Some(bucket_value(HIST_BUCKETS - 1))
+    }
+
+    /// Convenience: the `p`-th percentile in microseconds, or `None` if the
+    /// histogram is empty.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        self.percentile_ns(p).map(|ns| ns as f64 / 1000.0)
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` pairs, in index order.
+    /// The exchange format behind the JSON snapshot: round-trips exactly and
+    /// stays mergeable.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuilds a histogram from `(bucket index, count)` pairs plus the
+    /// recorded sample sum (the inverse of [`Self::nonzero_buckets`]).
+    /// Out-of-range indices are an error.
+    pub fn from_buckets(
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        sum_ns: u64,
+    ) -> Result<Self, String> {
+        let mut h = LatencyHistogram::default();
+        for (idx, c) in buckets {
+            if idx >= HIST_BUCKETS {
+                return Err(format!("histogram bucket index {idx} out of range"));
+            }
+            h.counts[idx] = h.counts[idx].saturating_add(c);
+            h.total = h.total.saturating_add(c);
+        }
+        h.sum = sum_ns;
+        Ok(h)
+    }
+}
+
+/// Lock-free histogram: the shared-ownership twin of [`LatencyHistogram`],
+/// recorded into concurrently with relaxed atomics and snapshotted into the
+/// plain struct for percentile queries, merging and export.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    pub(crate) fn new() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (nanoseconds). Relaxed ordering: totals are only
+    /// read by snapshot/export paths, never used for synchronization.
+    pub fn record(&self, ns: u64) {
+        self.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current counts into a plain mergeable histogram.
+    ///
+    /// Concurrent recorders may land between bucket reads; the snapshot is
+    /// a consistent-enough view for export (each bucket is individually
+    /// exact, the total is re-derived from the buckets).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        let mut total = 0u64;
+        for (dst, src) in h.counts.iter_mut().zip(self.counts.iter()) {
+            let c = src.load(Ordering::Relaxed);
+            *dst = c;
+            total = total.saturating_add(c);
+        }
+        h.total = total;
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_track_samples() {
+        let mut h = LatencyHistogram::default();
+        for ns in 1..=1000u64 {
+            h.record(ns * 1000); // 1 µs .. 1 ms, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile_ns(0.50).unwrap();
+        let p99 = h.percentile_ns(0.99).unwrap();
+        // Log buckets guarantee ~6% resolution.
+        assert!((400_000..=600_000).contains(&p50), "p50 {p50}");
+        assert!((930_000..=1_100_000).contains(&p99), "p99 {p99}");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::default();
+        for v in [0u64, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_ns(0.0), Some(0));
+        assert_eq!(h.percentile_ns(1.0), Some(15));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile_ns(1.0).unwrap() > 900_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_ns(0.99), None);
+        assert_eq!(h.percentile_us(0.99), None);
+        assert_eq!(h.mean_ns(), None);
+    }
+
+    #[test]
+    fn empty_merge_empty_stays_empty() {
+        let mut a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.sum_ns(), 0);
+        assert_eq!(a.percentile_ns(0.5), None);
+        assert_eq!(a, LatencyHistogram::default());
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut a = LatencyHistogram::default();
+        a.record_n(42, u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        // One more sample must not wrap the total or the bucket back to 0.
+        a.record(42);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.percentile_ns(1.0), Some(bucket_value(bucket_index(42))));
+        // Merging two saturated histograms saturates too.
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.sum_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundary_values_stay_in_their_bucket() {
+        // 15 is the last exact bucket; 16 opens the first log bucket.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert!(bucket_index(16) != bucket_index(15));
+        // Power-of-two boundaries: 2^b lands in a different bucket from
+        // 2^b - 1, and the representative stays within the ~6% envelope.
+        for b in [5u32, 10, 20, 40, 63] {
+            let lo = (1u64 << b) - 1;
+            let hi = 1u64 << b;
+            assert_ne!(bucket_index(lo), bucket_index(hi), "boundary 2^{b}");
+            for v in [lo, hi] {
+                let rep = bucket_value(bucket_index(v));
+                assert!(
+                    (rep as f64) / (v as f64) < 1.15 && (v as f64) / (rep as f64) < 1.15,
+                    "v {v} rep {rep}"
+                );
+            }
+        }
+        // The top of the u64 range maps to the last bucket, not past it.
+        assert!(bucket_index(u64::MAX) < HIST_BUCKETS);
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert!(h.percentile_ns(1.0).is_some());
+    }
+
+    #[test]
+    fn bucket_value_is_within_bucket() {
+        for v in [1u64, 17, 1000, 123_456, u64::from(u32::MAX) * 7] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            // The representative is within a factor of ~1.13 of any member.
+            assert!(
+                (rep as f64) / (v as f64) < 1.15 && (v as f64) / (rep as f64) < 1.15,
+                "v {v} rep {rep}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip() {
+        let mut h = LatencyHistogram::default();
+        for v in [0u64, 15, 16, 1000, 123_456_789] {
+            h.record_n(v, 3);
+        }
+        let pairs: Vec<_> = h.nonzero_buckets().collect();
+        let back = LatencyHistogram::from_buckets(pairs, h.sum_ns()).unwrap();
+        assert_eq!(back, h);
+        assert!(LatencyHistogram::from_buckets([(HIST_BUCKETS, 1)], 0).is_err());
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = LatencyHistogram::default();
+        for v in [1u64, 100, 10_000, 1_000_000] {
+            a.record(v);
+            p.record(v);
+        }
+        assert_eq!(a.snapshot(), p);
+        assert_eq!(a.count(), 4);
+    }
+}

@@ -1,0 +1,411 @@
+//! Metric handles and the [`Registry`] that names them.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones of
+//! lock-free atomics: the registry mutex is taken only at
+//! registration/export time, never on the record path. Registering the same
+//! `(name, labels)` twice returns a handle to the *same* underlying series,
+//! which is what lets static call sites (`OnceLock<Counter>`) and per-model
+//! serving metrics share series safely.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{AtomicHistogram, LatencyHistogram};
+use crate::snapshot::{Snapshot, SnapshotEntry, SnapshotValue};
+
+/// A monotonically increasing counter (lock-free, relaxed ordering).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as IEEE-754 bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (a running maximum).
+    ///
+    /// Uses `fetch_max` on the raw bits, which orders correctly because
+    /// non-negative IEEE-754 values compare the same as their bit patterns;
+    /// only call this with `v >= 0` (peak depths, high-water marks).
+    pub fn set_max(&self, v: f64) {
+        debug_assert!(v >= 0.0, "Gauge::set_max requires non-negative values");
+        self.0.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A shared lock-free latency histogram handle (nanosecond samples).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Records one sample (nanoseconds).
+    pub fn record(&self, ns: u64) {
+        self.0.record(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Copies the live counts into a plain mergeable [`LatencyHistogram`].
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: &'static str,
+    kind: Kind,
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// A named collection of metric series.
+///
+/// Most instrumentation registers on the process-global registry
+/// ([`Registry::global`]); components that need isolated scrapes (one
+/// `Server` instance vs another) own their own `Registry` and export it
+/// alongside the global one.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+fn canonical_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-global registry: training, quantization and qgemm
+    /// instrumentation all lands here.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+    ) -> Series {
+        let key = canonical_labels(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {} but requested as {}",
+            family.kind.name(),
+            kind.name(),
+        );
+        family
+            .series
+            .entry(key)
+            .or_insert_with(|| match kind {
+                Kind::Counter => Series::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+                Kind::Gauge => Series::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))),
+                Kind::Histogram => Series::Histogram(Histogram(Arc::new(AtomicHistogram::new()))),
+            })
+            .clone()
+    }
+
+    /// Registers (or looks up) a counter series. Same `(name, labels)`
+    /// returns a handle to the same underlying value.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.register(name, help, Kind::Counter, labels) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or looks up) a gauge series.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn gauge(&self, name: &'static str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, Kind::Gauge, labels) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or looks up) a histogram series.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.register(name, help, Kind::Histogram, labels) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Renders every series in Prometheus text exposition format (version
+    /// 0.0.4). Histograms are exported as `summary` families: quantile
+    /// series from the log-bucketed percentiles plus `_sum` and `_count`.
+    pub fn metrics_text(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(family.help)));
+            let type_name = match family.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram => "summary",
+            };
+            out.push_str(&format!("# TYPE {name} {type_name}\n"));
+            for (labels, series) in family.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            c.get()
+                        ));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            render_f64(g.get())
+                        ));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for q in [0.5, 0.9, 0.99, 0.999] {
+                            let v = snap
+                                .percentile_ns(q)
+                                .map(|ns| ns.to_string())
+                                .unwrap_or_else(|| "NaN".to_string());
+                            out.push_str(&format!(
+                                "{name}{} {v}\n",
+                                render_labels(labels, Some(q))
+                            ));
+                        }
+                        let plain = render_labels(labels, None);
+                        out.push_str(&format!("{name}_sum{plain} {}\n", snap.sum_ns()));
+                        out.push_str(&format!("{name}_count{plain} {}\n", snap.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Captures every series into an exportable [`Snapshot`] (see
+    /// [`Snapshot::to_json`] for the wire format).
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().unwrap();
+        let mut entries = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, series) in family.series.iter() {
+                entries.push(SnapshotEntry {
+                    name: name.to_string(),
+                    labels: labels.clone(),
+                    value: match series {
+                        Series::Counter(c) => SnapshotValue::Counter(c.get()),
+                        Series::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                        Series::Histogram(h) => SnapshotValue::Histogram(Box::new(h.snapshot())),
+                    },
+                });
+            }
+        }
+        Snapshot { entries }
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double quote
+/// and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a HELP line: backslash and newline.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Formats an `f64` so it parses back to the same value (`{}` on finite
+/// floats is shortest-round-trip in Rust) and stays a valid exposition
+/// value for the non-finite cases.
+pub(crate) fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_series() {
+        let r = Registry::new();
+        let a = r.counter("t_total", "test", &[("k", "v")]);
+        let b = r.counter("t_total", "test", &[("k", "v")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let other = r.counter("t_total", "test", &[("k", "w")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "test", &[]);
+        g.set_max(4.0);
+        g.set_max(2.0);
+        assert_eq!(g.get(), 4.0);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("same_name", "test", &[]);
+        let _ = r.gauge("same_name", "test", &[]);
+    }
+
+    #[test]
+    fn metrics_text_is_valid_exposition() {
+        let r = Registry::new();
+        r.counter("req_total", "requests", &[("model", "a\"b\\c")])
+            .add(7);
+        r.gauge("load", "load factor", &[]).set(0.25);
+        let h = r.histogram("lat_ns", "latency", &[("model", "m")]);
+        h.record(1000);
+        h.record(2000);
+        let text = r.metrics_text();
+        // Families sorted, HELP/TYPE pairs precede samples, label escaping.
+        assert!(text.contains("# HELP lat_ns latency\n# TYPE lat_ns summary\n"));
+        assert!(text.contains("# TYPE load gauge\nload 0.25\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains(r#"req_total{model="a\"b\\c"} 7"#));
+        assert!(text.contains(r#"lat_ns{model="m",quantile="0.99"}"#));
+        assert!(text.contains("lat_ns_sum{model=\"m\"} 3000\n"));
+        assert!(text.contains("lat_ns_count{model=\"m\"} 2\n"));
+        // Every non-comment line is `name{labels} value` with a parseable value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN" || value.ends_with("Inf"),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_exports_nan_quantiles() {
+        let r = Registry::new();
+        let _ = r.histogram("h_ns", "empty", &[]);
+        let text = r.metrics_text();
+        assert!(text.contains("h_ns{quantile=\"0.5\"} NaN"));
+        assert!(text.contains("h_ns_count 0"));
+    }
+}

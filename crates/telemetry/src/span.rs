@@ -1,0 +1,140 @@
+//! Near-zero-overhead scoped span timers.
+//!
+//! A span site is a `static` embedded at the instrumentation point by the
+//! [`span!`](crate::span!) macro. When no collector is installed
+//! ([`set_collection`]`(false)`, the default), entering a span is one
+//! relaxed atomic load and a branch — no clock read, no allocation, no
+//! registry traffic — which is what makes it safe to leave in GEMM-dispatch
+//! and quantization hot paths permanently. Installing a collector turns
+//! every site into a `fast_span_ns{span="<name>"}` histogram series on the
+//! global registry.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::registry::{Histogram, Registry};
+
+static COLLECTING: AtomicBool = AtomicBool::new(false);
+
+/// Installs (`true`) or removes (`false`) the span collector process-wide.
+///
+/// Span timing only changes what is *recorded*, never what is computed:
+/// toggling this mid-run is safe and bit-invisible to training and serving
+/// results (pinned by `tests/determinism.rs` and the lifecycle suite).
+pub fn set_collection(enabled: bool) {
+    COLLECTING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether a span collector is currently installed.
+pub fn collection_enabled() -> bool {
+    COLLECTING.load(Ordering::Relaxed)
+}
+
+/// A static span instrumentation point. Use via [`span!`](crate::span!);
+/// the struct is public only so the macro can name it.
+#[derive(Debug)]
+pub struct SpanSite {
+    name: &'static str,
+    hist: OnceLock<Histogram>,
+}
+
+impl SpanSite {
+    /// Creates a site for `span!` expansion. `name` becomes the `span`
+    /// label value.
+    pub const fn new(name: &'static str) -> Self {
+        SpanSite {
+            name,
+            hist: OnceLock::new(),
+        }
+    }
+
+    /// Starts timing if a collector is installed; otherwise returns an
+    /// inert guard without reading the clock.
+    pub fn enter(&'static self) -> SpanGuard {
+        if collection_enabled() {
+            let hist = self.hist.get_or_init(|| {
+                Registry::global().histogram(
+                    "fast_span_ns",
+                    "scoped span wall time in nanoseconds",
+                    &[("span", self.name)],
+                )
+            });
+            SpanGuard {
+                active: Some((hist, Instant::now())),
+            }
+        } else {
+            SpanGuard { active: None }
+        }
+    }
+}
+
+/// RAII guard returned by [`SpanSite::enter`]; records elapsed nanoseconds
+/// into the site's histogram on drop when a collector is installed.
+#[must_use = "a span guard times the scope it is bound to; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(&'static Histogram, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.active.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a scoped span timer tied to the enclosing lexical scope.
+///
+/// ```
+/// fn hot_path() {
+///     let _span = fast_telemetry::span!("qgemm.execute");
+///     // ... timed work ...
+/// } // recorded into fast_span_ns{span="qgemm.execute"} here
+/// ```
+///
+/// The span name must be a string literal: each call site expands to one
+/// `static` [`SpanSite`](crate::SpanSite), so the check for an installed
+/// collector is a single relaxed load when collection is off.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static __FAST_SPAN_SITE: $crate::SpanSite = $crate::SpanSite::new($name);
+        __FAST_SPAN_SITE.enter()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotValue;
+
+    #[test]
+    fn spans_record_only_when_collecting() {
+        // Serialize against other tests that toggle the global flag.
+        let hist = Registry::global().histogram(
+            "fast_span_ns",
+            "scoped span wall time in nanoseconds",
+            &[("span", "telemetry.test.span")],
+        );
+        let before = hist.count();
+        set_collection(false);
+        {
+            let _g = span!("telemetry.test.span");
+        }
+        assert_eq!(hist.count(), before, "disabled span must not record");
+        set_collection(true);
+        {
+            let _g = span!("telemetry.test.span");
+        }
+        set_collection(false);
+        assert_eq!(hist.count(), before + 1, "enabled span must record once");
+        // The series shows up in the global snapshot.
+        let snap = Registry::global().snapshot();
+        match snap.get("fast_span_ns", &[("span", "telemetry.test.span")]) {
+            Some(SnapshotValue::Histogram(h)) => assert!(h.count() >= 1),
+            other => panic!("expected histogram series, got {other:?}"),
+        }
+    }
+}

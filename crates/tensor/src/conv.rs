@@ -74,6 +74,7 @@ impl Conv2dDims {
 ///
 /// Panics if `input` is not `(batch, in_c, in_h, in_w)`.
 pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
+    let _span = fast_telemetry::span!("tensor.im2col");
     d.validate();
     assert_eq!(
         input.shape(),
@@ -144,6 +145,7 @@ pub fn im2col(input: &Tensor, d: Conv2dDims) -> Tensor {
 ///
 /// Panics if `input` is not `(batch, in_c, in_h, in_w)`.
 pub fn im2row(input: &Tensor, d: Conv2dDims) -> Tensor {
+    let _span = fast_telemetry::span!("tensor.im2row");
     d.validate();
     assert_eq!(
         input.shape(),
@@ -192,6 +194,7 @@ pub fn im2row(input: &Tensor, d: Conv2dDims) -> Tensor {
 ///
 /// Panics if `cols` is not `(K, P)` for the given dims.
 pub fn col2im(cols: &Tensor, d: Conv2dDims) -> Tensor {
+    let _span = fast_telemetry::span!("tensor.col2im");
     d.validate();
     assert_eq!(
         cols.shape(),

@@ -18,6 +18,8 @@
 //!   area/power/energy accounting.
 //! * [`serve`] — batched BFP inference serving: frozen compiled models,
 //!   dynamic micro-batching, replicated workers.
+//! * [`telemetry`] — lock-free metrics registry, scoped spans and
+//!   Prometheus/JSON exporters shared by every layer.
 //! * [`harness`] — lifecycle conformance and numerical-variability drivers
 //!   over the whole stack (`tests/lifecycle.rs`, `BENCH_variability.json`).
 //!
@@ -46,4 +48,5 @@ pub use fast_harness as harness;
 pub use fast_hw as hw;
 pub use fast_nn as nn;
 pub use fast_serve as serve;
+pub use fast_telemetry as telemetry;
 pub use fast_tensor as tensor;

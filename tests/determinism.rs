@@ -344,5 +344,41 @@ fn training_is_bit_identical_across_runs_and_worker_counts() {
         "counter-mode MLP differs under default workers"
     );
 
+    // (e) Telemetry neutrality (DESIGN.md §15): turning span collection on
+    // must not change a single result bit. Instrumentation reads clocks and
+    // values the computation already produced — never the SR noise stream
+    // or tensor data — so losses and final parameter bits must match the
+    // collection-off baselines above exactly. Collection is process-global,
+    // which is why this leg lives in the same #[test].
+    fast_dnn::telemetry::set_collection(true);
+    set_parallelism(Parallelism::sequential());
+    assert_eq!(
+        mlp_seq,
+        mlp_run(),
+        "span collection must be bit-invisible to the MLP run"
+    );
+    assert_eq!(
+        conv_seq,
+        convnet_run(),
+        "span collection must be bit-invisible to the convnet run"
+    );
+    assert_eq!(
+        counter_seq,
+        mlp_counter_run(),
+        "span collection must be bit-invisible to counter-mode SR"
+    );
+    assert_eq!(
+        mlp_seq,
+        mlp_resumed_run(),
+        "span collection must be bit-invisible across checkpoint/resume"
+    );
+    set_parallelism(Parallelism::default());
+    assert_eq!(
+        mlp_seq,
+        mlp_run(),
+        "span collection must be bit-invisible under default workers"
+    );
+    fast_dnn::telemetry::set_collection(false);
+
     set_parallelism(saved);
 }

@@ -54,6 +54,32 @@ fn mlp_survives_the_full_lifecycle_matrix() {
     sweep(Workload::Mlp);
 }
 
+/// Telemetry neutrality (DESIGN.md §15): the full lifecycle — training
+/// losses, resume parity, compiled≡eval serving parity, reload
+/// transparency — must be bit-identical whether span collection is on or
+/// off. The serving-parity and resume invariants are asserted *inside*
+/// `run_lifecycle` (so the collector-on leg re-proves served outputs match
+/// eval forwards bit for bit); the loss curves of the two legs are
+/// compared here bit for bit on top.
+#[test]
+fn lifecycle_is_bit_identical_with_collector_installed() {
+    let cfg = LifecycleConfig::quick(ExecMode::Replay, SrMode::Counter);
+    let off = run_lifecycle(Workload::Mlp, &cfg);
+    fast_dnn::telemetry::set_collection(true);
+    let on = run_lifecycle(Workload::Mlp, &cfg);
+    fast_dnn::telemetry::set_collection(false);
+    let bits = |r: &fast_dnn::harness::LifecycleReport| -> Vec<u64> {
+        r.losses.iter().map(|l| l.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&off),
+        bits(&on),
+        "span collection must not change a single loss bit across the lifecycle"
+    );
+    assert_eq!(off.served, on.served);
+    assert_eq!(off.reloads, on.reloads);
+}
+
 #[test]
 fn resnet_lite_survives_the_full_lifecycle_matrix() {
     sweep(Workload::ResNetLite);
